@@ -1,0 +1,69 @@
+//! Numeric kernel benchmarks: batched matmul, im2col-based temporal
+//! convolution (forward and backward), softmax and batch norm at the
+//! shapes skeleton models actually use.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dhg_nn::{BatchNorm2d, Module};
+use dhg_tensor::ops::Conv2dSpec;
+use dhg_tensor::{NdArray, Tensor};
+use std::hint::black_box;
+
+fn wave(n: usize) -> Vec<f32> {
+    (0..n).map(|i| (i as f32 * 0.137).sin()).collect()
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    // [CT, V] @ [V, V]: the spatial mixing shape
+    let a = NdArray::from_vec(wave(64 * 24 * 25), &[64 * 24, 25]);
+    let b = NdArray::from_vec(wave(25 * 25), &[25, 25]);
+    c.bench_function("matmul_1536x25x25", |bch| bch.iter(|| black_box(a.matmul(&b))));
+    // batched with broadcast weight: conv-as-matmul shape
+    let w = NdArray::from_vec(wave(48 * 72), &[48, 72]);
+    let cols = NdArray::from_vec(wave(8 * 72 * 600), &[8, 72, 600]);
+    c.bench_function("matmul_broadcast_8x48x72x600", |bch| bch.iter(|| black_box(w.matmul(&cols))));
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let x = Tensor::constant(NdArray::from_vec(wave(8 * 24 * 24 * 25), &[8, 24, 24, 25]));
+    let w = Tensor::param(NdArray::from_vec(wave(24 * 24 * 3), &[24, 24, 3, 1]));
+    let spec = Conv2dSpec::temporal(3, 1, 1);
+    c.bench_function("conv_temporal_3x1_forward", |bch| {
+        bch.iter(|| black_box(x.conv2d(&w, None, spec)))
+    });
+    c.bench_function("conv_temporal_3x1_forward_backward", |bch| {
+        bch.iter(|| {
+            let y = x.conv2d(&w, None, spec).square().sum_all();
+            y.backward();
+            w.zero_grad();
+            black_box(())
+        })
+    });
+    c.bench_function("im2col_only", |bch| {
+        let xd = x.array();
+        bch.iter(|| black_box(xd.im2col(3, 1, 1, 1, 1, 0, 1, 1)))
+    });
+    // pointwise mixer (the Θ of every spatial branch)
+    let wp = Tensor::param(NdArray::from_vec(wave(48 * 24), &[48, 24, 1, 1]));
+    c.bench_function("conv_pointwise_forward", |bch| {
+        bch.iter(|| black_box(x.conv2d(&wp, None, Conv2dSpec::pointwise())))
+    });
+}
+
+fn bench_norm_softmax(c: &mut Criterion) {
+    let x = Tensor::constant(NdArray::from_vec(wave(8 * 24 * 24 * 25), &[8, 24, 24, 25]));
+    let bn = BatchNorm2d::new(24);
+    c.bench_function("batchnorm2d_train_forward", |bch| bch.iter(|| black_box(bn.forward(&x))));
+    let logits = Tensor::constant(NdArray::from_vec(wave(256 * 60), &[256, 60]));
+    c.bench_function("softmax_256x60", |bch| bch.iter(|| black_box(logits.softmax(1))));
+    let targets: Vec<usize> = (0..256).map(|i| i % 60).collect();
+    c.bench_function("cross_entropy_256x60", |bch| {
+        bch.iter(|| black_box(logits.cross_entropy(&targets)))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_matmul, bench_conv, bench_norm_softmax
+);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Benchmarks of the dynamic-hypergraph construction costs the paper's
+//! §5 worries about ("complex calculations in the process of obtaining
+//! dynamic hypergraph"): k-NN hyperedges, k-means hyperedges, moving
+//! distance, the per-frame Eq. 9 operator stack, and per-frame vs
+//! per-sample dynamic topology inside a DHST forward pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dhg_core::common::ModelDims;
+use dhg_core::{Dhgcn, DhgcnConfig, TopologyGranularity};
+use dhg_hypergraph::{dynamic_operators, kmeans_hyperedges, knn_hyperedges, moving_distance};
+use dhg_nn::Module;
+use dhg_skeleton::{static_hypergraph, SkeletonDataset, SkeletonTopology};
+use dhg_tensor::{NdArray, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn coords_25x3() -> Vec<f32> {
+    SkeletonTopology::ntu25().rest_pose().into_vec()
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let coords = coords_25x3();
+    c.bench_function("knn_hyperedges_kn3_v25", |b| {
+        b.iter(|| black_box(knn_hyperedges(&coords, 25, 3, 3)))
+    });
+    c.bench_function("kmeans_hyperedges_km4_v25", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(0);
+            black_box(kmeans_hyperedges(&coords, 25, 3, 4, &mut rng))
+        })
+    });
+    c.bench_function("union_operator_kn3_km4_v25", |b| {
+        b.iter(|| {
+            let knn = knn_hyperedges(&coords, 25, 3, 3);
+            let mut rng = StdRng::seed_from_u64(0);
+            let km = kmeans_hyperedges(&coords, 25, 3, 4, &mut rng);
+            black_box(knn.union(&km).operator())
+        })
+    });
+}
+
+fn bench_joint_weights(c: &mut Criterion) {
+    let dataset = SkeletonDataset::ntu60_like(4, 1, 32, 0);
+    let positions = dataset.samples[0].data.permute(&[1, 2, 0]); // [T, V, 3]
+    let hg = static_hypergraph(&dataset.topology);
+    c.bench_function("moving_distance_t32_v25", |b| {
+        b.iter(|| black_box(moving_distance(&positions)))
+    });
+    c.bench_function("dynamic_operators_eq9_t32_v25", |b| {
+        b.iter(|| black_box(dynamic_operators(&hg, &positions)))
+    });
+}
+
+fn dhgcn(granularity: TopologyGranularity) -> Dhgcn {
+    let dims = ModelDims { in_channels: 3, n_joints: 25, n_classes: 8 };
+    let mut config = DhgcnConfig::small(dims);
+    config.granularity = granularity;
+    Dhgcn::for_topology(config, &SkeletonTopology::ntu25(), &mut StdRng::seed_from_u64(0))
+}
+
+fn bench_topology_granularity(c: &mut Criterion) {
+    // the DESIGN.md ablation: paper-faithful per-frame topology vs the
+    // per-sample approximation, full model forward at batch 4
+    let dataset = SkeletonDataset::ntu60_like(4, 1, 16, 1);
+    let mut flat = Vec::new();
+    for s in dataset.samples.iter().take(4) {
+        flat.extend_from_slice(s.data.data());
+    }
+    let x = Tensor::constant(NdArray::from_vec(flat, &[4, 3, 16, 25]));
+    let mut per_sample = dhgcn(TopologyGranularity::PerSample);
+    per_sample.set_training(false);
+    let mut per_frame = dhgcn(TopologyGranularity::PerFrame);
+    per_frame.set_training(false);
+    c.bench_function("dhgcn_forward_per_sample_topology", |b| {
+        b.iter(|| black_box(per_sample.forward(&x)))
+    });
+    c.bench_function("dhgcn_forward_per_frame_topology", |b| {
+        b.iter(|| black_box(per_frame.forward(&x)))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_construction, bench_joint_weights, bench_topology_granularity
+);
+criterion_main!(benches);

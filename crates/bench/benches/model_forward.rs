@@ -1,0 +1,58 @@
+//! Whole-model benchmarks: forward and forward+backward cost of each zoo
+//! member at experiment scale (batch 8, T = 24, V = 25).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dhg_skeleton::{SkeletonDataset, SkeletonTopology};
+use dhg_tensor::{NdArray, Tensor};
+use dhg_train::zoo::Zoo;
+use std::hint::black_box;
+
+fn batch() -> Tensor {
+    let dataset = SkeletonDataset::ntu60_like(4, 2, 24, 5);
+    let mut flat = Vec::new();
+    for s in dataset.samples.iter().take(8) {
+        flat.extend_from_slice(s.data.data());
+    }
+    Tensor::constant(NdArray::from_vec(flat, &[8, 3, 24, 25]))
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let zoo = Zoo::new(SkeletonTopology::ntu25(), 8, 0);
+    let x = batch();
+    let mut group = c.benchmark_group("forward_b8_t24");
+    for name in ["TCN", "ST-LSTM", "ST-GCN", "Shift-GCN", "2s-AGCN", "2s-AHGCN", "DHGCN", "DHGCN-lite"] {
+        let mut model = zoo.by_name(name).expect("zoo model");
+        model.set_training(false);
+        group.bench_function(name, |b| b.iter(|| black_box(model.forward(&x))));
+    }
+    group.finish();
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let zoo = Zoo::new(SkeletonTopology::ntu25(), 8, 0);
+    let x = batch();
+    let targets: Vec<usize> = (0..8).map(|i| i % 8).collect();
+    let mut group = c.benchmark_group("forward_backward_b8_t24");
+    group.sample_size(10);
+    for name in ["ST-GCN", "2s-AGCN", "DHGCN", "DHGCN-lite"] {
+        let model = zoo.by_name(name).expect("zoo model");
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let loss = model.forward(&x).cross_entropy(&targets);
+                loss.backward();
+                for p in model.parameters() {
+                    p.zero_grad();
+                }
+                black_box(())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_forward, bench_train_step
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Tab. 3 — the `(k_n, k_m)` sweep of the dynamic topology (§3.4): the
+//! model peaks at `k_n = 3, k_m = 4` and declines past either threshold.
+//!
+//! The sweep trains the joint stream only (the relative comparison is
+//! stream-independent; fused rows would double an already 12-training
+//! sweep — noted in EXPERIMENTS.md).
+
+use dhg_bench::{kinetics, ntu60, run_single, shape_note, zoo_for};
+use dhg_core::BranchConfig;
+use dhg_skeleton::{Protocol, Stream};
+use dhg_train::{Table, TableRow};
+
+const SETTINGS: [(usize, usize); 6] = [(2, 3), (2, 4), (2, 5), (3, 3), (4, 3), (3, 4)];
+
+fn label(kn: usize, km: usize) -> String {
+    format!("DHGCN(kn={kn},km={km})")
+}
+
+fn main() {
+    let mut table = Table::new(
+        "Tab. 3",
+        "DHGCN with different (k_n, k_m) settings — best at k_n = 3, k_m = 4",
+    );
+    for ((kn, km), (t1, t5, xsub, xview)) in SETTINGS.iter().zip([
+        (37.0, 59.6, 90.1, 95.1),
+        (37.2, 60.1, 90.3, 95.4),
+        (36.8, 59.7, 90.1, 95.2),
+        (37.2, 60.2, 90.3, 95.6),
+        (36.9, 59.7, 90.0, 95.2),
+        (37.7, 60.6, 90.7, 96.0),
+    ]) {
+        table.paper_row(TableRow::new(
+            &label(*kn, *km),
+            &[
+                ("Top1", Some(t1)),
+                ("Top5", Some(t5)),
+                ("X-Sub", Some(xsub)),
+                ("X-View", Some(xview)),
+            ],
+        ));
+    }
+
+    let kin = kinetics();
+    let ntu = ntu60();
+    let kz = zoo_for(&kin);
+    let nz = zoo_for(&ntu);
+    for (kn, km) in SETTINGS {
+        eprintln!("training DHGCN(kn={kn}, km={km})…");
+        let mut k_model = kz.dhgcn_with(kn, km, BranchConfig::full());
+        let k = run_single(&mut k_model, &kin, Protocol::Random { test_fraction: 0.3 }, Stream::Joint);
+        let mut s_model = nz.dhgcn_with(kn, km, BranchConfig::full());
+        let s = run_single(&mut s_model, &ntu, Protocol::CrossSubject, Stream::Joint);
+        table.measured_row(TableRow {
+            method: label(kn, km),
+            values: vec![
+                ("Top1".into(), Some(k.top1_pct())),
+                ("Top5".into(), Some(k.top5_pct())),
+                ("X-Sub".into(), Some(s.top1_pct())),
+                ("X-View".into(), None), // joint-stream sweep measures X-Sub; see note
+            ],
+        });
+    }
+
+    let best = table.measured(&label(3, 4), "X-Sub");
+    let optimum_holds = SETTINGS
+        .iter()
+        .filter(|&&s| s != (3, 4))
+        .all(|&(kn, km)| best >= table.measured(&label(kn, km), "X-Sub") - 2.0);
+    table.note(shape_note(
+        "(3, 4) within the top of the sweep on X-Sub (2-point tolerance: seed noise)",
+        optimum_holds,
+    ));
+    table.note("sweep uses the joint stream; X-View column omitted to halve the 12-training budget");
+
+    println!("{}", table.render());
+    let path = table.save_json(&dhg_bench::experiments_dir()).expect("save table json");
+    println!("saved {}", path.display());
+}

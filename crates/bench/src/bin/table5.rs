@@ -1,0 +1,68 @@
+//! Tab. 5 — the two-stream framework (§3.5): fusing the joint-stream and
+//! bone-stream DHGCN scores beats either stream alone on both datasets.
+
+use dhg_bench::{kinetics, ntu60, run_two_stream, shape_note, zoo_for};
+use dhg_skeleton::Protocol;
+use dhg_train::{Table, TableRow};
+
+fn main() {
+    let mut table = Table::new(
+        "Tab. 5",
+        "DHGCN with different input data: joint, bone, and the two-stream fusion",
+    );
+    for (method, t1, t5, xsub, xview) in [
+        ("DHGCN(joint)", 35.9, 58.0, 88.6, 94.8),
+        ("DHGCN(bone)", 35.5, 58.2, 89.0, 94.5),
+        ("DHGCN", 37.7, 60.6, 90.7, 96.0),
+    ] {
+        table.paper_row(TableRow::new(
+            method,
+            &[("Top1", Some(t1)), ("Top5", Some(t5)), ("X-Sub", Some(xsub)), ("X-View", Some(xview))],
+        ));
+    }
+
+    let kin = kinetics();
+    let ntu = ntu60();
+    eprintln!("training DHGCN two-stream on Kinetics-like…");
+    let kz = zoo_for(&kin);
+    let (kj, kb, kf) = run_two_stream(
+        Box::new(kz.dhgcn()),
+        Box::new(kz.dhgcn()),
+        &kin,
+        Protocol::Random { test_fraction: 0.3 },
+    );
+    eprintln!("training DHGCN two-stream on NTU60-like (X-Sub)…");
+    let nz = zoo_for(&ntu);
+    let (sj, sb, sf) =
+        run_two_stream(Box::new(nz.dhgcn()), Box::new(nz.dhgcn()), &ntu, Protocol::CrossSubject);
+    eprintln!("training DHGCN two-stream on NTU60-like (X-View)…");
+    let (vj, vb, vf) =
+        run_two_stream(Box::new(nz.dhgcn()), Box::new(nz.dhgcn()), &ntu, Protocol::CrossView);
+
+    for (method, k, s, v) in [
+        ("DHGCN(joint)", &kj, &sj, &vj),
+        ("DHGCN(bone)", &kb, &sb, &vb),
+        ("DHGCN", &kf, &sf, &vf),
+    ] {
+        table.measured_row(TableRow {
+            method: method.to_string(),
+            values: vec![
+                ("Top1".into(), Some(k.top1_pct())),
+                ("Top5".into(), Some(k.top5_pct())),
+                ("X-Sub".into(), Some(s.top1_pct())),
+                ("X-View".into(), Some(v.top1_pct())),
+            ],
+        });
+    }
+
+    for col in ["Top1", "X-Sub", "X-View"] {
+        let fused = table.measured("DHGCN", col);
+        let holds = fused >= table.measured("DHGCN(joint)", col)
+            && fused >= table.measured("DHGCN(bone)", col);
+        table.note(shape_note(&format!("fusion >= both single streams ({col})"), holds));
+    }
+
+    println!("{}", table.render());
+    let path = table.save_json(&dhg_bench::experiments_dir()).expect("save table json");
+    println!("saved {}", path.display());
+}

@@ -1,0 +1,69 @@
+//! Tab. 6 — Kinetics-Skeleton comparison with the state of the art.
+//!
+//! Implemented rows: TCN, ST-GCN, 2s-AGCN (fused) and DHGCN (fused).
+//! Rows for systems that are entire other papers (ST-GR, DGNN, ST-TR,
+//! CA-GCN) are shown with the published numbers only — the load-bearing
+//! shape (CNN < GCN < adaptive GCN < DHGCN) is covered by the implemented
+//! set.
+
+use dhg_bench::{kinetics, run_single, run_two_stream, shape_note, zoo_for};
+use dhg_skeleton::{Protocol, Stream};
+use dhg_train::{Table, TableRow};
+
+fn main() {
+    let mut table = Table::new("Tab. 6", "Comparison on the Kinetics-Skeleton dataset (Top-1/Top-5)");
+    for (method, t1, t5) in [
+        ("TCN", 20.3, 40.0),
+        ("ST-GCN", 30.7, 52.8),
+        ("ST-GR", 33.6, 56.1),
+        ("2s-AGCN", 36.1, 58.7),
+        ("DGNN", 36.9, 59.6),
+        ("ST-TR", 37.4, 59.8),
+        ("Advanced CA-GCN", 34.1, 56.6),
+        ("DHGCN(Ours)", 37.7, 60.6),
+    ] {
+        table.paper_row(TableRow::new(method, &[("Top1", Some(t1)), ("Top5", Some(t5))]));
+    }
+
+    let kin = kinetics();
+    let zoo = zoo_for(&kin);
+    let protocol = Protocol::Random { test_fraction: 0.3 };
+
+    // single-stream baselines
+    for name in ["TCN", "ST-GCN"] {
+        eprintln!("training {name}…");
+        let mut model = zoo.by_name(name).expect("zoo model");
+        let r = run_single(model.as_mut(), &kin, protocol, Stream::Joint);
+        table.measured_row(TableRow::new(
+            name,
+            &[("Top1", Some(r.top1_pct())), ("Top5", Some(r.top5_pct()))],
+        ));
+    }
+    // two-stream models, fused as published
+    for (name, row) in [("2s-AGCN", "2s-AGCN"), ("DHGCN", "DHGCN(Ours)")] {
+        eprintln!("training {name} (two-stream)…");
+        let (_, _, fused) = run_two_stream(
+            zoo.by_name(name).expect("zoo model"),
+            zoo.by_name(name).expect("zoo model"),
+            &kin,
+            protocol,
+        );
+        table.measured_row(TableRow::new(
+            row,
+            &[("Top1", Some(fused.top1_pct())), ("Top5", Some(fused.top5_pct()))],
+        ));
+    }
+
+    let tcn = table.measured("TCN", "Top1");
+    let stgcn = table.measured("ST-GCN", "Top1");
+    let agcn = table.measured("2s-AGCN", "Top1");
+    let dhgcn = table.measured("DHGCN(Ours)", "Top1");
+    table.note(shape_note("TCN < ST-GCN (graph structure helps)", tcn < stgcn));
+    table.note(shape_note("ST-GCN < 2s-AGCN (adaptive topology helps)", stgcn < agcn));
+    table.note(shape_note("DHGCN is the best implemented method", dhgcn >= agcn.max(stgcn).max(tcn)));
+    table.note("ST-GR / DGNN / ST-TR / Advanced CA-GCN rows are published values (not implemented)");
+
+    println!("{}", table.render());
+    let path = table.save_json(&dhg_bench::experiments_dir()).expect("save table json");
+    println!("saved {}", path.display());
+}

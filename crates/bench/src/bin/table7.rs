@@ -1,0 +1,89 @@
+//! Tab. 7 — NTU RGB+D 60 comparison with the state of the art (X-Sub /
+//! X-View Top-1).
+//!
+//! Implemented rows: Lie Group (hand-crafted), ST-LSTM (RNN family), TCN
+//! (CNN family), ST-GCN, 2s-AGCN (fused), Shift-GCN and DHGCN (fused).
+//! The remaining rows are published values only.
+
+use dhg_bench::{ntu60, run_single, run_two_stream, shape_note, zoo_for};
+use dhg_skeleton::{Protocol, Stream};
+use dhg_train::{Table, TableRow};
+
+fn main() {
+    let mut table = Table::new("Tab. 7", "Comparison on the NTU RGB+D 60 dataset (Top-1)");
+    for (method, xsub, xview) in [
+        ("Lie Group", 50.1, 82.8),
+        ("ST-LSTM", 69.2, 77.7),
+        ("ARRN-LSTM", 80.7, 88.8),
+        ("Ind-RNN", 81.8, 88.0),
+        ("TCN", 74.3, 83.1),
+        ("Clips+CNN+MTLN", 79.6, 84.8),
+        ("ST-GCN", 81.5, 88.3),
+        ("Advanced CA-GCN", 83.5, 91.4),
+        ("ST-GR", 86.9, 92.3),
+        ("(P+C)net,Traversal", 86.1, 93.5),
+        ("2s-AGCN", 88.5, 95.1),
+        ("AGC-LSTM", 89.2, 95.0),
+        ("DGNN", 89.9, 96.1),
+        ("ST-TR", 89.3, 96.1),
+        ("C-MANs", 83.7, 93.8),
+        ("Shift-GCN", 90.7, 96.5),
+        ("DHGCN(Ours)", 90.7, 96.0),
+    ] {
+        table.paper_row(TableRow::new(method, &[("X-Sub", Some(xsub)), ("X-View", Some(xview))]));
+    }
+
+    let ntu = ntu60();
+    let zoo = zoo_for(&ntu);
+    let single = ["Lie Group", "ST-LSTM", "TCN", "ST-GCN", "Shift-GCN"];
+    let fused = [("2s-AGCN", "2s-AGCN"), ("DHGCN", "DHGCN(Ours)")];
+
+    let mut rows: Vec<(String, f32, f32)> = Vec::new();
+    for name in single {
+        eprintln!("training {name}…");
+        let mut m1 = zoo.by_name(name).expect("zoo model");
+        let xsub = run_single(m1.as_mut(), &ntu, Protocol::CrossSubject, Stream::Joint);
+        let mut m2 = zoo.by_name(name).expect("zoo model");
+        let xview = run_single(m2.as_mut(), &ntu, Protocol::CrossView, Stream::Joint);
+        rows.push((name.to_string(), xsub.top1_pct(), xview.top1_pct()));
+    }
+    for (name, row) in fused {
+        eprintln!("training {name} (two-stream)…");
+        let (_, _, sub) = run_two_stream(
+            zoo.by_name(name).expect("zoo model"),
+            zoo.by_name(name).expect("zoo model"),
+            &ntu,
+            Protocol::CrossSubject,
+        );
+        let (_, _, view) = run_two_stream(
+            zoo.by_name(name).expect("zoo model"),
+            zoo.by_name(name).expect("zoo model"),
+            &ntu,
+            Protocol::CrossView,
+        );
+        rows.push((row.to_string(), sub.top1_pct(), view.top1_pct()));
+    }
+    for (method, xsub, xview) in rows {
+        table.measured_row(TableRow {
+            method,
+            values: vec![("X-Sub".into(), Some(xsub)), ("X-View".into(), Some(xview))],
+        });
+    }
+
+    let hand_below_deep = table.measured("Lie Group", "X-Sub") < table.measured("ST-GCN", "X-Sub");
+    let cnn_rnn_below = table.measured("TCN", "X-Sub").max(table.measured("ST-LSTM", "X-Sub"))
+        < table.measured("2s-AGCN", "X-Sub");
+    let rivals_max = ["ST-GCN", "2s-AGCN", "Shift-GCN"]
+        .iter()
+        .map(|n| table.measured(n, "X-Sub"))
+        .fold(0.0f32, f32::max);
+    let dhgcn_tops = table.measured("DHGCN(Ours)", "X-Sub") + 2.0 >= rivals_max;
+    table.note(shape_note("hand-crafted < deep models", hand_below_deep));
+    table.note(shape_note("CNN/RNN family < adaptive GCNs", cnn_rnn_below));
+    table.note(shape_note("DHGCN at the top of the implemented field", dhgcn_tops));
+    table.note("unimplemented rows (ARRN-LSTM … C-MANs) are published values only");
+
+    println!("{}", table.render());
+    let path = table.save_json(&dhg_bench::experiments_dir()).expect("save table json");
+    println!("saved {}", path.display());
+}

@@ -1,0 +1,270 @@
+//! 2s-AGCN [29] and its hypergraph variant 2s-AHGCN (Tab. 1).
+//!
+//! The adaptive operator of each block is `base + B + C`:
+//!
+//! * `base` — a fixed structural operator: the normalised skeleton
+//!   adjacency (Eq. 1) for **2s-AGCN**, or the static hypergraph operator
+//!   (Eq. 5) for **2s-AHGCN** — this swap is exactly the Tab. 1 ablation.
+//! * `B` — a freely learnable `[V, V]` matrix (initialised to zero).
+//! * `C` — a per-sample attention operator from embedded feature
+//!   similarity, `softmax(θ₁(x)ᵀ θ₂(x))`.
+
+use crate::common::{apply_per_sample_vertex_op, ModelDims, StageSpec};
+use crate::tcn::TemporalConv;
+use dhg_nn::{global_avg_pool, BatchNorm2d, Conv2d, Linear, Module};
+use dhg_tensor::ops::Conv2dSpec;
+use dhg_tensor::{NdArray, Tensor};
+use rand::Rng;
+
+/// Which structural prior an [`Agcn`] uses as its fixed base operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AgcnVariant {
+    /// Normalised skeleton-graph adjacency — the published 2s-AGCN.
+    Graph,
+    /// Static skeleton-hypergraph operator — the paper's 2s-AHGCN.
+    Hypergraph,
+}
+
+impl std::fmt::Display for AgcnVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AgcnVariant::Graph => write!(f, "2s-AGCN"),
+            AgcnVariant::Hypergraph => write!(f, "2s-AHGCN"),
+        }
+    }
+}
+
+/// Embedding width of the attention branch.
+const EMBED_CHANNELS: usize = 4;
+
+struct AgcnBlock {
+    base: Tensor,
+    b: Tensor,
+    theta1: Conv2d,
+    theta2: Conv2d,
+    theta: Conv2d,
+    bn: BatchNorm2d,
+    tcn: TemporalConv,
+    residual_proj: Option<Conv2d>,
+}
+
+impl AgcnBlock {
+    fn new(
+        base: NdArray,
+        in_channels: usize,
+        out_channels: usize,
+        stride: usize,
+        dropout: f32,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let v = base.shape()[0];
+        AgcnBlock {
+            base: Tensor::constant(base),
+            b: Tensor::param(NdArray::zeros(&[v, v])),
+            theta1: Conv2d::pointwise(in_channels, EMBED_CHANNELS, rng),
+            theta2: Conv2d::pointwise(in_channels, EMBED_CHANNELS, rng),
+            theta: Conv2d::pointwise(in_channels, out_channels, rng),
+            bn: BatchNorm2d::new(out_channels),
+            tcn: TemporalConv::new(out_channels, out_channels, stride, 1, dropout, rng),
+            residual_proj: if in_channels != out_channels || stride != 1 {
+                let spec = Conv2dSpec {
+                    kernel: (1, 1),
+                    stride: (stride, 1),
+                    padding: (0, 0),
+                    dilation: (1, 1),
+                };
+                Some(Conv2d::new(in_channels, out_channels, spec, rng))
+            } else {
+                None
+            },
+        }
+    }
+
+    /// The data-dependent attention operator `C ∈ [N, V, V]`.
+    fn attention(&self, x: &Tensor) -> Tensor {
+        let s = x.shape();
+        let (n, t, v) = (s[0], s[2], s[3]);
+        let e1 = self.theta1.forward(x).reshape(&[n, EMBED_CHANNELS * t, v]);
+        let e2 = self.theta2.forward(x).reshape(&[n, EMBED_CHANNELS * t, v]);
+        let scale = 1.0 / (EMBED_CHANNELS * t) as f32;
+        e1.transpose_last2().matmul(&e2).mul_scalar(scale).softmax(2)
+    }
+}
+
+impl Module for AgcnBlock {
+    fn forward(&self, x: &Tensor) -> Tensor {
+        let v = x.shape()[3];
+        let att = self.attention(x); // [N, V, V]
+        // per-sample operator: (base + B) broadcast over the batch, plus C
+        let structural = self.base.add(&self.b).reshape(&[1, v, v]);
+        let op = att.add(&structural);
+        let mixed = apply_per_sample_vertex_op(x, &op);
+        let spatial = self.bn.forward(&self.theta.forward(&mixed)).relu();
+        let temporal = self.tcn.forward(&spatial);
+        let residual = match &self.residual_proj {
+            Some(proj) => proj.forward(x),
+            None => x.clone(),
+        };
+        temporal.add(&residual).relu()
+    }
+
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut ps = vec![self.b.clone()];
+        ps.extend(self.theta1.parameters());
+        ps.extend(self.theta2.parameters());
+        ps.extend(self.theta.parameters());
+        ps.extend(self.bn.parameters());
+        ps.extend(self.tcn.parameters());
+        if let Some(p) = &self.residual_proj {
+            ps.extend(p.parameters());
+        }
+        ps
+    }
+
+    fn set_training(&mut self, training: bool) {
+        self.bn.set_training(training);
+        self.tcn.set_training(training);
+    }
+}
+
+/// The adaptive graph/hypergraph convolutional classifier (one stream of
+/// the two-stream framework; see [`crate::two_stream`]).
+pub struct Agcn {
+    variant: AgcnVariant,
+    input_bn: crate::common::DataBn,
+    blocks: Vec<AgcnBlock>,
+    fc: Linear,
+    dims: ModelDims,
+}
+
+impl Agcn {
+    /// Build a model. `base` is the fixed structural operator matching
+    /// `variant` (callers usually produce it from
+    /// `Graph::normalized_adjacency` or `Hypergraph::operator`).
+    pub fn new(
+        dims: ModelDims,
+        variant: AgcnVariant,
+        base: NdArray,
+        stages: &[StageSpec],
+        dropout: f32,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert_eq!(base.shape(), &[dims.n_joints, dims.n_joints], "operator/joint mismatch");
+        let input_bn = crate::common::DataBn::new(dims.in_channels, dims.n_joints);
+        let mut blocks = Vec::with_capacity(stages.len());
+        let mut in_ch = dims.in_channels;
+        for stage in stages {
+            blocks.push(AgcnBlock::new(base.clone(), in_ch, stage.channels, stage.stride, dropout, rng));
+            in_ch = stage.channels;
+        }
+        let fc = Linear::new(in_ch, dims.n_classes, rng);
+        Agcn { variant, input_bn, blocks, fc, dims }
+    }
+
+    /// Graph or hypergraph base.
+    pub fn variant(&self) -> AgcnVariant {
+        self.variant
+    }
+
+    /// The model geometry.
+    pub fn dims(&self) -> ModelDims {
+        self.dims
+    }
+}
+
+impl Module for Agcn {
+    fn forward(&self, x: &Tensor) -> Tensor {
+        let mut h = self.input_bn.forward(x);
+        for block in &self.blocks {
+            h = block.forward(&h);
+        }
+        self.fc.forward(&global_avg_pool(&h))
+    }
+
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut ps = self.input_bn.parameters();
+        for b in &self.blocks {
+            ps.extend(b.parameters());
+        }
+        ps.extend(self.fc.parameters());
+        ps
+    }
+
+    fn set_training(&mut self, training: bool) {
+        self.input_bn.set_training(training);
+        for b in &mut self.blocks {
+            b.set_training(training);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::small_stages;
+    use dhg_skeleton::{static_hypergraph, SkeletonTopology};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dims() -> ModelDims {
+        ModelDims { in_channels: 3, n_joints: 25, n_classes: 5 }
+    }
+
+    fn agcn(variant: AgcnVariant) -> Agcn {
+        let mut rng = StdRng::seed_from_u64(0);
+        let topo = SkeletonTopology::ntu25();
+        let base = match variant {
+            AgcnVariant::Graph => topo.graph().normalized_adjacency(),
+            AgcnVariant::Hypergraph => static_hypergraph(&topo).operator(),
+        };
+        Agcn::new(dims(), variant, base, &small_stages(), 0.0, &mut rng)
+    }
+
+    #[test]
+    fn both_variants_produce_logits() {
+        for variant in [AgcnVariant::Graph, AgcnVariant::Hypergraph] {
+            let m = agcn(variant);
+            let x = Tensor::constant(NdArray::ones(&[2, 3, 8, 25]));
+            let y = m.forward(&x);
+            assert_eq!(y.shape(), vec![2, 5], "{variant}");
+            assert!(y.array().data().iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn learnable_b_receives_gradient() {
+        let m = agcn(AgcnVariant::Graph);
+        let x = Tensor::constant(NdArray::ones(&[1, 3, 8, 25]));
+        m.forward(&x).cross_entropy(&[2]).backward();
+        // the B matrices are the first parameter of each block
+        let b0 = &m.blocks[0].b;
+        assert!(b0.grad().is_some(), "adaptive B must be trained");
+    }
+
+    #[test]
+    fn attention_rows_are_distributions() {
+        let m = agcn(AgcnVariant::Graph);
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = Tensor::constant(dhg_nn::init::random_uniform(&[2, 3, 8, 25], -1.0, 1.0, &mut rng));
+        let att = m.blocks[0].attention(&x).array();
+        assert_eq!(att.shape(), &[2, 25, 25]);
+        for row in att.data().chunks(25) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-4, "attention row sums to {s}");
+        }
+    }
+
+    #[test]
+    fn variants_differ_only_in_base_operator() {
+        let a = agcn(AgcnVariant::Graph);
+        let b = agcn(AgcnVariant::Hypergraph);
+        assert_eq!(a.n_parameters(), b.n_parameters());
+        assert!(!a.blocks[0].base.array().allclose(&b.blocks[0].base.array(), 1e-3, 1e-3));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(AgcnVariant::Graph.to_string(), "2s-AGCN");
+        assert_eq!(AgcnVariant::Hypergraph.to_string(), "2s-AHGCN");
+    }
+}

@@ -1,0 +1,222 @@
+//! Shared machinery of every spatial (hyper)graph convolution.
+
+use dhg_tensor::Tensor;
+
+/// The geometry every model in the zoo is built for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ModelDims {
+    /// Input channels (3 coordinates).
+    pub in_channels: usize,
+    /// Number of joints `V`.
+    pub n_joints: usize,
+    /// Number of action classes.
+    pub n_classes: usize,
+}
+
+/// One backbone stage: output channel width and temporal stride.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StageSpec {
+    /// Output channels of the stage.
+    pub channels: usize,
+    /// Temporal stride (2 halves the frame count).
+    pub stride: usize,
+}
+
+impl StageSpec {
+    /// Convenience constructor.
+    pub fn new(channels: usize, stride: usize) -> Self {
+        StageSpec { channels, stride }
+    }
+}
+
+/// The paper's 10-block backbone widths (Fig. 5, following ST-GCN:
+/// 64×4, 128×3 with a stride-2 entry, 256×3 with a stride-2 entry).
+pub fn paper_stages() -> Vec<StageSpec> {
+    vec![
+        StageSpec::new(64, 1),
+        StageSpec::new(64, 1),
+        StageSpec::new(64, 1),
+        StageSpec::new(64, 1),
+        StageSpec::new(128, 2),
+        StageSpec::new(128, 1),
+        StageSpec::new(128, 1),
+        StageSpec::new(256, 2),
+        StageSpec::new(256, 1),
+        StageSpec::new(256, 1),
+    ]
+}
+
+/// A width/depth-scaled backbone for CPU experiments (see DESIGN.md's
+/// scaling substitution). Identical topology, fewer blocks and channels.
+pub fn small_stages() -> Vec<StageSpec> {
+    vec![StageSpec::new(16, 1), StageSpec::new(16, 1), StageSpec::new(32, 2)]
+}
+
+/// Apply a static vertex operator to features:
+/// `y[n,c,t,v] = Σ_u op[v,u] · x[n,c,t,u]`.
+///
+/// `x` is `[N, C, T, V]`, `op` is `[V, V]` (e.g. a normalised adjacency,
+/// Eq. 1, or a hypergraph operator, Eq. 5). Implemented as a broadcast
+/// batched matmul on the joint axis so the gradient comes from the tested
+/// matmul adjoints.
+pub fn apply_vertex_op(x: &Tensor, op: &Tensor) -> Tensor {
+    let xs = x.shape();
+    assert_eq!(xs.len(), 4, "features must be [N, C, T, V]");
+    let v = xs[3];
+    assert_eq!(op.shape(), vec![v, v], "operator must be [V, V]");
+    // y = x @ opᵀ over the trailing joint axis
+    x.matmul(&op.transpose_last2())
+}
+
+/// Apply a per-sample, per-frame vertex operator:
+/// `y[n,c,t,v] = Σ_u op[n,t,v,u] · x[n,c,t,u]`.
+///
+/// `x` is `[N, C, T, V]`, `op` is `[N, T, V, V]` (the dynamic operators of
+/// Eq. 9 or the dynamic topology of §3.4). The feature tensor is permuted
+/// so that the batched matmul batches over `(N, T)`.
+pub fn apply_dynamic_vertex_op(x: &Tensor, op: &Tensor) -> Tensor {
+    let xs = x.shape();
+    let os = op.shape();
+    assert_eq!(xs.len(), 4, "features must be [N, C, T, V]");
+    assert_eq!(os.len(), 4, "operator must be [N, T, V, V]");
+    assert_eq!(os[0], xs[0], "batch mismatch");
+    assert_eq!(os[1], xs[2], "frame mismatch");
+    assert_eq!(os[2], xs[3], "operator must be square in V");
+    assert_eq!(os[3], xs[3], "operator must be square in V");
+    // [N, C, T, V] → [N, T, V, C]; op [N,T,V,V] @ x' → [N, T, V, C] → back
+    let xp = x.permute(&[0, 2, 3, 1]);
+    let yp = op.matmul(&xp);
+    yp.permute(&[0, 3, 1, 2])
+}
+
+/// Input data normalisation as published for the ST-GCN family: batch
+/// norm over `C·V` joint-channels, so every joint's coordinate
+/// distribution is standardised separately. Normalising only over the 3
+/// coordinate channels would leave each joint's large static offset in
+/// place and drown the motion signal.
+pub struct DataBn {
+    bn: dhg_nn::BatchNorm2d,
+    channels: usize,
+    joints: usize,
+}
+
+impl DataBn {
+    /// Build for `[N, channels, T, joints]` inputs.
+    pub fn new(channels: usize, joints: usize) -> Self {
+        DataBn { bn: dhg_nn::BatchNorm2d::new(channels * joints), channels, joints }
+    }
+}
+
+impl dhg_nn::Module for DataBn {
+    fn forward(&self, x: &Tensor) -> Tensor {
+        let s = x.shape();
+        assert_eq!(s.len(), 4, "DataBn expects [N, C, T, V]");
+        assert_eq!(s[1], self.channels, "DataBn channel mismatch");
+        assert_eq!(s[3], self.joints, "DataBn joint mismatch");
+        let (n, c, t, v) = (s[0], s[1], s[2], s[3]);
+        // [N, C, T, V] → [N, C·V, T, 1] → BN → back
+        let folded = x.permute(&[0, 1, 3, 2]).reshape(&[n, c * v, t, 1]);
+        let normed = self.bn.forward(&folded);
+        normed.reshape(&[n, c, v, t]).permute(&[0, 1, 3, 2])
+    }
+
+    fn parameters(&self) -> Vec<Tensor> {
+        self.bn.parameters()
+    }
+
+    fn set_training(&mut self, training: bool) {
+        self.bn.set_training(training);
+    }
+}
+
+/// Apply a per-sample vertex operator:
+/// `y[n,c,t,v] = Σ_u op[n,v,u] · x[n,c,t,u]`.
+///
+/// `x` is `[N, C, T, V]`, `op` is `[N, V, V]` (e.g. 2s-AGCN's adaptive
+/// `A + B + C` operator, which varies per sample but not per frame).
+pub fn apply_per_sample_vertex_op(x: &Tensor, op: &Tensor) -> Tensor {
+    let xs = x.shape();
+    let os = op.shape();
+    assert_eq!(xs.len(), 4, "features must be [N, C, T, V]");
+    assert_eq!(os.len(), 3, "operator must be [N, V, V]");
+    assert_eq!(os[0], xs[0], "batch mismatch");
+    assert_eq!(os[1], xs[3], "operator must be square in V");
+    assert_eq!(os[2], xs[3], "operator must be square in V");
+    let (n, v) = (xs[0], xs[3]);
+    let xp = x.permute(&[0, 2, 3, 1]); // [N, T, V, C]
+    let opb = op.reshape(&[n, 1, v, v]); // broadcast over T
+    opb.matmul(&xp).permute(&[0, 3, 1, 2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhg_tensor::NdArray;
+
+    #[test]
+    fn static_op_identity_is_noop() {
+        let x = Tensor::constant(NdArray::from_vec((0..24).map(|i| i as f32).collect(), &[1, 2, 3, 4]));
+        let op = Tensor::constant(NdArray::eye(4));
+        let y = apply_vertex_op(&x, &op);
+        assert_eq!(y.array(), x.array());
+    }
+
+    #[test]
+    fn static_op_mixes_joints_not_time() {
+        // operator that swaps joints 0 and 1 of a 2-joint skeleton
+        let op = Tensor::constant(NdArray::from_vec(vec![0.0, 1.0, 1.0, 0.0], &[2, 2]));
+        let x = Tensor::constant(NdArray::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]));
+        let y = apply_vertex_op(&x, &op).array();
+        // frames keep their place, joints swap within each frame
+        assert_eq!(y.data(), &[2.0, 1.0, 4.0, 3.0]);
+    }
+
+    #[test]
+    fn dynamic_op_matches_static_when_constant() {
+        let v = 3;
+        let opm = NdArray::from_vec(
+            vec![0.5, 0.5, 0.0, 0.0, 1.0, 0.0, 0.2, 0.3, 0.5],
+            &[v, v],
+        );
+        let x = Tensor::constant(NdArray::from_vec(
+            (0..2 * 2 * 2 * v).map(|i| (i as f32 * 0.3).sin()).collect(),
+            &[2, 2, 2, v],
+        ));
+        // tile the static op over N=2, T=2
+        let tiled = {
+            let r = opm.reshape(&[1, 1, v, v]);
+            let refs = [&r, &r];
+            let row = NdArray::concat(&refs, 1);
+            let rrefs = [&row, &row];
+            NdArray::concat(&rrefs, 0)
+        };
+        let a = apply_vertex_op(&x, &Tensor::constant(opm)).array();
+        let b = apply_dynamic_vertex_op(&x, &Tensor::constant(tiled)).array();
+        assert!(a.allclose(&b, 1e-5, 1e-6));
+    }
+
+    #[test]
+    fn dynamic_op_varies_per_frame() {
+        // frame 0: identity; frame 1: all-mass-on-joint-0
+        let id = NdArray::eye(2).reshape(&[1, 1, 2, 2]);
+        let collapse = NdArray::from_vec(vec![1.0, 1.0, 0.0, 0.0], &[2, 2]).reshape(&[1, 1, 2, 2]);
+        let op = NdArray::concat(&[&id, &collapse], 1);
+        let x = Tensor::constant(NdArray::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]));
+        let y = apply_dynamic_vertex_op(&x, &Tensor::constant(op)).array();
+        // frame 0 unchanged, frame 1: joint 0 = 3+4, joint 1 = 0
+        assert_eq!(y.data(), &[1.0, 2.0, 7.0, 0.0]);
+    }
+
+    #[test]
+    fn gradients_flow_through_both_paths() {
+        let x = Tensor::param(NdArray::ones(&[1, 2, 2, 3]));
+        let op = Tensor::param(NdArray::eye(3));
+        apply_vertex_op(&x, &op).square().sum_all().backward();
+        assert!(x.grad().is_some() && op.grad().is_some());
+
+        let x2 = Tensor::param(NdArray::ones(&[1, 2, 2, 3]));
+        let dop = Tensor::param(NdArray::ones(&[1, 2, 3, 3]));
+        apply_dynamic_vertex_op(&x2, &dop).square().sum_all().backward();
+        assert!(x2.grad().is_some() && dop.grad().is_some());
+    }
+}

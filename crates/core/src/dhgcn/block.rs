@@ -1,0 +1,258 @@
+//! The DHST block: Dynamic Hypergraph Spatial-Temporal convolution
+//! (Fig. 5).
+
+use super::branches::{JointWeightBranch, StaticBranch, TopologyBranch};
+use super::model::{BranchConfig, TopologyGranularity};
+use crate::tcn::TemporalConv;
+use dhg_nn::{BatchNorm2d, Conv2d, Module};
+use dhg_tensor::ops::Conv2dSpec;
+use dhg_tensor::{NdArray, Tensor};
+use rand::Rng;
+
+/// One backbone block: the sum of the active spatial branches, batch
+/// normalisation, then a dilated temporal convolution, with a residual
+/// connection around the whole block.
+pub struct DhstBlock {
+    static_branch: Option<StaticBranch>,
+    joint_weight_branch: Option<JointWeightBranch>,
+    topology_branch: Option<TopologyBranch>,
+    bn: BatchNorm2d,
+    tcn: TemporalConv,
+    residual_proj: Option<Conv2d>,
+    stride: usize,
+}
+
+impl DhstBlock {
+    /// Build a block.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        static_op: &NdArray,
+        in_channels: usize,
+        out_channels: usize,
+        stride: usize,
+        dilation: usize,
+        branches: BranchConfig,
+        kn: usize,
+        km: usize,
+        embed_channels: usize,
+        granularity: TopologyGranularity,
+        dropout: f32,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(branches.n_active() > 0, "a DHST block needs at least one spatial branch");
+        let static_branch = branches
+            .static_hypergraph
+            .then(|| StaticBranch::new(static_op.clone(), in_channels, out_channels, rng));
+        let n_joints = static_op.shape()[0];
+        let joint_weight_branch = branches
+            .dynamic_joint_weight
+            .then(|| JointWeightBranch::new(in_channels, out_channels, n_joints, rng));
+        let topology_branch = branches.dynamic_topology.then(|| {
+            // fixed seed: the k-means init must be a pure function of the
+            // data, not of construction order, so checkpoints restore
+            // behaviour exactly
+            let seed = 0x6B6D_6561_6E73; // "kmeans"
+            TopologyBranch::new(
+                in_channels,
+                out_channels,
+                embed_channels,
+                n_joints,
+                kn,
+                km,
+                granularity,
+                seed,
+                rng,
+            )
+        });
+        DhstBlock {
+            static_branch,
+            joint_weight_branch,
+            topology_branch,
+            bn: BatchNorm2d::new(out_channels),
+            tcn: TemporalConv::new(out_channels, out_channels, stride, dilation, dropout, rng),
+            residual_proj: if in_channels != out_channels || stride != 1 {
+                let spec = Conv2dSpec {
+                    kernel: (1, 1),
+                    stride: (stride, 1),
+                    padding: (0, 0),
+                    dilation: (1, 1),
+                };
+                Some(Conv2d::new(in_channels, out_channels, spec, rng))
+            } else {
+                None
+            },
+            stride,
+        }
+    }
+
+    /// Temporal stride of this block.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Whether the block needs per-frame joint-weight operators.
+    pub fn needs_dynamic_ops(&self) -> bool {
+        self.joint_weight_branch.is_some()
+    }
+
+    /// Forward. `dyn_ops` carries the Eq. 9 operators `[N, T, V, V]` at
+    /// this block's temporal resolution; required iff the joint-weight
+    /// branch is active.
+    pub fn forward(&self, x: &Tensor, dyn_ops: Option<&Tensor>) -> Tensor {
+        let mut acc: Option<Tensor> = None;
+        let mut add = |t: Tensor| {
+            acc = Some(match acc.take() {
+                Some(a) => a.add(&t),
+                None => t,
+            });
+        };
+        if let Some(b) = &self.static_branch {
+            add(b.forward(x));
+        }
+        if let Some(b) = &self.joint_weight_branch {
+            let ops = dyn_ops.expect("joint-weight branch requires dynamic operators");
+            add(b.forward(x, ops));
+        }
+        if let Some(b) = &self.topology_branch {
+            add(b.forward(x));
+        }
+        let spatial = self.bn.forward(&acc.expect("at least one branch")).relu();
+        let temporal = self.tcn.forward(&spatial);
+        let residual = match &self.residual_proj {
+            Some(proj) => proj.forward(x),
+            None => x.clone(),
+        };
+        temporal.add(&residual).relu()
+    }
+
+    /// All trainable parameters of the block.
+    pub fn parameters(&self) -> Vec<Tensor> {
+        let mut ps = Vec::new();
+        if let Some(b) = &self.static_branch {
+            ps.extend(b.parameters());
+        }
+        if let Some(b) = &self.joint_weight_branch {
+            ps.extend(b.parameters());
+        }
+        if let Some(b) = &self.topology_branch {
+            ps.extend(b.parameters());
+        }
+        ps.extend(self.bn.parameters());
+        ps.extend(self.tcn.parameters());
+        if let Some(p) = &self.residual_proj {
+            ps.extend(p.parameters());
+        }
+        ps
+    }
+
+    /// Train/eval switch for the block's normalisation and dropout.
+    pub fn set_training(&mut self, training: bool) {
+        self.bn.set_training(training);
+        self.tcn.set_training(training);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhg_skeleton::{static_hypergraph, SkeletonTopology};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn op() -> NdArray {
+        static_hypergraph(&SkeletonTopology::ntu25()).operator()
+    }
+
+    fn dyn_ops(n: usize, t: usize, v: usize) -> Tensor {
+        // identity operators at every frame
+        let id = NdArray::eye(v).reshape(&[1, 1, v, v]);
+        let mut rows = Vec::new();
+        for _ in 0..n * t {
+            rows.push(id.clone());
+        }
+        let refs: Vec<&NdArray> = rows.iter().collect();
+        Tensor::constant(NdArray::concat(&refs, 1).reshape(&[n, t, v, v]))
+    }
+
+    #[test]
+    fn full_block_forward() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let b = DhstBlock::new(
+            &op(),
+            3,
+            8,
+            1,
+            1,
+            BranchConfig::full(),
+            3,
+            4,
+            4,
+            TopologyGranularity::PerSample,
+            0.0,
+            &mut rng,
+        );
+        let x = Tensor::constant(NdArray::ones(&[2, 3, 4, 25]));
+        let y = b.forward(&x, Some(&dyn_ops(2, 4, 25)));
+        assert_eq!(y.shape(), vec![2, 8, 4, 25]);
+        assert!(b.needs_dynamic_ops());
+    }
+
+    #[test]
+    fn stride_two_block_halves_time() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let b = DhstBlock::new(
+            &op(),
+            8,
+            16,
+            2,
+            1,
+            BranchConfig { static_hypergraph: true, dynamic_joint_weight: false, dynamic_topology: false },
+            3,
+            4,
+            4,
+            TopologyGranularity::PerSample,
+            0.0,
+            &mut rng,
+        );
+        let x = Tensor::constant(NdArray::ones(&[1, 8, 8, 25]));
+        let y = b.forward(&x, None);
+        assert_eq!(y.shape(), vec![1, 16, 4, 25]);
+        assert!(!b.needs_dynamic_ops());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one spatial branch")]
+    fn all_branches_off_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        DhstBlock::new(
+            &op(),
+            3,
+            8,
+            1,
+            1,
+            BranchConfig { static_hypergraph: false, dynamic_joint_weight: false, dynamic_topology: false },
+            3,
+            4,
+            4,
+            TopologyGranularity::PerSample,
+            0.0,
+            &mut rng,
+        );
+    }
+
+    #[test]
+    fn parameter_count_scales_with_active_branches() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let full = DhstBlock::new(
+            &op(), 3, 8, 1, 1, BranchConfig::full(), 3, 4, 4,
+            TopologyGranularity::PerSample, 0.0, &mut rng,
+        );
+        let only_static = DhstBlock::new(
+            &op(), 3, 8, 1, 1,
+            BranchConfig { static_hypergraph: true, dynamic_joint_weight: false, dynamic_topology: false },
+            3, 4, 4, TopologyGranularity::PerSample, 0.0, &mut rng,
+        );
+        let count = |b: &DhstBlock| b.parameters().iter().map(|p| p.data().len()).sum::<usize>();
+        assert!(count(&full) > count(&only_static));
+    }
+}

@@ -1,0 +1,282 @@
+//! The three spatial branches of a DHST block.
+
+use crate::common::{apply_dynamic_vertex_op, apply_per_sample_vertex_op, apply_vertex_op};
+use dhg_hypergraph::{kmeans_hyperedges, knn_hyperedges};
+use dhg_nn::{Conv2d, Module};
+use dhg_tensor::{NdArray, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+
+use super::model::TopologyGranularity;
+
+/// Branch 1 — static hypergraph convolution (Eq. 5): a fixed `[V, V]`
+/// operator, modulated by ST-GCN's learnable edge-importance mask `M`
+/// (applied elementwise, initialised to ones), followed by a pointwise Θ.
+/// Deliberately *not* adaptive beyond `M`: the paper's dynamic branches
+/// own all sample-dependent and learned topology (§3.3–3.4), which is
+/// what the Tab. 4 ablation isolates.
+pub struct StaticBranch {
+    op: Tensor,
+    importance: Tensor,
+    theta: Conv2d,
+}
+
+impl StaticBranch {
+    /// Build from a precomputed static operator.
+    pub fn new(op: NdArray, in_channels: usize, out_channels: usize, rng: &mut impl Rng) -> Self {
+        let v = op.shape()[0];
+        StaticBranch {
+            op: Tensor::constant(op),
+            importance: Tensor::param(NdArray::ones(&[v, v])),
+            theta: Conv2d::pointwise(in_channels, out_channels, rng),
+        }
+    }
+
+    /// Forward `[N, C, T, V] → [N, C_out, T, V]`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let weighted = self.op.mul(&self.importance);
+        self.theta.forward(&apply_vertex_op(x, &weighted))
+    }
+
+    /// Trainable parameters (M and Θ).
+    pub fn parameters(&self) -> Vec<Tensor> {
+        let mut ps = vec![self.importance.clone()];
+        ps.extend(self.theta.parameters());
+        ps
+    }
+}
+
+/// Branch 2 — dynamic joint weight (§3.3): per-frame `Imp·Impᵀ`
+/// operators built by the model from joint moving distances (Eq. 6–9),
+/// then a pointwise Θ.
+///
+/// The operators are data (not parameters): the discrete weight
+/// construction of Eq. 7 is not differentiated, matching the paper, while
+/// gradients flow through the feature path.
+pub struct JointWeightBranch {
+    importance: Tensor,
+    theta: Conv2d,
+}
+
+impl JointWeightBranch {
+    /// Build the branch for skeletons of `n_joints` vertices.
+    pub fn new(in_channels: usize, out_channels: usize, n_joints: usize, rng: &mut impl Rng) -> Self {
+        JointWeightBranch {
+            importance: Tensor::param(NdArray::ones(&[n_joints, n_joints])),
+            theta: Conv2d::pointwise(in_channels, out_channels, rng),
+        }
+    }
+
+    /// Forward with the per-frame operators `ops ∈ [N, T, V, V]` (the
+    /// edge-importance mask broadcasts over samples and frames).
+    pub fn forward(&self, x: &Tensor, ops: &Tensor) -> Tensor {
+        let weighted = ops.mul(&self.importance);
+        self.theta.forward(&apply_dynamic_vertex_op(x, &weighted))
+    }
+
+    /// Trainable parameters (M and Θ).
+    pub fn parameters(&self) -> Vec<Tensor> {
+        let mut ps = vec![self.importance.clone()];
+        ps.extend(self.theta.parameters());
+        ps
+    }
+}
+
+/// Branch 3 — dynamic topology (§3.4): embed features with an FC layer
+/// (Eq. 10, realised as a pointwise convolution over joints), construct
+/// `k_n`-NN and `k_m`-means hyperedges in the embedded space, and convolve
+/// with the resulting per-sample (or per-frame) hypergraph operator.
+///
+/// Gradients reach the embedding `W_map` through the convolved features;
+/// the discrete hyperedge selection itself is treated as constant, as any
+/// k-NN/k-means construction must be.
+pub struct TopologyBranch {
+    embed: Conv2d,
+    importance: Tensor,
+    /// The end-to-end learned topology refinement (§3.4 trains the
+    /// dynamic topology "in an end-to-end manner"): an additive `[V, V]`
+    /// matrix complementing the discrete k-NN/k-means construction, in the
+    /// spirit of 2s-AGCN's learned `B`. Initialised to zeros.
+    learned: Tensor,
+    theta: Conv2d,
+    kn: usize,
+    km: usize,
+    granularity: TopologyGranularity,
+    embed_channels: usize,
+    seed: u64,
+}
+
+impl TopologyBranch {
+    /// Build the branch. `kn`/`km` are the Tab. 3 hyper-parameters.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        embed_channels: usize,
+        n_joints: usize,
+        kn: usize,
+        km: usize,
+        granularity: TopologyGranularity,
+        seed: u64,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(kn >= 1 && km >= 1, "k_n and k_m must be positive");
+        TopologyBranch {
+            embed: Conv2d::pointwise(in_channels, embed_channels, rng),
+            importance: Tensor::param(NdArray::ones(&[n_joints, n_joints])),
+            learned: Tensor::param(NdArray::zeros(&[n_joints, n_joints])),
+            theta: Conv2d::pointwise(embed_channels, out_channels, rng),
+            kn,
+            km,
+            granularity,
+            embed_channels,
+            seed,
+        }
+    }
+
+    /// The `(k_n, k_m)` pair.
+    pub fn ks(&self) -> (usize, usize) {
+        (self.kn, self.km)
+    }
+
+    /// Build the union hypergraph operator for one set of coordinates
+    /// (`coords` is `[V, D]` row-major). The k-means initialisation is
+    /// reseeded per call, so identical coordinates always give the same
+    /// topology — the operator is a deterministic function of the data,
+    /// not of the training-iteration order.
+    fn operator_for(&self, coords: &[f32], v: usize, d: usize) -> NdArray {
+        let knn = knn_hyperedges(coords, v, d, self.kn.min(v));
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let km = kmeans_hyperedges(coords, v, d, self.km.min(v), &mut rng);
+        knn.union(&km).operator()
+    }
+
+    /// Forward `[N, C, T, V] → [N, C_out, T, V]`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        // Eq. 10: X_new = σ(W_map · f_in)
+        let embedded = self.embed.forward(x).relu();
+        let s = embedded.shape();
+        let (n, e, t, v) = (s[0], s[1], s[2], s[3]);
+        debug_assert_eq!(e, self.embed_channels);
+        // coordinates for topology construction: detached embedded features
+        let feats = embedded.data().permute(&[0, 2, 3, 1]); // [N, T, V, E]
+        let mixed = match self.granularity {
+            TopologyGranularity::PerSample => {
+                // time-average the embedding, one hypergraph per sample
+                let mean = feats.mean_axes(&[1], false); // [N, V, E]
+                let mut ops = Vec::with_capacity(n);
+                for ni in 0..n {
+                    let coords = &mean.data()[ni * v * e..(ni + 1) * v * e];
+                    ops.push(self.operator_for(coords, v, e).reshape(&[1, v, v]));
+                }
+                let refs: Vec<&NdArray> = ops.iter().collect();
+                let op = Tensor::constant(NdArray::concat(&refs, 0))
+                    .mul(&self.importance)
+                    .add(&self.learned);
+                apply_per_sample_vertex_op(&embedded, &op)
+            }
+            TopologyGranularity::PerFrame => {
+                let mut ops = Vec::with_capacity(n * t);
+                for ni in 0..n {
+                    for ti in 0..t {
+                        let base = (ni * t + ti) * v * e;
+                        let coords = &feats.data()[base..base + v * e];
+                        ops.push(self.operator_for(coords, v, e).reshape(&[1, 1, v, v]));
+                    }
+                }
+                let refs: Vec<&NdArray> = ops.iter().collect();
+                let stacked = Tensor::constant(NdArray::concat(&refs, 1).reshape(&[n, t, v, v]))
+                    .mul(&self.importance)
+                    .add(&self.learned);
+                apply_dynamic_vertex_op(&embedded, &stacked)
+            }
+        };
+        self.theta.forward(&mixed)
+    }
+
+    /// Trainable parameters (`W_map`, M, B and Θ).
+    pub fn parameters(&self) -> Vec<Tensor> {
+        let mut ps = self.embed.parameters();
+        ps.push(self.importance.clone());
+        ps.push(self.learned.clone());
+        ps.extend(self.theta.parameters());
+        ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhg_skeleton::{static_hypergraph, SkeletonTopology};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn static_branch_shapes_and_grads() {
+        let mut r = rng();
+        let op = static_hypergraph(&SkeletonTopology::ntu25()).operator();
+        let b = StaticBranch::new(op, 3, 8, &mut r);
+        let x = Tensor::param(NdArray::ones(&[2, 3, 4, 25]));
+        let y = b.forward(&x);
+        assert_eq!(y.shape(), vec![2, 8, 4, 25]);
+        y.square().sum_all().backward();
+        assert!(x.grad().is_some());
+        assert!(b.parameters().iter().all(|p| p.grad().is_some()));
+    }
+
+    #[test]
+    fn joint_weight_branch_uses_per_frame_operators() {
+        let mut r = rng();
+        let b = JointWeightBranch::new(3, 4, 5, &mut r);
+        let x = Tensor::constant(NdArray::ones(&[1, 3, 2, 5]));
+        // frame 0: identity, frame 1: zero operator
+        let id = NdArray::eye(5).reshape(&[1, 1, 5, 5]);
+        let zero = NdArray::zeros(&[1, 1, 5, 5]);
+        let ops = Tensor::constant(NdArray::concat(&[&id, &zero], 1));
+        let y = b.forward(&x, &ops).array();
+        // frame 1 saw a zero operator, so only the bias survives there;
+        // frame 0 differs from frame 1 unless the conv is degenerate
+        let f0 = y.slice_axis(2, 0, 1);
+        let f1 = y.slice_axis(2, 1, 1);
+        assert!(!f0.allclose(&f1, 1e-5, 1e-5));
+    }
+
+    #[test]
+    fn topology_branch_per_sample_forward() {
+        let mut r = rng();
+        let b = TopologyBranch::new(3, 8, 4, 25, 3, 4, TopologyGranularity::PerSample, 7, &mut r);
+        let x = Tensor::param(NdArray::from_vec(
+            (0..2 * 3 * 4 * 25).map(|i| (i as f32 * 0.13).sin()).collect(),
+            &[2, 3, 4, 25],
+        ));
+        let y = b.forward(&x);
+        assert_eq!(y.shape(), vec![2, 8, 4, 25]);
+        y.square().sum_all().backward();
+        // the FC embedding W_map must receive gradients (end-to-end, §3.4)
+        assert!(b.parameters().iter().all(|p| p.grad().is_some()));
+        assert!(x.grad().is_some());
+    }
+
+    #[test]
+    fn topology_branch_per_frame_forward() {
+        let mut r = rng();
+        let b = TopologyBranch::new(3, 6, 4, 10, 2, 3, TopologyGranularity::PerFrame, 7, &mut r);
+        let x = Tensor::constant(NdArray::from_vec(
+            (0..1 * 3 * 3 * 10).map(|i| (i as f32 * 0.31).cos()).collect(),
+            &[1, 3, 3, 10],
+        ));
+        let y = b.forward(&x);
+        assert_eq!(y.shape(), vec![1, 6, 3, 10]);
+        assert!(y.array().data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn ks_accessor() {
+        let mut r = rng();
+        let b = TopologyBranch::new(3, 4, 4, 25, 3, 4, TopologyGranularity::PerSample, 0, &mut r);
+        assert_eq!(b.ks(), (3, 4));
+    }
+}

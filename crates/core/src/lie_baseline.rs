@@ -1,0 +1,178 @@
+//! Hand-crafted-feature baseline in the spirit of Lie Group [34]: per
+//! frame, the relative geometry between bone pairs (pairwise angles and
+//! joint distances) is extracted; features are temporally pooled
+//! (mean + variance, capturing motion statistics) and classified by a
+//! single linear layer. No representation learning — the Tab. 7 row that
+//! every deep model comfortably beats.
+
+use crate::common::ModelDims;
+use dhg_nn::{Linear, Module};
+use dhg_skeleton::SkeletonTopology;
+use dhg_tensor::{NdArray, Tensor};
+use rand::Rng;
+
+/// Hand-crafted relative-geometry classifier.
+pub struct LieFeatureClassifier {
+    fc: Linear,
+    topology: SkeletonTopology,
+    dims: ModelDims,
+    feature_width: usize,
+}
+
+impl LieFeatureClassifier {
+    /// Build for a topology; the feature width is determined by the
+    /// number of bones.
+    pub fn new(dims: ModelDims, topology: SkeletonTopology, rng: &mut impl Rng) -> Self {
+        assert_eq!(dims.n_joints, topology.n_joints(), "dims/topology mismatch");
+        let n_bones = topology.bones().len();
+        // per frame: bone lengths + consecutive-bone angles + joint heights
+        let per_frame = n_bones + n_bones + dims.n_joints;
+        let feature_width = per_frame * 2; // mean + variance over time
+        LieFeatureClassifier { fc: Linear::new(feature_width, dims.n_classes, rng), topology, dims, feature_width }
+    }
+
+    /// Width of the hand-crafted feature vector.
+    pub fn feature_width(&self) -> usize {
+        self.feature_width
+    }
+
+    /// Extract the hand-crafted features of one batch (`[N, 3, T, V]` →
+    /// `[N, feature_width]`). Pure array code — nothing here is learned.
+    pub fn extract_features(&self, x: &NdArray) -> NdArray {
+        let s = x.shape();
+        assert_eq!(s.len(), 4, "input must be [N, C, T, V]");
+        let (n, t_len, v) = (s[0], s[2], s[3]);
+        let bones = self.topology.bones();
+        let nb = bones.len();
+        let per_frame = nb + nb + v;
+        let parents = self.topology.parents();
+        let mut features = NdArray::zeros(&[n, self.feature_width]);
+        let at = |b: &NdArray, ni: usize, c: usize, t: usize, j: usize| b.at(&[ni, c, t, j]);
+        for ni in 0..n {
+            // per-frame raw features
+            let mut raw = vec![0.0f32; t_len * per_frame];
+            for t in 0..t_len {
+                let row = &mut raw[t * per_frame..(t + 1) * per_frame];
+                // bone lengths
+                for (bi, &(child, parent)) in bones.iter().enumerate() {
+                    let mut d2 = 0.0;
+                    for c in 0..3 {
+                        let d = at(x, ni, c, t, child) - at(x, ni, c, t, parent);
+                        d2 += d * d;
+                    }
+                    row[bi] = d2.sqrt();
+                }
+                // angle between each bone and its parent bone
+                for (bi, &(child, parent)) in bones.iter().enumerate() {
+                    let grand = parents[parent];
+                    let mut dot = 0.0;
+                    let (mut na, mut nb2) = (0.0, 0.0);
+                    for c in 0..3 {
+                        let a = at(x, ni, c, t, child) - at(x, ni, c, t, parent);
+                        let b = at(x, ni, c, t, parent) - at(x, ni, c, t, grand);
+                        dot += a * b;
+                        na += a * a;
+                        nb2 += b * b;
+                    }
+                    let denom = (na.sqrt() * nb2.sqrt()).max(1e-6);
+                    row[nb + bi] = (dot / denom).clamp(-1.0, 1.0).acos();
+                }
+                // joint heights relative to the centre joint
+                let cy = at(x, ni, 1, t, self.topology.centre());
+                for j in 0..v {
+                    row[2 * nb + j] = at(x, ni, 1, t, j) - cy;
+                }
+            }
+            // temporal mean and variance per feature
+            for f in 0..per_frame {
+                let mut mean = 0.0;
+                for t in 0..t_len {
+                    mean += raw[t * per_frame + f];
+                }
+                mean /= t_len as f32;
+                let mut var = 0.0;
+                for t in 0..t_len {
+                    let d = raw[t * per_frame + f] - mean;
+                    var += d * d;
+                }
+                var /= t_len as f32;
+                features.set(&[ni, f], mean);
+                features.set(&[ni, per_frame + f], var.sqrt());
+            }
+        }
+        features
+    }
+}
+
+impl Module for LieFeatureClassifier {
+    fn forward(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.shape()[1], self.dims.in_channels, "channel mismatch");
+        // feature extraction is fixed: gradients only flow into the linear
+        // classifier, as in the original hand-crafted pipeline
+        let feats = Tensor::constant(self.extract_features(&x.data()));
+        self.fc.forward(&feats)
+    }
+
+    fn parameters(&self) -> Vec<Tensor> {
+        self.fc.parameters()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhg_skeleton::SkeletonDataset;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> LieFeatureClassifier {
+        let mut rng = StdRng::seed_from_u64(0);
+        LieFeatureClassifier::new(
+            ModelDims { in_channels: 3, n_joints: 25, n_classes: 4 },
+            SkeletonTopology::ntu25(),
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn feature_width_formula() {
+        let m = model();
+        assert_eq!(m.feature_width(), (24 + 24 + 25) * 2);
+    }
+
+    #[test]
+    fn features_are_translation_invariant_in_length_terms() {
+        let m = model();
+        let d = SkeletonDataset::ntu60_like(2, 1, 8, 0);
+        let x = d.samples[0].data.reshape(&[1, 3, 8, 25]);
+        let shifted = x.add_scalar(2.5);
+        let fa = m.extract_features(&x);
+        let fb = m.extract_features(&shifted);
+        // bone lengths (the first 24 features) are unchanged by translation
+        for f in 0..24 {
+            assert!((fa.at(&[0, f]) - fb.at(&[0, f])).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn forward_and_gradients() {
+        let m = model();
+        let d = SkeletonDataset::ntu60_like(4, 1, 8, 1);
+        let x = Tensor::constant(d.samples[0].data.reshape(&[1, 3, 8, 25]));
+        let y = m.forward(&x);
+        assert_eq!(y.shape(), vec![1, 4]);
+        y.cross_entropy(&[2]).backward();
+        assert!(m.parameters().iter().all(|p| p.grad().is_some()));
+        // only the linear layer is trainable
+        assert_eq!(m.parameters().len(), 2);
+    }
+
+    #[test]
+    fn different_motions_give_different_features() {
+        let m = model();
+        let d = SkeletonDataset::ntu60_like(8, 1, 8, 2);
+        let a = m.extract_features(&d.samples[0].data.reshape(&[1, 3, 8, 25]));
+        let b = m.extract_features(&d.samples[6].data.reshape(&[1, 3, 8, 25]));
+        assert!(!a.allclose(&b, 1e-2, 1e-2));
+    }
+}

@@ -1,0 +1,74 @@
+//! LSTM baseline (ST-LSTM-like [21]): joints flattened per frame, a
+//! recurrent encoder, and a linear classifier. Represents the RNN family
+//! rows of Tabs. 7–8.
+
+use crate::common::ModelDims;
+use dhg_nn::{Linear, Lstm, Module};
+use dhg_tensor::Tensor;
+use rand::Rng;
+
+/// Recurrent skeleton classifier.
+pub struct LstmClassifier {
+    lstm: Lstm,
+    fc: Linear,
+    dims: ModelDims,
+}
+
+impl LstmClassifier {
+    /// Build with the given hidden width.
+    pub fn new(dims: ModelDims, hidden: usize, rng: &mut impl Rng) -> Self {
+        let input = dims.in_channels * dims.n_joints;
+        LstmClassifier {
+            lstm: Lstm::new(input, hidden, rng),
+            fc: Linear::new(hidden, dims.n_classes, rng),
+            dims,
+        }
+    }
+
+    /// The model geometry.
+    pub fn dims(&self) -> ModelDims {
+        self.dims
+    }
+}
+
+impl Module for LstmClassifier {
+    fn forward(&self, x: &Tensor) -> Tensor {
+        let s = x.shape();
+        assert_eq!(s.len(), 4, "input must be [N, C, T, V]");
+        let (n, c, t, v) = (s[0], s[1], s[2], s[3]);
+        assert_eq!(c, self.dims.in_channels);
+        assert_eq!(v, self.dims.n_joints);
+        // [N, C, T, V] → [N, T, C·V]
+        let seq = x.permute(&[0, 2, 1, 3]).reshape(&[n, t, c * v]);
+        self.fc.forward(&self.lstm.forward(&seq))
+    }
+
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut ps = self.lstm.parameters();
+        ps.extend(self.fc.parameters());
+        ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhg_tensor::NdArray;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shapes_and_grads() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = LstmClassifier::new(
+            ModelDims { in_channels: 3, n_joints: 25, n_classes: 5 },
+            24,
+            &mut rng,
+        );
+        let x = Tensor::constant(NdArray::ones(&[2, 3, 6, 25]));
+        let y = m.forward(&x);
+        assert_eq!(y.shape(), vec![2, 5]);
+        y.cross_entropy(&[0, 4]).backward();
+        assert!(m.parameters().iter().all(|p| p.grad().is_some()));
+    }
+}

@@ -1,0 +1,254 @@
+//! Shift-GCN [3]: the strongest published rival in Tabs. 7–8.
+//!
+//! Instead of adjacency-matrix convolution, Shift-GCN *shifts* channel
+//! groups across the joint axis and mixes with pointwise convolutions —
+//! spatial context at pointwise cost. We implement the non-local spatial
+//! shift: channel group `g` is cyclically rotated by `g` joints. The roll
+//! is expressed with slice + concat, so its gradient falls out of the
+//! already-verified shape-op adjoints.
+
+use crate::common::{ModelDims, StageSpec};
+use crate::tcn::TemporalConv;
+use dhg_nn::{global_avg_pool, BatchNorm2d, Conv2d, Linear, Module};
+use dhg_tensor::ops::Conv2dSpec;
+use dhg_tensor::Tensor;
+use rand::Rng;
+
+/// Cyclically roll a `[N, C, T, V]` tensor along the joint axis by
+/// `shift` positions (joint `v` reads from joint `(v + shift) mod V`).
+pub fn roll_joints(x: &Tensor, shift: usize) -> Tensor {
+    let v = x.shape()[3];
+    let s = shift % v;
+    if s == 0 {
+        return x.clone();
+    }
+    let head = x.slice_axis(3, s, v - s);
+    let tail = x.slice_axis(3, 0, s);
+    Tensor::concat(&[&head, &tail], 3)
+}
+
+/// Partition channels into `groups` contiguous chunks and roll chunk `g`
+/// by `g` joints — the non-local spatial shift.
+pub fn spatial_shift(x: &Tensor, groups: usize) -> Tensor {
+    let c = x.shape()[1];
+    assert!(groups >= 1 && groups <= c, "groups must be in 1..=C");
+    let base = c / groups;
+    let extra = c % groups;
+    let mut parts = Vec::with_capacity(groups);
+    let mut start = 0;
+    for g in 0..groups {
+        let len = base + usize::from(g < extra);
+        if len == 0 {
+            continue;
+        }
+        let chunk = x.slice_axis(1, start, len);
+        parts.push(roll_joints(&chunk, g));
+        start += len;
+    }
+    let refs: Vec<&Tensor> = parts.iter().collect();
+    Tensor::concat(&refs, 1)
+}
+
+struct ShiftBlock {
+    theta: Conv2d,
+    bn: BatchNorm2d,
+    tcn: TemporalConv,
+    residual_proj: Option<Conv2d>,
+    groups: usize,
+}
+
+impl ShiftBlock {
+    fn new(
+        in_channels: usize,
+        out_channels: usize,
+        stride: usize,
+        groups: usize,
+        dropout: f32,
+        rng: &mut impl Rng,
+    ) -> Self {
+        ShiftBlock {
+            theta: Conv2d::pointwise(in_channels, out_channels, rng),
+            bn: BatchNorm2d::new(out_channels),
+            tcn: TemporalConv::new(out_channels, out_channels, stride, 1, dropout, rng),
+            residual_proj: if in_channels != out_channels || stride != 1 {
+                let spec = Conv2dSpec {
+                    kernel: (1, 1),
+                    stride: (stride, 1),
+                    padding: (0, 0),
+                    dilation: (1, 1),
+                };
+                Some(Conv2d::new(in_channels, out_channels, spec, rng))
+            } else {
+                None
+            },
+            groups,
+        }
+    }
+}
+
+impl Module for ShiftBlock {
+    fn forward(&self, x: &Tensor) -> Tensor {
+        // shift → pointwise → shift again (shift-conv-shift, as published)
+        let shifted = spatial_shift(x, self.groups);
+        let mixed = self.theta.forward(&shifted);
+        let mixed = spatial_shift(&mixed, self.groups.min(mixed.shape()[1]));
+        let spatial = self.bn.forward(&mixed).relu();
+        let temporal = self.tcn.forward(&spatial);
+        let residual = match &self.residual_proj {
+            Some(proj) => proj.forward(x),
+            None => x.clone(),
+        };
+        temporal.add(&residual).relu()
+    }
+
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut ps = self.theta.parameters();
+        ps.extend(self.bn.parameters());
+        ps.extend(self.tcn.parameters());
+        if let Some(p) = &self.residual_proj {
+            ps.extend(p.parameters());
+        }
+        ps
+    }
+
+    fn set_training(&mut self, training: bool) {
+        self.bn.set_training(training);
+        self.tcn.set_training(training);
+    }
+}
+
+/// The Shift-GCN classifier.
+pub struct ShiftGcn {
+    input_bn: crate::common::DataBn,
+    blocks: Vec<ShiftBlock>,
+    fc: Linear,
+    dims: ModelDims,
+}
+
+impl ShiftGcn {
+    /// Build with the given backbone stages; `groups` controls how many
+    /// distinct shift offsets are used per block.
+    pub fn new(
+        dims: ModelDims,
+        stages: &[StageSpec],
+        groups: usize,
+        dropout: f32,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let input_bn = crate::common::DataBn::new(dims.in_channels, dims.n_joints);
+        let mut blocks = Vec::with_capacity(stages.len());
+        let mut in_ch = dims.in_channels;
+        for stage in stages {
+            blocks.push(ShiftBlock::new(
+                in_ch,
+                stage.channels,
+                stage.stride,
+                groups.min(in_ch),
+                dropout,
+                rng,
+            ));
+            in_ch = stage.channels;
+        }
+        let fc = Linear::new(in_ch, dims.n_classes, rng);
+        ShiftGcn { input_bn, blocks, fc, dims }
+    }
+
+    /// The model geometry.
+    pub fn dims(&self) -> ModelDims {
+        self.dims
+    }
+}
+
+impl Module for ShiftGcn {
+    fn forward(&self, x: &Tensor) -> Tensor {
+        let mut h = self.input_bn.forward(x);
+        for block in &self.blocks {
+            h = block.forward(&h);
+        }
+        self.fc.forward(&global_avg_pool(&h))
+    }
+
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut ps = self.input_bn.parameters();
+        for b in &self.blocks {
+            ps.extend(b.parameters());
+        }
+        ps.extend(self.fc.parameters());
+        ps
+    }
+
+    fn set_training(&mut self, training: bool) {
+        self.input_bn.set_training(training);
+        for b in &mut self.blocks {
+            b.set_training(training);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::small_stages;
+    use dhg_tensor::NdArray;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roll_is_cyclic_and_invertible() {
+        let x = Tensor::constant(NdArray::from_vec((0..5).map(|i| i as f32).collect(), &[1, 1, 1, 5]));
+        let r = roll_joints(&x, 2);
+        assert_eq!(r.array().data(), &[2.0, 3.0, 4.0, 0.0, 1.0]);
+        let back = roll_joints(&r, 3); // 2 + 3 = 5 ≡ 0
+        assert_eq!(back.array(), x.array());
+        // shift 0 and shift V are identities
+        assert_eq!(roll_joints(&x, 0).array(), x.array());
+        assert_eq!(roll_joints(&x, 5).array(), x.array());
+    }
+
+    #[test]
+    fn spatial_shift_moves_information_across_joints() {
+        // group 0 stays, later groups roll — joint 0 of group 1 now holds
+        // joint 1's value
+        let mut data = NdArray::zeros(&[1, 4, 1, 5]);
+        for c in 0..4 {
+            for v in 0..5 {
+                data.set(&[0, c, 0, v], (c * 10 + v) as f32);
+            }
+        }
+        let y = spatial_shift(&Tensor::constant(data), 4).array();
+        assert_eq!(y.at(&[0, 0, 0, 0]), 0.0); // group 0: unshifted
+        assert_eq!(y.at(&[0, 1, 0, 0]), 11.0); // group 1: shifted by 1
+        assert_eq!(y.at(&[0, 2, 0, 0]), 22.0); // group 2: shifted by 2
+        assert_eq!(y.at(&[0, 3, 0, 4]), 32.0); // wraps around
+    }
+
+    #[test]
+    fn model_forward_and_grads() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = ShiftGcn::new(
+            ModelDims { in_channels: 3, n_joints: 25, n_classes: 4 },
+            &small_stages(),
+            8,
+            0.0,
+            &mut rng,
+        );
+        let x = Tensor::constant(NdArray::ones(&[2, 3, 8, 25]));
+        let y = m.forward(&x);
+        assert_eq!(y.shape(), vec![2, 4]);
+        y.cross_entropy(&[0, 1]).backward();
+        assert!(m.parameters().iter().all(|p| p.grad().is_some()));
+    }
+
+    #[test]
+    fn shift_gradient_is_the_inverse_roll() {
+        let x = Tensor::param(NdArray::from_vec((0..6).map(|i| i as f32).collect(), &[1, 1, 1, 6]));
+        let w = Tensor::constant(NdArray::from_vec(
+            vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            &[1, 1, 1, 6],
+        ));
+        // pick out joint 0 of the rolled tensor = joint 2 of x
+        roll_joints(&x, 2).mul(&w).sum_all().backward();
+        let g = x.grad().unwrap();
+        assert_eq!(g.data(), &[0.0, 0.0, 1.0, 0.0, 0.0, 0.0]);
+    }
+}

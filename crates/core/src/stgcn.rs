@@ -1,0 +1,227 @@
+//! ST-GCN [37]: the first graph-convolutional skeleton model (§3.1) and
+//! the reference GCN baseline of Tabs. 6–7.
+
+use crate::common::{apply_vertex_op, ModelDims, StageSpec};
+use crate::tcn::TemporalConv;
+use dhg_nn::{global_avg_pool, BatchNorm2d, Conv2d, Linear, Module};
+use dhg_tensor::ops::Conv2dSpec;
+use dhg_tensor::{NdArray, Tensor};
+use rand::Rng;
+
+/// One spatial-temporal block: fixed-operator graph convolution (Eq. 1)
+/// with a pointwise Θ, then a temporal convolution, with a residual
+/// connection.
+pub struct StGcnBlock {
+    op: Tensor,
+    /// ST-GCN's learnable edge-importance weighting, initialised to ones.
+    importance: Tensor,
+    theta: Conv2d,
+    bn: BatchNorm2d,
+    tcn: TemporalConv,
+    /// Projection for the residual path when channels or stride change.
+    residual_proj: Option<Conv2d>,
+}
+
+impl StGcnBlock {
+    /// Build a block around a fixed `[V, V]` operator.
+    pub fn new(
+        op: NdArray,
+        in_channels: usize,
+        out_channels: usize,
+        stride: usize,
+        dropout: f32,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let v = op.shape()[0];
+        let importance = Tensor::param(NdArray::ones(&[v, v]));
+        let theta = Conv2d::pointwise(in_channels, out_channels, rng);
+        let bn = BatchNorm2d::new(out_channels);
+        let tcn = TemporalConv::new(out_channels, out_channels, stride, 1, dropout, rng);
+        let residual_proj = if in_channels != out_channels || stride != 1 {
+            let spec = Conv2dSpec {
+                kernel: (1, 1),
+                stride: (stride, 1),
+                padding: (0, 0),
+                dilation: (1, 1),
+            };
+            Some(Conv2d::new(in_channels, out_channels, spec, rng))
+        } else {
+            None
+        };
+        StGcnBlock { op: Tensor::constant(op), importance, theta, bn, tcn, residual_proj }
+    }
+}
+
+impl Module for StGcnBlock {
+    fn forward(&self, x: &Tensor) -> Tensor {
+        let weighted_op = self.op.mul(&self.importance);
+        let spatial = self.theta.forward(&apply_vertex_op(x, &weighted_op));
+        let spatial = self.bn.forward(&spatial).relu();
+        let temporal = self.tcn.forward(&spatial);
+        let residual = match &self.residual_proj {
+            Some(proj) => proj.forward(x),
+            None => x.clone(),
+        };
+        temporal.add(&residual).relu()
+    }
+
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut ps = vec![self.importance.clone()];
+        ps.extend(self.theta.parameters());
+        ps.extend(self.bn.parameters());
+        ps.extend(self.tcn.parameters());
+        if let Some(p) = &self.residual_proj {
+            ps.extend(p.parameters());
+        }
+        ps
+    }
+
+    fn set_training(&mut self, training: bool) {
+        self.bn.set_training(training);
+        self.tcn.set_training(training);
+    }
+}
+
+/// The full ST-GCN classifier: input BatchNorm, a stack of blocks over the
+/// normalised skeleton adjacency, global average pooling and a linear
+/// classifier.
+pub struct StGcn {
+    input_bn: crate::common::DataBn,
+    blocks: Vec<StGcnBlock>,
+    fc: Linear,
+    dims: ModelDims,
+}
+
+impl StGcn {
+    /// Build ST-GCN over a fixed `[V, V]` operator (normally
+    /// `graph.normalized_adjacency()`).
+    pub fn new(
+        dims: ModelDims,
+        operator: NdArray,
+        stages: &[StageSpec],
+        dropout: f32,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(!stages.is_empty(), "need at least one stage");
+        assert_eq!(operator.shape(), &[dims.n_joints, dims.n_joints], "operator/joint mismatch");
+        let input_bn = crate::common::DataBn::new(dims.in_channels, dims.n_joints);
+        let mut blocks = Vec::with_capacity(stages.len());
+        let mut in_ch = dims.in_channels;
+        for stage in stages {
+            blocks.push(StGcnBlock::new(
+                operator.clone(),
+                in_ch,
+                stage.channels,
+                stage.stride,
+                dropout,
+                rng,
+            ));
+            in_ch = stage.channels;
+        }
+        let fc = Linear::new(in_ch, dims.n_classes, rng);
+        StGcn { input_bn, blocks, fc, dims }
+    }
+
+    /// Number of blocks in the backbone.
+    pub fn n_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The model geometry.
+    pub fn dims(&self) -> ModelDims {
+        self.dims
+    }
+}
+
+impl Module for StGcn {
+    fn forward(&self, x: &Tensor) -> Tensor {
+        let shape = x.shape();
+        assert_eq!(shape.len(), 4, "input must be [N, C, T, V]");
+        assert_eq!(shape[1], self.dims.in_channels, "channel mismatch");
+        assert_eq!(shape[3], self.dims.n_joints, "joint mismatch");
+        let mut h = self.input_bn.forward(x);
+        for block in &self.blocks {
+            h = block.forward(&h);
+        }
+        self.fc.forward(&global_avg_pool(&h))
+    }
+
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut ps = self.input_bn.parameters();
+        for b in &self.blocks {
+            ps.extend(b.parameters());
+        }
+        ps.extend(self.fc.parameters());
+        ps
+    }
+
+    fn set_training(&mut self, training: bool) {
+        self.input_bn.set_training(training);
+        for b in &mut self.blocks {
+            b.set_training(training);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::small_stages;
+    use dhg_skeleton::SkeletonTopology;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> StGcn {
+        let mut rng = StdRng::seed_from_u64(0);
+        let topo = SkeletonTopology::ntu25();
+        StGcn::new(
+            ModelDims { in_channels: 3, n_joints: 25, n_classes: 7 },
+            topo.graph().normalized_adjacency(),
+            &small_stages(),
+            0.0,
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn forward_produces_logits() {
+        let m = model();
+        let x = Tensor::constant(NdArray::ones(&[2, 3, 16, 25]));
+        let y = m.forward(&x);
+        assert_eq!(y.shape(), vec![2, 7]);
+        assert!(y.array().data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn has_trainable_parameters_everywhere() {
+        let m = model();
+        assert!(m.n_parameters() > 1000);
+        let x = Tensor::constant(NdArray::ones(&[1, 3, 16, 25]));
+        m.forward(&x).cross_entropy(&[3]).backward();
+        let with_grad = m.parameters().iter().filter(|p| p.grad().is_some()).count();
+        assert_eq!(with_grad, m.parameters().len(), "every parameter should get a gradient");
+    }
+
+    #[test]
+    fn stride_stages_shrink_time() {
+        let m = model(); // last stage has stride 2
+        let x = Tensor::constant(NdArray::ones(&[1, 3, 16, 25]));
+        // internal check via the blocks directly
+        let h = m.input_bn.forward(&x);
+        let h = m.blocks[0].forward(&h);
+        assert_eq!(h.shape(), vec![1, 16, 16, 25]);
+        let h = m.blocks[1].forward(&h);
+        let h = m.blocks[2].forward(&h);
+        assert_eq!(h.shape(), vec![1, 32, 8, 25]);
+    }
+
+    #[test]
+    fn eval_mode_is_deterministic() {
+        let mut m = model();
+        m.set_training(false);
+        let x = Tensor::constant(NdArray::ones(&[1, 3, 16, 25]));
+        let a = m.forward(&x).array();
+        let b = m.forward(&x).array();
+        assert!(a.allclose(&b, 1e-6, 1e-7));
+    }
+}

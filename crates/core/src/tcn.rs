@@ -1,0 +1,105 @@
+//! The temporal convolution unit shared by every block (§3.5: kernel
+//! fixed at `3 × 1`, receptive field widened via dilation).
+
+use dhg_nn::{BatchNorm2d, Conv2d, Dropout, Module};
+use dhg_tensor::Tensor;
+use rand::Rng;
+
+/// `3×1` temporal convolution → BatchNorm → (optional) dropout. ReLU and
+/// the residual connection are applied by the owning block.
+pub struct TemporalConv {
+    conv: Conv2d,
+    bn: BatchNorm2d,
+    dropout: Option<Dropout>,
+    stride: usize,
+}
+
+impl TemporalConv {
+    /// A temporal unit with the paper's fixed kernel size 3.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        stride: usize,
+        dilation: usize,
+        dropout: f32,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let conv = Conv2d::temporal(in_channels, out_channels, 3, stride, dilation, rng);
+        let bn = BatchNorm2d::new(out_channels);
+        let dropout = if dropout > 0.0 { Some(Dropout::new(dropout, rng.gen())) } else { None };
+        TemporalConv { conv, bn, dropout, stride }
+    }
+
+    /// The temporal stride (2 halves the frame count).
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+}
+
+impl Module for TemporalConv {
+    fn forward(&self, x: &Tensor) -> Tensor {
+        let y = self.bn.forward(&self.conv.forward(x));
+        match &self.dropout {
+            Some(d) => d.forward(&y),
+            None => y,
+        }
+    }
+
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut ps = self.conv.parameters();
+        ps.extend(self.bn.parameters());
+        ps
+    }
+
+    fn set_training(&mut self, training: bool) {
+        self.bn.set_training(training);
+        if let Some(d) = &mut self.dropout {
+            d.set_training(training);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhg_tensor::NdArray;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn preserves_frames_at_stride_one() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = TemporalConv::new(4, 8, 1, 1, 0.0, &mut rng);
+        let x = Tensor::constant(NdArray::ones(&[2, 4, 12, 25]));
+        assert_eq!(t.forward(&x).shape(), vec![2, 8, 12, 25]);
+    }
+
+    #[test]
+    fn stride_two_halves_frames() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = TemporalConv::new(4, 4, 2, 1, 0.0, &mut rng);
+        let x = Tensor::constant(NdArray::ones(&[1, 4, 12, 25]));
+        assert_eq!(t.forward(&x).shape(), vec![1, 4, 6, 25]);
+        assert_eq!(t.stride(), 2);
+    }
+
+    #[test]
+    fn dilation_preserves_frames() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = TemporalConv::new(4, 4, 1, 2, 0.0, &mut rng);
+        let x = Tensor::constant(NdArray::ones(&[1, 4, 12, 25]));
+        assert_eq!(t.forward(&x).shape(), vec![1, 4, 12, 25]);
+    }
+
+    #[test]
+    fn training_switch_reaches_children() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut t = TemporalConv::new(2, 2, 1, 1, 0.3, &mut rng);
+        t.set_training(false);
+        // eval forward must be deterministic (dropout off)
+        let x = Tensor::constant(NdArray::ones(&[1, 2, 6, 5]));
+        let a = t.forward(&x).array();
+        let b = t.forward(&x).array();
+        assert!(a.allclose(&b, 1e-6, 1e-7));
+    }
+}

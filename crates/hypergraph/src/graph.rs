@@ -1,0 +1,140 @@
+//! The plain skeleton graph used by GCN baselines (§3.1).
+
+use dhg_tensor::NdArray;
+
+/// An undirected graph over vertices `0..n_vertices`, stored as an edge
+/// list. Used by the ST-GCN / 2s-AGCN / PB-GCN baselines.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Graph {
+    n_vertices: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+impl Graph {
+    /// Build from an undirected edge list. Self-loops are rejected (the
+    /// normalised adjacency adds the identity itself, Eq. 1's `Ã = A + I`).
+    pub fn new(n_vertices: usize, edges: Vec<(usize, usize)>) -> Self {
+        for &(a, b) in &edges {
+            assert!(a < n_vertices && b < n_vertices, "edge ({a},{b}) out of range");
+            assert_ne!(a, b, "self-loops are implicit in Ã = A + I");
+        }
+        Graph { n_vertices, edges }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n_vertices(&self) -> usize {
+        self.n_vertices
+    }
+
+    /// The undirected edge list.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Binary adjacency matrix `A` (symmetric, zero diagonal).
+    pub fn adjacency(&self) -> NdArray {
+        let v = self.n_vertices;
+        let mut a = NdArray::zeros(&[v, v]);
+        for &(i, j) in &self.edges {
+            a.set(&[i, j], 1.0);
+            a.set(&[j, i], 1.0);
+        }
+        a
+    }
+
+    /// The normalised operator of Eq. 1: `D̃^{-1/2} (A + I) D̃^{-1/2}`.
+    pub fn normalized_adjacency(&self) -> NdArray {
+        let v = self.n_vertices;
+        let mut a = self.adjacency();
+        for i in 0..v {
+            a.set(&[i, i], 1.0); // Ã = A + I
+        }
+        let deg: Vec<f32> =
+            (0..v).map(|i| (0..v).map(|j| a.at(&[i, j])).sum::<f32>()).collect();
+        let dis: Vec<f32> = deg.iter().map(|&d| if d > 0.0 { d.powf(-0.5) } else { 0.0 }).collect();
+        let mut out = NdArray::zeros(&[v, v]);
+        for i in 0..v {
+            for j in 0..v {
+                let val = a.at(&[i, j]);
+                if val != 0.0 {
+                    out.set(&[i, j], val * dis[i] * dis[j]);
+                }
+            }
+        }
+        out
+    }
+
+    /// Restrict the graph to a vertex subset, keeping original vertex ids
+    /// (non-members become isolated). Used by PB-GCN's part subgraphs.
+    pub fn subgraph(&self, members: &[usize]) -> Graph {
+        let set: std::collections::HashSet<usize> = members.iter().copied().collect();
+        let edges = self
+            .edges
+            .iter()
+            .copied()
+            .filter(|&(a, b)| set.contains(&a) && set.contains(&b))
+            .collect();
+        Graph { n_vertices: self.n_vertices, edges }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> Graph {
+        Graph::new(3, vec![(0, 1), (1, 2)])
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_with_zero_diagonal() {
+        let a = path3().adjacency();
+        assert!(a.allclose(&a.transpose_last2(), 1e-7, 1e-8));
+        for i in 0..3 {
+            assert_eq!(a.at(&[i, i]), 0.0);
+        }
+        assert_eq!(a.at(&[0, 1]), 1.0);
+        assert_eq!(a.at(&[0, 2]), 0.0);
+    }
+
+    #[test]
+    fn normalized_adjacency_known_values() {
+        // path 0-1-2 with self-loops: deg = [2, 3, 2]
+        let n = path3().normalized_adjacency();
+        assert!((n.at(&[0, 0]) - 0.5).abs() < 1e-6);
+        assert!((n.at(&[1, 1]) - 1.0 / 3.0).abs() < 1e-6);
+        assert!((n.at(&[0, 1]) - 1.0 / (2.0f32 * 3.0).sqrt()).abs() < 1e-6);
+        assert_eq!(n.at(&[0, 2]), 0.0);
+        assert!(n.allclose(&n.transpose_last2(), 1e-6, 1e-7));
+    }
+
+    #[test]
+    fn normalized_adjacency_fixes_sqrt_degree_vector() {
+        // D̃^{-1/2} Ã D̃^{-1/2} has eigenvector d̃^{1/2} with eigenvalue 1.
+        let g = Graph::new(5, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)]);
+        let n = g.normalized_adjacency();
+        let mut a = g.adjacency();
+        for i in 0..5 {
+            a.set(&[i, i], 1.0);
+        }
+        let deg: Vec<f32> = (0..5).map(|i| (0..5).map(|j| a.at(&[i, j])).sum()).collect();
+        let sqrt_d = NdArray::from_vec(deg.iter().map(|d| d.sqrt()).collect(), &[5, 1]);
+        let y = n.matmul(&sqrt_d);
+        assert!(y.allclose(&sqrt_d, 1e-5, 1e-6), "{y:?} vs {sqrt_d:?}");
+    }
+
+    #[test]
+    fn subgraph_keeps_only_internal_edges() {
+        let g = Graph::new(4, vec![(0, 1), (1, 2), (2, 3)]);
+        let s = g.subgraph(&[0, 1, 3]);
+        assert_eq!(s.edges(), &[(0, 1)]);
+        assert_eq!(s.n_vertices(), 4); // ids preserved
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_panics() {
+        Graph::new(2, vec![(1, 1)]);
+    }
+}

@@ -1,0 +1,121 @@
+//! `k_n`-nearest-neighbour hyperedges — the "common information" set of
+//! §3.4 (Eq. 11).
+//!
+//! For each joint the `k_n` joints with the smallest Euclidean distance
+//! (including the joint itself, whose distance is zero) form one hyperedge,
+//! yielding `N` hyperedges of `k_n` members each.
+
+use crate::Hypergraph;
+
+/// Squared Euclidean distance between two points of dimension `d`.
+#[inline]
+fn dist2(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
+}
+
+/// Build the `k_n`-NN hyperedge set for one frame.
+///
+/// `coords` is row-major `[n_vertices, dim]` (the paper uses `dim = 3`
+/// joint coordinates; the dynamic-topology branch uses FC-mapped features).
+/// Ties are broken by vertex index so the construction is deterministic.
+///
+/// Panics if `kn == 0` or `kn > n_vertices`.
+pub fn knn_hyperedges(coords: &[f32], n_vertices: usize, dim: usize, kn: usize) -> Hypergraph {
+    assert_eq!(coords.len(), n_vertices * dim, "coords must be [n_vertices, dim]");
+    assert!(kn >= 1, "k_n must be at least 1");
+    assert!(kn <= n_vertices, "k_n = {kn} exceeds vertex count {n_vertices}");
+    let mut edges = Vec::with_capacity(n_vertices);
+    let mut order: Vec<usize> = Vec::with_capacity(n_vertices);
+    for i in 0..n_vertices {
+        let pi = &coords[i * dim..(i + 1) * dim];
+        order.clear();
+        order.extend(0..n_vertices);
+        // partial sort: the kn smallest by (distance, index)
+        order.select_nth_unstable_by(kn - 1, |&a, &b| {
+            let da = dist2(&coords[a * dim..(a + 1) * dim], pi);
+            let db = dist2(&coords[b * dim..(b + 1) * dim], pi);
+            da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        });
+        edges.push(order[..kn].to_vec());
+    }
+    Hypergraph::new(n_vertices, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Four collinear points at x = 0, 1, 2, 10.
+    fn line() -> Vec<f32> {
+        vec![0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 2.0, 0.0, 0.0, 10.0, 0.0, 0.0]
+    }
+
+    #[test]
+    fn each_vertex_gets_one_edge_of_size_kn() {
+        let hg = knn_hyperedges(&line(), 4, 3, 2);
+        assert_eq!(hg.n_edges(), 4);
+        for e in hg.edges() {
+            assert_eq!(e.len(), 2);
+        }
+    }
+
+    #[test]
+    fn every_edge_contains_its_anchor() {
+        let hg = knn_hyperedges(&line(), 4, 3, 2);
+        for (i, e) in hg.edges().iter().enumerate() {
+            assert!(e.contains(&i), "edge {i} = {e:?} missing its anchor");
+        }
+    }
+
+    #[test]
+    fn nearest_neighbours_are_chosen() {
+        let hg = knn_hyperedges(&line(), 4, 3, 2);
+        // vertex 0's nearest other point is 1; vertex 3's is 2
+        assert_eq!(hg.edge(0), &[0, 1]);
+        assert_eq!(hg.edge(3), &[2, 3]);
+        // vertex 1 is equidistant to 0 and 2: tie broken by index → 0
+        assert_eq!(hg.edge(1), &[0, 1]);
+    }
+
+    #[test]
+    fn kn_equal_n_connects_everything() {
+        let hg = knn_hyperedges(&line(), 4, 3, 4);
+        for e in hg.edges() {
+            assert_eq!(e, &[0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn identical_points_are_handled() {
+        let coords = vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let hg = knn_hyperedges(&coords, 3, 3, 2);
+        assert_eq!(hg.n_edges(), 3);
+        for e in hg.edges() {
+            assert_eq!(e.len(), 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds vertex count")]
+    fn kn_too_large_panics() {
+        knn_hyperedges(&line(), 4, 3, 5);
+    }
+
+    #[test]
+    fn works_in_embedded_feature_space() {
+        // 8-dimensional features: two tight clusters
+        let mut coords = Vec::new();
+        for i in 0..6 {
+            let base = if i < 3 { 0.0 } else { 100.0 };
+            for d in 0..8 {
+                coords.push(base + (i * 8 + d) as f32 * 1e-3);
+            }
+        }
+        let hg = knn_hyperedges(&coords, 6, 8, 3);
+        // each vertex's edge stays within its cluster
+        for (i, e) in hg.edges().iter().enumerate() {
+            let cluster = |v: usize| v / 3;
+            assert!(e.iter().all(|&v| cluster(v) == cluster(i)), "edge {i}: {e:?}");
+        }
+    }
+}

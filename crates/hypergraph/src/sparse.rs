@@ -1,0 +1,196 @@
+//! Compressed sparse row matrices.
+//!
+//! Skeleton hypergraphs are small (`V = 25`), where dense `[V, V]`
+//! operators win outright; CSR exists to (a) prove that claim in the
+//! `operator` benchmark as `V` grows, and (b) support users applying DHGCN
+//! machinery to larger hypergraphs (meshes, point clouds).
+
+use dhg_tensor::NdArray;
+
+/// A compressed sparse row `f32` matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Build from a dense matrix, dropping exact zeros.
+    pub fn from_dense(dense: &NdArray) -> Self {
+        assert_eq!(dense.ndim(), 2, "CsrMatrix::from_dense expects a matrix");
+        let (rows, cols) = (dense.shape()[0], dense.shape()[1]);
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = dense.data()[r * cols + c];
+                if v != 0.0 {
+                    col_idx.push(c);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix { rows, cols, row_ptr, col_idx, values }
+    }
+
+    /// Build from coordinate triplets `(row, col, value)`. Duplicate
+    /// coordinates are summed.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f32)]) -> Self {
+        let mut sorted: Vec<(usize, usize, f32)> = triplets.to_vec();
+        sorted.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        // merge duplicates into (row, col, value) runs
+        let mut merged: Vec<(usize, usize, f32)> = Vec::with_capacity(sorted.len());
+        for (r, c, v) in sorted {
+            assert!(r < rows && c < cols, "triplet ({r},{c}) out of range");
+            match merged.last_mut() {
+                Some(last) if last.0 == r && last.1 == c => last.2 += v,
+                _ => merged.push((r, c, v)),
+            }
+        }
+        let mut row_ptr = vec![0usize; rows + 1];
+        for &(r, _, _) in &merged {
+            row_ptr[r + 1] += 1;
+        }
+        for r in 0..rows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        let col_idx = merged.iter().map(|&(_, c, _)| c).collect();
+        let values = merged.iter().map(|&(_, _, v)| v).collect();
+        CsrMatrix { rows, cols, row_ptr, col_idx, values }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fraction of entries that are stored.
+    pub fn density(&self) -> f32 {
+        self.nnz() as f32 / (self.rows * self.cols) as f32
+    }
+
+    /// Sparse × dense-vector product `y = A x`.
+    pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        let mut y = vec![0.0f32; self.rows];
+        for r in 0..self.rows {
+            let mut acc = 0.0f32;
+            for i in self.row_ptr[r]..self.row_ptr[r + 1] {
+                acc += self.values[i] * x[self.col_idx[i]];
+            }
+            y[r] = acc;
+        }
+        y
+    }
+
+    /// Sparse × dense-matrix product `Y = A X` where `X` is `[cols, n]`.
+    pub fn matmul_dense(&self, x: &NdArray) -> NdArray {
+        assert_eq!(x.ndim(), 2, "matmul_dense expects a matrix");
+        assert_eq!(x.shape()[0], self.cols, "matmul_dense dimension mismatch");
+        let n = x.shape()[1];
+        let xd = x.data();
+        let mut out = NdArray::zeros(&[self.rows, n]);
+        let od = out.data_mut();
+        for r in 0..self.rows {
+            let orow = &mut od[r * n..(r + 1) * n];
+            for i in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let v = self.values[i];
+                let xrow = &xd[self.col_idx[i] * n..(self.col_idx[i] + 1) * n];
+                for (o, &xv) in orow.iter_mut().zip(xrow) {
+                    *o += v * xv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Materialise back to a dense matrix.
+    pub fn to_dense(&self) -> NdArray {
+        let mut out = NdArray::zeros(&[self.rows, self.cols]);
+        let od = out.data_mut();
+        for r in 0..self.rows {
+            for i in self.row_ptr[r]..self.row_ptr[r + 1] {
+                od[r * self.cols + self.col_idx[i]] += self.values[i];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_dense() -> NdArray {
+        NdArray::from_vec(vec![1.0, 0.0, 2.0, 0.0, 0.0, 3.0, 4.0, 0.0, 0.0], &[3, 3])
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let d = sample_dense();
+        let s = CsrMatrix::from_dense(&d);
+        assert_eq!(s.nnz(), 4);
+        assert_eq!(s.to_dense(), d);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let d = sample_dense();
+        let s = CsrMatrix::from_dense(&d);
+        let x = vec![1.0, 2.0, 3.0];
+        let y = s.matvec(&x);
+        let expected = d.matmul(&NdArray::from_vec(x, &[3, 1]));
+        assert_eq!(y, expected.data());
+    }
+
+    #[test]
+    fn matmul_dense_matches_dense() {
+        let d = sample_dense();
+        let s = CsrMatrix::from_dense(&d);
+        let x = NdArray::from_vec((0..6).map(|i| i as f32).collect(), &[3, 2]);
+        let y = s.matmul_dense(&x);
+        assert!(y.allclose(&d.matmul(&x), 1e-6, 1e-7));
+    }
+
+    #[test]
+    fn triplets_with_duplicates_sum() {
+        let s = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, 2.0), (1, 1, 5.0)]);
+        let d = s.to_dense();
+        assert_eq!(d.at(&[0, 0]), 3.0);
+        assert_eq!(d.at(&[1, 1]), 5.0);
+        assert_eq!(d.at(&[0, 1]), 0.0);
+    }
+
+    #[test]
+    fn empty_rows_are_fine() {
+        let s = CsrMatrix::from_triplets(4, 3, &[(0, 1, 1.0), (3, 2, 2.0)]);
+        assert_eq!(s.nnz(), 2);
+        let y = s.matvec(&[1.0, 1.0, 1.0]);
+        assert_eq!(y, vec![1.0, 0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn density_reported() {
+        let s = CsrMatrix::from_dense(&sample_dense());
+        assert!((s.density() - 4.0 / 9.0).abs() < 1e-6);
+    }
+}

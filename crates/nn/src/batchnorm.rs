@@ -1,0 +1,168 @@
+//! Batch normalisation over `[N, C, H, W]` feature maps.
+
+use crate::module::Module;
+use dhg_tensor::{NdArray, Tensor};
+use std::cell::RefCell;
+
+/// BatchNorm2d: per-channel normalisation over the `(N, H, W)` axes with
+/// trainable scale `γ` and shift `β`.
+///
+/// In training mode, batch statistics normalise the input and update
+/// exponential running estimates; in eval mode the running estimates are
+/// used as constants.
+pub struct BatchNorm2d {
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: RefCell<NdArray>,
+    running_var: RefCell<NdArray>,
+    momentum: f32,
+    eps: f32,
+    training: bool,
+    channels: usize,
+}
+
+impl BatchNorm2d {
+    /// A new layer with `γ = 1`, `β = 0`, momentum 0.1 and eps 1e-5.
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d {
+            gamma: Tensor::param(NdArray::ones(&[channels])),
+            beta: Tensor::param(NdArray::zeros(&[channels])),
+            running_mean: RefCell::new(NdArray::zeros(&[channels])),
+            running_var: RefCell::new(NdArray::ones(&[channels])),
+            momentum: 0.1,
+            eps: 1e-5,
+            training: true,
+            channels,
+        }
+    }
+
+    /// Channel count.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// The running mean estimate (eval-mode statistics).
+    pub fn running_mean(&self) -> NdArray {
+        self.running_mean.borrow().clone()
+    }
+
+    /// The running variance estimate.
+    pub fn running_var(&self) -> NdArray {
+        self.running_var.borrow().clone()
+    }
+}
+
+impl Module for BatchNorm2d {
+    fn forward(&self, x: &Tensor) -> Tensor {
+        let shape = x.shape();
+        assert_eq!(shape.len(), 4, "BatchNorm2d expects [N, C, H, W]");
+        assert_eq!(shape[1], self.channels, "BatchNorm2d channel mismatch");
+        let view = [1, self.channels, 1, 1];
+        if self.training {
+            let mean = x.mean_axes(&[0, 2, 3], true); // [1, C, 1, 1]
+            let centred = x.sub(&mean);
+            let var = centred.square().mean_axes(&[0, 2, 3], true);
+            // update running stats outside the graph
+            {
+                let m = self.momentum;
+                let mean_a = mean.array().reshape(&[self.channels]);
+                let var_a = var.array().reshape(&[self.channels]);
+                let mut rm = self.running_mean.borrow_mut();
+                let mut rv = self.running_var.borrow_mut();
+                *rm = rm.mul_scalar(1.0 - m).add(&mean_a.mul_scalar(m));
+                *rv = rv.mul_scalar(1.0 - m).add(&var_a.mul_scalar(m));
+            }
+            let denom = var.add_scalar(self.eps).sqrt();
+            let xhat = centred.div(&denom);
+            xhat.mul(&self.gamma.reshape(&view)).add(&self.beta.reshape(&view))
+        } else {
+            let mean = Tensor::constant(self.running_mean.borrow().reshape(&view));
+            let var = Tensor::constant(self.running_var.borrow().reshape(&view));
+            let denom = var.add_scalar(self.eps).sqrt();
+            let xhat = x.sub(&mean).div(&denom);
+            xhat.mul(&self.gamma.reshape(&view)).add(&self.beta.reshape(&view))
+        }
+    }
+
+    fn parameters(&self) -> Vec<Tensor> {
+        vec![self.gamma.clone(), self.beta.clone()]
+    }
+
+    fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::random_uniform;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn training_output_is_normalised() {
+        let bn = BatchNorm2d::new(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = Tensor::constant(random_uniform(&[4, 3, 5, 5], -3.0, 7.0, &mut rng));
+        let y = bn.forward(&x).array();
+        // per-channel mean ≈ 0, var ≈ 1
+        let mean = y.mean_axes(&[0, 2, 3], false);
+        let var = y
+            .sub(&y.mean_axes(&[0, 2, 3], true))
+            .map(|v| v * v)
+            .mean_axes(&[0, 2, 3], false);
+        for c in 0..3 {
+            assert!(mean.data()[c].abs() < 1e-4, "mean[{c}] = {}", mean.data()[c]);
+            assert!((var.data()[c] - 1.0).abs() < 1e-2, "var[{c}] = {}", var.data()[c]);
+        }
+    }
+
+    #[test]
+    fn eval_mode_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(2);
+        let mut rng = StdRng::seed_from_u64(1);
+        // feed many batches with mean 5 so running stats converge there
+        for _ in 0..60 {
+            let x = Tensor::constant(random_uniform(&[8, 2, 3, 3], 4.0, 6.0, &mut rng));
+            bn.forward(&x);
+        }
+        assert!((bn.running_mean().data()[0] - 5.0).abs() < 0.3);
+        bn.set_training(false);
+        // a constant-5 input should map to ≈ 0 in eval mode
+        let x = Tensor::constant(NdArray::full(&[2, 2, 3, 3], 5.0));
+        let y = bn.forward(&x).array();
+        assert!(y.data().iter().all(|v| v.abs() < 0.5), "{y:?}");
+        // and eval mode must not touch the running stats
+        let before = bn.running_mean();
+        bn.forward(&x);
+        assert_eq!(bn.running_mean(), before);
+    }
+
+    #[test]
+    fn gamma_beta_receive_gradients() {
+        let bn = BatchNorm2d::new(2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = Tensor::constant(random_uniform(&[3, 2, 4, 4], -1.0, 1.0, &mut rng));
+        bn.forward(&x).square().sum_all().backward();
+        for p in bn.parameters() {
+            assert!(p.grad().is_some());
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        // gradient through the full composed normalisation
+        use dhg_tensor::gradcheck::assert_gradients_close;
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = random_uniform(&[2, 2, 2, 2], -1.0, 1.0, &mut rng);
+        assert_gradients_close(
+            &x,
+            |t| {
+                let bn = BatchNorm2d::new(2);
+                bn.forward(t).square().sum_all()
+            },
+            5e-2,
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Weight initialisation.
+
+use dhg_tensor::NdArray;
+use rand::Rng;
+
+/// Kaiming (He) uniform initialisation for ReLU networks: values drawn
+/// from `U(−b, b)` with `b = sqrt(6 / fan_in)`.
+pub fn kaiming_uniform(shape: &[usize], fan_in: usize, rng: &mut impl Rng) -> NdArray {
+    assert!(fan_in > 0, "fan_in must be positive");
+    let bound = (6.0f32 / fan_in as f32).sqrt();
+    random_uniform(shape, -bound, bound, rng)
+}
+
+/// Xavier/Glorot uniform initialisation: `b = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(shape: &[usize], fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> NdArray {
+    assert!(fan_in + fan_out > 0, "fans must be positive");
+    let bound = (6.0f32 / (fan_in + fan_out) as f32).sqrt();
+    random_uniform(shape, -bound, bound, rng)
+}
+
+/// Uniform samples in `[lo, hi)`.
+pub fn random_uniform(shape: &[usize], lo: f32, hi: f32, rng: &mut impl Rng) -> NdArray {
+    let n: usize = shape.iter().product();
+    NdArray::from_vec((0..n).map(|_| rng.gen_range(lo..hi)).collect(), shape)
+}
+
+/// Conventional fan-in of a conv weight `[out, in, kh, kw]`.
+pub fn conv_fan_in(shape: &[usize]) -> usize {
+    assert_eq!(shape.len(), 4, "conv weights are [out, in, kh, kw]");
+    shape[1] * shape[2] * shape[3]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kaiming_bounds_respected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let w = kaiming_uniform(&[64, 64], 64, &mut rng);
+        let bound = (6.0f32 / 64.0).sqrt();
+        assert!(w.data().iter().all(|&v| v.abs() <= bound));
+        // and actually uses the range
+        assert!(w.max_all() > bound * 0.5);
+    }
+
+    #[test]
+    fn xavier_scales_with_both_fans() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = xavier_uniform(&[10, 1000], 10, 1000, &mut rng);
+        let bound = (6.0f32 / 1010.0).sqrt();
+        assert!(w.data().iter().all(|&v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn conv_fan_in_is_in_times_kernel() {
+        assert_eq!(conv_fan_in(&[32, 16, 3, 1]), 48);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = kaiming_uniform(&[4, 4], 4, &mut StdRng::seed_from_u64(7));
+        let b = kaiming_uniform(&[4, 4], 4, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,32 @@
+//! # dhg-nn
+//!
+//! Neural-network building blocks on top of [`dhg_tensor`]: layers with
+//! trainable parameters, weight initialisation, the SGD optimiser and
+//! learning-rate schedule from the paper's §4.2, losses and metrics.
+//!
+//! All layers implement [`Module`]: forward computation, parameter
+//! collection for the optimiser, and a train/eval mode switch (BatchNorm
+//! and Dropout behave differently between the two).
+
+pub mod adam;
+pub mod batchnorm;
+pub mod conv;
+pub mod dropout;
+pub mod init;
+pub mod linear;
+pub mod lstm;
+pub mod metrics;
+pub mod module;
+pub mod optim;
+pub mod pool;
+
+pub use adam::{Adam, AdamConfig};
+pub use batchnorm::BatchNorm2d;
+pub use conv::Conv2d;
+pub use dropout::Dropout;
+pub use linear::Linear;
+pub use lstm::Lstm;
+pub use metrics::{confusion_matrix, top_k_accuracy};
+pub use module::Module;
+pub use optim::{clip_gradient_norm, CosineLr, Sgd, SgdConfig, StepLr};
+pub use pool::global_avg_pool;

@@ -1,0 +1,111 @@
+//! Classification metrics: Top-k accuracy (the paper reports Top-1/Top-5)
+//! and confusion matrices.
+
+use dhg_tensor::NdArray;
+
+/// Fraction of rows whose true label is among the `k` highest-scoring
+/// classes. `scores` is `[N, K]`.
+pub fn top_k_accuracy(scores: &NdArray, labels: &[usize], k: usize) -> f32 {
+    assert_eq!(scores.ndim(), 2, "scores must be [N, K]");
+    let (n, classes) = (scores.shape()[0], scores.shape()[1]);
+    assert_eq!(n, labels.len(), "scores/labels length mismatch");
+    assert!(k >= 1 && k <= classes, "k must be in 1..={classes}");
+    if n == 0 {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    for (row, &label) in scores.data().chunks_exact(classes).zip(labels) {
+        let target = row[label];
+        // rank = how many classes strictly beat the target (ties resolved
+        // in the target's favour, matching argsort-stable evaluation)
+        let beaten = row.iter().filter(|&&v| v > target).count();
+        if beaten < k {
+            hits += 1;
+        }
+    }
+    hits as f32 / n as f32
+}
+
+/// Row-normalised confusion matrix `[K, K]`: entry `(i, j)` is the
+/// fraction of true-class-`i` samples predicted as class `j`.
+pub fn confusion_matrix(scores: &NdArray, labels: &[usize], n_classes: usize) -> NdArray {
+    assert_eq!(scores.ndim(), 2, "scores must be [N, K]");
+    let preds = scores.argmax_last();
+    let mut counts = NdArray::zeros(&[n_classes, n_classes]);
+    let mut row_totals = vec![0usize; n_classes];
+    for (&pred, &label) in preds.iter().zip(labels) {
+        assert!(label < n_classes && pred < n_classes, "class out of range");
+        let cur = counts.at(&[label, pred]);
+        counts.set(&[label, pred], cur + 1.0);
+        row_totals[label] += 1;
+    }
+    for i in 0..n_classes {
+        if row_totals[i] > 0 {
+            for j in 0..n_classes {
+                let v = counts.at(&[i, j]);
+                counts.set(&[i, j], v / row_totals[i] as f32);
+            }
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scores() -> NdArray {
+        // 3 samples, 4 classes
+        NdArray::from_vec(
+            vec![
+                0.9, 0.05, 0.03, 0.02, // pred 0
+                0.1, 0.2, 0.6, 0.1, // pred 2
+                0.25, 0.30, 0.25, 0.20, // pred 1
+            ],
+            &[3, 4],
+        )
+    }
+
+    #[test]
+    fn top1_counts_exact_hits() {
+        let s = scores();
+        assert!((top_k_accuracy(&s, &[0, 2, 1], 1) - 1.0).abs() < 1e-6);
+        assert!((top_k_accuracy(&s, &[0, 1, 1], 1) - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn topk_grows_with_k() {
+        let s = scores();
+        let labels = [3usize, 3, 3];
+        let t1 = top_k_accuracy(&s, &labels, 1);
+        let t2 = top_k_accuracy(&s, &labels, 2);
+        let t4 = top_k_accuracy(&s, &labels, 4);
+        assert!(t1 <= t2 && t2 <= t4);
+        assert!((t4 - 1.0).abs() < 1e-6, "top-K with K = classes is always 1");
+    }
+
+    #[test]
+    fn ties_resolve_in_favour_of_target() {
+        let s = NdArray::from_vec(vec![0.5, 0.5], &[1, 2]);
+        assert!((top_k_accuracy(&s, &[1], 1) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn confusion_matrix_rows_sum_to_one() {
+        let s = scores();
+        let cm = confusion_matrix(&s, &[0, 2, 2], 4);
+        // class 0 row: all mass on prediction 0
+        assert!((cm.at(&[0, 0]) - 1.0).abs() < 1e-6);
+        // class 2 row: one sample predicted 2, one predicted 1
+        assert!((cm.at(&[2, 2]) - 0.5).abs() < 1e-6);
+        assert!((cm.at(&[2, 1]) - 0.5).abs() < 1e-6);
+        // unobserved class rows are zero
+        assert_eq!(cm.at(&[3, 3]), 0.0);
+    }
+
+    #[test]
+    fn empty_input_is_zero_accuracy() {
+        let s = NdArray::zeros(&[0, 4]);
+        assert_eq!(top_k_accuracy(&s, &[], 1), 0.0);
+    }
+}

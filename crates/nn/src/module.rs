@@ -1,0 +1,73 @@
+//! The [`Module`] trait: the common interface of all layers and models.
+
+use dhg_tensor::Tensor;
+
+/// A trainable component: forward computation over a single input tensor,
+/// parameter enumeration for the optimiser, and a train/eval switch.
+///
+/// Layers without parameters or mode-dependence accept the default no-op
+/// implementations.
+pub trait Module {
+    /// Compute the layer's output. Builds autograd graph edges whenever
+    /// any involved tensor requires gradients.
+    fn forward(&self, x: &Tensor) -> Tensor;
+
+    /// All trainable parameter tensors, in a stable order.
+    fn parameters(&self) -> Vec<Tensor> {
+        Vec::new()
+    }
+
+    /// Switch between training (true) and evaluation (false) behaviour.
+    fn set_training(&mut self, _training: bool) {}
+
+    /// Total number of scalar parameters.
+    fn n_parameters(&self) -> usize {
+        self.parameters().iter().map(|p| p.data().len()).sum()
+    }
+}
+
+/// Collect the parameters of many modules into one vector (stable order).
+pub fn collect_parameters<'a>(modules: impl IntoIterator<Item = &'a dyn Module>) -> Vec<Tensor> {
+    modules.into_iter().flat_map(|m| m.parameters()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhg_tensor::NdArray;
+
+    struct Scale(Tensor);
+    impl Module for Scale {
+        fn forward(&self, x: &Tensor) -> Tensor {
+            x.mul(&self.0)
+        }
+        fn parameters(&self) -> Vec<Tensor> {
+            vec![self.0.clone()]
+        }
+    }
+
+    #[test]
+    fn default_impls_are_noop() {
+        struct Identity;
+        impl Module for Identity {
+            fn forward(&self, x: &Tensor) -> Tensor {
+                x.clone()
+            }
+        }
+        let mut id = Identity;
+        id.set_training(true);
+        assert!(id.parameters().is_empty());
+        assert_eq!(id.n_parameters(), 0);
+    }
+
+    #[test]
+    fn collect_parameters_preserves_order() {
+        let a = Scale(Tensor::param(NdArray::ones(&[2])));
+        let b = Scale(Tensor::param(NdArray::ones(&[3])));
+        let ps = collect_parameters([&a as &dyn Module, &b as &dyn Module]);
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[0].data().len(), 2);
+        assert_eq!(ps[1].data().len(), 3);
+        assert_eq!(a.n_parameters(), 2);
+    }
+}

@@ -1,0 +1,35 @@
+//! Pooling.
+
+use dhg_tensor::Tensor;
+
+/// Global average pooling over the spatial-temporal axes:
+/// `[N, C, T, V] → [N, C]` (the GAP layer before the classifier, §3.5).
+pub fn global_avg_pool(x: &Tensor) -> Tensor {
+    assert_eq!(x.shape().len(), 4, "global_avg_pool expects [N, C, T, V]");
+    x.mean_axes(&[2, 3], false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhg_tensor::NdArray;
+
+    #[test]
+    fn averages_over_time_and_joints() {
+        let mut data = NdArray::zeros(&[1, 2, 2, 2]);
+        // channel 0: 1, 2, 3, 4 → mean 2.5; channel 1: all 10 → mean 10
+        data.data_mut()[..4].copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        data.data_mut()[4..].copy_from_slice(&[10.0; 4]);
+        let y = global_avg_pool(&Tensor::constant(data)).array();
+        assert_eq!(y.shape(), &[1, 2]);
+        assert_eq!(y.data(), &[2.5, 10.0]);
+    }
+
+    #[test]
+    fn gradient_spreads_uniformly() {
+        let x = Tensor::param(NdArray::ones(&[1, 1, 4, 5]));
+        global_avg_pool(&x).sum_all().backward();
+        let g = x.grad().unwrap();
+        assert!(g.allclose(&NdArray::full(&[1, 1, 4, 5], 1.0 / 20.0), 1e-6, 1e-7));
+    }
+}

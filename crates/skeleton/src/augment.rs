@@ -1,0 +1,250 @@
+//! Training-time data augmentation for skeleton sequences.
+//!
+//! The standard tricks of the ST-GCN family: random view rotation, body
+//! scaling, coordinate jitter, temporal cropping and joint dropout. Each
+//! transform maps a `[3, T, V]` sequence to a new one; [`Pipeline`]
+//! composes them and is consumed by training loops that want heavier
+//! regularisation than the synthetic corpus's built-in variation.
+
+use crate::synth::randn;
+use dhg_tensor::NdArray;
+use rand::Rng;
+
+/// One stochastic transform of a `[3, T, V]` sequence.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Augmentation {
+    /// Rotate about the vertical (y) axis by a uniform angle in
+    /// `[-max_angle, max_angle]` radians.
+    RandomYaw {
+        /// Maximum absolute rotation angle (radians).
+        max_angle: f32,
+    },
+    /// Scale all coordinates by a uniform factor in `[lo, hi]`.
+    RandomScale {
+        /// Smallest scale factor.
+        lo: f32,
+        /// Largest scale factor.
+        hi: f32,
+    },
+    /// Add Gaussian noise with the given standard deviation to every
+    /// coordinate.
+    Jitter {
+        /// Noise standard deviation (metres).
+        std: f32,
+    },
+    /// Crop a random contiguous window of `keep` frames and tile it back
+    /// to the original length (temporal augmentation).
+    TemporalCrop {
+        /// Number of frames kept (must not exceed the sequence length).
+        keep: usize,
+    },
+    /// Zero every coordinate of each joint independently with probability
+    /// `p` per frame (simulated missing detections).
+    JointDropout {
+        /// Per-joint, per-frame drop probability.
+        p: f32,
+    },
+}
+
+impl Augmentation {
+    /// Apply the transform.
+    pub fn apply(&self, data: &NdArray, rng: &mut impl Rng) -> NdArray {
+        assert_eq!(data.ndim(), 3, "expected [3, T, V]");
+        let (t_len, v) = (data.shape()[1], data.shape()[2]);
+        match *self {
+            Augmentation::RandomYaw { max_angle } => {
+                let angle = rng.gen_range(-max_angle..=max_angle);
+                let (s, c) = angle.sin_cos();
+                let mut out = data.clone();
+                for t in 0..t_len {
+                    for j in 0..v {
+                        let x = data.at(&[0, t, j]);
+                        let z = data.at(&[2, t, j]);
+                        out.set(&[0, t, j], c * x + s * z);
+                        out.set(&[2, t, j], -s * x + c * z);
+                    }
+                }
+                out
+            }
+            Augmentation::RandomScale { lo, hi } => {
+                assert!(lo <= hi && lo > 0.0, "invalid scale range");
+                let f = rng.gen_range(lo..=hi);
+                data.mul_scalar(f)
+            }
+            Augmentation::Jitter { std } => {
+                let mut out = data.clone();
+                for val in out.data_mut() {
+                    *val += std * randn(rng);
+                }
+                out
+            }
+            Augmentation::TemporalCrop { keep } => {
+                assert!(keep >= 1 && keep <= t_len, "crop window out of range");
+                let start = rng.gen_range(0..=t_len - keep);
+                let window = data.slice_axis(1, start, keep);
+                // tile the window back to the original length
+                let mut frames = Vec::with_capacity(t_len);
+                for t in 0..t_len {
+                    frames.push(window.slice_axis(1, t % keep, 1));
+                }
+                let refs: Vec<&NdArray> = frames.iter().collect();
+                NdArray::concat(&refs, 1)
+            }
+            Augmentation::JointDropout { p } => {
+                assert!((0.0..1.0).contains(&p), "invalid drop probability");
+                let mut out = data.clone();
+                for t in 0..t_len {
+                    for j in 0..v {
+                        if rng.gen::<f32>() < p {
+                            for c in 0..3 {
+                                out.set(&[c, t, j], 0.0);
+                            }
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+/// A sequence of augmentations applied in order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Pipeline {
+    steps: Vec<Augmentation>,
+}
+
+impl Pipeline {
+    /// An empty (identity) pipeline.
+    pub fn new() -> Self {
+        Pipeline { steps: Vec::new() }
+    }
+
+    /// The standard skeleton recipe: mild rotation, scale and jitter.
+    pub fn standard() -> Self {
+        Pipeline {
+            steps: vec![
+                Augmentation::RandomYaw { max_angle: 0.3 },
+                Augmentation::RandomScale { lo: 0.9, hi: 1.1 },
+                Augmentation::Jitter { std: 0.01 },
+            ],
+        }
+    }
+
+    /// Append a step.
+    pub fn with(mut self, step: Augmentation) -> Self {
+        self.steps.push(step);
+        self
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the pipeline is the identity.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Apply every step in order.
+    pub fn apply(&self, data: &NdArray, rng: &mut impl Rng) -> NdArray {
+        let mut out = data.clone();
+        for step in &self.steps {
+            out = step.apply(&out, rng);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample() -> NdArray {
+        NdArray::from_vec((0..3 * 8 * 5).map(|i| (i as f32 * 0.1).sin()).collect(), &[3, 8, 5])
+    }
+
+    #[test]
+    fn yaw_preserves_heights_and_distances() {
+        let x = sample();
+        let mut rng = StdRng::seed_from_u64(0);
+        let y = Augmentation::RandomYaw { max_angle: 1.0 }.apply(&x, &mut rng);
+        // y-coordinates untouched
+        assert_eq!(y.slice_axis(0, 1, 1), x.slice_axis(0, 1, 1));
+        // pairwise distances preserved (rotation is an isometry)
+        let dist = |a: &NdArray, i: usize, j: usize| -> f32 {
+            (0..3).map(|c| (a.at(&[c, 0, i]) - a.at(&[c, 0, j])).powi(2)).sum::<f32>().sqrt()
+        };
+        assert!((dist(&x, 0, 4) - dist(&y, 0, 4)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn scale_is_uniform() {
+        let x = sample();
+        let mut rng = StdRng::seed_from_u64(1);
+        let y = Augmentation::RandomScale { lo: 2.0, hi: 2.0 }.apply(&x, &mut rng);
+        assert!(y.allclose(&x.mul_scalar(2.0), 1e-6, 1e-7));
+    }
+
+    #[test]
+    fn jitter_changes_values_slightly() {
+        let x = sample();
+        let mut rng = StdRng::seed_from_u64(2);
+        let y = Augmentation::Jitter { std: 0.01 }.apply(&x, &mut rng);
+        assert!(!y.allclose(&x, 1e-9, 1e-9));
+        assert!(y.allclose(&x, 0.0, 0.08), "jitter should stay small");
+    }
+
+    #[test]
+    fn temporal_crop_keeps_shape_and_reuses_frames() {
+        let x = sample();
+        let mut rng = StdRng::seed_from_u64(3);
+        let y = Augmentation::TemporalCrop { keep: 3 }.apply(&x, &mut rng);
+        assert_eq!(y.shape(), x.shape());
+        // tiling means frame t equals frame t mod keep
+        assert_eq!(y.slice_axis(1, 0, 1), y.slice_axis(1, 3, 1));
+    }
+
+    #[test]
+    fn joint_dropout_zeroes_full_joints() {
+        let x = sample().add_scalar(5.0); // no accidental zeros
+        let mut rng = StdRng::seed_from_u64(4);
+        let y = Augmentation::JointDropout { p: 0.5 }.apply(&x, &mut rng);
+        let mut dropped = 0;
+        for t in 0..8 {
+            for j in 0..5 {
+                let zeros = (0..3).filter(|&c| y.at(&[c, t, j]) == 0.0).count();
+                assert!(zeros == 0 || zeros == 3, "joints drop atomically");
+                if zeros == 3 {
+                    dropped += 1;
+                }
+            }
+        }
+        assert!(dropped > 5, "p = 0.5 should drop a lot: {dropped}");
+    }
+
+    #[test]
+    fn pipeline_composes_in_order() {
+        let x = sample();
+        let p = Pipeline::new()
+            .with(Augmentation::RandomScale { lo: 2.0, hi: 2.0 })
+            .with(Augmentation::RandomScale { lo: 3.0, hi: 3.0 });
+        let mut rng = StdRng::seed_from_u64(5);
+        let y = p.apply(&x, &mut rng);
+        assert!(y.allclose(&x.mul_scalar(6.0), 1e-5, 1e-6));
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn standard_pipeline_runs() {
+        let x = sample();
+        let mut rng = StdRng::seed_from_u64(6);
+        let y = Pipeline::standard().apply(&x, &mut rng);
+        assert_eq!(y.shape(), x.shape());
+        assert!(y.data().iter().all(|v| v.is_finite()));
+    }
+}

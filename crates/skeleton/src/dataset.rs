@@ -1,0 +1,254 @@
+//! Dataset containers and the paper's evaluation protocols (§4.1).
+
+use crate::synth::{SynthConfig, SynthGenerator};
+use crate::topology::SkeletonTopology;
+use dhg_tensor::NdArray;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One recorded sequence: `[3, T, V]` coordinates plus collection
+/// metadata.
+#[derive(Clone, Debug)]
+pub struct SkeletonSample {
+    /// Joint coordinates, `[channels = 3, frames, joints]`.
+    pub data: NdArray,
+    /// Action class id.
+    pub label: usize,
+    /// Performer id (X-Sub axis).
+    pub subject: usize,
+    /// Camera id (X-View axis).
+    pub camera: usize,
+    /// Collection setup id (NTU-120's X-Set axis).
+    pub setup: usize,
+}
+
+/// The evaluation protocols of §4.1.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Protocol {
+    /// NTU X-Sub: disjoint performer sets (even subject ids train, odd
+    /// test — our synthetic stand-in for NTU's fixed subject list).
+    CrossSubject,
+    /// NTU X-View: camera 1 is the test set, the rest train (§4.1).
+    CrossView,
+    /// NTU-120 X-Set: even setup ids train, odd test (§4.1).
+    CrossSetup,
+    /// Kinetics-style random holdout with the given test fraction.
+    Random {
+        /// Fraction of samples held out for testing.
+        test_fraction: f32,
+    },
+}
+
+/// Train/test sample indices produced by [`SkeletonDataset::split`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Split {
+    /// Indices of training samples.
+    pub train: Vec<usize>,
+    /// Indices of test samples.
+    pub test: Vec<usize>,
+}
+
+/// A dataset of skeleton sequences over one topology.
+pub struct SkeletonDataset {
+    /// Dataset name (printed in experiment tables).
+    pub name: String,
+    /// Skeleton topology shared by all samples.
+    pub topology: SkeletonTopology,
+    /// All samples.
+    pub samples: Vec<SkeletonSample>,
+    /// Number of action classes.
+    pub n_classes: usize,
+}
+
+impl SkeletonDataset {
+    /// Generate a synthetic dataset: `per_class` samples for each class,
+    /// with subjects/cameras/setups drawn uniformly. Deterministic in
+    /// `seed`.
+    pub fn generate(name: &str, config: SynthConfig, per_class: usize, seed: u64) -> Self {
+        let generator = SynthGenerator::new(config.clone());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut samples = Vec::with_capacity(config.n_classes * per_class);
+        for label in 0..config.n_classes {
+            for _ in 0..per_class {
+                let subject = rng.gen_range(0..config.n_subjects);
+                let camera = rng.gen_range(0..config.n_cameras);
+                let setup = rng.gen_range(0..config.n_setups);
+                let data = generator.sample(label, subject, camera, &mut rng);
+                samples.push(SkeletonSample { data, label, subject, camera, setup });
+            }
+        }
+        SkeletonDataset {
+            name: name.to_string(),
+            topology: generator.topology().clone(),
+            samples,
+            n_classes: config.n_classes,
+        }
+    }
+
+    /// An NTU RGB+D 60-like corpus (25 joints, 3 cameras, 40 subjects).
+    pub fn ntu60_like(n_classes: usize, per_class: usize, frames: usize, seed: u64) -> Self {
+        Self::generate("NTU60-like", SynthConfig::ntu_like(n_classes, frames), per_class, seed)
+    }
+
+    /// An NTU RGB+D 120-like corpus: more subjects and the setup axis.
+    pub fn ntu120_like(n_classes: usize, per_class: usize, frames: usize, seed: u64) -> Self {
+        let mut config = SynthConfig::ntu_like(n_classes, frames);
+        config.n_subjects = 106;
+        config.n_setups = 32;
+        Self::generate("NTU120-like", config, per_class, seed)
+    }
+
+    /// A Kinetics-Skeleton-like corpus (18 OpenPose joints, noisy, with
+    /// keypoint dropout).
+    pub fn kinetics_like(n_classes: usize, per_class: usize, frames: usize, seed: u64) -> Self {
+        Self::generate(
+            "Kinetics-like",
+            SynthConfig::kinetics_like(n_classes, frames),
+            per_class,
+            seed,
+        )
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Split sample indices according to an evaluation protocol. The
+    /// random protocol is deterministic in `seed`.
+    pub fn split(&self, protocol: Protocol, seed: u64) -> Split {
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        match protocol {
+            Protocol::CrossSubject => {
+                for (i, s) in self.samples.iter().enumerate() {
+                    if s.subject % 2 == 0 {
+                        train.push(i);
+                    } else {
+                        test.push(i);
+                    }
+                }
+            }
+            Protocol::CrossView => {
+                for (i, s) in self.samples.iter().enumerate() {
+                    if s.camera == 1 {
+                        test.push(i);
+                    } else {
+                        train.push(i);
+                    }
+                }
+            }
+            Protocol::CrossSetup => {
+                for (i, s) in self.samples.iter().enumerate() {
+                    if s.setup % 2 == 0 {
+                        train.push(i);
+                    } else {
+                        test.push(i);
+                    }
+                }
+            }
+            Protocol::Random { test_fraction } => {
+                assert!(
+                    (0.0..1.0).contains(&test_fraction),
+                    "test_fraction must be in [0, 1)"
+                );
+                let mut rng = StdRng::seed_from_u64(seed);
+                for i in 0..self.samples.len() {
+                    if rng.gen::<f32>() < test_fraction {
+                        test.push(i);
+                    } else {
+                        train.push(i);
+                    }
+                }
+            }
+        }
+        Split { train, test }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SkeletonDataset {
+        SkeletonDataset::ntu60_like(4, 6, 8, 42)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = tiny();
+        let b = tiny();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.samples.iter().zip(&b.samples) {
+            assert_eq!(x.data, y.data);
+            assert_eq!(x.label, y.label);
+        }
+    }
+
+    #[test]
+    fn labels_are_balanced() {
+        let d = tiny();
+        let mut counts = vec![0usize; d.n_classes];
+        for s in &d.samples {
+            counts[s.label] += 1;
+        }
+        assert_eq!(counts, vec![6; 4]);
+    }
+
+    #[test]
+    fn cross_subject_split_separates_subjects() {
+        let d = SkeletonDataset::ntu60_like(3, 20, 8, 7);
+        let split = d.split(Protocol::CrossSubject, 0);
+        assert!(!split.train.is_empty() && !split.test.is_empty());
+        for &i in &split.train {
+            assert_eq!(d.samples[i].subject % 2, 0);
+        }
+        for &i in &split.test {
+            assert_eq!(d.samples[i].subject % 2, 1);
+        }
+    }
+
+    #[test]
+    fn cross_view_puts_camera_1_in_test() {
+        let d = SkeletonDataset::ntu60_like(3, 20, 8, 7);
+        let split = d.split(Protocol::CrossView, 0);
+        for &i in &split.test {
+            assert_eq!(d.samples[i].camera, 1);
+        }
+        for &i in &split.train {
+            assert_ne!(d.samples[i].camera, 1);
+        }
+    }
+
+    #[test]
+    fn cross_setup_split_parity() {
+        let d = SkeletonDataset::ntu120_like(3, 20, 8, 7);
+        let split = d.split(Protocol::CrossSetup, 0);
+        assert!(!split.train.is_empty() && !split.test.is_empty());
+        for &i in &split.test {
+            assert_eq!(d.samples[i].setup % 2, 1);
+        }
+    }
+
+    #[test]
+    fn random_split_partitions_everything() {
+        let d = tiny();
+        let split = d.split(Protocol::Random { test_fraction: 0.25 }, 3);
+        assert_eq!(split.train.len() + split.test.len(), d.len());
+        let mut all: Vec<usize> = split.train.iter().chain(&split.test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..d.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn kinetics_like_uses_openpose() {
+        let d = SkeletonDataset::kinetics_like(3, 2, 8, 1);
+        assert_eq!(d.topology.n_joints(), 18);
+        assert_eq!(d.samples[0].data.shape(), &[3, 8, 18]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Input streams and batching (§3.5's two-stream framework).
+//!
+//! The joint stream is the (normalised) coordinates; the bone stream is
+//! the vector from each joint's kinematic parent to the joint — both
+//! lengths and angles of bones "contain rich information" (§3.5). The
+//! two streams train separate models whose scores are summed.
+
+use crate::dataset::SkeletonSample;
+use crate::topology::SkeletonTopology;
+use dhg_tensor::NdArray;
+
+/// Which input representation a model consumes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Stream {
+    /// Raw joint coordinates.
+    Joint,
+    /// Parent-to-child bone vectors.
+    Bone,
+}
+
+impl std::fmt::Display for Stream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Stream::Joint => write!(f, "joint"),
+            Stream::Bone => write!(f, "bone"),
+        }
+    }
+}
+
+/// Centre a `[3, T, V]` sequence on its centre joint at the first frame —
+/// the standard ST-GCN translation normalisation. Dropped joints (exact
+/// zeros, the OpenPose missing-detection convention) are left untouched so
+/// the "missing" signal survives.
+pub fn normalize_sample(data: &NdArray, topology: &SkeletonTopology) -> NdArray {
+    assert_eq!(data.ndim(), 3, "expected [3, T, V]");
+    let (t_len, v) = (data.shape()[1], data.shape()[2]);
+    let centre = topology.centre();
+    let origin = [data.at(&[0, 0, centre]), data.at(&[1, 0, centre]), data.at(&[2, 0, centre])];
+    let mut out = data.clone();
+    for c in 0..3 {
+        for t in 0..t_len {
+            for j in 0..v {
+                let val = out.at(&[c, t, j]);
+                let missing = data.at(&[0, t, j]) == 0.0
+                    && data.at(&[1, t, j]) == 0.0
+                    && data.at(&[2, t, j]) == 0.0;
+                if !missing {
+                    out.set(&[c, t, j], val - origin[c]);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Convert a `[3, T, V]` joint sequence into the bone stream: for each
+/// bone `(child, parent)`, `bone[:, t, child] = joint[:, t, child] −
+/// joint[:, t, parent]`; the centre joint's bone is zero.
+pub fn bone_stream(data: &NdArray, topology: &SkeletonTopology) -> NdArray {
+    assert_eq!(data.ndim(), 3, "expected [3, T, V]");
+    let (t_len, v) = (data.shape()[1], data.shape()[2]);
+    assert_eq!(v, topology.n_joints(), "sample/topology joint mismatch");
+    let mut out = NdArray::zeros(&[3, t_len, v]);
+    for &(child, parent) in topology.bones() {
+        for c in 0..3 {
+            for t in 0..t_len {
+                let val = data.at(&[c, t, child]) - data.at(&[c, t, parent]);
+                out.set(&[c, t, child], val);
+            }
+        }
+    }
+    out
+}
+
+/// Stack samples into a `[N, 3, T, V]` batch of the requested stream,
+/// normalised per sample, with the label vector alongside.
+pub fn batch_samples(
+    samples: &[&SkeletonSample],
+    stream: Stream,
+    topology: &SkeletonTopology,
+) -> (NdArray, Vec<usize>) {
+    assert!(!samples.is_empty(), "empty batch");
+    let mut tensors = Vec::with_capacity(samples.len());
+    let mut labels = Vec::with_capacity(samples.len());
+    for s in samples {
+        let normalized = normalize_sample(&s.data, topology);
+        let x = match stream {
+            Stream::Joint => normalized,
+            Stream::Bone => bone_stream(&normalized, topology),
+        };
+        let shape = [1, x.shape()[0], x.shape()[1], x.shape()[2]];
+        tensors.push(x.reshape(&shape));
+        labels.push(s.label);
+    }
+    let refs: Vec<&NdArray> = tensors.iter().collect();
+    (NdArray::concat(&refs, 0), labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::SkeletonDataset;
+    use crate::topology::ntu;
+
+    fn sample_dataset() -> SkeletonDataset {
+        SkeletonDataset::ntu60_like(3, 2, 8, 11)
+    }
+
+    #[test]
+    fn normalization_centres_the_centre_joint() {
+        let d = sample_dataset();
+        let n = normalize_sample(&d.samples[0].data, &d.topology);
+        let c = d.topology.centre();
+        for ch in 0..3 {
+            assert!(n.at(&[ch, 0, c]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn normalization_preserves_relative_geometry() {
+        let d = sample_dataset();
+        let raw = &d.samples[0].data;
+        let n = normalize_sample(raw, &d.topology);
+        // distances between joints are translation invariant
+        let dist = |a: &NdArray, t: usize, i: usize, j: usize| -> f32 {
+            (0..3).map(|c| (a.at(&[c, t, i]) - a.at(&[c, t, j])).powi(2)).sum::<f32>().sqrt()
+        };
+        for t in [0usize, 4] {
+            assert!((dist(raw, t, ntu::HEAD, ntu::L_FOOT) - dist(&n, t, ntu::HEAD, ntu::L_FOOT))
+                .abs()
+                < 1e-4);
+        }
+    }
+
+    #[test]
+    fn bone_stream_matches_bone_vectors() {
+        let d = sample_dataset();
+        let raw = &d.samples[0].data;
+        let bones = bone_stream(raw, &d.topology);
+        // check an arbitrary bone at an arbitrary frame
+        let (child, parent) = (ntu::L_ELBOW, ntu::L_SHOULDER);
+        for c in 0..3 {
+            let expected = raw.at(&[c, 3, child]) - raw.at(&[c, 3, parent]);
+            assert!((bones.at(&[c, 3, child]) - expected).abs() < 1e-6);
+        }
+        // centre joint has no bone
+        let c = d.topology.centre();
+        for ch in 0..3 {
+            assert_eq!(bones.at(&[ch, 3, c]), 0.0);
+        }
+    }
+
+    #[test]
+    fn bone_lengths_are_subject_scaled_rest_lengths_plus_motion() {
+        let d = sample_dataset();
+        let bones = bone_stream(&d.samples[0].data, &d.topology);
+        // every non-centre bone should be non-degenerate
+        for &(child, _) in d.topology.bones() {
+            let len: f32 = (0..3).map(|c| bones.at(&[c, 0, child]).powi(2)).sum::<f32>().sqrt();
+            assert!(len > 0.005, "degenerate bone at joint {child}: {len}");
+        }
+    }
+
+    #[test]
+    fn batch_shapes_and_labels() {
+        let d = sample_dataset();
+        let refs: Vec<&SkeletonSample> = d.samples.iter().take(4).collect();
+        let (x, y) = batch_samples(&refs, Stream::Joint, &d.topology);
+        assert_eq!(x.shape(), &[4, 3, 8, 25]);
+        assert_eq!(y.len(), 4);
+        let (xb, _) = batch_samples(&refs, Stream::Bone, &d.topology);
+        assert_eq!(xb.shape(), &[4, 3, 8, 25]);
+        // joint and bone streams genuinely differ
+        assert!(!x.allclose(&xb, 1e-3, 1e-3));
+    }
+}

@@ -1,0 +1,179 @@
+//! Static skeleton hypergraphs (Fig. 1(c), Fig. 3) and the PB-GCN part
+//! subsets (Tab. 2).
+//!
+//! The paper's static hypergraph has six hyperedges: the four limbs, the
+//! torso/head column, and one "unnatural connection" hyperedge joining the
+//! hands and feet — the indirect hand–leg coordination that plain skeleton
+//! graphs miss (§1, shortcoming (2)).
+
+use crate::topology::{ntu, openpose, SkeletonTopology, TopologyKind};
+use dhg_hypergraph::Hypergraph;
+
+/// The six-hyperedge static skeleton hypergraph of Fig. 1(c)/Fig. 3 for
+/// the given topology.
+pub fn static_hypergraph(topology: &SkeletonTopology) -> Hypergraph {
+    match topology.kind() {
+        TopologyKind::Ntu25 => {
+            use ntu::*;
+            Hypergraph::new(
+                25,
+                vec![
+                    // left arm
+                    vec![SPINE_SHOULDER, L_SHOULDER, L_ELBOW, L_WRIST, L_HAND, L_HAND_TIP, L_THUMB],
+                    // right arm
+                    vec![SPINE_SHOULDER, R_SHOULDER, R_ELBOW, R_WRIST, R_HAND, R_HAND_TIP, R_THUMB],
+                    // left leg
+                    vec![SPINE_BASE, L_HIP, L_KNEE, L_ANKLE, L_FOOT],
+                    // right leg
+                    vec![SPINE_BASE, R_HIP, R_KNEE, R_ANKLE, R_FOOT],
+                    // torso and head column
+                    vec![SPINE_BASE, SPINE_MID, SPINE_SHOULDER, NECK, HEAD],
+                    // unnatural connections: hands together with feet
+                    vec![L_HAND, R_HAND, L_FOOT, R_FOOT],
+                ],
+            )
+        }
+        TopologyKind::OpenPose18 => {
+            use openpose::*;
+            Hypergraph::new(
+                18,
+                vec![
+                    vec![NECK, L_SHOULDER, L_ELBOW, L_WRIST],
+                    vec![NECK, R_SHOULDER, R_ELBOW, R_WRIST],
+                    vec![L_HIP, L_KNEE, L_ANKLE],
+                    vec![R_HIP, R_KNEE, R_ANKLE],
+                    vec![NOSE, NECK, R_EYE, L_EYE, R_EAR, L_EAR, L_HIP, R_HIP],
+                    vec![L_WRIST, R_WRIST, L_ANKLE, R_ANKLE],
+                ],
+            )
+        }
+    }
+}
+
+/// The body-part subsets used by PB-GCN [32] with 2, 4 or 6 parts
+/// (Tab. 2). Parts overlap at the torso, matching PB-GCN's shared-joint
+/// partitioning; each part induces a subgraph (for PB-GCN) or becomes a
+/// hyperedge (for the paper's PB-HGCN construction).
+///
+/// Only the NTU-25 topology is supported (Tab. 2 is an NTU ablation).
+pub fn part_subsets(topology: &SkeletonTopology, n_parts: usize) -> Vec<Vec<usize>> {
+    assert_eq!(
+        topology.kind(),
+        TopologyKind::Ntu25,
+        "PB part subsets are defined for NTU-25 (Tab. 2 is an NTU ablation)"
+    );
+    use ntu::*;
+    let left_arm = vec![SPINE_SHOULDER, L_SHOULDER, L_ELBOW, L_WRIST, L_HAND, L_HAND_TIP, L_THUMB];
+    let right_arm =
+        vec![SPINE_SHOULDER, R_SHOULDER, R_ELBOW, R_WRIST, R_HAND, R_HAND_TIP, R_THUMB];
+    let left_leg = vec![SPINE_BASE, L_HIP, L_KNEE, L_ANKLE, L_FOOT];
+    let right_leg = vec![SPINE_BASE, R_HIP, R_KNEE, R_ANKLE, R_FOOT];
+    let torso = vec![SPINE_BASE, SPINE_MID, SPINE_SHOULDER, L_HIP, R_HIP, L_SHOULDER, R_SHOULDER];
+    let head = vec![SPINE_SHOULDER, NECK, HEAD];
+    match n_parts {
+        2 => {
+            // upper vs lower body, sharing the spine base
+            let mut upper = vec![SPINE_BASE, SPINE_MID, SPINE_SHOULDER, NECK, HEAD];
+            upper.extend([L_SHOULDER, L_ELBOW, L_WRIST, L_HAND, L_HAND_TIP, L_THUMB]);
+            upper.extend([R_SHOULDER, R_ELBOW, R_WRIST, R_HAND, R_HAND_TIP, R_THUMB]);
+            let mut lower = vec![SPINE_BASE, SPINE_MID];
+            lower.extend([L_HIP, L_KNEE, L_ANKLE, L_FOOT, R_HIP, R_KNEE, R_ANKLE, R_FOOT]);
+            vec![upper, lower]
+        }
+        4 => {
+            // arms (carrying the head column) and legs (carrying the spine)
+            let mut ua = left_arm.clone();
+            ua.extend([NECK, HEAD]);
+            let mut ub = right_arm.clone();
+            ub.extend([NECK, HEAD]);
+            let mut la = left_leg.clone();
+            la.push(SPINE_MID);
+            let mut lb = right_leg.clone();
+            lb.push(SPINE_MID);
+            vec![ua, ub, la, lb]
+        }
+        6 => vec![left_arm, right_arm, left_leg, right_leg, torso, head],
+        other => panic!("PB-GCN supports 2, 4 or 6 parts, not {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_hypergraph_has_six_hyperedges() {
+        for t in [SkeletonTopology::ntu25(), SkeletonTopology::openpose18()] {
+            let hg = static_hypergraph(&t);
+            assert_eq!(hg.n_edges(), 6, "{:?}", t.kind());
+            assert_eq!(hg.n_vertices(), t.n_joints());
+        }
+    }
+
+    #[test]
+    fn static_hypergraph_covers_every_joint() {
+        for t in [SkeletonTopology::ntu25(), SkeletonTopology::openpose18()] {
+            let hg = static_hypergraph(&t);
+            let mut covered = vec![false; t.n_joints()];
+            for e in hg.edges() {
+                for &v in e {
+                    covered[v] = true;
+                }
+            }
+            let missing: Vec<usize> =
+                (0..t.n_joints()).filter(|&j| !covered[j]).collect();
+            assert!(missing.is_empty(), "uncovered joints in {:?}: {missing:?}", t.kind());
+        }
+    }
+
+    #[test]
+    fn unnatural_hyperedge_joins_hands_and_feet() {
+        let hg = static_hypergraph(&SkeletonTopology::ntu25());
+        let e = hg.edge(5);
+        assert!(e.contains(&ntu::L_HAND) && e.contains(&ntu::R_FOOT));
+        // it is NOT a connected set in the bone graph — that's the point
+        let g = SkeletonTopology::ntu25().graph().subgraph(e);
+        assert!(g.edges().is_empty(), "hands-and-feet hyperedge must be graph-disconnected");
+    }
+
+    #[test]
+    fn operator_links_hand_to_foot_where_graph_cannot() {
+        let t = SkeletonTopology::ntu25();
+        let hop = static_hypergraph(&t).operator();
+        let gop = t.graph().normalized_adjacency();
+        assert!(hop.at(&[ntu::L_HAND, ntu::R_FOOT]) > 0.0);
+        assert_eq!(gop.at(&[ntu::L_HAND, ntu::R_FOOT]), 0.0);
+    }
+
+    #[test]
+    fn part_counts_match_request() {
+        let t = SkeletonTopology::ntu25();
+        for n in [2usize, 4, 6] {
+            let parts = part_subsets(&t, n);
+            assert_eq!(parts.len(), n);
+            for p in &parts {
+                assert!(p.len() >= 3, "degenerate part of size {}", p.len());
+            }
+        }
+    }
+
+    #[test]
+    fn parts_cover_all_joints() {
+        let t = SkeletonTopology::ntu25();
+        for n in [2usize, 4, 6] {
+            let mut covered = vec![false; 25];
+            for p in part_subsets(&t, n) {
+                for v in p {
+                    covered[v] = true;
+                }
+            }
+            assert!(covered.iter().all(|&c| c), "{n} parts leave joints uncovered");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "2, 4 or 6")]
+    fn unsupported_part_count_panics() {
+        part_subsets(&SkeletonTopology::ntu25(), 3);
+    }
+}

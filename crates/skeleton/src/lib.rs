@@ -1,0 +1,39 @@
+//! # dhg-skeleton
+//!
+//! Skeleton topologies, static hypergraphs and the synthetic action corpus
+//! for the DHGCN reproduction.
+//!
+//! The paper evaluates on NTU RGB+D 60/120 (25 Kinect joints) and
+//! Kinetics-Skeleton (18 OpenPose joints). Those corpora cannot be
+//! downloaded here, so this crate provides:
+//!
+//! * [`topology`] — the *real* NTU-25 and OpenPose-18 joint layouts, bone
+//!   lists and kinematic parents, exactly as used by ST-GCN/2s-AGCN.
+//! * [`hyperedges`] — the static skeleton hypergraph of Fig. 1(c)/Fig. 3
+//!   (five body-part hyperedges plus the "unnatural" hands-and-feet
+//!   hyperedge) and the 2/4/6-part subsets used by the PB-GCN ablation.
+//! * [`synth`] — a procedural motion generator: parametric action classes
+//!   (waving, kicking, walking, …) rendered by forward kinematics over the
+//!   real joint trees, with per-subject body/style latents, per-camera view
+//!   rotations and OpenPose-like keypoint dropout for the Kinetics-like
+//!   variant. See DESIGN.md for why this substitution preserves the
+//!   paper's comparisons.
+//! * [`dataset`] — dataset containers and the evaluation protocols
+//!   (cross-subject, cross-view, cross-setup, and the Kinetics-style
+//!   random split).
+//! * [`features`] — joint/bone input streams (§3.5's two-stream inputs),
+//!   normalisation and batching.
+
+pub mod augment;
+pub mod dataset;
+pub mod features;
+pub mod hyperedges;
+pub mod synth;
+pub mod topology;
+
+pub use augment::{Augmentation, Pipeline};
+pub use dataset::{Protocol, SkeletonDataset, SkeletonSample, Split};
+pub use features::{batch_samples, bone_stream, normalize_sample, Stream};
+pub use hyperedges::{part_subsets, static_hypergraph};
+pub use synth::{ActionClass, SynthConfig, SynthGenerator};
+pub use topology::{SkeletonTopology, TopologyKind};

@@ -1,0 +1,854 @@
+//! Procedural synthetic action corpus.
+//!
+//! Stands in for NTU RGB+D and Kinetics-Skeleton (see DESIGN.md). Each
+//! action class is a small *motion program*: a set of joint-subtree
+//! oscillations/ramps/pulses rendered over the real skeleton topology. The
+//! catalogue is designed so that the paper's comparisons keep their shape:
+//!
+//! * Several class pairs differ only in the **relative phase between hands
+//!   and feet** (jumping jacks vs. skipping, marching vs. walking). A plain
+//!   bone graph needs many hops to couple hands and feet; the static
+//!   hypergraph's "unnatural" hyperedge couples them in one hop — this is
+//!   exactly the §1 argument for hypergraphs.
+//! * Classes are distinguished by **which joints move fastest**, which is
+//!   the signal the dynamic-joint-weight branch amplifies (Eq. 6–7).
+//! * Subjects differ in scale, tempo, amplitude and a fixed idiosyncratic
+//!   pose offset, making cross-subject evaluation non-trivial; cameras
+//!   apply genuine 3-D view rotations for cross-view evaluation.
+
+use crate::topology::{ntu, openpose, SkeletonTopology, TopologyKind};
+use dhg_tensor::NdArray;
+use rand::Rng;
+
+/// Temporal envelope of one motion component.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MotionKind {
+    /// Sinusoidal oscillation (waving, walking).
+    Oscillation,
+    /// Monotone ramp over the sequence (sitting down, raising arms).
+    Ramp,
+    /// Rectified, sharpened sine — short repeated bursts (punching,
+    /// stamping).
+    Pulse,
+}
+
+/// One joint-subtree motion: every joint in `anchor`'s kinematic subtree is
+/// displaced along `axis` by `amplitude · envelope(t)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MotionComponent {
+    /// Root of the moving subtree.
+    pub anchor: usize,
+    /// Displacement direction (need not be normalised).
+    pub axis: [f32; 3],
+    /// Peak displacement in metres.
+    pub amplitude: f32,
+    /// Cycles over the whole sequence.
+    pub frequency: f32,
+    /// Phase offset in radians — class pairs that differ only here are the
+    /// hypergraph-vs-graph litmus test.
+    pub phase: f32,
+    /// Temporal envelope.
+    pub kind: MotionKind,
+}
+
+impl MotionComponent {
+    fn osc(anchor: usize, axis: [f32; 3], amplitude: f32, frequency: f32, phase: f32) -> Self {
+        MotionComponent { anchor, axis, amplitude, frequency, phase, kind: MotionKind::Oscillation }
+    }
+
+    fn ramp(anchor: usize, axis: [f32; 3], amplitude: f32) -> Self {
+        MotionComponent { anchor, axis, amplitude, frequency: 1.0, phase: 0.0, kind: MotionKind::Ramp }
+    }
+
+    fn pulse(anchor: usize, axis: [f32; 3], amplitude: f32, frequency: f32, phase: f32) -> Self {
+        MotionComponent { anchor, axis, amplitude, frequency, phase, kind: MotionKind::Pulse }
+    }
+
+    /// Envelope value at normalised time `u ∈ [0, 1)` (tempo and phase
+    /// jitter already applied by the caller).
+    fn envelope(&self, u: f32) -> f32 {
+        let arg = 2.0 * std::f32::consts::PI * self.frequency * u + self.phase;
+        match self.kind {
+            MotionKind::Oscillation => arg.sin(),
+            MotionKind::Ramp => u,
+            MotionKind::Pulse => arg.sin().max(0.0).powi(3),
+        }
+    }
+}
+
+/// A named action class: a motion program over a fixed topology.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ActionClass {
+    /// Human-readable class name.
+    pub name: &'static str,
+    /// The motion components rendered simultaneously.
+    pub components: Vec<MotionComponent>,
+}
+
+/// The built-in action catalogue for a topology. Classes are ordered so a
+/// prefix of size `n` keeps the hardest (phase-contrast) pairs together.
+pub fn action_catalog(kind: TopologyKind) -> Vec<ActionClass> {
+    match kind {
+        TopologyKind::Ntu25 => ntu_catalog(),
+        TopologyKind::OpenPose18 => openpose_catalog(),
+    }
+}
+
+fn ntu_catalog() -> Vec<ActionClass> {
+    use ntu::*;
+    let x = [1.0, 0.0, 0.0];
+    let y = [0.0, 1.0, 0.0];
+    let z = [0.0, 0.0, 1.0];
+    vec![
+        // 0/1: hands-and-feet phase contrast — in-phase vs. antiphase
+        ActionClass {
+            name: "jumping_jacks",
+            components: vec![
+                MotionComponent::osc(L_ELBOW, [-0.6, 1.0, 0.0], 0.25, 2.0, 0.0),
+                MotionComponent::osc(R_ELBOW, [0.6, 1.0, 0.0], 0.25, 2.0, 0.0),
+                MotionComponent::osc(L_KNEE, [-1.0, 0.0, 0.0], 0.12, 2.0, 0.0),
+                MotionComponent::osc(R_KNEE, [1.0, 0.0, 0.0], 0.12, 2.0, 0.0),
+                MotionComponent::osc(SPINE_BASE, y, 0.05, 2.0, 0.0),
+            ],
+        },
+        ActionClass {
+            name: "skipping",
+            components: vec![
+                MotionComponent::osc(L_ELBOW, [-0.6, 1.0, 0.0], 0.25, 2.0, std::f32::consts::PI),
+                MotionComponent::osc(R_ELBOW, [0.6, 1.0, 0.0], 0.25, 2.0, std::f32::consts::PI),
+                MotionComponent::osc(L_KNEE, [-1.0, 0.0, 0.0], 0.12, 2.0, 0.0),
+                MotionComponent::osc(R_KNEE, [1.0, 0.0, 0.0], 0.12, 2.0, 0.0),
+                MotionComponent::osc(SPINE_BASE, y, 0.05, 2.0, 0.0),
+            ],
+        },
+        // 2/3: arm-leg phase contrast — walking swings opposite arm/leg
+        ActionClass {
+            name: "walking",
+            components: vec![
+                MotionComponent::osc(L_KNEE, z, 0.22, 2.0, 0.0),
+                MotionComponent::osc(R_KNEE, z, 0.22, 2.0, std::f32::consts::PI),
+                MotionComponent::osc(L_ELBOW, z, 0.15, 2.0, std::f32::consts::PI),
+                MotionComponent::osc(R_ELBOW, z, 0.15, 2.0, 0.0),
+            ],
+        },
+        ActionClass {
+            name: "marching",
+            components: vec![
+                MotionComponent::osc(L_KNEE, z, 0.22, 2.0, 0.0),
+                MotionComponent::osc(R_KNEE, z, 0.22, 2.0, std::f32::consts::PI),
+                MotionComponent::osc(L_ELBOW, z, 0.15, 2.0, 0.0),
+                MotionComponent::osc(R_ELBOW, z, 0.15, 2.0, std::f32::consts::PI),
+            ],
+        },
+        // 4–6: single-limb oscillations (which joint moves matters)
+        ActionClass {
+            name: "wave_right_hand",
+            components: vec![
+                MotionComponent::osc(R_ELBOW, x, 0.18, 3.0, 0.0),
+                MotionComponent::osc(R_WRIST, x, 0.10, 3.0, 0.6),
+                MotionComponent::ramp(R_ELBOW, y, 0.30),
+            ],
+        },
+        ActionClass {
+            name: "wave_left_hand",
+            components: vec![
+                MotionComponent::osc(L_ELBOW, x, 0.18, 3.0, 0.0),
+                MotionComponent::osc(L_WRIST, x, 0.10, 3.0, 0.6),
+                MotionComponent::ramp(L_ELBOW, y, 0.30),
+            ],
+        },
+        ActionClass {
+            name: "kick_right",
+            components: vec![
+                MotionComponent::pulse(R_KNEE, z, 0.35, 2.0, 0.0),
+                MotionComponent::osc(SPINE_MID, z, 0.04, 2.0, std::f32::consts::PI),
+            ],
+        },
+        // 7–9: whole-body and torso programs
+        ActionClass {
+            name: "jumping",
+            components: vec![
+                MotionComponent::osc(SPINE_BASE, y, 0.16, 2.5, 0.0),
+                MotionComponent::osc(L_KNEE, y, -0.06, 2.5, 0.0),
+                MotionComponent::osc(R_KNEE, y, -0.06, 2.5, 0.0),
+            ],
+        },
+        ActionClass {
+            name: "sitting_down",
+            components: vec![
+                MotionComponent::ramp(SPINE_BASE, [0.0, -1.0, 0.1], 0.35),
+                MotionComponent::ramp(L_KNEE, z, 0.18),
+                MotionComponent::ramp(R_KNEE, z, 0.18),
+            ],
+        },
+        ActionClass {
+            name: "bowing",
+            components: vec![
+                MotionComponent::osc(SPINE_MID, [0.0, -0.5, 1.0], 0.18, 1.0, 0.0),
+                MotionComponent::osc(HEAD, [0.0, -0.8, 1.0], 0.10, 1.0, 0.3),
+            ],
+        },
+        // 10–13: arm programs with distinct speed signatures
+        ActionClass {
+            name: "punching",
+            components: vec![
+                MotionComponent::pulse(R_SHOULDER, z, 0.30, 3.0, 0.0),
+                MotionComponent::pulse(L_SHOULDER, z, 0.30, 3.0, std::f32::consts::PI),
+            ],
+        },
+        ActionClass {
+            name: "clapping",
+            components: vec![
+                MotionComponent::osc(L_ELBOW, x, 0.16, 4.0, 0.0),
+                MotionComponent::osc(R_ELBOW, x, -0.16, 4.0, 0.0),
+            ],
+        },
+        ActionClass {
+            name: "raising_both_arms",
+            components: vec![
+                MotionComponent::ramp(L_SHOULDER, y, 0.45),
+                MotionComponent::ramp(R_SHOULDER, y, 0.45),
+            ],
+        },
+        ActionClass {
+            name: "drinking",
+            components: vec![
+                MotionComponent::ramp(R_ELBOW, [-0.5, 0.8, 0.2], 0.30),
+                MotionComponent::osc(R_WRIST, y, 0.05, 1.5, 0.0),
+                MotionComponent::osc(HEAD, [0.0, -0.3, 0.2], 0.04, 1.5, 0.5),
+            ],
+        },
+        // 14–17: lower-body / head programs
+        ActionClass {
+            name: "squatting",
+            components: vec![
+                MotionComponent::osc(SPINE_BASE, y, -0.20, 1.5, 0.0),
+                MotionComponent::osc(L_KNEE, z, 0.10, 1.5, 0.0),
+                MotionComponent::osc(R_KNEE, z, 0.10, 1.5, 0.0),
+            ],
+        },
+        ActionClass {
+            name: "stamping",
+            components: vec![
+                MotionComponent::pulse(L_KNEE, y, 0.18, 3.0, 0.0),
+                MotionComponent::osc(SPINE_MID, y, 0.03, 3.0, 0.0),
+            ],
+        },
+        ActionClass {
+            name: "head_shaking",
+            components: vec![MotionComponent::osc(HEAD, x, 0.10, 3.5, 0.0)],
+        },
+        ActionClass {
+            name: "stretching",
+            components: vec![
+                MotionComponent::ramp(L_SHOULDER, [-0.5, 0.6, 0.0], 0.30),
+                MotionComponent::ramp(R_SHOULDER, [0.5, 0.6, 0.0], 0.30),
+                MotionComponent::ramp(SPINE_MID, [0.0, 0.15, -0.2], 0.10),
+            ],
+        },
+        // 18/19: cross-body programs exercising indirect connections
+        ActionClass {
+            name: "crossing_arms",
+            components: vec![
+                MotionComponent::ramp(L_ELBOW, [0.45, 0.1, 0.1], 0.35),
+                MotionComponent::ramp(R_ELBOW, [-0.45, 0.1, 0.1], 0.35),
+            ],
+        },
+        ActionClass {
+            name: "touching_toes",
+            components: vec![
+                MotionComponent::ramp(SPINE_MID, [0.0, -0.9, 0.5], 0.40),
+                MotionComponent::ramp(L_SHOULDER, [0.1, -0.7, 0.3], 0.25),
+                MotionComponent::ramp(R_SHOULDER, [-0.1, -0.7, 0.3], 0.25),
+            ],
+        },
+    ]
+}
+
+fn openpose_catalog() -> Vec<ActionClass> {
+    use openpose::*;
+    let x = [1.0, 0.0, 0.0];
+    let y = [0.0, 1.0, 0.0];
+    let z = [0.0, 0.0, 1.0];
+    let pi = std::f32::consts::PI;
+    vec![
+        ActionClass {
+            name: "jumping_jacks",
+            components: vec![
+                MotionComponent::osc(L_ELBOW, [-0.6, 1.0, 0.0], 0.25, 2.0, 0.0),
+                MotionComponent::osc(R_ELBOW, [0.6, 1.0, 0.0], 0.25, 2.0, 0.0),
+                MotionComponent::osc(L_KNEE, [-1.0, 0.0, 0.0], 0.12, 2.0, 0.0),
+                MotionComponent::osc(R_KNEE, [1.0, 0.0, 0.0], 0.12, 2.0, 0.0),
+            ],
+        },
+        ActionClass {
+            name: "skipping",
+            components: vec![
+                MotionComponent::osc(L_ELBOW, [-0.6, 1.0, 0.0], 0.25, 2.0, pi),
+                MotionComponent::osc(R_ELBOW, [0.6, 1.0, 0.0], 0.25, 2.0, pi),
+                MotionComponent::osc(L_KNEE, [-1.0, 0.0, 0.0], 0.12, 2.0, 0.0),
+                MotionComponent::osc(R_KNEE, [1.0, 0.0, 0.0], 0.12, 2.0, 0.0),
+            ],
+        },
+        ActionClass {
+            name: "walking",
+            components: vec![
+                MotionComponent::osc(L_KNEE, z, 0.22, 2.0, 0.0),
+                MotionComponent::osc(R_KNEE, z, 0.22, 2.0, pi),
+                MotionComponent::osc(L_ELBOW, z, 0.15, 2.0, pi),
+                MotionComponent::osc(R_ELBOW, z, 0.15, 2.0, 0.0),
+            ],
+        },
+        ActionClass {
+            name: "marching",
+            components: vec![
+                MotionComponent::osc(L_KNEE, z, 0.22, 2.0, 0.0),
+                MotionComponent::osc(R_KNEE, z, 0.22, 2.0, pi),
+                MotionComponent::osc(L_ELBOW, z, 0.15, 2.0, 0.0),
+                MotionComponent::osc(R_ELBOW, z, 0.15, 2.0, pi),
+            ],
+        },
+        ActionClass {
+            name: "wave_right_hand",
+            components: vec![
+                MotionComponent::osc(R_ELBOW, x, 0.18, 3.0, 0.0),
+                MotionComponent::osc(R_WRIST, x, 0.10, 3.0, 0.6),
+                MotionComponent::ramp(R_ELBOW, y, 0.30),
+            ],
+        },
+        ActionClass {
+            name: "wave_left_hand",
+            components: vec![
+                MotionComponent::osc(L_ELBOW, x, 0.18, 3.0, 0.0),
+                MotionComponent::osc(L_WRIST, x, 0.10, 3.0, 0.6),
+                MotionComponent::ramp(L_ELBOW, y, 0.30),
+            ],
+        },
+        ActionClass {
+            name: "kick_right",
+            components: vec![MotionComponent::pulse(R_KNEE, z, 0.35, 2.0, 0.0)],
+        },
+        ActionClass {
+            name: "jumping",
+            components: vec![
+                MotionComponent::osc(NECK, y, 0.16, 2.5, 0.0),
+                MotionComponent::osc(L_KNEE, y, 0.10, 2.5, 0.0),
+                MotionComponent::osc(R_KNEE, y, 0.10, 2.5, 0.0),
+            ],
+        },
+        ActionClass {
+            name: "sitting_down",
+            components: vec![
+                MotionComponent::ramp(NECK, [0.0, -1.0, 0.1], 0.35),
+                MotionComponent::ramp(L_KNEE, z, 0.18),
+                MotionComponent::ramp(R_KNEE, z, 0.18),
+            ],
+        },
+        ActionClass {
+            name: "bowing",
+            components: vec![MotionComponent::osc(NOSE, [0.0, -0.8, 1.0], 0.15, 1.0, 0.0)],
+        },
+        ActionClass {
+            name: "punching",
+            components: vec![
+                MotionComponent::pulse(R_SHOULDER, z, 0.30, 3.0, 0.0),
+                MotionComponent::pulse(L_SHOULDER, z, 0.30, 3.0, pi),
+            ],
+        },
+        ActionClass {
+            name: "clapping",
+            components: vec![
+                MotionComponent::osc(L_ELBOW, x, 0.16, 4.0, 0.0),
+                MotionComponent::osc(R_ELBOW, x, -0.16, 4.0, 0.0),
+            ],
+        },
+        ActionClass {
+            name: "raising_both_arms",
+            components: vec![
+                MotionComponent::ramp(L_SHOULDER, y, 0.45),
+                MotionComponent::ramp(R_SHOULDER, y, 0.45),
+            ],
+        },
+        ActionClass {
+            name: "drinking",
+            components: vec![
+                MotionComponent::ramp(R_ELBOW, [-0.5, 0.8, 0.2], 0.30),
+                MotionComponent::osc(R_WRIST, y, 0.05, 1.5, 0.0),
+            ],
+        },
+        ActionClass {
+            name: "squatting",
+            components: vec![
+                MotionComponent::osc(NECK, y, -0.20, 1.5, 0.0),
+                MotionComponent::osc(L_KNEE, z, 0.10, 1.5, 0.0),
+                MotionComponent::osc(R_KNEE, z, 0.10, 1.5, 0.0),
+            ],
+        },
+        ActionClass {
+            name: "stamping",
+            components: vec![MotionComponent::pulse(L_KNEE, y, 0.18, 3.0, 0.0)],
+        },
+        ActionClass {
+            name: "head_shaking",
+            components: vec![MotionComponent::osc(NOSE, x, 0.10, 3.5, 0.0)],
+        },
+        ActionClass {
+            name: "stretching",
+            components: vec![
+                MotionComponent::ramp(L_SHOULDER, [-0.5, 0.6, 0.0], 0.30),
+                MotionComponent::ramp(R_SHOULDER, [0.5, 0.6, 0.0], 0.30),
+            ],
+        },
+        ActionClass {
+            name: "crossing_arms",
+            components: vec![
+                MotionComponent::ramp(L_ELBOW, [0.45, 0.1, 0.1], 0.35),
+                MotionComponent::ramp(R_ELBOW, [-0.45, 0.1, 0.1], 0.35),
+            ],
+        },
+        ActionClass {
+            name: "touching_toes",
+            components: vec![
+                MotionComponent::ramp(NECK, [0.0, -0.9, 0.5], 0.40),
+                MotionComponent::ramp(L_SHOULDER, [0.1, -0.7, 0.3], 0.25),
+                MotionComponent::ramp(R_SHOULDER, [-0.1, -0.7, 0.3], 0.25),
+            ],
+        },
+    ]
+}
+
+/// Configuration of the synthetic generator.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SynthConfig {
+    /// Skeleton format to generate.
+    pub topology: TopologyKindConfig,
+    /// Number of action classes (≤ the catalogue size, 20).
+    pub n_classes: usize,
+    /// Frames per sequence `T`.
+    pub frames: usize,
+    /// Standard deviation of per-joint Gaussian jitter (metres).
+    pub noise_std: f32,
+    /// Probability that a joint is zeroed in a frame (OpenPose-style
+    /// missing detections; 0 for NTU-like data).
+    pub keypoint_dropout: f32,
+    /// Probability that a sample contains an occlusion burst: one random
+    /// limb (joint subtree) reads as missing for a contiguous window of
+    /// frames — furniture, other people, self-occlusion. Both Kinect and
+    /// OpenPose exhibit this in the real corpora.
+    pub occlusion_prob: f32,
+    /// Number of distinct subjects.
+    pub n_subjects: usize,
+    /// Number of camera viewpoints.
+    pub n_cameras: usize,
+    /// Number of collection setups (NTU-120's X-Set axis).
+    pub n_setups: usize,
+}
+
+/// Serde-friendly mirror of [`TopologyKind`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[allow(missing_docs)]
+pub enum TopologyKindConfig {
+    Ntu25,
+    OpenPose18,
+}
+
+impl From<TopologyKindConfig> for TopologyKind {
+    fn from(c: TopologyKindConfig) -> Self {
+        match c {
+            TopologyKindConfig::Ntu25 => TopologyKind::Ntu25,
+            TopologyKindConfig::OpenPose18 => TopologyKind::OpenPose18,
+        }
+    }
+}
+
+impl SynthConfig {
+    /// NTU RGB+D-like defaults (25 joints, 3 cameras, clean data).
+    pub fn ntu_like(n_classes: usize, frames: usize) -> Self {
+        SynthConfig {
+            topology: TopologyKindConfig::Ntu25,
+            n_classes,
+            frames,
+            noise_std: 0.03,
+            keypoint_dropout: 0.0,
+            occlusion_prob: 0.35,
+            n_subjects: 40,
+            n_cameras: 3,
+            n_setups: 32,
+        }
+    }
+
+    /// Kinetics-Skeleton-like defaults (18 joints, noisy OpenPose output
+    /// with missing keypoints — the "defects" §4.4 blames for low absolute
+    /// accuracy).
+    pub fn kinetics_like(n_classes: usize, frames: usize) -> Self {
+        SynthConfig {
+            topology: TopologyKindConfig::OpenPose18,
+            n_classes,
+            frames,
+            noise_std: 0.04,
+            keypoint_dropout: 0.04,
+            occlusion_prob: 0.35,
+            n_subjects: 200,
+            n_cameras: 1,
+            n_setups: 1,
+        }
+    }
+}
+
+/// Per-subject latent factors (deterministic in the subject id).
+#[derive(Clone, Copy, Debug)]
+struct SubjectLatent {
+    scale: f32,
+    tempo: f32,
+    amplitude: f32,
+    /// Small fixed pose idiosyncrasy, seeded per subject.
+    style_seed: u64,
+}
+
+fn subject_latent(subject: usize) -> SubjectLatent {
+    // cheap deterministic hash → (0, 1) floats
+    let h = |salt: u64| {
+        let mut v = (subject as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(salt);
+        v ^= v >> 33;
+        v = v.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        v ^= v >> 33;
+        (v % 10_000) as f32 / 10_000.0
+    };
+    SubjectLatent {
+        scale: 0.85 + 0.30 * h(1),
+        tempo: 0.80 + 0.40 * h(2),
+        amplitude: 0.75 + 0.50 * h(3),
+        style_seed: (subject as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93),
+    }
+}
+
+/// Standard normal sample via Box–Muller (rand 0.8 ships no normal
+/// distribution without `rand_distr`).
+pub fn randn(rng: &mut impl Rng) -> f32 {
+    let u1: f32 = rng.gen_range(1e-7f32..1.0);
+    let u2: f32 = rng.gen_range(0.0f32..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// The synthetic sample generator.
+pub struct SynthGenerator {
+    topology: SkeletonTopology,
+    config: SynthConfig,
+    catalog: Vec<ActionClass>,
+    /// Precomputed subtree member lists per anchor joint.
+    subtrees: Vec<Vec<usize>>,
+}
+
+impl SynthGenerator {
+    /// Build a generator; panics if `n_classes` exceeds the catalogue.
+    pub fn new(config: SynthConfig) -> Self {
+        let kind: TopologyKind = config.topology.into();
+        let topology = SkeletonTopology::of(kind);
+        let catalog = action_catalog(kind);
+        assert!(
+            config.n_classes >= 2 && config.n_classes <= catalog.len(),
+            "n_classes must be in 2..={}, got {}",
+            catalog.len(),
+            config.n_classes
+        );
+        assert!(config.frames >= 2, "need at least 2 frames for motion");
+        let subtrees = (0..topology.n_joints()).map(|j| topology.subtree(j)).collect();
+        let catalog = catalog.into_iter().take(config.n_classes).collect();
+        SynthGenerator { topology, config, catalog, subtrees }
+    }
+
+    /// The topology samples are generated over.
+    pub fn topology(&self) -> &SkeletonTopology {
+        &self.topology
+    }
+
+    /// The active action classes.
+    pub fn classes(&self) -> &[ActionClass] {
+        &self.catalog
+    }
+
+    /// The generator's configuration.
+    pub fn config(&self) -> &SynthConfig {
+        &self.config
+    }
+
+    /// Render one sample as `[3, T, V]` (channels, frames, joints).
+    pub fn sample(
+        &self,
+        class: usize,
+        subject: usize,
+        camera: usize,
+        rng: &mut impl Rng,
+    ) -> NdArray {
+        assert!(class < self.catalog.len(), "class {class} out of range");
+        let t_len = self.config.frames;
+        let v = self.topology.n_joints();
+        let latent = subject_latent(subject);
+
+        // subject style: fixed small pose offsets
+        let mut style = vec![0.0f32; v * 3];
+        {
+            let mut s = latent.style_seed;
+            for item in style.iter_mut() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                *item = (((s >> 33) % 2000) as f32 / 1000.0 - 1.0) * 0.02;
+            }
+        }
+
+        let rest = self.topology.rest_pose();
+        let action = &self.catalog[class];
+        // per-sample execution jitter
+        let phase_jitter: f32 = rng.gen_range(-0.4f32..0.4);
+        let tempo_jitter: f32 = rng.gen_range(0.9f32..1.1);
+        let drift = [rng.gen_range(-0.3f32..0.3), 0.0, rng.gen_range(-0.3f32..0.3)];
+
+        // occlusion burst: one limb disappears for a window of frames
+        let occlusion: Option<(Vec<usize>, usize, usize)> =
+            (self.config.occlusion_prob > 0.0 && rng.gen::<f32>() < self.config.occlusion_prob)
+                .then(|| {
+                    let anchor = rng.gen_range(0..v);
+                    let len = (t_len / 4).max(1) + rng.gen_range(0..(t_len / 4).max(1));
+                    let start = rng.gen_range(0..t_len.saturating_sub(len).max(1));
+                    (self.subtrees[anchor].clone(), start, start + len)
+                });
+
+        // camera extrinsics: yaw around y plus slight elevation, with a
+        // continuous per-sample heading jitter (people never face the
+        // camera exactly the same way twice)
+        let yaw = match camera % 3 {
+            0 => -0.785f32,
+            1 => 0.0,
+            _ => 0.785,
+        } + 0.05 * (camera as f32)
+            + rng.gen_range(-3.1f32..3.1);
+        let (sy, cy) = yaw.sin_cos();
+        let pitch = 0.1f32;
+        let (sp, cp) = pitch.sin_cos();
+
+        let mut out = NdArray::zeros(&[3, t_len, v]);
+        let mut frame = vec![0.0f32; v * 3];
+        for ti in 0..t_len {
+            let u = ti as f32 / t_len as f32 * latent.tempo * tempo_jitter;
+            // base pose, scaled per subject, plus style offset and drift
+            for j in 0..v {
+                for k in 0..3 {
+                    frame[j * 3 + k] = rest.at(&[j, k]) * latent.scale + style[j * 3 + k] + drift[k];
+                }
+            }
+            // apply motion components to their subtrees
+            for comp in &action.components {
+                let mut c = comp.clone();
+                c.phase += phase_jitter;
+                let e = c.envelope(u) * comp.amplitude * latent.amplitude;
+                for &j in &self.subtrees[comp.anchor] {
+                    frame[j * 3] += comp.axis[0] * e;
+                    frame[j * 3 + 1] += comp.axis[1] * e;
+                    frame[j * 3 + 2] += comp.axis[2] * e;
+                }
+            }
+            // camera rotation, noise, dropout, write-out
+            for j in 0..v {
+                let (px, py, pz) = (frame[j * 3], frame[j * 3 + 1], frame[j * 3 + 2]);
+                // yaw about y, then pitch about x
+                let (rx, rz) = (cy * px + sy * pz, -sy * px + cy * pz);
+                let (ry, rz) = (cp * py - sp * rz, sp * py + cp * rz);
+                let occluded = occlusion.as_ref().is_some_and(|(joints, start, end)| {
+                    ti >= *start && ti < *end && joints.contains(&j)
+                });
+                let dropped = occluded
+                    || (self.config.keypoint_dropout > 0.0
+                        && rng.gen::<f32>() < self.config.keypoint_dropout);
+                let n = self.config.noise_std;
+                let (ox, oy, oz) = if dropped {
+                    (0.0, 0.0, 0.0) // OpenPose convention: missing joints read (0, 0)
+                } else {
+                    (rx + n * randn(rng), ry + n * randn(rng), rz + n * randn(rng))
+                };
+                out.set(&[0, ti, j], ox);
+                out.set(&[1, ti, j], oy);
+                out.set(&[2, ti, j], oz);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn gen() -> SynthGenerator {
+        SynthGenerator::new(SynthConfig::ntu_like(10, 16))
+    }
+
+    #[test]
+    fn catalogue_sizes() {
+        assert_eq!(action_catalog(TopologyKind::Ntu25).len(), 20);
+        assert_eq!(action_catalog(TopologyKind::OpenPose18).len(), 20);
+    }
+
+    #[test]
+    fn catalogue_anchors_are_valid_joints() {
+        for kind in [TopologyKind::Ntu25, TopologyKind::OpenPose18] {
+            let t = SkeletonTopology::of(kind);
+            for class in action_catalog(kind) {
+                for c in &class.components {
+                    assert!(c.anchor < t.n_joints(), "{}: anchor {}", class.name, c.anchor);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sample_has_expected_shape_and_finite_values() {
+        let g = gen();
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = g.sample(0, 3, 1, &mut rng);
+        assert_eq!(s.shape(), &[3, 16, 25]);
+        assert!(s.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn different_classes_produce_different_motion() {
+        let g = gen();
+        let a = g.sample(0, 0, 1, &mut StdRng::seed_from_u64(9));
+        let b = g.sample(4, 0, 1, &mut StdRng::seed_from_u64(9));
+        let diff: f32 = a.data().iter().zip(b.data()).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff > 1.0, "classes 0 and 4 are nearly identical (diff={diff})");
+    }
+
+    #[test]
+    fn moving_joints_match_the_program() {
+        // wave_right_hand (class 4) moves the right wrist much more than
+        // the left ankle (occlusion off so raw velocities are clean)
+        let mut cfg = SynthConfig::ntu_like(10, 16);
+        cfg.occlusion_prob = 0.0;
+        let g = SynthGenerator::new(cfg);
+        let s = g.sample(4, 7, 1, &mut StdRng::seed_from_u64(2));
+        let motion = |joint: usize| -> f32 {
+            (1..16)
+                .map(|t| {
+                    (0..3)
+                        .map(|c| (s.at(&[c, t, joint]) - s.at(&[c, t - 1, joint])).powi(2))
+                        .sum::<f32>()
+                        .sqrt()
+                })
+                .sum()
+        };
+        // the ankle only accumulates the sensor-noise floor, the wrist
+        // adds real motion on top; demand a clear margin over that floor
+        assert!(
+            motion(ntu::R_WRIST) > 2.0 * motion(ntu::L_ANKLE),
+            "wrist {} vs ankle {}",
+            motion(ntu::R_WRIST),
+            motion(ntu::L_ANKLE)
+        );
+    }
+
+    #[test]
+    fn subjects_differ_in_scale() {
+        let g = gen();
+        let mut heights = Vec::new();
+        for subject in 0..5 {
+            let s = g.sample(0, subject, 1, &mut StdRng::seed_from_u64(3));
+            let ys: Vec<f32> = (0..25).map(|j| s.at(&[1, 0, j])).collect();
+            let h = ys.iter().cloned().fold(f32::MIN, f32::max)
+                - ys.iter().cloned().fold(f32::MAX, f32::min);
+            heights.push(h);
+        }
+        let min = heights.iter().cloned().fold(f32::MAX, f32::min);
+        let max = heights.iter().cloned().fold(f32::MIN, f32::max);
+        assert!(max / min > 1.05, "subjects should differ in body scale: {heights:?}");
+    }
+
+    #[test]
+    fn cameras_rotate_the_view() {
+        let g = gen();
+        let a = g.sample(0, 0, 0, &mut StdRng::seed_from_u64(4));
+        let b = g.sample(0, 0, 1, &mut StdRng::seed_from_u64(4));
+        let diff: f32 = a.data().iter().zip(b.data()).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff > 1.0, "camera change should alter coordinates");
+    }
+
+    #[test]
+    fn kinetics_config_drops_keypoints() {
+        let g = SynthGenerator::new(SynthConfig::kinetics_like(5, 32));
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = g.sample(0, 0, 0, &mut rng);
+        // dropped joints appear as exact (0,0,0) triples
+        let mut dropped = 0;
+        for t in 0..32 {
+            for j in 0..18 {
+                if s.at(&[0, t, j]) == 0.0 && s.at(&[1, t, j]) == 0.0 && s.at(&[2, t, j]) == 0.0 {
+                    dropped += 1;
+                }
+            }
+        }
+        assert!(dropped > 10, "expected OpenPose-style dropout, saw {dropped}");
+    }
+
+    #[test]
+    fn occlusion_bursts_zero_contiguous_limb_windows() {
+        let mut cfg = SynthConfig::ntu_like(4, 24);
+        cfg.occlusion_prob = 1.0;
+        cfg.keypoint_dropout = 0.0;
+        let g = SynthGenerator::new(cfg);
+        let s = g.sample(0, 0, 1, &mut StdRng::seed_from_u64(3));
+        // some joint must be exactly zero for at least T/4 frames
+        let mut max_run = 0;
+        for j in 0..25 {
+            let mut run = 0;
+            for t in 0..24 {
+                let zero = (0..3).all(|c| s.at(&[c, t, j]) == 0.0);
+                run = if zero { run + 1 } else { 0 };
+                max_run = max_run.max(run);
+            }
+        }
+        assert!(max_run >= 6, "expected an occlusion burst, longest zero run {max_run}");
+    }
+
+    #[test]
+    fn phase_contrast_pair_differs_only_in_coordination() {
+        // jumping_jacks vs skipping: same per-joint motion energy, opposite
+        // hand/foot phase. Per-joint total motion should be similar while
+        // the hand-foot velocity correlation flips sign.
+        let mut cfg = SynthConfig::ntu_like(10, 16);
+        cfg.occlusion_prob = 0.0;
+        let g = SynthGenerator::new(cfg);
+        let _unused = gen;
+        let t_len = 16;
+        let corr = |s: &NdArray| -> f32 {
+            let vel = |joint: usize, t: usize| s.at(&[0, t, joint]) - s.at(&[0, t - 1, joint]);
+            (1..t_len).map(|t| vel(ntu::L_HAND, t) * vel(ntu::L_FOOT, t)).sum()
+        };
+        // average over a few seeds to wash out noise
+        let (mut cj, mut cs) = (0.0, 0.0);
+        for seed in 0..8 {
+            cj += corr(&g.sample(0, 0, 1, &mut StdRng::seed_from_u64(seed)));
+            cs += corr(&g.sample(1, 0, 1, &mut StdRng::seed_from_u64(seed)));
+        }
+        assert!(
+            cj * cs < 0.0,
+            "hand-foot phase should flip between the pair (jj={cj}, skip={cs})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "n_classes")]
+    fn too_many_classes_panics() {
+        SynthGenerator::new(SynthConfig::ntu_like(21, 16));
+    }
+
+    #[test]
+    fn randn_moments_are_sane() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| randn(&mut rng)).collect();
+        let mean: f32 = samples.iter().sum::<f32>() / n as f32;
+        let var: f32 = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "variance {var}");
+    }
+}

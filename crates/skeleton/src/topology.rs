@@ -1,0 +1,393 @@
+//! The real joint layouts of the paper's datasets.
+//!
+//! NTU RGB+D records 25 Kinect-v2 joints; Kinetics-Skeleton uses the 18
+//! OpenPose keypoints. Bone lists and kinematic parents follow the
+//! ST-GCN/2s-AGCN conventions so the two-stream bone features match the
+//! published models.
+
+use dhg_tensor::NdArray;
+
+/// Which of the paper's two skeleton formats a dataset uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TopologyKind {
+    /// 25-joint Kinect v2 skeleton (NTU RGB+D 60/120).
+    Ntu25,
+    /// 18-keypoint OpenPose skeleton (Kinetics-Skeleton 400).
+    OpenPose18,
+}
+
+/// A skeleton's joint set, bones and kinematic tree.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SkeletonTopology {
+    kind: TopologyKind,
+    joint_names: Vec<&'static str>,
+    /// `(child, parent)` pairs; every joint except the centre appears as a
+    /// child exactly once.
+    bones: Vec<(usize, usize)>,
+    centre: usize,
+}
+
+/// NTU joint indices (0-based), named for readability in hyperedge
+/// definitions and the synthetic generator.
+pub mod ntu {
+    #![allow(missing_docs)]
+    pub const SPINE_BASE: usize = 0;
+    pub const SPINE_MID: usize = 1;
+    pub const NECK: usize = 2;
+    pub const HEAD: usize = 3;
+    pub const L_SHOULDER: usize = 4;
+    pub const L_ELBOW: usize = 5;
+    pub const L_WRIST: usize = 6;
+    pub const L_HAND: usize = 7;
+    pub const R_SHOULDER: usize = 8;
+    pub const R_ELBOW: usize = 9;
+    pub const R_WRIST: usize = 10;
+    pub const R_HAND: usize = 11;
+    pub const L_HIP: usize = 12;
+    pub const L_KNEE: usize = 13;
+    pub const L_ANKLE: usize = 14;
+    pub const L_FOOT: usize = 15;
+    pub const R_HIP: usize = 16;
+    pub const R_KNEE: usize = 17;
+    pub const R_ANKLE: usize = 18;
+    pub const R_FOOT: usize = 19;
+    pub const SPINE_SHOULDER: usize = 20;
+    pub const L_HAND_TIP: usize = 21;
+    pub const L_THUMB: usize = 22;
+    pub const R_HAND_TIP: usize = 23;
+    pub const R_THUMB: usize = 24;
+}
+
+/// OpenPose keypoint indices (0-based).
+pub mod openpose {
+    #![allow(missing_docs)]
+    pub const NOSE: usize = 0;
+    pub const NECK: usize = 1;
+    pub const R_SHOULDER: usize = 2;
+    pub const R_ELBOW: usize = 3;
+    pub const R_WRIST: usize = 4;
+    pub const L_SHOULDER: usize = 5;
+    pub const L_ELBOW: usize = 6;
+    pub const L_WRIST: usize = 7;
+    pub const R_HIP: usize = 8;
+    pub const R_KNEE: usize = 9;
+    pub const R_ANKLE: usize = 10;
+    pub const L_HIP: usize = 11;
+    pub const L_KNEE: usize = 12;
+    pub const L_ANKLE: usize = 13;
+    pub const R_EYE: usize = 14;
+    pub const L_EYE: usize = 15;
+    pub const R_EAR: usize = 16;
+    pub const L_EAR: usize = 17;
+}
+
+impl SkeletonTopology {
+    /// The requested topology.
+    pub fn of(kind: TopologyKind) -> Self {
+        match kind {
+            TopologyKind::Ntu25 => Self::ntu25(),
+            TopologyKind::OpenPose18 => Self::openpose18(),
+        }
+    }
+
+    /// The 25-joint NTU RGB+D skeleton with ST-GCN's bone list.
+    pub fn ntu25() -> Self {
+        use ntu::*;
+        let joint_names = vec![
+            "spine_base", "spine_mid", "neck", "head", "l_shoulder", "l_elbow", "l_wrist",
+            "l_hand", "r_shoulder", "r_elbow", "r_wrist", "r_hand", "l_hip", "l_knee", "l_ankle",
+            "l_foot", "r_hip", "r_knee", "r_ankle", "r_foot", "spine_shoulder", "l_hand_tip",
+            "l_thumb", "r_hand_tip", "r_thumb",
+        ];
+        // (child, parent) — the standard ST-GCN/2s-AGCN pairing.
+        let bones = vec![
+            (SPINE_BASE, SPINE_MID),
+            (SPINE_MID, SPINE_SHOULDER),
+            (NECK, SPINE_SHOULDER),
+            (HEAD, NECK),
+            (L_SHOULDER, SPINE_SHOULDER),
+            (L_ELBOW, L_SHOULDER),
+            (L_WRIST, L_ELBOW),
+            (L_HAND, L_WRIST),
+            (R_SHOULDER, SPINE_SHOULDER),
+            (R_ELBOW, R_SHOULDER),
+            (R_WRIST, R_ELBOW),
+            (R_HAND, R_WRIST),
+            (L_HIP, SPINE_BASE),
+            (L_KNEE, L_HIP),
+            (L_ANKLE, L_KNEE),
+            (L_FOOT, L_ANKLE),
+            (R_HIP, SPINE_BASE),
+            (R_KNEE, R_HIP),
+            (R_ANKLE, R_KNEE),
+            (R_FOOT, R_ANKLE),
+            (L_HAND_TIP, L_HAND),
+            (L_THUMB, L_HAND),
+            (R_HAND_TIP, R_HAND),
+            (R_THUMB, R_HAND),
+        ];
+        SkeletonTopology { kind: TopologyKind::Ntu25, joint_names, bones, centre: SPINE_SHOULDER }
+    }
+
+    /// The 18-keypoint OpenPose skeleton used by Kinetics-Skeleton.
+    pub fn openpose18() -> Self {
+        use openpose::*;
+        let joint_names = vec![
+            "nose", "neck", "r_shoulder", "r_elbow", "r_wrist", "l_shoulder", "l_elbow",
+            "l_wrist", "r_hip", "r_knee", "r_ankle", "l_hip", "l_knee", "l_ankle", "r_eye",
+            "l_eye", "r_ear", "l_ear",
+        ];
+        let bones = vec![
+            (NOSE, NECK),
+            (R_SHOULDER, NECK),
+            (R_ELBOW, R_SHOULDER),
+            (R_WRIST, R_ELBOW),
+            (L_SHOULDER, NECK),
+            (L_ELBOW, L_SHOULDER),
+            (L_WRIST, L_ELBOW),
+            (R_HIP, NECK),
+            (R_KNEE, R_HIP),
+            (R_ANKLE, R_KNEE),
+            (L_HIP, NECK),
+            (L_KNEE, L_HIP),
+            (L_ANKLE, L_KNEE),
+            (R_EYE, NOSE),
+            (L_EYE, NOSE),
+            (R_EAR, R_EYE),
+            (L_EAR, L_EYE),
+        ];
+        SkeletonTopology { kind: TopologyKind::OpenPose18, joint_names, bones, centre: NECK }
+    }
+
+    /// Which format this is.
+    #[inline]
+    pub fn kind(&self) -> TopologyKind {
+        self.kind
+    }
+
+    /// Number of joints `V`.
+    #[inline]
+    pub fn n_joints(&self) -> usize {
+        self.joint_names.len()
+    }
+
+    /// Human-readable joint names, indexed by joint id.
+    pub fn joint_names(&self) -> &[&'static str] {
+        &self.joint_names
+    }
+
+    /// `(child, parent)` bone pairs.
+    pub fn bones(&self) -> &[(usize, usize)] {
+        &self.bones
+    }
+
+    /// The centre joint toward which bone vectors point (spine-shoulder
+    /// for NTU, neck for OpenPose).
+    #[inline]
+    pub fn centre(&self) -> usize {
+        self.centre
+    }
+
+    /// Kinematic parent of each joint (`parent[centre] == centre`).
+    pub fn parents(&self) -> Vec<usize> {
+        let mut parents: Vec<usize> = (0..self.n_joints()).collect();
+        for &(child, parent) in &self.bones {
+            if child != self.centre {
+                parents[child] = parent;
+            }
+        }
+        parents
+    }
+
+    /// All joints in the subtree rooted at `joint` (inclusive), i.e. the
+    /// joints that move rigidly when `joint` is displaced.
+    pub fn subtree(&self, joint: usize) -> Vec<usize> {
+        let parents = self.parents();
+        let mut members = Vec::new();
+        for v in 0..self.n_joints() {
+            let mut cur = v;
+            loop {
+                if cur == joint {
+                    members.push(v);
+                    break;
+                }
+                let p = parents[cur];
+                if p == cur {
+                    break;
+                }
+                cur = p;
+            }
+        }
+        members
+    }
+
+    /// The skeleton's undirected bone graph (for GCN baselines).
+    pub fn graph(&self) -> dhg_hypergraph::Graph {
+        dhg_hypergraph::Graph::new(self.n_joints(), self.bones.clone())
+    }
+
+    /// A neutral standing pose: `[V, 3]` joint positions in metres,
+    /// y-up, facing +z. Used as the rest pose of the synthetic generator.
+    pub fn rest_pose(&self) -> NdArray {
+        let mut pose = NdArray::zeros(&[self.n_joints(), 3]);
+        let mut set = |j: usize, x: f32, y: f32, z: f32| {
+            pose.set(&[j, 0], x);
+            pose.set(&[j, 1], y);
+            pose.set(&[j, 2], z);
+        };
+        match self.kind {
+            TopologyKind::Ntu25 => {
+                use ntu::*;
+                set(SPINE_BASE, 0.0, 0.90, 0.0);
+                set(SPINE_MID, 0.0, 1.15, 0.0);
+                set(SPINE_SHOULDER, 0.0, 1.40, 0.0);
+                set(NECK, 0.0, 1.50, 0.0);
+                set(HEAD, 0.0, 1.65, 0.0);
+                set(L_SHOULDER, -0.20, 1.40, 0.0);
+                set(L_ELBOW, -0.45, 1.40, 0.0);
+                set(L_WRIST, -0.70, 1.40, 0.0);
+                set(L_HAND, -0.80, 1.40, 0.0);
+                set(L_HAND_TIP, -0.88, 1.40, 0.0);
+                set(L_THUMB, -0.82, 1.35, 0.05);
+                set(R_SHOULDER, 0.20, 1.40, 0.0);
+                set(R_ELBOW, 0.45, 1.40, 0.0);
+                set(R_WRIST, 0.70, 1.40, 0.0);
+                set(R_HAND, 0.80, 1.40, 0.0);
+                set(R_HAND_TIP, 0.88, 1.40, 0.0);
+                set(R_THUMB, 0.82, 1.35, 0.05);
+                set(L_HIP, -0.12, 0.85, 0.0);
+                set(L_KNEE, -0.14, 0.45, 0.0);
+                set(L_ANKLE, -0.15, 0.08, 0.0);
+                set(L_FOOT, -0.15, 0.02, 0.12);
+                set(R_HIP, 0.12, 0.85, 0.0);
+                set(R_KNEE, 0.14, 0.45, 0.0);
+                set(R_ANKLE, 0.15, 0.08, 0.0);
+                set(R_FOOT, 0.15, 0.02, 0.12);
+            }
+            TopologyKind::OpenPose18 => {
+                use openpose::*;
+                set(NOSE, 0.0, 1.60, 0.05);
+                set(NECK, 0.0, 1.45, 0.0);
+                set(R_SHOULDER, 0.20, 1.42, 0.0);
+                set(R_ELBOW, 0.42, 1.20, 0.0);
+                set(R_WRIST, 0.50, 0.95, 0.0);
+                set(L_SHOULDER, -0.20, 1.42, 0.0);
+                set(L_ELBOW, -0.42, 1.20, 0.0);
+                set(L_WRIST, -0.50, 0.95, 0.0);
+                set(R_HIP, 0.12, 0.88, 0.0);
+                set(R_KNEE, 0.14, 0.46, 0.0);
+                set(R_ANKLE, 0.15, 0.06, 0.0);
+                set(L_HIP, -0.12, 0.88, 0.0);
+                set(L_KNEE, -0.14, 0.46, 0.0);
+                set(L_ANKLE, -0.15, 0.06, 0.0);
+                set(R_EYE, 0.04, 1.64, 0.06);
+                set(L_EYE, -0.04, 1.64, 0.06);
+                set(R_EAR, 0.09, 1.60, 0.0);
+                set(L_EAR, -0.09, 1.60, 0.0);
+            }
+        }
+        pose
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ntu_has_25_joints_24_bones() {
+        let t = SkeletonTopology::ntu25();
+        assert_eq!(t.n_joints(), 25);
+        assert_eq!(t.bones().len(), 24);
+        assert_eq!(t.joint_names().len(), 25);
+    }
+
+    #[test]
+    fn openpose_has_18_joints_17_bones() {
+        let t = SkeletonTopology::openpose18();
+        assert_eq!(t.n_joints(), 18);
+        assert_eq!(t.bones().len(), 17);
+    }
+
+    #[test]
+    fn every_noncentre_joint_is_a_child_exactly_once() {
+        for t in [SkeletonTopology::ntu25(), SkeletonTopology::openpose18()] {
+            let mut child_count = vec![0usize; t.n_joints()];
+            for &(c, _) in t.bones() {
+                child_count[c] += 1;
+            }
+            for j in 0..t.n_joints() {
+                if j == t.centre() {
+                    assert_eq!(child_count[j], 0, "centre {j} must not be a child");
+                } else {
+                    assert_eq!(child_count[j], 1, "joint {j} of {:?}", t.kind());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parents_form_a_tree_rooted_at_centre() {
+        for t in [SkeletonTopology::ntu25(), SkeletonTopology::openpose18()] {
+            let parents = t.parents();
+            for j in 0..t.n_joints() {
+                // walking up must terminate at the centre without cycles
+                let mut cur = j;
+                let mut steps = 0;
+                while cur != t.centre() {
+                    cur = parents[cur];
+                    steps += 1;
+                    assert!(steps <= t.n_joints(), "cycle detected from joint {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subtree_of_centre_is_everything() {
+        let t = SkeletonTopology::ntu25();
+        assert_eq!(t.subtree(t.centre()).len(), 25);
+    }
+
+    #[test]
+    fn subtree_of_right_elbow_is_forearm() {
+        use ntu::*;
+        let t = SkeletonTopology::ntu25();
+        let mut s = t.subtree(R_ELBOW);
+        s.sort_unstable();
+        assert_eq!(s, vec![R_ELBOW, R_WRIST, R_HAND, R_HAND_TIP, R_THUMB]);
+    }
+
+    #[test]
+    fn rest_pose_is_plausible() {
+        for t in [SkeletonTopology::ntu25(), SkeletonTopology::openpose18()] {
+            let p = t.rest_pose();
+            assert_eq!(p.shape(), &[t.n_joints(), 3]);
+            // head above hips, left/right mirrored in x
+            let ys: Vec<f32> = (0..t.n_joints()).map(|j| p.at(&[j, 1])).collect();
+            assert!(ys.iter().cloned().fold(f32::MIN, f32::max) > 1.4);
+            let sum_x: f32 = (0..t.n_joints()).map(|j| p.at(&[j, 0])).sum();
+            assert!(sum_x.abs() < 1e-4, "pose should be laterally symmetric");
+        }
+    }
+
+    #[test]
+    fn bone_lengths_are_positive() {
+        for t in [SkeletonTopology::ntu25(), SkeletonTopology::openpose18()] {
+            let p = t.rest_pose();
+            for &(c, par) in t.bones() {
+                let d: f32 = (0..3)
+                    .map(|k| (p.at(&[c, k]) - p.at(&[par, k])).powi(2))
+                    .sum::<f32>()
+                    .sqrt();
+                assert!(d > 0.01, "zero-length bone ({c},{par}) in {:?}", t.kind());
+            }
+        }
+    }
+
+    #[test]
+    fn graph_matches_bone_count() {
+        let t = SkeletonTopology::ntu25();
+        assert_eq!(t.graph().edges().len(), 24);
+    }
+}

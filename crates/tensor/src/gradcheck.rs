@@ -1,0 +1,92 @@
+//! Finite-difference gradient checking.
+//!
+//! [`check_gradients`] compares the analytic gradient produced by autograd
+//! against central finite differences for an arbitrary scalar-valued
+//! function of one input tensor. It is the backbone of this crate's
+//! property-test suite: every differentiable op is validated through it.
+
+use crate::{NdArray, Tensor};
+
+/// Result of one gradient check: the worst absolute and relative error over
+/// all input elements.
+#[derive(Debug, Clone, Copy)]
+pub struct GradCheckReport {
+    /// Largest |analytic − numeric| over input elements.
+    pub max_abs_err: f32,
+    /// Largest |analytic − numeric| / max(1, |numeric|).
+    pub max_rel_err: f32,
+}
+
+impl GradCheckReport {
+    /// Whether both error measures are below `tol`.
+    pub fn passes(&self, tol: f32) -> bool {
+        self.max_abs_err <= tol || self.max_rel_err <= tol
+    }
+}
+
+/// Compare autograd to central finite differences.
+///
+/// `f` must build a scalar tensor from a parameter tensor. It is invoked
+/// `2·n + 1` times (once analytically, twice per element numerically), so
+/// keep inputs small. `eps` around `3e-3` balances truncation against `f32`
+/// rounding for well-scaled functions.
+pub fn check_gradients(input: &NdArray, f: impl Fn(&Tensor) -> Tensor, eps: f32) -> GradCheckReport {
+    // analytic
+    let x = Tensor::param(input.clone());
+    let y = f(&x);
+    assert_eq!(y.data().len(), 1, "gradcheck requires a scalar-valued function");
+    y.backward();
+    let analytic = x.grad().expect("function did not propagate gradients to its input");
+
+    // numeric (central differences)
+    let mut max_abs: f32 = 0.0;
+    let mut max_rel: f32 = 0.0;
+    for i in 0..input.len() {
+        let mut plus = input.clone();
+        plus.data_mut()[i] += eps;
+        let mut minus = input.clone();
+        minus.data_mut()[i] -= eps;
+        let fp = f(&Tensor::param(plus)).item();
+        let fm = f(&Tensor::param(minus)).item();
+        let numeric = (fp - fm) / (2.0 * eps);
+        let a = analytic.data()[i];
+        let abs = (a - numeric).abs();
+        let rel = abs / numeric.abs().max(1.0);
+        max_abs = max_abs.max(abs);
+        max_rel = max_rel.max(rel);
+    }
+    GradCheckReport { max_abs_err: max_abs, max_rel_err: max_rel }
+}
+
+/// Assert that the analytic gradient of `f` at `input` matches finite
+/// differences within `tol`. Panics with the report otherwise.
+pub fn assert_gradients_close(input: &NdArray, f: impl Fn(&Tensor) -> Tensor, tol: f32) {
+    let report = check_gradients(input, &f, 3e-3);
+    assert!(
+        report.passes(tol),
+        "gradient check failed: max_abs_err={}, max_rel_err={} (tol={})",
+        report.max_abs_err,
+        report.max_rel_err,
+        tol
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_for_correct_gradient() {
+        let x = NdArray::from_vec(vec![0.5, -1.2, 2.0], &[3]);
+        assert_gradients_close(&x, |t| t.mul(t).sum_all(), 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient check failed")]
+    fn catches_wrong_gradient() {
+        // detach() severs the true dependence, so analytic grad (via the
+        // surviving linear path) disagrees with numeric (which sees x²).
+        let x = NdArray::from_vec(vec![1.5], &[1]);
+        assert_gradients_close(&x, |t| t.detach().mul(t).sum_all(), 1e-3);
+    }
+}

@@ -1,0 +1,176 @@
+//! Compact binary checkpoints of model parameters.
+//!
+//! The format is deliberately simple: a magic header, the tensor count,
+//! then each tensor as `ndim, dims…, f32 data` in little-endian. Loading
+//! restores into an *existing* model whose parameter list must match
+//! shape-for-shape (the same constructor + seed produces it).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use dhg_nn::Module;
+
+const MAGIC: &[u8; 8] = b"DHGCKPT1";
+
+/// Errors produced by [`load`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The header magic did not match.
+    BadMagic,
+    /// The byte stream ended early or had trailing garbage.
+    Truncated,
+    /// Tensor `index` had a different shape than the model expects.
+    ShapeMismatch {
+        /// Index of the offending tensor.
+        index: usize,
+    },
+    /// The checkpoint holds a different number of tensors than the model.
+    CountMismatch {
+        /// Tensors in the checkpoint.
+        found: usize,
+        /// Tensors the model expects.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::BadMagic => write!(f, "not a DHG checkpoint (bad magic)"),
+            CheckpointError::Truncated => write!(f, "checkpoint truncated or oversized"),
+            CheckpointError::ShapeMismatch { index } => {
+                write!(f, "tensor {index} shape mismatch")
+            }
+            CheckpointError::CountMismatch { found, expected } => {
+                write!(f, "checkpoint has {found} tensors, model expects {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Serialise all parameters of a model.
+pub fn save(model: &dyn Module) -> Bytes {
+    let params = model.parameters();
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(params.len() as u32);
+    for p in &params {
+        let data = p.data();
+        buf.put_u32_le(data.ndim() as u32);
+        for &d in data.shape() {
+            buf.put_u32_le(d as u32);
+        }
+        for &v in data.data() {
+            buf.put_f32_le(v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Restore parameters into a structurally identical model.
+pub fn load(model: &dyn Module, mut bytes: Bytes) -> Result<(), CheckpointError> {
+    if bytes.remaining() < MAGIC.len() + 4 {
+        return Err(CheckpointError::Truncated);
+    }
+    let mut magic = [0u8; 8];
+    bytes.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let params = model.parameters();
+    let count = bytes.get_u32_le() as usize;
+    if count != params.len() {
+        return Err(CheckpointError::CountMismatch { found: count, expected: params.len() });
+    }
+    for (index, p) in params.iter().enumerate() {
+        if bytes.remaining() < 4 {
+            return Err(CheckpointError::Truncated);
+        }
+        let ndim = bytes.get_u32_le() as usize;
+        if bytes.remaining() < ndim * 4 {
+            return Err(CheckpointError::Truncated);
+        }
+        let mut shape = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            shape.push(bytes.get_u32_le() as usize);
+        }
+        {
+            let mut data = p.data_mut();
+            if data.shape() != shape.as_slice() {
+                return Err(CheckpointError::ShapeMismatch { index });
+            }
+            let n = data.len();
+            if bytes.remaining() < n * 4 {
+                return Err(CheckpointError::Truncated);
+            }
+            for v in data.data_mut() {
+                *v = bytes.get_f32_le();
+            }
+        }
+    }
+    if bytes.has_remaining() {
+        return Err(CheckpointError::Truncated);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhg_nn::Linear;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip_restores_exact_values() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Linear::new(5, 3, &mut rng);
+        let blob = save(&a);
+        let mut rng2 = StdRng::seed_from_u64(99);
+        let b = Linear::new(5, 3, &mut rng2);
+        assert!(!a.parameters()[0].array().allclose(&b.parameters()[0].array(), 1e-6, 1e-7));
+        load(&b, blob).expect("load");
+        for (pa, pb) in a.parameters().iter().zip(b.parameters()) {
+            assert_eq!(pa.array(), pb.array());
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = Linear::new(2, 2, &mut rng);
+        let err = load(&m, Bytes::from_static(b"NOTACKPTxxxxxxxxxxxx")).unwrap_err();
+        assert_eq!(err, CheckpointError::BadMagic);
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = Linear::new(4, 2, &mut rng);
+        let b = Linear::new(2, 4, &mut rng);
+        let err = load(&b, save(&a)).unwrap_err();
+        assert!(matches!(err, CheckpointError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn count_mismatch_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = Linear::new(3, 3, &mut rng);
+        let b = Linear::new_no_bias(3, 3, &mut rng);
+        let err = load(&b, save(&a)).unwrap_err();
+        assert_eq!(err, CheckpointError::CountMismatch { found: 2, expected: 1 });
+    }
+
+    #[test]
+    fn truncated_stream_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = Linear::new(3, 3, &mut rng);
+        let blob = save(&a);
+        let cut = blob.slice(0..blob.len() - 5);
+        assert_eq!(load(&a, cut).unwrap_err(), CheckpointError::Truncated);
+        // trailing garbage also rejected
+        let mut extended = BytesMut::from(&blob[..]);
+        extended.put_u32_le(0);
+        assert_eq!(load(&a, extended.freeze()).unwrap_err(), CheckpointError::Truncated);
+    }
+}

@@ -1,0 +1,200 @@
+//! Experiment tables: the paper's published numbers next to numbers
+//! measured on the synthetic corpus, with plain-text and JSON output.
+//!
+//! Absolute values are not expected to match (the corpus is synthetic —
+//! see DESIGN.md); the *shape* of each comparison (orderings, gaps,
+//! optima) is what each `tableN` binary checks and what EXPERIMENTS.md
+//! records.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One row of a results table.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TableRow {
+    /// Method name exactly as the paper prints it.
+    pub method: String,
+    /// `(column label, value)` pairs; `None` marks entries the paper
+    /// leaves blank ("-").
+    pub values: Vec<(String, Option<f32>)>,
+}
+
+impl TableRow {
+    /// Build a row from `(label, value)` pairs.
+    pub fn new(method: &str, values: &[(&str, Option<f32>)]) -> Self {
+        TableRow {
+            method: method.to_string(),
+            values: values.iter().map(|(l, v)| (l.to_string(), *v)).collect(),
+        }
+    }
+
+    /// Value of a labelled column, if present and filled.
+    pub fn get(&self, label: &str) -> Option<f32> {
+        self.values.iter().find(|(l, _)| l == label).and_then(|(_, v)| *v)
+    }
+}
+
+/// A full experiment table: identification, the paper's rows, and the
+/// measured rows.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table id, e.g. "Tab. 3".
+    pub id: String,
+    /// Caption summarising what the table demonstrates.
+    pub title: String,
+    /// Rows exactly as published.
+    pub paper_rows: Vec<TableRow>,
+    /// Rows measured by this reproduction.
+    pub measured_rows: Vec<TableRow>,
+    /// Free-form notes on how the shapes compare.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(id: &str, title: &str) -> Self {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            paper_rows: Vec::new(),
+            measured_rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a published row.
+    pub fn paper_row(&mut self, row: TableRow) -> &mut Self {
+        self.paper_rows.push(row);
+        self
+    }
+
+    /// Append a measured row.
+    pub fn measured_row(&mut self, row: TableRow) -> &mut Self {
+        self.measured_rows.push(row);
+        self
+    }
+
+    /// Append a shape-comparison note.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// A measured row's column value (panics if absent — table bugs should
+    /// fail loudly in the harness).
+    pub fn measured(&self, method: &str, column: &str) -> f32 {
+        self.measured_rows
+            .iter()
+            .find(|r| r.method == method)
+            .unwrap_or_else(|| panic!("no measured row '{method}'"))
+            .get(column)
+            .unwrap_or_else(|| panic!("row '{method}' has no column '{column}'"))
+    }
+
+    /// Render the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        for (header, rows) in
+            [("paper", &self.paper_rows), ("measured (synthetic corpus)", &self.measured_rows)]
+        {
+            if rows.is_empty() {
+                continue;
+            }
+            let _ = writeln!(out, "-- {header} --");
+            let labels: Vec<&str> =
+                rows[0].values.iter().map(|(l, _)| l.as_str()).collect();
+            let method_w = rows
+                .iter()
+                .map(|r| r.method.len())
+                .chain(["Method".len()])
+                .max()
+                .unwrap_or(8);
+            let _ = write!(out, "{:<method_w$}", "Method");
+            for l in &labels {
+                let _ = write!(out, "  {l:>8}");
+            }
+            let _ = writeln!(out);
+            for row in rows {
+                let _ = write!(out, "{:<method_w$}", row.method);
+                for (_, v) in &row.values {
+                    match v {
+                        Some(v) => {
+                            let _ = write!(out, "  {v:>8.1}");
+                        }
+                        None => {
+                            let _ = write!(out, "  {:>8}", "-");
+                        }
+                    }
+                }
+                let _ = writeln!(out);
+            }
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "note: {note}");
+        }
+        out
+    }
+
+    /// Persist as JSON under the given directory (created if missing),
+    /// returning the file path.
+    pub fn save_json(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let slug = self.id.to_lowercase().replace([' ', '.'], "");
+        let path = dir.join(format!("{slug}.json"));
+        std::fs::write(&path, serde_json::to_string_pretty(self).expect("table serialises"))?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Tab. 9", "demo");
+        t.paper_row(TableRow::new("A", &[("X-Sub", Some(88.5)), ("X-View", Some(95.1))]));
+        t.measured_row(TableRow::new("A", &[("X-Sub", Some(71.0)), ("X-View", Some(80.0))]));
+        t.measured_row(TableRow::new("B", &[("X-Sub", None), ("X-View", Some(81.5))]));
+        t.note("ordering preserved");
+        t
+    }
+
+    #[test]
+    fn accessors() {
+        let t = sample();
+        assert_eq!(t.measured("A", "X-Sub"), 71.0);
+        assert_eq!(t.measured_rows[1].get("X-Sub"), None);
+        assert_eq!(t.paper_rows[0].get("X-View"), Some(95.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "no measured row")]
+    fn missing_row_panics() {
+        sample().measured("Z", "X-Sub");
+    }
+
+    #[test]
+    fn render_contains_everything() {
+        let r = sample().render();
+        assert!(r.contains("Tab. 9"));
+        assert!(r.contains("paper"));
+        assert!(r.contains("measured"));
+        assert!(r.contains("88.5"));
+        assert!(r.contains("71.0"));
+        assert!(r.contains('-'), "blank cells render as dashes");
+        assert!(r.contains("note: ordering preserved"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t = sample();
+        let dir = std::env::temp_dir().join("dhg_experiment_test");
+        let path = t.save_json(&dir).expect("write");
+        let loaded: Table =
+            serde_json::from_str(&std::fs::read_to_string(&path).expect("read")).expect("parse");
+        assert_eq!(loaded, t);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,27 @@
+//! # dhg-train
+//!
+//! Training, evaluation and experiment-reproduction harness.
+//!
+//! * [`trainer`] — minibatch SGD training of any [`dhg_nn::Module`] over a
+//!   [`dhg_skeleton::SkeletonDataset`], with the paper's §4.2 recipe
+//!   (SGD + momentum 0.9, step learning-rate decay) scaled to CPU budgets.
+//! * [`eval`] — Top-1/Top-5 scoring under the §4.1 protocols, including
+//!   two-stream fusion evaluation.
+//! * [`experiment`] — table declarations: each `Table` pairs the paper's
+//!   published rows with rows measured on the synthetic corpus and prints
+//!   them side by side (the `dhg-bench` `tableN` binaries drive this).
+//! * [`checkpoint`] — compact binary save/load of model parameters.
+//! * [`zoo`] — canonical constructors for every model in the comparison,
+//!   so tables build models consistently.
+
+pub mod checkpoint;
+pub mod eval;
+pub mod experiment;
+pub mod report;
+pub mod trainer;
+pub mod zoo;
+
+pub use eval::{evaluate, evaluate_fused, EvalResult};
+pub use experiment::{Table, TableRow};
+pub use report::{classification_report, ClassificationReport};
+pub use trainer::{train, TrainConfig, TrainReport};

@@ -1,0 +1,163 @@
+//! Per-class analysis: precision/recall/F1 and a printable report, for
+//! digging into *which* actions a model confuses (the kind of analysis
+//! behind the paper's discussion of hand-vs-leg coordination classes).
+
+use dhg_tensor::NdArray;
+
+/// Precision/recall/F1 for one class.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClassMetrics {
+    /// True positives / predicted positives (1 when nothing predicted).
+    pub precision: f32,
+    /// True positives / actual positives (0 when the class is absent).
+    pub recall: f32,
+    /// Harmonic mean of precision and recall.
+    pub f1: f32,
+    /// Number of true samples of the class.
+    pub support: usize,
+}
+
+/// A full per-class classification report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClassificationReport {
+    /// Per-class metrics, indexed by class id.
+    pub classes: Vec<ClassMetrics>,
+    /// Overall Top-1 accuracy.
+    pub accuracy: f32,
+    /// Unweighted mean F1 over classes with support.
+    pub macro_f1: f32,
+}
+
+/// Compute a report from `[N, K]` scores and integer labels.
+pub fn classification_report(scores: &NdArray, labels: &[usize], n_classes: usize) -> ClassificationReport {
+    assert_eq!(scores.ndim(), 2, "scores must be [N, K]");
+    assert_eq!(scores.shape()[0], labels.len(), "scores/labels mismatch");
+    let preds = scores.argmax_last();
+    let mut tp = vec![0usize; n_classes];
+    let mut pred_count = vec![0usize; n_classes];
+    let mut true_count = vec![0usize; n_classes];
+    let mut correct = 0usize;
+    for (&pred, &label) in preds.iter().zip(labels) {
+        assert!(label < n_classes && pred < n_classes, "class out of range");
+        pred_count[pred] += 1;
+        true_count[label] += 1;
+        if pred == label {
+            tp[label] += 1;
+            correct += 1;
+        }
+    }
+    let classes: Vec<ClassMetrics> = (0..n_classes)
+        .map(|c| {
+            let precision =
+                if pred_count[c] == 0 { 1.0 } else { tp[c] as f32 / pred_count[c] as f32 };
+            let recall = if true_count[c] == 0 { 0.0 } else { tp[c] as f32 / true_count[c] as f32 };
+            let f1 = if precision + recall > 0.0 {
+                2.0 * precision * recall / (precision + recall)
+            } else {
+                0.0
+            };
+            ClassMetrics { precision, recall, f1, support: true_count[c] }
+        })
+        .collect();
+    let supported: Vec<&ClassMetrics> = classes.iter().filter(|m| m.support > 0).collect();
+    let macro_f1 = if supported.is_empty() {
+        0.0
+    } else {
+        supported.iter().map(|m| m.f1).sum::<f32>() / supported.len() as f32
+    };
+    let accuracy =
+        if labels.is_empty() { 0.0 } else { correct as f32 / labels.len() as f32 };
+    ClassificationReport { classes, accuracy, macro_f1 }
+}
+
+impl ClassificationReport {
+    /// Render as an aligned table; `names` (optional) labels the rows.
+    pub fn render(&self, names: Option<&[&str]>) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<16} {:>9} {:>8} {:>8} {:>8}", "class", "precision", "recall", "f1", "support");
+        for (c, m) in self.classes.iter().enumerate() {
+            let name = names
+                .and_then(|ns| ns.get(c).copied())
+                .map(String::from)
+                .unwrap_or_else(|| format!("class_{c}"));
+            let _ = writeln!(
+                out,
+                "{name:<16} {:>9.3} {:>8.3} {:>8.3} {:>8}",
+                m.precision, m.recall, m.f1, m.support
+            );
+        }
+        let _ = writeln!(out, "{:<16} {:>9.3}  (macro-F1 {:.3})", "accuracy", self.accuracy, self.macro_f1);
+        out
+    }
+
+    /// The classes sorted worst-F1-first (the confusion hot spots).
+    pub fn worst_classes(&self) -> Vec<usize> {
+        let mut order: Vec<usize> =
+            (0..self.classes.len()).filter(|&c| self.classes[c].support > 0).collect();
+        order.sort_by(|&a, &b| {
+            self.classes[a].f1.partial_cmp(&self.classes[b].f1).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scores_for(preds: &[usize], k: usize) -> NdArray {
+        let mut s = NdArray::zeros(&[preds.len(), k]);
+        for (i, &p) in preds.iter().enumerate() {
+            s.set(&[i, p], 1.0);
+        }
+        s
+    }
+
+    #[test]
+    fn perfect_predictions() {
+        let labels = [0usize, 1, 2, 0];
+        let scores = scores_for(&labels, 3);
+        let r = classification_report(&scores, &labels, 3);
+        assert_eq!(r.accuracy, 1.0);
+        assert_eq!(r.macro_f1, 1.0);
+        for m in &r.classes {
+            assert_eq!(m.f1, 1.0);
+        }
+    }
+
+    #[test]
+    fn known_confusion_pattern() {
+        // class 0: 2/2 correct; class 1: 1 correct, 1 predicted as 0
+        let labels = [0usize, 0, 1, 1];
+        let preds = [0usize, 0, 1, 0];
+        let r = classification_report(&scores_for(&preds, 2), &labels, 2);
+        assert!((r.accuracy - 0.75).abs() < 1e-6);
+        // class 0: precision 2/3, recall 1
+        assert!((r.classes[0].precision - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(r.classes[0].recall, 1.0);
+        // class 1: precision 1, recall 1/2
+        assert_eq!(r.classes[1].precision, 1.0);
+        assert!((r.classes[1].recall - 0.5).abs() < 1e-6);
+        assert_eq!(r.worst_classes()[0], 1);
+    }
+
+    #[test]
+    fn absent_class_has_zero_recall_and_is_excluded_from_macro() {
+        let labels = [0usize, 0];
+        let preds = [0usize, 0];
+        let r = classification_report(&scores_for(&preds, 3), &labels, 3);
+        assert_eq!(r.classes[1].support, 0);
+        assert_eq!(r.classes[1].recall, 0.0);
+        assert_eq!(r.macro_f1, 1.0, "only supported classes count");
+    }
+
+    #[test]
+    fn render_includes_names() {
+        let labels = [0usize, 1];
+        let r = classification_report(&scores_for(&labels, 2), &labels, 2);
+        let text = r.render(Some(&["walking", "waving"]));
+        assert!(text.contains("walking") && text.contains("waving"));
+        assert!(text.contains("accuracy"));
+    }
+}

@@ -1,0 +1,78 @@
+//! A guided tour of the paper's dynamic hypergraph machinery (§3.3–3.4),
+//! *without* any training: moving-distance joint weights, k-NN hyperedges
+//! and k-means cluster hyperedges on a real motion sample.
+//!
+//! ```sh
+//! cargo run --release --example dynamic_topology
+//! ```
+
+use dhgcn::hypergraph::{dynamic_operators, joint_weights, kmeans_hyperedges, knn_hyperedges, moving_distance};
+use dhgcn::prelude::*;
+
+fn main() {
+    // One synthetic "wave right hand" sample over the NTU-25 skeleton.
+    let dataset = SkeletonDataset::ntu60_like(6, 4, 16, 3);
+    let sample = dataset
+        .samples
+        .iter()
+        .find(|s| s.label == 4) // class 4 = wave_right_hand in the catalogue
+        .expect("catalogue contains the wave class");
+    let names = dataset.topology.joint_names();
+    let v = dataset.topology.n_joints();
+
+    // ---- §3.3: moving distance and per-hyperedge joint weights --------
+    let positions = sample.data.permute(&[1, 2, 0]); // [T, V, 3]
+    let dis = moving_distance(&positions);
+    let mid = dis.shape()[0] / 2;
+    let mut ranked: Vec<(usize, f32)> = (0..v).map(|j| (j, dis.at(&[mid, j]))).collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    println!("fastest-moving joints at frame {mid} (Eq. 6):");
+    for (j, d) in ranked.iter().take(5) {
+        println!("  {:<14} {:.3} m/frame", names[*j], d);
+    }
+
+    let hg = static_hypergraph(&dataset.topology);
+    let frame_dis: Vec<f32> = (0..v).map(|j| dis.at(&[mid, j])).collect();
+    let w = joint_weights(&hg, &frame_dis);
+    println!("\nper-hyperedge weights of the right-arm hyperedge (Eq. 7):");
+    for &j in hg.edge(1) {
+        println!("  {:<14} weight {:.3}", names[j], w.at(&[j, 1]));
+    }
+
+    let ops = dynamic_operators(&hg, &positions);
+    println!("\ndynamic operator stack (Eq. 9): shape {:?}", ops.shape());
+
+    // ---- §3.4: k-NN and k-means hyperedges on raw coordinates ---------
+    let mut frame: Vec<f32> = Vec::with_capacity(v * 3);
+    for j in 0..v {
+        for c in 0..3 {
+            frame.push(positions.at(&[mid, j, c]));
+        }
+    }
+    let knn = knn_hyperedges(&frame, v, 3, 3);
+    println!("\nk-NN hyperedges (k_n = 3) anchored at hand joints (Eq. 11):");
+    for anchor in [7usize, 11] {
+        let members: Vec<&str> = knn.edge(anchor).iter().map(|&j| names[j]).collect();
+        println!("  {:<14} -> {}", names[anchor], members.join(", "));
+    }
+
+    let mut rng = rand_seed(0);
+    let km = kmeans_hyperedges(&frame, v, 3, 4, &mut rng);
+    println!("\nk-means cluster hyperedges (k_m = 4, global information):");
+    for (i, edge) in km.edges().iter().enumerate() {
+        let members: Vec<&str> = edge.iter().map(|&j| names[j]).collect();
+        println!("  cluster {i}: {}", members.join(", "));
+    }
+
+    // ---- union topology and its operator ------------------------------
+    let union = knn.union(&km);
+    let op = union.operator();
+    println!(
+        "\nunion hypergraph: {} hyperedges over {} joints; operator {}x{}, {} non-zeros",
+        union.n_edges(),
+        union.n_vertices(),
+        op.shape()[0],
+        op.shape()[1],
+        op.data().iter().filter(|&&x| x != 0.0).count()
+    );
+}

@@ -1,0 +1,58 @@
+//! The §5 future-work experiment: DHGCN-lite vs the full DHGCN.
+//!
+//! The paper's conclusion commits to "reduce network depth and
+//! computational complexity"; `DhgcnLite` does so by building the dynamic
+//! topology once per forward (instead of per block), fusing the three
+//! spatial operators, and factoring Θ through a low-rank bottleneck. This
+//! example measures what the shortcut costs in accuracy and buys in
+//! parameters and wall-clock.
+//!
+//! ```sh
+//! cargo run --release --example efficiency_lite
+//! ```
+
+use dhgcn::core::DhgcnLite;
+use dhgcn::nn::Module;
+use dhgcn::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let dataset = SkeletonDataset::ntu60_like(6, 16, 20, 33);
+    let split = dataset.split(Protocol::CrossSubject, 0);
+    let zoo = Zoo::new(dataset.topology.clone(), dataset.n_classes, 7);
+    let config = TrainConfig::fast(14);
+
+    let mut results: Vec<(&str, usize, f32, f32)> = Vec::new();
+    // full DHGCN
+    {
+        let mut model = zoo.dhgcn();
+        let params = model.n_parameters();
+        let t0 = Instant::now();
+        train(&mut model, &dataset, &split.train, Stream::Joint, &config);
+        let secs = t0.elapsed().as_secs_f32();
+        let acc = evaluate(&model, &dataset, &split.test, Stream::Joint).top1_pct();
+        results.push(("DHGCN (full)", params, secs, acc));
+    }
+    // lite
+    {
+        let mut model: DhgcnLite = zoo.dhgcn_lite();
+        let params = model.n_parameters();
+        let t0 = Instant::now();
+        train(&mut model, &dataset, &split.train, Stream::Joint, &config);
+        let secs = t0.elapsed().as_secs_f32();
+        let acc = evaluate(&model, &dataset, &split.test, Stream::Joint).top1_pct();
+        results.push(("DHGCN-lite", params, secs, acc));
+    }
+
+    println!("\n{:<14} {:>10} {:>10} {:>8}", "model", "params", "train[s]", "Top-1");
+    for (name, params, secs, acc) in &results {
+        println!("{name:<14} {params:>10} {secs:>10.1} {acc:>7.1}%");
+    }
+    let (full, lite) = (&results[0], &results[1]);
+    println!(
+        "\nlite uses {:.0}% of the parameters and {:.0}% of the training time,",
+        100.0 * lite.1 as f32 / full.1 as f32,
+        100.0 * lite.2 / full.2
+    );
+    println!("at {:+.1} accuracy points relative to the full model.", lite.3 - full.3);
+}

@@ -1,0 +1,43 @@
+//! Train the full baseline zoo on one corpus and print a leaderboard —
+//! a miniature of the Tab. 7 comparison.
+//!
+//! ```sh
+//! cargo run --release --example model_zoo          # quick (tiny models)
+//! cargo run --release --example model_zoo -- full  # experiment-width models
+//! ```
+
+use dhgcn::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let full = std::env::args().nth(1).as_deref() == Some("full");
+    let dataset = SkeletonDataset::ntu60_like(6, 14, 20, 21);
+    let split = dataset.split(Protocol::CrossSubject, 0);
+    let zoo = if full {
+        Zoo::new(dataset.topology.clone(), dataset.n_classes, 7)
+    } else {
+        Zoo::tiny(dataset.topology.clone(), dataset.n_classes, 7)
+    };
+    let config = TrainConfig::fast(if full { 16 } else { 10 });
+
+    let names = ["Lie Group", "ST-LSTM", "TCN", "ST-GCN", "Shift-GCN", "2s-AGCN", "2s-AHGCN", "DHGCN"];
+    let mut board: Vec<(&str, f32, f32, f32)> = Vec::new();
+    for name in names {
+        let mut model = zoo.by_name(name).expect("zoo model");
+        let t0 = Instant::now();
+        train(model.as_mut(), &dataset, &split.train, Stream::Joint, &config);
+        let secs = t0.elapsed().as_secs_f32();
+        let r = evaluate(model.as_ref(), &dataset, &split.test, Stream::Joint);
+        println!("{name:<10} trained in {secs:>6.1}s  top1 {:.1}%", r.top1_pct());
+        board.push((name, r.top1_pct(), r.top5_pct(), secs));
+    }
+
+    board.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    println!("\n=== leaderboard (joint stream, cross-subject) ===");
+    println!("{:<12} {:>7} {:>7} {:>9}", "model", "Top-1", "Top-5", "train[s]");
+    for (name, t1, t5, secs) in board {
+        println!("{name:<12} {t1:>6.1}% {t5:>6.1}% {secs:>9.1}");
+    }
+    println!("\n(the Tab. 6–8 binaries run the same comparison at experiment scale,");
+    println!(" with two-stream fusion for the 2s/DHGCN rows — see scripts/run_experiments.sh)");
+}

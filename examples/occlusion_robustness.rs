@@ -1,0 +1,53 @@
+//! Robustness study: how accuracy degrades as limbs get occluded.
+//!
+//! Train DHGCN and the TCN baseline once on the standard corpus, then
+//! evaluate on test corpora regenerated with increasing occlusion-burst
+//! probability. Spatial (hyper)graph aggregation can fill in a missing
+//! limb from connected joints; the joint-flattening TCN cannot — the same
+//! robustness argument the paper makes for relational models on noisy
+//! Kinetics data.
+//!
+//! ```sh
+//! cargo run --release --example occlusion_robustness
+//! ```
+
+use dhgcn::nn::Module;
+use dhgcn::prelude::*;
+use dhgcn::skeleton::SkeletonDataset as DS;
+
+fn corpus(occlusion: f32, frames: usize) -> DS {
+    let mut cfg = SynthConfig::ntu_like(6, frames);
+    cfg.occlusion_prob = occlusion;
+    DS::generate(&format!("NTU60-like(occ={occlusion})"), cfg, 16, 77)
+}
+
+fn main() {
+    let frames = 20;
+    let train_set = corpus(0.35, frames); // the standard corpus setting
+    let split = train_set.split(Protocol::CrossSubject, 0);
+    let zoo = Zoo::new(train_set.topology.clone(), train_set.n_classes, 7);
+    let config = TrainConfig::fast(14);
+
+    let mut models: Vec<(&str, Box<dyn Module>)> =
+        vec![("DHGCN", Box::new(zoo.dhgcn())), ("TCN", Box::new(zoo.tcn()))];
+    for (name, model) in &mut models {
+        println!("training {name}…");
+        train(model.as_mut(), &train_set, &split.train, Stream::Joint, &config);
+    }
+
+    let levels = [0.0f32, 0.35, 0.7, 1.0];
+    println!("\nocclusion probability →   {}", levels.map(|l| format!("{l:>6.2}")).join(" "));
+    for (name, model) in &models {
+        let mut row = Vec::new();
+        for &occ in &levels {
+            // regenerate the corpus at this occlusion level; the split is
+            // index-compatible because generation is seed-deterministic
+            let shifted = corpus(occ, frames);
+            let r = evaluate(model.as_ref(), &shifted, &split.test, Stream::Joint);
+            row.push(format!("{:>5.1}%", r.top1_pct()));
+        }
+        println!("{name:<24} {}", row.join(" "));
+    }
+    println!("\n(each column evaluates the same trained models on a corpus regenerated");
+    println!(" with that occlusion-burst probability; chance is 16.7%)");
+}

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Re-run the SOTA/fusion tables at the calibrated 24-epoch budget (the
+# kinetics corpus parameters also changed after the first pass).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+# wait for any in-flight first pass to finish
+while pgrep -x table8 >/dev/null 2>&1 || pgrep -x table7 >/dev/null 2>&1; do sleep 5; done
+for n in 7 6 1 5; do
+  echo "=== rerunning table$n ==="
+  ./target/release/table$n
+done
+echo "rerun complete"

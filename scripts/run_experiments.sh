@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Regenerate every evaluation table of the paper (Tabs. 1-8) on the
+# synthetic stand-in corpora. Writes plain-text output to stdout and JSON
+# artefacts to target/experiments/. Takes ~30-45 minutes on one CPU core.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo build --release -p dhg-bench --bins
+for n in 1 2 3 4 5 6 7 8; do
+  echo "=== running table$n ==="
+  ./target/release/table$n
+done
+echo "all tables regenerated; JSON in target/experiments/"

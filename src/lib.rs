@@ -1,0 +1,71 @@
+//! # dhgcn
+//!
+//! A complete Rust reproduction of **"Dynamic Hypergraph Convolutional
+//! Networks for Skeleton-Based Action Recognition"** (Wei et al.) — the
+//! DHGCN model, every substrate it needs (tensor/autograd, hypergraph
+//! operators, skeleton corpora, NN layers), the baseline model zoo, and
+//! the experiment harness that regenerates all eight evaluation tables.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`tensor`] — n-d arrays and reverse-mode autograd.
+//! * [`hypergraph`] — hypergraph/graph operators, k-NN and k-means
+//!   hyperedge construction, dynamic joint weights.
+//! * [`skeleton`] — NTU-25/OpenPose-18 topologies, static hypergraphs,
+//!   the synthetic action corpus and evaluation protocols.
+//! * [`nn`] — layers, SGD, losses, metrics.
+//! * [`core`] — DHGCN and the baseline zoo (ST-GCN, 2s-AGCN/AHGCN,
+//!   PB-GCN/HGCN, Shift-GCN, TCN, LSTM, Lie-feature).
+//! * [`train`] — trainer, evaluator, experiment tables, checkpoints.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use dhgcn::prelude::*;
+//!
+//! // a small synthetic corpus over the real NTU-25 skeleton
+//! let dataset = SkeletonDataset::ntu60_like(6, 12, 16, 42);
+//! let split = dataset.split(Protocol::CrossSubject, 0);
+//!
+//! // the paper's model, scaled for CPU
+//! let mut rng = rand_seed(0);
+//! let dims = ModelDims { in_channels: 3, n_joints: 25, n_classes: 6 };
+//! let mut model = Dhgcn::for_topology(DhgcnConfig::small(dims), &dataset.topology, &mut rng);
+//!
+//! // train and evaluate
+//! let config = TrainConfig::fast(10);
+//! train(&mut model, &dataset, &split.train, Stream::Joint, &config);
+//! let result = evaluate(&model, &dataset, &split.test, Stream::Joint);
+//! println!("Top-1: {:.1}%", result.top1_pct());
+//! ```
+
+pub use dhg_core as core;
+pub use dhg_hypergraph as hypergraph;
+pub use dhg_nn as nn;
+pub use dhg_skeleton as skeleton;
+pub use dhg_tensor as tensor;
+pub use dhg_train as train;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use dhg_core::common::ModelDims;
+    pub use dhg_core::{
+        Agcn, AgcnVariant, BranchConfig, Dhgcn, DhgcnConfig, PartBasedModel, PartConv, ShiftGcn,
+        StGcn, TopologyGranularity, TwoStream,
+    };
+    pub use dhg_hypergraph::{Graph, Hypergraph};
+    pub use dhg_nn::{Module, Sgd, SgdConfig, StepLr};
+    pub use dhg_skeleton::{
+        static_hypergraph, Protocol, SkeletonDataset, SkeletonTopology, Stream, SynthConfig,
+    };
+    pub use dhg_tensor::{NdArray, Tensor};
+    pub use dhg_train::eval::evaluate;
+    pub use dhg_train::trainer::{train, TrainConfig};
+    pub use dhg_train::zoo::Zoo;
+
+    /// A seeded RNG for reproducible model construction.
+    pub fn rand_seed(seed: u64) -> rand::rngs::StdRng {
+        use rand::SeedableRng;
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+}

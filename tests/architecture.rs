@@ -1,0 +1,60 @@
+//! Fig. 5 structure checks: the paper configuration really is the
+//! published architecture (ten DHST blocks, three spatial branches,
+//! k_n = 3 / k_m = 4, two-stream-ready head).
+
+use dhgcn::prelude::*;
+
+#[test]
+fn paper_config_matches_figure_5() {
+    let dims = ModelDims { in_channels: 3, n_joints: 25, n_classes: 60 };
+    let config = DhgcnConfig::paper(dims);
+    assert_eq!(config.stages.len(), 10, "Fig. 5 shows ten DHST blocks");
+    assert_eq!((config.kn, config.km), (3, 4), "Tab. 3 optimum");
+    assert!(config.branches.static_hypergraph);
+    assert!(config.branches.dynamic_joint_weight);
+    assert!(config.branches.dynamic_topology);
+    assert_eq!(config.granularity, TopologyGranularity::PerFrame, "§3.4 is per-frame");
+    // ST-GCN-style width progression: 64 → 128 → 256 with stride-2 entries
+    let widths: Vec<usize> = config.stages.iter().map(|s| s.channels).collect();
+    assert_eq!(widths, vec![64, 64, 64, 64, 128, 128, 128, 256, 256, 256]);
+    let strides: Vec<usize> = config.stages.iter().map(|s| s.stride).collect();
+    assert_eq!(strides.iter().filter(|&&s| s == 2).count(), 2, "two temporal downsamplings");
+}
+
+#[test]
+fn paper_model_constructs_with_millions_of_parameters() {
+    let dims = ModelDims { in_channels: 3, n_joints: 25, n_classes: 60 };
+    let config = DhgcnConfig::paper(dims);
+    let mut rng = rand_seed(0);
+    let model = Dhgcn::for_topology(config, &SkeletonTopology::ntu25(), &mut rng);
+    assert_eq!(model.n_blocks(), 10);
+    let n = model.n_parameters();
+    assert!(
+        (500_000..20_000_000).contains(&n),
+        "paper-scale model should have a deep-net parameter count, got {n}"
+    );
+}
+
+#[test]
+fn scaled_config_preserves_architecture_shape() {
+    // the experiment config is the same architecture, only narrower
+    let dims = ModelDims { in_channels: 3, n_joints: 25, n_classes: 8 };
+    let paper = DhgcnConfig::paper(dims);
+    let small = DhgcnConfig::small(dims);
+    assert_eq!((small.kn, small.km), (paper.kn, paper.km));
+    assert_eq!(small.branches, paper.branches);
+    assert!(small.stages.len() < paper.stages.len());
+    assert!(small.stages.iter().any(|s| s.stride == 2), "keeps temporal downsampling");
+}
+
+#[test]
+fn openpose_variant_constructs_and_runs() {
+    let dims = ModelDims { in_channels: 3, n_joints: 18, n_classes: 400 };
+    let mut config = DhgcnConfig::small(dims);
+    config.stages.truncate(1);
+    let mut rng = rand_seed(1);
+    let model = Dhgcn::for_topology(config, &SkeletonTopology::openpose18(), &mut rng);
+    let x = Tensor::constant(NdArray::ones(&[1, 3, 8, 18]));
+    use dhgcn::nn::Module;
+    assert_eq!(model.forward(&x).shape(), vec![1, 400]);
+}

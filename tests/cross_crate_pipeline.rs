@@ -1,0 +1,117 @@
+//! Cross-crate pipeline tests: data generation → feature streams →
+//! hypergraph operators → models → checkpointing, exercised together.
+
+use dhgcn::hypergraph::{dynamic_operators, knn_hyperedges};
+use dhgcn::nn::Module;
+use dhgcn::prelude::*;
+use dhgcn::skeleton::{batch_samples, bone_stream, normalize_sample};
+use dhgcn::train::checkpoint;
+
+#[test]
+fn full_pipeline_shapes_for_both_topologies() {
+    for (dataset, v) in [
+        (SkeletonDataset::ntu60_like(3, 2, 12, 0), 25usize),
+        (SkeletonDataset::kinetics_like(3, 2, 12, 0), 18),
+    ] {
+        // features
+        let refs: Vec<&dhgcn::skeleton::SkeletonSample> = dataset.samples.iter().collect();
+        let (joint, labels) = batch_samples(&refs, Stream::Joint, &dataset.topology);
+        let (bone, _) = batch_samples(&refs, Stream::Bone, &dataset.topology);
+        assert_eq!(joint.shape(), &[6, 3, 12, v]);
+        assert_eq!(bone.shape(), &[6, 3, 12, v]);
+        assert_eq!(labels.len(), 6);
+
+        // static + dynamic hypergraph operators over the same topology
+        let hg = static_hypergraph(&dataset.topology);
+        assert_eq!(hg.operator().shape(), &[v, v]);
+        let positions = dataset.samples[0].data.permute(&[1, 2, 0]);
+        let ops = dynamic_operators(&hg, &positions);
+        assert_eq!(ops.shape(), &[12, v, v]);
+
+        // model consumes the batch
+        let dims = ModelDims { in_channels: 3, n_joints: v, n_classes: 3 };
+        let mut config = DhgcnConfig::small(dims);
+        config.stages.truncate(2);
+        let model = Dhgcn::for_topology(config, &dataset.topology, &mut rand_seed(0));
+        let logits = model.forward(&Tensor::constant(joint));
+        assert_eq!(logits.shape(), vec![6, 3]);
+    }
+}
+
+#[test]
+fn normalization_commutes_with_bone_extraction() {
+    // bones are differences of joints, so translation normalisation must
+    // not change them (for non-missing joints)
+    let dataset = SkeletonDataset::ntu60_like(2, 2, 10, 1);
+    let topo = &dataset.topology;
+    let raw = &dataset.samples[0].data;
+    let bones_then_norm = bone_stream(&normalize_sample(raw, topo), topo);
+    let bones_direct = bone_stream(raw, topo);
+    assert!(
+        bones_then_norm.allclose(&bones_direct, 1e-4, 1e-4),
+        "bone vectors must be translation invariant"
+    );
+}
+
+#[test]
+fn checkpoint_roundtrip_preserves_model_behaviour() {
+    let dims = ModelDims { in_channels: 3, n_joints: 25, n_classes: 5 };
+    let topo = SkeletonTopology::ntu25();
+    let mut config = DhgcnConfig::small(dims);
+    config.stages.truncate(2);
+    let mut a = Dhgcn::for_topology(config.clone(), &topo, &mut rand_seed(10));
+    a.set_training(false);
+    let x = Tensor::constant(NdArray::from_vec(
+        (0..2 * 3 * 8 * 25).map(|i| (i as f32 * 0.03).sin()).collect(),
+        &[2, 3, 8, 25],
+    ));
+    let before = a.forward(&x).array();
+
+    // serialise, load into a differently-seeded twin, compare behaviour
+    let blob = checkpoint::save(&a);
+    let mut b = Dhgcn::for_topology(config, &topo, &mut rand_seed(999));
+    b.set_training(false);
+    assert!(!b.forward(&x).array().allclose(&before, 1e-4, 1e-4), "twin starts different");
+    checkpoint::load(&b, blob).expect("checkpoint should load into the twin");
+    let after = b.forward(&x).array();
+    assert!(after.allclose(&before, 1e-5, 1e-6), "restored model must match exactly");
+}
+
+#[test]
+fn dynamic_topology_reacts_to_the_sample() {
+    // two samples with different geometry must produce different k-NN
+    // hyperedge sets somewhere
+    let dataset = SkeletonDataset::ntu60_like(6, 2, 10, 2);
+    let v = 25;
+    let frame_coords = |idx: usize| -> Vec<f32> {
+        let s = &dataset.samples[idx].data;
+        let mut out = Vec::with_capacity(v * 3);
+        for j in 0..v {
+            for c in 0..3 {
+                out.push(s.at(&[c, 5, j]));
+            }
+        }
+        out
+    };
+    let a = knn_hyperedges(&frame_coords(0), v, 3, 3);
+    let b = knn_hyperedges(&frame_coords(7), v, 3, 3);
+    assert_ne!(a, b, "different poses should give different dynamic topologies");
+}
+
+#[test]
+fn two_stream_wrapper_runs_end_to_end() {
+    let dataset = SkeletonDataset::ntu60_like(3, 4, 10, 4);
+    let dims = ModelDims { in_channels: 3, n_joints: 25, n_classes: 3 };
+    let mut config = DhgcnConfig::small(dims);
+    config.stages.truncate(1);
+    let joint = Dhgcn::for_topology(config.clone(), &dataset.topology, &mut rand_seed(1));
+    let bone = Dhgcn::for_topology(config, &dataset.topology, &mut rand_seed(2));
+    let mut ts = TwoStream::new(joint, bone);
+    ts.set_training(false);
+    let refs: Vec<&dhgcn::skeleton::SkeletonSample> = dataset.samples.iter().take(3).collect();
+    let (jx, _) = batch_samples(&refs, Stream::Joint, &dataset.topology);
+    let (bx, _) = batch_samples(&refs, Stream::Bone, &dataset.topology);
+    let scores = ts.predict(&Tensor::constant(jx), &Tensor::constant(bx));
+    assert_eq!(scores.shape(), &[3, 3]);
+    assert!(scores.data().iter().all(|v| v.is_finite()));
+}

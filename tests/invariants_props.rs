@@ -1,0 +1,150 @@
+//! Property-based invariants across the workspace: dataset splits,
+//! hypergraph constructions, operators and score fusion under randomly
+//! generated configurations.
+
+use dhgcn::hypergraph::{
+    joint_weights, kmeans_hyperedges, knn_hyperedges, normalize_rows, Hypergraph,
+};
+use dhgcn::prelude::*;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn every_protocol_partitions_the_dataset(
+        n_classes in 2usize..5,
+        per_class in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let dataset = SkeletonDataset::ntu60_like(n_classes, per_class, 8, seed);
+        for protocol in [
+            Protocol::CrossSubject,
+            Protocol::CrossView,
+            Protocol::CrossSetup,
+            Protocol::Random { test_fraction: 0.3 },
+        ] {
+            let split = dataset.split(protocol, seed);
+            let mut all: Vec<usize> = split.train.iter().chain(&split.test).copied().collect();
+            all.sort_unstable();
+            prop_assert_eq!(all, (0..dataset.len()).collect::<Vec<_>>(),
+                "{:?} must partition all samples", protocol);
+        }
+    }
+
+    #[test]
+    fn knn_hyperedges_invariants(
+        points in prop::collection::vec(-5.0f32..5.0, 3 * 8..=3 * 8),
+        kn in 1usize..8,
+    ) {
+        let hg = knn_hyperedges(&points, 8, 3, kn);
+        prop_assert_eq!(hg.n_edges(), 8, "one hyperedge per anchor joint");
+        for (anchor, edge) in hg.edges().iter().enumerate() {
+            prop_assert_eq!(edge.len(), kn, "each hyperedge has k_n members");
+            prop_assert!(edge.contains(&anchor), "anchor {} missing from its edge", anchor);
+        }
+    }
+
+    #[test]
+    fn kmeans_hyperedges_partition(
+        points in prop::collection::vec(-5.0f32..5.0, 3 * 10..=3 * 10),
+        km in 1usize..10,
+        seed in 0u64..100,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let hg = kmeans_hyperedges(&points, 10, 3, km, &mut rng);
+        prop_assert_eq!(hg.n_edges(), km);
+        let mut seen = vec![false; 10];
+        for edge in hg.edges() {
+            prop_assert!(!edge.is_empty(), "clusters are non-empty");
+            for &v in edge {
+                prop_assert!(!seen[v], "vertex {} assigned twice", v);
+                seen[v] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "clusters must cover every vertex");
+    }
+
+    #[test]
+    fn hypergraph_operator_is_symmetric_and_finite(
+        edge_bits in prop::collection::vec(prop::collection::vec(any::<bool>(), 6), 1..5),
+    ) {
+        let edges: Vec<Vec<usize>> = edge_bits
+            .iter()
+            .map(|bits| bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect())
+            .filter(|e: &Vec<usize>| !e.is_empty())
+            .collect();
+        prop_assume!(!edges.is_empty());
+        let hg = Hypergraph::new(6, edges);
+        let op = hg.operator();
+        prop_assert!(op.data().iter().all(|v| v.is_finite()));
+        prop_assert!(op.allclose(&op.transpose_last2(), 1e-5, 1e-6));
+        // matches the independent dense-definition oracle
+        prop_assert!(op.allclose(&hg.operator_dense_reference(), 1e-4, 1e-5));
+    }
+
+    #[test]
+    fn joint_weight_columns_are_distributions(
+        distances in prop::collection::vec(0.0f32..3.0, 5),
+    ) {
+        let hg = Hypergraph::new(5, vec![vec![0, 1, 2], vec![2, 3, 4], vec![0, 4]]);
+        let w = joint_weights(&hg, &distances);
+        for e in 0..hg.n_edges() {
+            let col: f32 = (0..5).map(|v| w.at(&[v, e])).sum();
+            prop_assert!((col - 1.0).abs() < 1e-4, "column {} sums to {}", e, col);
+            for v in 0..5 {
+                prop_assert!(w.at(&[v, e]) >= 0.0, "weights are non-negative");
+            }
+        }
+    }
+
+    #[test]
+    fn row_normalization_is_idempotent(
+        values in prop::collection::vec(0.0f32..2.0, 16),
+    ) {
+        let op = NdArray::from_vec(values, &[4, 4]);
+        let once = normalize_rows(&op);
+        let twice = normalize_rows(&once);
+        prop_assert!(once.allclose(&twice, 1e-5, 1e-6));
+    }
+
+    #[test]
+    fn score_fusion_is_commutative_and_monotone(
+        a in prop::collection::vec(-3.0f32..3.0, 8),
+        b in prop::collection::vec(-3.0f32..3.0, 8),
+    ) {
+        let sa = NdArray::from_vec(a, &[2, 4]);
+        let sb = NdArray::from_vec(b, &[2, 4]);
+        let ab = dhgcn::core::fuse_scores(&sa, &sb);
+        let ba = dhgcn::core::fuse_scores(&sb, &sa);
+        prop_assert!(ab.allclose(&ba, 1e-6, 1e-7), "fusion is order independent");
+        // if both streams agree on the argmax, fusion preserves it
+        let pa = sa.argmax_last();
+        let pb = sb.argmax_last();
+        let pf = ab.argmax_last();
+        for i in 0..2 {
+            if pa[i] == pb[i] {
+                prop_assert_eq!(pf[i], pa[i], "agreeing streams must win fusion");
+            }
+        }
+    }
+
+    #[test]
+    fn generated_samples_are_always_finite(
+        class in 0usize..8,
+        subject in 0usize..40,
+        camera in 0usize..3,
+        seed in 0u64..500,
+    ) {
+        let dataset = SkeletonDataset::ntu60_like(8, 1, 10, seed);
+        let _ = &dataset; // topology source
+        let generator = dhgcn::skeleton::SynthGenerator::new(
+            dhgcn::skeleton::SynthConfig::ntu_like(8, 10),
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let s = generator.sample(class, subject, camera, &mut rng);
+        prop_assert_eq!(s.shape(), &[3, 10, 25]);
+        prop_assert!(s.data().iter().all(|v| v.is_finite()));
+    }
+}
