@@ -1,0 +1,83 @@
+//! Serial-vs-parallel scaling of the two hot paths the ISSUE names:
+//! batched matmul (batch ≥ 8) and the per-frame dynamic-hypergraph
+//! operator stack (T ≥ 32). Each workload runs once pinned to a single
+//! thread and once at every power-of-two count up to the machine width,
+//! so `critcmp`-style comparison of the `threads1` vs `threadsN` lines
+//! reads off the speedup directly (the acceptance bar is ≥ 2× with ≥ 4
+//! threads on the big shapes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dhg_hypergraph::dynamic_operators;
+use dhg_skeleton::{static_hypergraph, SkeletonTopology};
+use dhg_tensor::parallel::with_threads;
+use dhg_tensor::NdArray;
+use std::hint::black_box;
+
+/// 1, 2, 4, … up to the detected machine width (always at least 4 so the
+/// acceptance shape is exercised even when detection fails).
+fn thread_counts() -> Vec<usize> {
+    let width = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).max(4);
+    let mut counts = vec![1];
+    let mut n = 2;
+    while n <= width {
+        counts.push(n);
+        n *= 2;
+    }
+    counts
+}
+
+fn deterministic_array(shape: &[usize], seed: u32) -> NdArray {
+    let n: usize = shape.iter().product();
+    // cheap LCG so the bench needs no RNG crate in its hot setup
+    let mut state = seed as u64 * 2654435761 + 1;
+    let data = (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        })
+        .collect();
+    NdArray::from_vec(data, shape)
+}
+
+fn bench_batched_matmul(c: &mut Criterion) {
+    // the conv-sized workload from the model: batch 8, [64, 600]·[600, 72]
+    let a = deterministic_array(&[8, 64, 600], 1);
+    let b = deterministic_array(&[8, 600, 72], 2);
+    let mut g = c.benchmark_group("parallel_matmul_b8_64x600x72");
+    for threads in thread_counts() {
+        g.bench_with_input(BenchmarkId::new("threads", threads), &threads, |bench, &t| {
+            bench.iter(|| with_threads(t, || black_box(a.matmul(&b))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_dynamic_operators(c: &mut Criterion) {
+    let hg = static_hypergraph(&SkeletonTopology::ntu25());
+    let positions = deterministic_array(&[64, 25, 3], 3).map(|v| v + 1.0); // T = 64 ≥ 32
+    let mut g = c.benchmark_group("parallel_dynamic_operators_t64_v25");
+    for threads in thread_counts() {
+        g.bench_with_input(BenchmarkId::new("threads", threads), &threads, |bench, &t| {
+            bench.iter(|| with_threads(t, || black_box(dynamic_operators(&hg, &positions))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_dense_matmul_regression(c: &mut Criterion) {
+    // satellite guard: the density probe must not slow the dense path —
+    // this single-threaded dense shape tracks the pre-gate baseline
+    let a = deterministic_array(&[1, 128, 256], 4);
+    let b = deterministic_array(&[1, 256, 128], 5);
+    c.bench_function("dense_matmul_gate_regression_128x256x128", |bench| {
+        bench.iter(|| with_threads(1, || black_box(a.matmul(&b))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_batched_matmul,
+    bench_dynamic_operators,
+    bench_dense_matmul_regression
+);
+criterion_main!(benches);

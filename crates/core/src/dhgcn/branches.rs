@@ -10,6 +10,26 @@ use rand::{Rng, SeedableRng};
 
 use super::model::TopologyGranularity;
 
+/// Build the union k-NN/k-means hypergraph operator for one set of
+/// coordinates (`coords` is `[V, D]` row-major). The k-means initialisation
+/// is reseeded per call, so identical coordinates always give the same
+/// topology — the operator is a deterministic function of the data, not of
+/// the training-iteration order (which also makes the per-sample and
+/// per-frame loops safe to shard across threads).
+fn union_topology_operator(
+    coords: &[f32],
+    v: usize,
+    d: usize,
+    kn: usize,
+    km: usize,
+    seed: u64,
+) -> NdArray {
+    let knn = knn_hyperedges(coords, v, d, kn.min(v));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let kmeans = kmeans_hyperedges(coords, v, d, km.min(v), &mut rng);
+    knn.union(&kmeans).operator()
+}
+
 /// Branch 1 — static hypergraph convolution (Eq. 5): a fixed `[V, V]`
 /// operator, modulated by ST-GCN's learnable edge-importance mask `M`
 /// (applied elementwise, initialised to ones), followed by a pointwise Θ.
@@ -140,18 +160,6 @@ impl TopologyBranch {
         (self.kn, self.km)
     }
 
-    /// Build the union hypergraph operator for one set of coordinates
-    /// (`coords` is `[V, D]` row-major). The k-means initialisation is
-    /// reseeded per call, so identical coordinates always give the same
-    /// topology — the operator is a deterministic function of the data,
-    /// not of the training-iteration order.
-    fn operator_for(&self, coords: &[f32], v: usize, d: usize) -> NdArray {
-        let knn = knn_hyperedges(coords, v, d, self.kn.min(v));
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let km = kmeans_hyperedges(coords, v, d, self.km.min(v), &mut rng);
-        knn.union(&km).operator()
-    }
-
     /// Forward `[N, C, T, V] → [N, C_out, T, V]`.
     pub fn forward(&self, x: &Tensor) -> Tensor {
         // Eq. 10: X_new = σ(W_map · f_in)
@@ -161,34 +169,35 @@ impl TopologyBranch {
         debug_assert_eq!(e, self.embed_channels);
         // coordinates for topology construction: detached embedded features
         let feats = embedded.data().permute(&[0, 2, 3, 1]); // [N, T, V, E]
+        // the branch itself holds Rc tensors and is thread-confined, so the
+        // sharded closures capture only these Copy hyper-parameters
+        let (kn, km, seed) = (self.kn, self.km, self.seed);
         let mixed = match self.granularity {
             TopologyGranularity::PerSample => {
-                // time-average the embedding, one hypergraph per sample
+                // time-average the embedding, one hypergraph per sample;
+                // samples are independent, so shard them over the pool
                 let mean = feats.mean_axes(&[1], false); // [N, V, E]
-                let mut ops = Vec::with_capacity(n);
-                for ni in 0..n {
+                let mut stacked = NdArray::zeros(&[n, v, v]);
+                let work = n * v * v * (e + kn + km + 8);
+                dhg_tensor::parallel::for_each_block(stacked.data_mut(), v * v, work, |ni, blk| {
                     let coords = &mean.data()[ni * v * e..(ni + 1) * v * e];
-                    ops.push(self.operator_for(coords, v, e).reshape(&[1, v, v]));
-                }
-                let refs: Vec<&NdArray> = ops.iter().collect();
-                let op = Tensor::constant(NdArray::concat(&refs, 0))
-                    .mul(&self.importance)
-                    .add(&self.learned);
+                    blk.copy_from_slice(union_topology_operator(coords, v, e, kn, km, seed).data());
+                });
+                let op = Tensor::constant(stacked).mul(&self.importance).add(&self.learned);
                 apply_per_sample_vertex_op(&embedded, &op)
             }
             TopologyGranularity::PerFrame => {
-                let mut ops = Vec::with_capacity(n * t);
-                for ni in 0..n {
-                    for ti in 0..t {
-                        let base = (ni * t + ti) * v * e;
-                        let coords = &feats.data()[base..base + v * e];
-                        ops.push(self.operator_for(coords, v, e).reshape(&[1, 1, v, v]));
-                    }
-                }
-                let refs: Vec<&NdArray> = ops.iter().collect();
-                let stacked = Tensor::constant(NdArray::concat(&refs, 1).reshape(&[n, t, v, v]))
-                    .mul(&self.importance)
-                    .add(&self.learned);
+                // one hypergraph per (sample, frame) pair, sharded likewise;
+                // block index ni·t + ti matches the [N, T, V, E] layout
+                let mut stacked = NdArray::zeros(&[n, t, v, v]);
+                let work = n * t * v * v * (e + kn + km + 8);
+                dhg_tensor::parallel::for_each_block(stacked.data_mut(), v * v, work, |item, blk| {
+                    let base = item * v * e;
+                    let coords = &feats.data()[base..base + v * e];
+                    blk.copy_from_slice(union_topology_operator(coords, v, e, kn, km, seed).data());
+                });
+                let stacked =
+                    Tensor::constant(stacked).mul(&self.importance).add(&self.learned);
                 apply_dynamic_vertex_op(&embedded, &stacked)
             }
         };

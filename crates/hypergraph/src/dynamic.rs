@@ -107,14 +107,17 @@ pub fn normalize_rows(op: &NdArray) -> NdArray {
 pub fn dynamic_operators(hg: &Hypergraph, positions: &NdArray) -> NdArray {
     let dis = moving_distance(positions);
     let (t, v) = (dis.shape()[0], dis.shape()[1]);
-    let mut frames = Vec::with_capacity(t);
-    for ti in 0..t {
+    let mut out = NdArray::zeros(&[t, v, v]);
+    // frames are independent, so shard them over the worker pool; each
+    // frame's [V, V] block is written by exactly one closure call, keeping
+    // the result bitwise identical to the serial loop at any thread count
+    let work = t * v * v * hg.n_edges().max(1);
+    dhg_tensor::parallel::for_each_block(out.data_mut(), v * v, work, |ti, blk| {
         let row = &dis.data()[ti * v..(ti + 1) * v];
         let op = normalize_rows(&weighted_incidence_operator(hg, row));
-        frames.push(op.reshape(&[1, v, v]));
-    }
-    let refs: Vec<&NdArray> = frames.iter().collect();
-    NdArray::concat(&refs, 0)
+        blk.copy_from_slice(op.data());
+    });
+    out
 }
 
 #[cfg(test)]

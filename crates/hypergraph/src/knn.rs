@@ -24,20 +24,22 @@ pub fn knn_hyperedges(coords: &[f32], n_vertices: usize, dim: usize, kn: usize) 
     assert_eq!(coords.len(), n_vertices * dim, "coords must be [n_vertices, dim]");
     assert!(kn >= 1, "k_n must be at least 1");
     assert!(kn <= n_vertices, "k_n = {kn} exceeds vertex count {n_vertices}");
-    let mut edges = Vec::with_capacity(n_vertices);
-    let mut order: Vec<usize> = Vec::with_capacity(n_vertices);
-    for i in 0..n_vertices {
+    // each anchor's neighbour search is independent; the partial sort is
+    // deterministic (ties broken by index), so sharding anchors over the
+    // worker pool returns the same edge set at any thread count
+    let work = n_vertices * n_vertices * (dim + 4);
+    let edges = dhg_tensor::parallel::parallel_map(n_vertices, work, |i| {
         let pi = &coords[i * dim..(i + 1) * dim];
-        order.clear();
-        order.extend(0..n_vertices);
+        let mut order: Vec<usize> = (0..n_vertices).collect();
         // partial sort: the kn smallest by (distance, index)
         order.select_nth_unstable_by(kn - 1, |&a, &b| {
             let da = dist2(&coords[a * dim..(a + 1) * dim], pi);
             let db = dist2(&coords[b * dim..(b + 1) * dim], pi);
             da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
         });
-        edges.push(order[..kn].to_vec());
-    }
+        order.truncate(kn);
+        order
+    });
     Hypergraph::new(n_vertices, edges)
 }
 

@@ -62,15 +62,21 @@ impl Module for BatchNorm2d {
             let mean = x.mean_axes(&[0, 2, 3], true); // [1, C, 1, 1]
             let centred = x.sub(&mean);
             let var = centred.square().mean_axes(&[0, 2, 3], true);
-            // update running stats outside the graph
+            // update running stats outside the graph; the batch itself is
+            // normalised with the biased variance (standard BN), but the
+            // running estimate used at eval time takes Bessel's correction
+            // n/(n−1) over the N·H·W reduction count so it is an unbiased
+            // estimator of the population variance
             {
                 let m = self.momentum;
+                let count = (shape[0] * shape[2] * shape[3]) as f32;
+                let bessel = if count > 1.0 { count / (count - 1.0) } else { 1.0 };
                 let mean_a = mean.array().reshape(&[self.channels]);
                 let var_a = var.array().reshape(&[self.channels]);
                 let mut rm = self.running_mean.borrow_mut();
                 let mut rv = self.running_var.borrow_mut();
                 *rm = rm.mul_scalar(1.0 - m).add(&mean_a.mul_scalar(m));
-                *rv = rv.mul_scalar(1.0 - m).add(&var_a.mul_scalar(m));
+                *rv = rv.mul_scalar(1.0 - m).add(&var_a.mul_scalar(m * bessel));
             }
             let denom = var.add_scalar(self.eps).sqrt();
             let xhat = centred.div(&denom);
@@ -137,6 +143,39 @@ mod tests {
         let before = bn.running_mean();
         bn.forward(&x);
         assert_eq!(bn.running_mean(), before);
+    }
+
+    #[test]
+    fn running_var_uses_bessel_correction() {
+        // hand-computed case: x = [1, 2, 3, 4] as [N=2, C=1, H=1, W=2]
+        // reduction count n = N·H·W = 4, mean = 2.5
+        // biased var  = (1.5² + 0.5² + 0.5² + 1.5²)/4 = 1.25  (normalises the batch)
+        // unbiased    = 5/4 · 4/3 = 5/3                        (feeds the running stat)
+        let bn = BatchNorm2d::new(1);
+        let x = Tensor::constant(NdArray::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 1, 1, 2]));
+        let y = bn.forward(&x).array();
+        // the batch itself is still normalised with the *biased* variance
+        let denom = (1.25f32 + 1e-5).sqrt();
+        for (got, xv) in y.data().iter().zip([1.0f32, 2.0, 3.0, 4.0]) {
+            assert!((got - (xv - 2.5) / denom).abs() < 1e-6, "{got} vs {xv}");
+        }
+        // running stats start at (0, 1) with momentum 0.1:
+        // rm = 0.9·0 + 0.1·2.5 = 0.25
+        // rv = 0.9·1 + 0.1·(5/3) ≈ 1.0666667   (1.025 would be the biased bug)
+        assert!((bn.running_mean().data()[0] - 0.25).abs() < 1e-6);
+        assert!((bn.running_var().data()[0] - (0.9 + 0.1 * 5.0 / 3.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_element_reduction_skips_bessel() {
+        // n = N·H·W = 1 would divide by zero; the update must fall back to
+        // the biased estimate (which is 0 variance here) without NaN
+        let bn = BatchNorm2d::new(1);
+        let x = Tensor::constant(NdArray::from_vec(vec![3.0], &[1, 1, 1, 1]));
+        bn.forward(&x);
+        let rv = bn.running_var().data()[0];
+        assert!(rv.is_finite(), "running_var became {rv}");
+        assert!((rv - 0.9).abs() < 1e-6); // 0.9·1 + 0.1·0
     }
 
     #[test]

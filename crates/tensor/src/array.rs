@@ -575,6 +575,14 @@ impl NdArray {
     /// Batched matrix multiplication with broadcasting over leading
     /// dimensions. `self: [..., m, k]`, `other: [..., k, n]` →
     /// `[broadcast(...), m, n]`. Rank-2 inputs are ordinary matmul.
+    ///
+    /// Output rows are sharded over the worker pool (see
+    /// [`crate::parallel`]): each `(batch, row)` pair is computed by exactly
+    /// one thread with the serial `ikj` loop, so the result is bitwise
+    /// identical at every thread count. A density probe on `self` keeps the
+    /// zero-skip fast path for sparse operators (hypergraph incidence
+    /// products are mostly zeros) without branching per element on dense
+    /// conv workloads.
     pub fn matmul(&self, other: &Self) -> Self {
         assert!(self.ndim() >= 2 && other.ndim() >= 2, "matmul needs rank >= 2");
         let (m, k1) = (self.shape[self.ndim() - 2], self.shape[self.ndim() - 1]);
@@ -599,31 +607,16 @@ impl NdArray {
         out_shape.push(m);
         out_shape.push(n);
         let mut out = vec![0.0f32; nb * m * n];
+        // walk the broadcast odometer once to precompute each batch's
+        // operand offsets; workers then index instead of iterating
         let nd = batch.len();
+        let mut abases = Vec::with_capacity(nb);
+        let mut bbases = Vec::with_capacity(nb);
         let mut idx = vec![0usize; nd];
         let (mut oa, mut ob) = (0usize, 0usize);
-        for b in 0..nb {
-            let abase = oa * ea;
-            let bbase = ob * eb;
-            let obase = b * m * n;
-            let a = &self.data[abase..abase + ea];
-            let bm = &other.data[bbase..bbase + eb];
-            let o = &mut out[obase..obase + m * n];
-            // ikj loop order: inner loop is over contiguous rows of b/out.
-            for i in 0..m {
-                let arow = &a[i * k1..(i + 1) * k1];
-                let orow = &mut o[i * n..(i + 1) * n];
-                for (p, &av) in arow.iter().enumerate() {
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let brow = &bm[p * n..(p + 1) * n];
-                    for (ov, &bv) in orow.iter_mut().zip(brow) {
-                        *ov += av * bv;
-                    }
-                }
-            }
-            // advance batch odometer
+        for _ in 0..nb {
+            abases.push(oa * ea);
+            bbases.push(ob * eb);
             for d in (0..nd).rev() {
                 idx[d] += 1;
                 oa += sa[d];
@@ -636,6 +629,18 @@ impl NdArray {
                 ob -= sb[d] * batch[d];
             }
         }
+        let skip_zeros = m > 0 && mostly_zero(&self.data);
+        let work = nb
+            .saturating_mul(m)
+            .saturating_mul(n)
+            .saturating_mul(k1.max(1));
+        crate::parallel::for_each_block(&mut out, n.max(1), work, |item, orow| {
+            let (b, i) = (item / m, item % m);
+            let abase = abases[b];
+            let arow = &self.data[abase + i * k1..abase + (i + 1) * k1];
+            let bm = &other.data[bbases[b]..bbases[b] + eb];
+            matmul_row(arow, bm, orow, n, skip_zeros);
+        });
         NdArray { shape: out_shape, data: out }
     }
 
@@ -646,6 +651,10 @@ impl NdArray {
     /// Unfold `[N, C, H, W]` into column form `[N, C*kh*kw, Ho*Wo]` so that
     /// convolution becomes a batched matmul with the `[Cout, C*kh*kw]`
     /// weight matrix. Out-of-bounds (padding) positions read as zero.
+    ///
+    /// The `[Ho*Wo]`-long output rows (one per `(batch, channel, kernel
+    /// tap)`) are independent, so they are sharded over the worker pool;
+    /// see [`crate::parallel`] for the determinism contract.
     #[allow(clippy::too_many_arguments)]
     pub fn im2col(&self, kh: usize, kw: usize, sh: usize, sw: usize, ph: usize, pw: usize, dh: usize, dw: usize) -> Self {
         assert_eq!(self.ndim(), 4, "im2col expects [N, C, H, W]");
@@ -653,41 +662,42 @@ impl NdArray {
         let (ho, wo) = conv_out_size(h, w, kh, kw, sh, sw, ph, pw, dh, dw);
         let l = ho * wo;
         let ckk = c * kh * kw;
+        let kk = kh * kw;
         let mut out = vec![0.0f32; n * ckk * l];
-        for b in 0..n {
-            let src_b = b * c * h * w;
-            let dst_b = b * ckk * l;
-            for ci in 0..c {
-                let src_c = src_b + ci * h * w;
-                for ki in 0..kh {
-                    for kj in 0..kw {
-                        let row = (ci * kh + ki) * kw + kj;
-                        let dst_row = dst_b + row * l;
-                        for y in 0..ho {
-                            let iy = (y * sh + ki * dh) as isize - ph as isize;
-                            if iy < 0 || iy >= h as isize {
-                                continue;
-                            }
-                            let src_y = src_c + iy as usize * w;
-                            let dst_y = dst_row + y * wo;
-                            for x in 0..wo {
-                                let ix = (x * sw + kj * dw) as isize - pw as isize;
-                                if ix < 0 || ix >= w as isize {
-                                    continue;
-                                }
-                                out[dst_y + x] = self.data[src_y + ix as usize];
-                            }
-                        }
+        let work = n * ckk * l;
+        crate::parallel::for_each_block(&mut out, l.max(1), work, |item, row_out| {
+            // item indexes the (batch, channel, kernel-tap) row
+            let (b, row) = (item / ckk, item % ckk);
+            let (ci, tap) = (row / kk, row % kk);
+            let (ki, kj) = (tap / kw, tap % kw);
+            let src_c = (b * c + ci) * h * w;
+            for y in 0..ho {
+                let iy = (y * sh + ki * dh) as isize - ph as isize;
+                if iy < 0 || iy >= h as isize {
+                    continue;
+                }
+                let src_y = src_c + iy as usize * w;
+                let dst_y = y * wo;
+                for x in 0..wo {
+                    let ix = (x * sw + kj * dw) as isize - pw as isize;
+                    if ix < 0 || ix >= w as isize {
+                        continue;
                     }
+                    row_out[dst_y + x] = self.data[src_y + ix as usize];
                 }
             }
-        }
+        });
         NdArray { shape: vec![n, ckk, l], data: out }
     }
 
     /// Fold column form `[N, C*kh*kw, Ho*Wo]` back to `[N, C, H, W]`,
     /// accumulating overlapping contributions. This is the adjoint of
     /// [`NdArray::im2col`] and therefore its gradient.
+    ///
+    /// Kernel taps of the *same* `(batch, channel)` overlap in the output,
+    /// so the shard unit is one `[H, W]` channel plane: each plane is
+    /// accumulated by one thread in the serial tap order, keeping the
+    /// result bitwise identical to the serial path.
     #[allow(clippy::too_many_arguments)]
     pub fn col2im(&self, c: usize, h: usize, w: usize, kh: usize, kw: usize, sh: usize, sw: usize, ph: usize, pw: usize, dh: usize, dw: usize) -> Self {
         assert_eq!(self.ndim(), 3, "col2im expects [N, C*kh*kw, L]");
@@ -698,34 +708,33 @@ impl NdArray {
         assert_eq!(self.shape[2], l, "col2im spatial mismatch");
         let ckk = c * kh * kw;
         let mut out = vec![0.0f32; n * c * h * w];
-        for b in 0..n {
+        let work = n * ckk * l;
+        crate::parallel::for_each_block(&mut out, (h * w).max(1), work, |item, plane| {
+            // item indexes the (batch, channel) output plane
+            let (b, ci) = (item / c, item % c);
             let src_b = b * ckk * l;
-            let dst_b = b * c * h * w;
-            for ci in 0..c {
-                let dst_c = dst_b + ci * h * w;
-                for ki in 0..kh {
-                    for kj in 0..kw {
-                        let row = (ci * kh + ki) * kw + kj;
-                        let src_row = src_b + row * l;
-                        for y in 0..ho {
-                            let iy = (y * sh + ki * dh) as isize - ph as isize;
-                            if iy < 0 || iy >= h as isize {
+            for ki in 0..kh {
+                for kj in 0..kw {
+                    let row = (ci * kh + ki) * kw + kj;
+                    let src_row = src_b + row * l;
+                    for y in 0..ho {
+                        let iy = (y * sh + ki * dh) as isize - ph as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let dst_y = iy as usize * w;
+                        let src_y = src_row + y * wo;
+                        for x in 0..wo {
+                            let ix = (x * sw + kj * dw) as isize - pw as isize;
+                            if ix < 0 || ix >= w as isize {
                                 continue;
                             }
-                            let dst_y = dst_c + iy as usize * w;
-                            let src_y = src_row + y * wo;
-                            for x in 0..wo {
-                                let ix = (x * sw + kj * dw) as isize - pw as isize;
-                                if ix < 0 || ix >= w as isize {
-                                    continue;
-                                }
-                                out[dst_y + ix as usize] += self.data[src_y + x];
-                            }
+                            plane[dst_y + ix as usize] += self.data[src_y + x];
                         }
                     }
                 }
             }
-        }
+        });
         NdArray { shape: vec![n, c, h, w], data: out }
     }
 
@@ -742,6 +751,42 @@ impl NdArray {
                 .iter()
                 .zip(&other.data)
                 .all(|(&a, &b)| (a - b).abs() <= atol + rtol * b.abs())
+    }
+}
+
+/// Whether more than half of `data` is exactly zero — the density probe
+/// that decides between the dense inner loop and the zero-skipping one in
+/// [`NdArray::matmul`]. Hypergraph operators (`H`-products, `Imp·Impᵀ`
+/// factors) are mostly zeros and win with the skip; im2col'd conv inputs
+/// and weights are dense and lose to the per-element branch.
+fn mostly_zero(data: &[f32]) -> bool {
+    let zeros = data.iter().filter(|&&v| v == 0.0).count();
+    zeros * 2 > data.len()
+}
+
+/// One output row of the `ikj` matmul kernel: `orow += arow · bm` where
+/// `bm` is the `[k, n]` right-hand matrix. Shared by the serial and
+/// parallel paths so both make identical per-element decisions — this is
+/// what makes the parallel result bitwise equal to the serial one.
+#[inline]
+fn matmul_row(arow: &[f32], bm: &[f32], orow: &mut [f32], n: usize, skip_zeros: bool) {
+    if skip_zeros {
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bm[p * n..(p + 1) * n];
+            for (ov, &bv) in orow.iter_mut().zip(brow) {
+                *ov += av * bv;
+            }
+        }
+    } else {
+        for (p, &av) in arow.iter().enumerate() {
+            let brow = &bm[p * n..(p + 1) * n];
+            for (ov, &bv) in orow.iter_mut().zip(brow) {
+                *ov += av * bv;
+            }
+        }
     }
 }
 

@@ -28,6 +28,7 @@ pub mod array;
 pub mod autograd;
 pub mod gradcheck;
 pub mod ops;
+pub mod parallel;
 
 pub use array::NdArray;
 pub use autograd::Tensor;

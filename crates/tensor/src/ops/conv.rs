@@ -24,7 +24,17 @@ pub struct Conv2dSpec {
 impl Conv2dSpec {
     /// A `k × 1` temporal convolution over `[N, C, T, V]` with "same"
     /// padding at stride 1 (the DHST temporal module; paper fixes `k = 3`).
+    ///
+    /// Panics on even `kernel_t`: the "same" padding `dilation·(k−1)/2` is
+    /// only exact for odd kernels — an even kernel would silently shrink
+    /// `T` by `dilation` every block, corrupting the temporal stream.
     pub fn temporal(kernel_t: usize, stride_t: usize, dilation_t: usize) -> Self {
+        assert!(
+            kernel_t % 2 == 1,
+            "Conv2dSpec::temporal requires an odd kernel_t (got {kernel_t}): \
+             'same' padding dilation*(k-1)/2 cannot preserve T for even kernels \
+             (the paper fixes k = 3)"
+        );
         let pad_t = dilation_t * (kernel_t - 1) / 2;
         Conv2dSpec {
             kernel: (kernel_t, 1),
@@ -155,6 +165,25 @@ mod tests {
         // stride 2 halves it
         let y3 = x.conv2d(&w, None, Conv2dSpec::temporal(3, 2, 1));
         assert_eq!(y3.shape(), vec![2, 4, 4, 25]);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd kernel_t")]
+    fn temporal_even_kernel_panics() {
+        Conv2dSpec::temporal(4, 1, 1);
+    }
+
+    #[test]
+    fn temporal_same_padding_preserves_t_across_dilations() {
+        // the regression the padding bug would break: stride-1 "same"
+        // temporal convs must keep T exactly, whatever the dilation
+        let x = Tensor::constant(NdArray::ones(&[1, 2, 16, 5]));
+        let w = Tensor::constant(NdArray::zeros(&[2, 2, 3, 1]));
+        for dilation in 1..=4 {
+            let spec = Conv2dSpec::temporal(3, 1, dilation);
+            let y = x.conv2d(&w, None, spec);
+            assert_eq!(y.shape(), vec![1, 2, 16, 5], "dilation {dilation} changed T");
+        }
     }
 
     #[test]

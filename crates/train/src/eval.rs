@@ -39,13 +39,23 @@ pub fn score(
     batch_size: usize,
 ) -> (NdArray, Vec<usize>) {
     assert!(!indices.is_empty(), "empty evaluation split");
-    let mut score_chunks: Vec<NdArray> = Vec::new();
+    // batch assembly (normalisation + stream transform) is pure data work
+    // and shards over the worker pool; the forward passes stay on the
+    // calling thread — autograd tensors are `Rc`-based and thread-confined
+    // — but their hot kernels (matmul, im2col, dynamic operators) shard
+    // internally, so evaluation still scales with DHGCN_THREADS
+    let chunks: Vec<&[usize]> = indices.chunks(batch_size).collect();
+    let sample_len = dataset.samples[indices[0]].data.data().len();
+    let work = indices.len() * sample_len * 8;
+    let batches = dhg_tensor::parallel::parallel_map(chunks.len(), work, |ci| {
+        let refs: Vec<&SkeletonSample> =
+            chunks[ci].iter().map(|&i| &dataset.samples[i]).collect();
+        batch_samples(&refs, stream, &dataset.topology)
+    });
+    let mut score_chunks: Vec<NdArray> = Vec::with_capacity(chunks.len());
     let mut labels = Vec::with_capacity(indices.len());
-    for chunk in indices.chunks(batch_size) {
-        let refs: Vec<&SkeletonSample> = chunk.iter().map(|&i| &dataset.samples[i]).collect();
-        let (x, batch_labels) = batch_samples(&refs, stream, &dataset.topology);
-        let logits = model.forward(&Tensor::constant(x)).array();
-        score_chunks.push(logits);
+    for (x, batch_labels) in batches {
+        score_chunks.push(model.forward(&Tensor::constant(x)).array());
         labels.extend(batch_labels);
     }
     let refs: Vec<&NdArray> = score_chunks.iter().collect();

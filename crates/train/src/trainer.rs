@@ -87,9 +87,18 @@ pub fn train(
         let mut loss_sum = 0.0f32;
         let mut batches = 0usize;
         let last_epoch = epoch + 1 == config.epochs;
-        for chunk in order.chunks(config.batch_size) {
-            let refs: Vec<&SkeletonSample> = chunk.iter().map(|&i| &dataset.samples[i]).collect();
-            let (x, labels) = batch_samples(&refs, stream, &dataset.topology);
+        // pre-assemble the epoch's minibatches in parallel (pure data
+        // work); the forward/backward loop below is serial because the
+        // autograd graph is `Rc`-based, but its kernels shard internally
+        let chunks: Vec<&[usize]> = order.chunks(config.batch_size).collect();
+        let sample_len = dataset.samples[order[0]].data.data().len();
+        let work = order.len() * sample_len * 8;
+        let prepared = dhg_tensor::parallel::parallel_map(chunks.len(), work, |ci| {
+            let refs: Vec<&SkeletonSample> =
+                chunks[ci].iter().map(|&i| &dataset.samples[i]).collect();
+            batch_samples(&refs, stream, &dataset.topology)
+        });
+        for (x, labels) in prepared {
             let input = Tensor::constant(x);
             let logits = model.forward(&input);
             let loss = logits.cross_entropy(&labels);

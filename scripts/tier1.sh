@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything that must stay green on every change.
+#   1. release build of the whole workspace
+#   2. the full test suite (unit + integration + property tests)
+#   3. clippy with warnings denied
+#   4. a smoke pass over the criterion benches (--test runs each bench
+#      once without measuring, catching bit-rot in bench code)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier1: cargo build --release =="
+cargo build --workspace --release
+
+echo "== tier1: cargo test =="
+cargo test -q --workspace
+
+echo "== tier1: clippy -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier1: bench smoke (compile + single pass, no measurement) =="
+cargo bench -p dhg-bench -- --test
+
+echo "== tier1: OK =="
