@@ -1,0 +1,62 @@
+//! Serving-path latency: the same DHGCN-lite batch pushed through the
+//! three execution modes — grad-recording eval-mode `forward`, the default
+//! `no_grad` fallback, and the compiled inference path (Conv+BN folded,
+//! fused hypergraph operator cached, workspace-recycled buffers).
+//!
+//! The setup asserts the mode contract before measuring anything: the
+//! no_grad path is bitwise identical to the grad path, and the folded path
+//! agrees within 1e-5 per logit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dhg_nn::Module;
+use dhg_skeleton::SkeletonTopology;
+use dhg_tensor::{NdArray, Tensor, Workspace};
+use dhg_train::zoo::Zoo;
+use std::hint::black_box;
+
+fn batch() -> Tensor {
+    Tensor::constant(NdArray::from_vec(
+        (0..8 * 3 * 24 * 25).map(|i| (i as f32 * 0.011).sin()).collect(),
+        &[8, 3, 24, 25],
+    ))
+}
+
+fn bench_inference_latency(c: &mut Criterion) {
+    let zoo = Zoo::new(SkeletonTopology::ntu25(), 8, 0);
+    let mut model = zoo.dhgcn_lite();
+    let x = batch();
+    model.forward(&x); // move BN running stats off their init values
+    model.set_training(false);
+
+    // the contract the comparison rides on
+    let grad_logits = model.forward(&x).array();
+    let mut ws = Workspace::new();
+    let no_grad_logits = model.forward_inference(&x, &mut ws).array();
+    assert_eq!(grad_logits, no_grad_logits, "no_grad fallback must be bitwise identical");
+    model.prepare_inference();
+    let folded_logits = model.forward_inference(&x, &mut ws).array();
+    assert!(
+        grad_logits.allclose(&folded_logits, 1e-4, 1e-5),
+        "folded logits drifted past tolerance"
+    );
+
+    let mut group = c.benchmark_group("inference_latency_b8_t24");
+    group.bench_function("grad_eval", |b| b.iter(|| black_box(model.forward(&x))));
+    group.bench_function("no_grad", |b| {
+        b.iter(|| {
+            let _guard = dhg_tensor::no_grad();
+            black_box(model.forward(&x))
+        })
+    });
+    group.bench_function("folded", |b| {
+        b.iter(|| black_box(model.forward_inference(&x, &mut ws)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_inference_latency
+);
+criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! 2s-AGCN [29] and its hypergraph variant 2s-AHGCN (Tab. 1).
+//! 2s-AGCN \[29\] and its hypergraph variant 2s-AHGCN (Tab. 1).
 //!
 //! The adaptive operator of each block is `base + B + C`:
 //!
@@ -11,7 +11,7 @@
 
 use crate::common::{apply_per_sample_vertex_op, ModelDims, StageSpec};
 use crate::tcn::TemporalConv;
-use dhg_nn::{global_avg_pool, BatchNorm2d, Conv2d, Linear, Module};
+use dhg_nn::{global_avg_pool, BatchNorm2d, Buffer, Conv2d, Linear, Module};
 use dhg_tensor::ops::Conv2dSpec;
 use dhg_tensor::{NdArray, Tensor};
 use rand::Rng;
@@ -121,6 +121,12 @@ impl Module for AgcnBlock {
         ps
     }
 
+    fn buffers(&self) -> Vec<Buffer> {
+        let mut bs = self.bn.buffers();
+        bs.extend(self.tcn.buffers());
+        bs
+    }
+
     fn set_training(&mut self, training: bool) {
         self.bn.set_training(training);
         self.tcn.set_training(training);
@@ -188,6 +194,14 @@ impl Module for Agcn {
         }
         ps.extend(self.fc.parameters());
         ps
+    }
+
+    fn buffers(&self) -> Vec<Buffer> {
+        let mut bs = self.input_bn.buffers();
+        for b in &self.blocks {
+            bs.extend(b.buffers());
+        }
+        bs
     }
 
     fn set_training(&mut self, training: bool) {

@@ -1,6 +1,6 @@
 //! Shared machinery of every spatial (hyper)graph convolution.
 
-use dhg_tensor::Tensor;
+use dhg_tensor::{parallel, NdArray, Tensor, Workspace};
 
 /// The geometry every model in the zoo is built for.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -89,6 +89,78 @@ pub fn apply_dynamic_vertex_op(x: &Tensor, op: &Tensor) -> Tensor {
     yp.permute(&[0, 3, 1, 2])
 }
 
+/// Shared inner loop of the grad-free vertex-mixing kernels: every output
+/// row `y[n,c,t,:]` is a `[V, V]` operator block (selected by
+/// `op_offset(n, t)` into `opd`) applied to the matching input row. The
+/// output buffer comes from the workspace, so steady-state inference
+/// allocates nothing.
+fn mix_vertices_eval(
+    x: &NdArray,
+    opd: &[f32],
+    op_offset: impl Fn(usize, usize) -> usize + Sync,
+    ws: &mut Workspace,
+) -> NdArray {
+    let s = x.shape();
+    let (n, c, t, v) = (s[0], s[1], s[2], s[3]);
+    let mut out = ws.take(n * c * t * v);
+    let xd = x.data();
+    let work = n * c * t * v * v;
+    parallel::for_each_block(&mut out, v, work, |item, row| {
+        let ti = item % t;
+        let ni = item / (c * t);
+        let xrow = &xd[item * v..(item + 1) * v];
+        let base = op_offset(ni, ti);
+        for (vi, o) in row.iter_mut().enumerate() {
+            let oprow = &opd[base + vi * v..base + (vi + 1) * v];
+            let mut acc = 0.0;
+            for (a, b) in oprow.iter().zip(xrow) {
+                acc += a * b;
+            }
+            *o = acc;
+        }
+    });
+    NdArray::from_vec(out, &[n, c, t, v])
+}
+
+/// Grad-free [`apply_vertex_op`]: shared `[V, V]` operator on raw arrays.
+pub fn apply_vertex_op_eval(x: &NdArray, op: &NdArray, ws: &mut Workspace) -> NdArray {
+    let v = x.shape()[3];
+    assert_eq!(op.shape(), &[v, v], "operator must be [V, V]");
+    mix_vertices_eval(x, op.data(), |_, _| 0, ws)
+}
+
+/// Grad-free [`apply_per_sample_vertex_op`]: `op` is `[N, V, V]`.
+pub fn apply_per_sample_vertex_op_eval(x: &NdArray, op: &NdArray, ws: &mut Workspace) -> NdArray {
+    let s = x.shape();
+    let (n, v) = (s[0], s[3]);
+    assert_eq!(op.shape(), &[n, v, v], "operator must be [N, V, V]");
+    mix_vertices_eval(x, op.data(), move |ni, _| ni * v * v, ws)
+}
+
+/// Grad-free [`apply_dynamic_vertex_op`]: `op` is `[N, T, V, V]`.
+pub fn apply_dynamic_vertex_op_eval(x: &NdArray, op: &NdArray, ws: &mut Workspace) -> NdArray {
+    let s = x.shape();
+    let (n, t, v) = (s[0], s[2], s[3]);
+    assert_eq!(op.shape(), &[n, t, v, v], "operator must be [N, T, V, V]");
+    mix_vertices_eval(x, op.data(), move |ni, ti| (ni * t + ti) * v * v, ws)
+}
+
+/// Grad-free classifier head: `logits = x W (+ b)` on raw arrays, with the
+/// matmul output drawn from the workspace.
+pub fn linear_eval(fc: &dhg_nn::Linear, x: &NdArray, ws: &mut Workspace) -> NdArray {
+    let mut y = x.matmul_ws(&fc.weight().data(), ws);
+    if let Some(b) = fc.bias() {
+        let bd = b.data();
+        let k = bd.data().len();
+        for row in y.data_mut().chunks_mut(k) {
+            for (l, &bv) in row.iter_mut().zip(bd.data()) {
+                *l += bv;
+            }
+        }
+    }
+    y
+}
+
 /// Input data normalisation as published for the ST-GCN family: batch
 /// norm over `C·V` joint-channels, so every joint's coordinate
 /// distribution is standardised separately. Normalising only over the 3
@@ -104,6 +176,40 @@ impl DataBn {
     /// Build for `[N, channels, T, joints]` inputs.
     pub fn new(channels: usize, joints: usize) -> Self {
         DataBn { bn: dhg_nn::BatchNorm2d::new(channels * joints), channels, joints }
+    }
+
+    /// Eval-mode DataBn as one per-(channel, joint) affine map. The inner
+    /// BN runs over `C·V` folded channels where folded channel `c·V + v`
+    /// normalises coordinate `c` of joint `v`, so the affine applies to the
+    /// native `[N, C, T, V]` layout directly — no permute, no reshape.
+    pub fn eval_affine(&self) -> (Vec<f32>, Vec<f32>) {
+        self.bn.eval_affine()
+    }
+
+    /// Grad-free eval forward using a precomputed [`DataBn::eval_affine`].
+    pub fn forward_affine(
+        &self,
+        x: &NdArray,
+        scale: &[f32],
+        shift: &[f32],
+        ws: &mut Workspace,
+    ) -> NdArray {
+        let s = x.shape();
+        assert_eq!(s.len(), 4, "DataBn expects [N, C, T, V]");
+        assert_eq!(s[1], self.channels, "DataBn channel mismatch");
+        assert_eq!(s[3], self.joints, "DataBn joint mismatch");
+        let (n, c, t, v) = (s[0], s[1], s[2], s[3]);
+        let mut out = ws.take(n * c * t * v);
+        let xd = x.data();
+        parallel::for_each_block(&mut out, v, n * c * t * v, |item, row| {
+            let ci = (item / t) % c;
+            let xrow = &xd[item * v..(item + 1) * v];
+            for (vi, (o, &xv)) in row.iter_mut().zip(xrow).enumerate() {
+                let k = ci * v + vi;
+                *o = scale[k] * xv + shift[k];
+            }
+        });
+        NdArray::from_vec(out, &[n, c, t, v])
     }
 }
 
@@ -122,6 +228,10 @@ impl dhg_nn::Module for DataBn {
 
     fn parameters(&self) -> Vec<Tensor> {
         self.bn.parameters()
+    }
+
+    fn buffers(&self) -> Vec<dhg_nn::Buffer> {
+        self.bn.buffers()
     }
 
     fn set_training(&mut self, training: bool) {
@@ -205,6 +315,64 @@ mod tests {
         let y = apply_dynamic_vertex_op(&x, &Tensor::constant(op)).array();
         // frame 0 unchanged, frame 1: joint 0 = 3+4, joint 1 = 0
         assert_eq!(y.data(), &[1.0, 2.0, 7.0, 0.0]);
+    }
+
+    #[test]
+    fn eval_mix_kernels_match_tensor_paths() {
+        let mut ws = Workspace::new();
+        let (n, c, t, v) = (2, 3, 4, 5);
+        let x = NdArray::from_vec(
+            (0..n * c * t * v).map(|i| (i as f32 * 0.17).sin()).collect(),
+            &[n, c, t, v],
+        );
+        let xt = Tensor::constant(x.clone());
+        let op = NdArray::from_vec((0..v * v).map(|i| (i as f32 * 0.3).cos()).collect(), &[v, v]);
+        let a = apply_vertex_op(&xt, &Tensor::constant(op.clone())).array();
+        let b = apply_vertex_op_eval(&x, &op, &mut ws);
+        assert!(a.allclose(&b, 1e-5, 1e-6));
+
+        let ops = NdArray::from_vec(
+            (0..n * v * v).map(|i| (i as f32 * 0.11).sin()).collect(),
+            &[n, v, v],
+        );
+        let a = apply_per_sample_vertex_op(&xt, &Tensor::constant(ops.clone())).array();
+        let b = apply_per_sample_vertex_op_eval(&x, &ops, &mut ws);
+        assert!(a.allclose(&b, 1e-5, 1e-6));
+
+        let dops = NdArray::from_vec(
+            (0..n * t * v * v).map(|i| (i as f32 * 0.07).cos()).collect(),
+            &[n, t, v, v],
+        );
+        let a = apply_dynamic_vertex_op(&xt, &Tensor::constant(dops.clone())).array();
+        let b = apply_dynamic_vertex_op_eval(&x, &dops, &mut ws);
+        assert!(a.allclose(&b, 1e-5, 1e-6));
+    }
+
+    #[test]
+    fn databn_affine_matches_eval_forward() {
+        use dhg_nn::Module;
+        let mut bn = DataBn::new(2, 3);
+        // warm the running stats with a few training batches
+        for i in 0..4 {
+            let x = Tensor::constant(NdArray::from_vec(
+                (0..4 * 2 * 5 * 3).map(|j| ((i * 31 + j) as f32 * 0.13).sin() * 2.0).collect(),
+                &[4, 2, 5, 3],
+            ));
+            bn.forward(&x);
+        }
+        bn.set_training(false);
+        let x = NdArray::from_vec(
+            (0..2 * 2 * 6 * 3).map(|j| (j as f32 * 0.19).cos()).collect(),
+            &[2, 2, 6, 3],
+        );
+        let reference = {
+            let _g = dhg_tensor::no_grad();
+            bn.forward(&Tensor::constant(x.clone())).array()
+        };
+        let (scale, shift) = bn.eval_affine();
+        let mut ws = Workspace::new();
+        let got = bn.forward_affine(&x, &scale, &shift, &mut ws);
+        assert!(reference.allclose(&got, 1e-5, 1e-6));
     }
 
     #[test]

@@ -1,9 +1,12 @@
 //! The three spatial branches of a DHST block.
 
-use crate::common::{apply_dynamic_vertex_op, apply_per_sample_vertex_op, apply_vertex_op};
+use crate::common::{
+    apply_dynamic_vertex_op, apply_dynamic_vertex_op_eval, apply_per_sample_vertex_op,
+    apply_per_sample_vertex_op_eval, apply_vertex_op, apply_vertex_op_eval,
+};
 use dhg_hypergraph::{kmeans_hyperedges, knn_hyperedges};
-use dhg_nn::{Conv2d, Module};
-use dhg_tensor::{NdArray, Tensor};
+use dhg_nn::{Conv2d, EvalConv, Module};
+use dhg_tensor::{NdArray, Tensor, Workspace};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -65,6 +68,34 @@ impl StaticBranch {
         ps.extend(self.theta.parameters());
         ps
     }
+
+    /// Bake the branch for serving: the importance-weighted operator is
+    /// precomputed once and Θ absorbs the block BN's per-channel affine.
+    pub(crate) fn compile(&self, scale: &[f32], shift: &[f32]) -> StaticBranchEval {
+        let op = self.op.data();
+        let imp = self.importance.data();
+        let weighted: Vec<f32> =
+            op.data().iter().zip(imp.data()).map(|(&a, &b)| a * b).collect();
+        StaticBranchEval {
+            op: NdArray::from_vec(weighted, op.shape()),
+            theta: EvalConv::fold_affine(&self.theta, scale, shift),
+        }
+    }
+}
+
+/// Compiled [`StaticBranch`]: cached weighted operator + folded Θ.
+pub(crate) struct StaticBranchEval {
+    op: NdArray,
+    theta: EvalConv,
+}
+
+impl StaticBranchEval {
+    pub(crate) fn forward(&self, x: &NdArray, ws: &mut Workspace) -> NdArray {
+        let mixed = apply_vertex_op_eval(x, &self.op, ws);
+        let out = self.theta.forward(&mixed, ws);
+        ws.recycle(mixed);
+        out
+    }
 }
 
 /// Branch 2 — dynamic joint weight (§3.3): per-frame `Imp·Impᵀ`
@@ -100,6 +131,41 @@ impl JointWeightBranch {
         let mut ps = vec![self.importance.clone()];
         ps.extend(self.theta.parameters());
         ps
+    }
+
+    /// Bake the branch for serving (Θ absorbs the block BN affine).
+    pub(crate) fn compile(&self, scale: &[f32], shift: &[f32]) -> JointWeightBranchEval {
+        JointWeightBranchEval {
+            importance: self.importance.data().clone(),
+            theta: EvalConv::fold_affine(&self.theta, scale, shift),
+        }
+    }
+}
+
+/// Compiled [`JointWeightBranch`]: folded Θ; the per-frame operators still
+/// arrive as data each forward.
+pub(crate) struct JointWeightBranchEval {
+    importance: NdArray,
+    theta: EvalConv,
+}
+
+impl JointWeightBranchEval {
+    /// `ops` is `[N, T, V, V]` from the model's Eq. 9 construction.
+    pub(crate) fn forward(&self, x: &NdArray, ops: &NdArray, ws: &mut Workspace) -> NdArray {
+        let imp = self.importance.data();
+        let vv = imp.len();
+        let mut weighted = ws.take(ops.data().len());
+        for (blk, o) in weighted.chunks_mut(vv).zip(ops.data().chunks(vv)) {
+            for ((w, &ov), &iv) in blk.iter_mut().zip(o).zip(imp) {
+                *w = ov * iv;
+            }
+        }
+        let weighted = NdArray::from_vec(weighted, ops.shape());
+        let mixed = apply_dynamic_vertex_op_eval(x, &weighted, ws);
+        ws.recycle(weighted);
+        let out = self.theta.forward(&mixed, ws);
+        ws.recycle(mixed);
+        out
     }
 }
 
@@ -211,6 +277,81 @@ impl TopologyBranch {
         ps.push(self.learned.clone());
         ps.extend(self.theta.parameters());
         ps
+    }
+
+    /// Bake the branch for serving: the embedding runs as a folded kernel
+    /// with fused ReLU and Θ absorbs the block BN affine. The discrete
+    /// hypergraph construction stays data-dependent, so it runs per
+    /// forward exactly as in training — same seed, same operators.
+    pub(crate) fn compile(&self, scale: &[f32], shift: &[f32]) -> TopologyBranchEval {
+        TopologyBranchEval {
+            embed: EvalConv::from_conv(&self.embed),
+            importance: self.importance.data().clone(),
+            learned: self.learned.data().clone(),
+            theta: EvalConv::fold_affine(&self.theta, scale, shift),
+            kn: self.kn,
+            km: self.km,
+            granularity: self.granularity,
+            seed: self.seed,
+        }
+    }
+}
+
+/// Compiled [`TopologyBranch`].
+pub(crate) struct TopologyBranchEval {
+    embed: EvalConv,
+    importance: NdArray,
+    learned: NdArray,
+    theta: EvalConv,
+    kn: usize,
+    km: usize,
+    granularity: TopologyGranularity,
+    seed: u64,
+}
+
+impl TopologyBranchEval {
+    pub(crate) fn forward(&self, x: &NdArray, ws: &mut Workspace) -> NdArray {
+        let embedded = self.embed.forward_relu(x, ws);
+        let s = embedded.shape();
+        let (n, e, t, v) = (s[0], s[1], s[2], s[3]);
+        let feats = embedded.permute(&[0, 2, 3, 1]); // [N, T, V, E]
+        let (kn, km, seed) = (self.kn, self.km, self.seed);
+        let imp = self.importance.data();
+        let learned = self.learned.data();
+        // importance mask ∘ operator + learned refinement, per [V, V] block
+        let weight_block = |blk: &mut [f32]| {
+            for ((w, &iv), &lv) in blk.iter_mut().zip(imp).zip(learned) {
+                *w = *w * iv + lv;
+            }
+        };
+        let mixed = match self.granularity {
+            TopologyGranularity::PerSample => {
+                let mean = feats.mean_axes(&[1], false); // [N, V, E]
+                let mut stacked = NdArray::zeros(&[n, v, v]);
+                let work = n * v * v * (e + kn + km + 8);
+                dhg_tensor::parallel::for_each_block(stacked.data_mut(), v * v, work, |ni, blk| {
+                    let coords = &mean.data()[ni * v * e..(ni + 1) * v * e];
+                    blk.copy_from_slice(union_topology_operator(coords, v, e, kn, km, seed).data());
+                    weight_block(blk);
+                });
+                apply_per_sample_vertex_op_eval(&embedded, &stacked, ws)
+            }
+            TopologyGranularity::PerFrame => {
+                let mut stacked = NdArray::zeros(&[n, t, v, v]);
+                let work = n * t * v * v * (e + kn + km + 8);
+                dhg_tensor::parallel::for_each_block(stacked.data_mut(), v * v, work, |item, blk| {
+                    let base = item * v * e;
+                    let coords = &feats.data()[base..base + v * e];
+                    blk.copy_from_slice(union_topology_operator(coords, v, e, kn, km, seed).data());
+                    weight_block(blk);
+                });
+                apply_dynamic_vertex_op_eval(&embedded, &stacked, ws)
+            }
+        };
+        ws.recycle(embedded);
+        let out = self.theta.forward(&mixed, ws);
+        ws.recycle(mixed);
+        out
     }
 }
 

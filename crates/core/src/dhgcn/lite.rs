@@ -15,15 +15,18 @@
 //! 3. **Low-rank Θ**: wide pointwise mixers factor through a bottleneck
 //!    (`C → C/r → C_out`), shrinking the dominant parameter mass.
 
-use crate::common::{apply_per_sample_vertex_op, DataBn, ModelDims, StageSpec};
+use crate::common::{
+    apply_per_sample_vertex_op, apply_per_sample_vertex_op_eval, linear_eval, DataBn, ModelDims,
+    StageSpec,
+};
 use crate::tcn::TemporalConv;
 use dhg_hypergraph::{
     dynamic_operators, kmeans_hyperedges, knn_hyperedges, normalize_rows, Hypergraph,
 };
-use dhg_nn::{global_avg_pool, BatchNorm2d, Conv2d, Linear, Module};
+use dhg_nn::{global_avg_pool, BatchNorm2d, Buffer, Conv2d, EvalConv, Linear, Module};
 use dhg_skeleton::{static_hypergraph, SkeletonTopology};
 use dhg_tensor::ops::Conv2dSpec;
-use dhg_tensor::{NdArray, Tensor};
+use dhg_tensor::{NdArray, Tensor, Workspace};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -102,6 +105,16 @@ struct LiteBlock {
     bn: BatchNorm2d,
     tcn: TemporalConv,
     residual_proj: Option<Conv2d>,
+    inference: Option<LiteBlockInference>,
+}
+
+/// Serving caches of a [`LiteBlock`]: the post-Θ BN folds into the
+/// expanding half of the low-rank Θ, the residual projection is baked and
+/// the temporal unit holds its own folded Conv+BN.
+struct LiteBlockInference {
+    reduce: Option<EvalConv>,
+    expand: EvalConv,
+    residual: Option<EvalConv>,
 }
 
 impl LiteBlock {
@@ -128,7 +141,55 @@ impl LiteBlock {
             } else {
                 None
             },
+            inference: None,
         }
+    }
+
+    fn prepare_inference(&mut self) {
+        self.set_training(false);
+        self.tcn.prepare_inference();
+        let (scale, shift) = self.bn.eval_affine();
+        self.inference = Some(LiteBlockInference {
+            reduce: self.theta.reduce.as_ref().map(EvalConv::from_conv),
+            expand: EvalConv::fold_affine(&self.theta.expand, &scale, &shift),
+            residual: self.residual_proj.as_ref().map(EvalConv::from_conv),
+        });
+    }
+
+    fn buffers(&self) -> Vec<Buffer> {
+        let mut bs = self.bn.buffers();
+        bs.extend(self.tcn.buffers());
+        bs
+    }
+
+    /// Grad-free eval forward on raw arrays (caches from
+    /// [`LiteBlock::prepare_inference`]); `op` is the fused per-sample
+    /// operator `[N, V, V]`.
+    fn forward_eval(&self, x: &NdArray, op: &NdArray, ws: &mut Workspace) -> NdArray {
+        let inf = self.inference.as_ref().expect("LiteBlock eval requires prepare_inference()");
+        let mixed = apply_per_sample_vertex_op_eval(x, op, ws);
+        let h = match &inf.reduce {
+            Some(r) => {
+                let t = r.forward(&mixed, ws);
+                ws.recycle(mixed);
+                t
+            }
+            None => mixed,
+        };
+        // BN folded into the expansion, ReLU fused into its output pass
+        let spatial = inf.expand.forward_relu(&h, ws);
+        ws.recycle(h);
+        let mut out = self.tcn.forward_eval(&spatial, ws);
+        ws.recycle(spatial);
+        match &inf.residual {
+            Some(proj) => {
+                let r = proj.forward(x, ws);
+                out.add_relu_inplace(&r);
+                ws.recycle(r);
+            }
+            None => out.add_relu_inplace(x),
+        }
+        out
     }
 
     /// `op` is the fused per-sample operator `[N, V, V]`.
@@ -156,6 +217,9 @@ impl LiteBlock {
     fn set_training(&mut self, training: bool) {
         self.bn.set_training(training);
         self.tcn.set_training(training);
+        if training {
+            self.inference = None;
+        }
     }
 }
 
@@ -169,6 +233,16 @@ pub struct DhgcnLite {
     embed: Conv2d,
     blocks: Vec<LiteBlock>,
     fc: Linear,
+    inference: Option<LiteInference>,
+}
+
+/// Model-level serving caches of [`DhgcnLite`].
+struct LiteInference {
+    /// Folded topology embedding (a fixed random projection, so plain
+    /// weights with fused ReLU).
+    embed: EvalConv,
+    bn_scale: Vec<f32>,
+    bn_shift: Vec<f32>,
 }
 
 impl DhgcnLite {
@@ -203,6 +277,7 @@ impl DhgcnLite {
             embed,
             blocks,
             fc,
+            inference: None,
         }
     }
 
@@ -254,6 +329,41 @@ impl DhgcnLite {
             .add(&self.static_op.reshape(&[1, v, v]))
             .add(&self.learned.reshape(&[1, v, v]))
     }
+
+    /// Grad-free [`DhgcnLite::fused_operator`] on raw arrays: same
+    /// constructions and seed, with the topology embedding run through the
+    /// folded kernel and the four summands accumulated in place.
+    fn fused_operator_eval(&self, x: &NdArray, inf: &LiteInference, ws: &mut Workspace) -> NdArray {
+        let s = x.shape();
+        let (n, t, v) = (s[0], s[2], s[3]);
+        let coords = x.permute(&[0, 2, 3, 1]); // [N, T, V, 3]
+        let mut fused = Vec::with_capacity(n * v * v);
+        for ni in 0..n {
+            let sample = coords.slice_axis(0, ni, 1).reshape(&[t, v, 3]);
+            let joint_ops = dynamic_operators(&self.static_hg, &sample); // [T, V, V]
+            fused.extend(joint_ops.mean_axes(&[0], false).data());
+        }
+        let embedded = inf.embed.forward_relu(x, ws);
+        let e = embedded.shape()[1];
+        let feats = embedded.permute(&[0, 2, 3, 1]).mean_axes(&[1], false); // [N, V, E]
+        ws.recycle(embedded);
+        let sod = self.static_op.data();
+        let ld = self.learned.data();
+        for ni in 0..n {
+            let c = &feats.data()[ni * v * e..(ni + 1) * v * e];
+            let knn = knn_hyperedges(c, v, e, self.config.kn.min(v));
+            let mut rng = StdRng::seed_from_u64(0x6C69_7465); // "lite"
+            let km = kmeans_hyperedges(c, v, e, self.config.km.min(v), &mut rng);
+            let topo = normalize_rows(&knn.union(&km).operator());
+            let blk = &mut fused[ni * v * v..(ni + 1) * v * v];
+            for (((f, &tv), &sv), &lv) in
+                blk.iter_mut().zip(topo.data()).zip(sod.data()).zip(ld.data())
+            {
+                *f += tv + sv + lv;
+            }
+        }
+        NdArray::from_vec(fused, &[n, v, v])
+    }
 }
 
 impl Module for DhgcnLite {
@@ -286,11 +396,60 @@ impl Module for DhgcnLite {
         ps
     }
 
+    fn buffers(&self) -> Vec<Buffer> {
+        let mut bs = self.input_bn.buffers();
+        for b in &self.blocks {
+            bs.extend(b.buffers());
+        }
+        bs
+    }
+
     fn set_training(&mut self, training: bool) {
         self.input_bn.set_training(training);
         for b in &mut self.blocks {
             b.set_training(training);
         }
+        if training {
+            self.inference = None;
+        }
+    }
+
+    fn prepare_inference(&mut self) {
+        self.set_training(false);
+        for b in &mut self.blocks {
+            b.prepare_inference();
+        }
+        let (bn_scale, bn_shift) = self.input_bn.eval_affine();
+        self.inference = Some(LiteInference {
+            embed: EvalConv::from_conv(&self.embed),
+            bn_scale,
+            bn_shift,
+        });
+    }
+
+    fn forward_inference(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        let Some(inf) = &self.inference else {
+            // not compiled: grad-free but otherwise identical to forward
+            let _guard = dhg_tensor::no_grad();
+            return self.forward(x);
+        };
+        let _guard = dhg_tensor::no_grad();
+        let shape = x.shape();
+        assert_eq!(shape.len(), 4, "input must be [N, C, T, V]");
+        assert_eq!(shape[1], self.config.dims.in_channels, "channel mismatch");
+        assert_eq!(shape[3], self.config.dims.n_joints, "joint mismatch");
+        let xnd = x.data();
+        let op = self.fused_operator_eval(&xnd, inf, ws);
+        let mut h = self.input_bn.forward_affine(&xnd, &inf.bn_scale, &inf.bn_shift, ws);
+        for block in &self.blocks {
+            let next = block.forward_eval(&h, &op, ws);
+            ws.recycle(h);
+            h = next;
+        }
+        ws.recycle(op);
+        let pooled = h.mean_axes(&[2, 3], false); // [N, C]
+        ws.recycle(h);
+        Tensor::constant(linear_eval(&self.fc, &pooled, ws))
     }
 }
 
@@ -316,6 +475,24 @@ mod tests {
             (0..n * 3 * t * 25).map(|i| (i as f32 * 0.021).sin()).collect(),
             &[n, 3, t, 25],
         ))
+    }
+
+    #[test]
+    fn grad_and_no_grad_logits_are_bitwise_identical_across_thread_counts() {
+        let mut m = lite();
+        m.set_training(false);
+        let x = input(2, 8);
+        let mut ws = Workspace::new();
+        let reference = m.forward(&x).array();
+        for threads in [1usize, 2, 8] {
+            dhg_tensor::parallel::with_threads(threads, || {
+                let grad = m.forward(&x).array();
+                // unprepared forward_inference = the default no_grad path
+                let no_grad = m.forward_inference(&x, &mut ws).array();
+                assert_eq!(reference, grad, "grad path diverged at {threads} threads");
+                assert_eq!(reference, no_grad, "no_grad path diverged at {threads} threads");
+            });
+        }
     }
 
     #[test]
@@ -365,6 +542,39 @@ mod tests {
         let op = m.fused_operator(&input(3, 8));
         assert_eq!(op.shape(), vec![3, 25, 25]);
         assert!(op.array().data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn compiled_inference_matches_eval_within_tolerance() {
+        let mut m = lite();
+        let x = input(2, 10);
+        // warm the BN statistics so folding is non-trivial
+        m.forward(&x);
+        m.set_training(false);
+        let reference = {
+            let _g = dhg_tensor::no_grad();
+            m.forward(&x).array()
+        };
+        m.prepare_inference();
+        let mut ws = Workspace::new();
+        let before = dhg_tensor::graph_nodes_created();
+        let got = m.forward_inference(&x, &mut ws).array();
+        assert_eq!(
+            dhg_tensor::graph_nodes_created(),
+            before,
+            "compiled inference must not allocate autograd nodes"
+        );
+        assert!(reference.allclose(&got, 1e-4, 1e-5), "compiled logits diverged");
+        // a second call reuses pooled buffers and stays put
+        let again = m.forward_inference(&x, &mut ws).array();
+        assert_eq!(got, again);
+    }
+
+    #[test]
+    fn lite_buffers_cover_every_batchnorm() {
+        let m = lite();
+        // DataBn (2) + per block: BN (2) + TCN BN (2)
+        assert_eq!(m.buffers().len(), 2 + m.n_blocks() * 4);
     }
 
     #[test]

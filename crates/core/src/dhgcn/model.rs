@@ -3,9 +3,9 @@
 use super::block::DhstBlock;
 use crate::common::{paper_stages, small_stages, ModelDims, StageSpec};
 use dhg_hypergraph::{dynamic_operators, Hypergraph};
-use dhg_nn::{global_avg_pool, Linear, Module};
+use dhg_nn::{global_avg_pool, Buffer, Linear, Module};
 use dhg_skeleton::{static_hypergraph, SkeletonTopology};
-use dhg_tensor::{NdArray, Tensor};
+use dhg_tensor::{NdArray, Tensor, Workspace};
 use rand::Rng;
 
 /// Which spatial branches are active — the Tab. 4 ablation axis.
@@ -152,6 +152,9 @@ pub struct Dhgcn {
     input_bn: crate::common::DataBn,
     blocks: Vec<DhstBlock>,
     fc: Linear,
+    /// Cached input-BN eval affine; present iff the model is compiled for
+    /// serving (every block then holds its own folded caches).
+    inference: Option<(Vec<f32>, Vec<f32>)>,
 }
 
 impl Dhgcn {
@@ -189,7 +192,7 @@ impl Dhgcn {
             in_ch = stage.channels;
         }
         let fc = Linear::new(in_ch, config.dims.n_classes, rng);
-        Dhgcn { config, static_hg, input_bn, blocks, fc }
+        Dhgcn { config, static_hg, input_bn, blocks, fc, inference: None }
     }
 
     /// Build over a skeleton topology's standard static hypergraph
@@ -245,23 +248,23 @@ impl Module for Dhgcn {
         assert_eq!(shape[1], self.config.dims.in_channels, "channel mismatch");
         assert_eq!(shape[3], self.config.dims.n_joints, "joint mismatch");
         // Dynamic joint-weight operators come from the *raw coordinates*
-        // (moving distance, Eq. 6) — computed once, shared by all blocks,
+        // (moving distance, Eq. 6) — computed once, shared by all blocks
+        // at the same temporal resolution (no per-block copies), and
         // subsampled whenever a block strides over time.
         let needs_ops = self.blocks.iter().any(|b| b.needs_dynamic_ops());
-        let mut ops: Option<NdArray> = needs_ops.then(|| self.dynamic_joint_weight_ops(&x.data()));
+        let mut ops: Option<Tensor> =
+            needs_ops.then(|| Tensor::constant(self.dynamic_joint_weight_ops(&x.data())));
 
         let mut h = self.input_bn.forward(x);
         for block in &self.blocks {
-            let ops_tensor = if block.needs_dynamic_ops() {
-                Some(Tensor::constant(ops.as_ref().expect("ops precomputed").clone()))
-            } else {
-                None
-            };
-            h = block.forward(&h, ops_tensor.as_ref());
+            let ops_tensor =
+                block.needs_dynamic_ops().then(|| ops.as_ref().expect("ops precomputed"));
+            h = block.forward(&h, ops_tensor);
             if block.stride() > 1 {
                 if let Some(o) = &ops {
                     let t_out = h.shape()[2];
-                    ops = Some(Self::subsample_ops(o, t_out, block.stride()));
+                    let sub = Self::subsample_ops(&o.data(), t_out, block.stride());
+                    ops = Some(Tensor::constant(sub));
                 }
             }
         }
@@ -277,11 +280,64 @@ impl Module for Dhgcn {
         ps
     }
 
+    fn buffers(&self) -> Vec<Buffer> {
+        let mut bs = self.input_bn.buffers();
+        for b in &self.blocks {
+            bs.extend(b.buffers());
+        }
+        bs
+    }
+
     fn set_training(&mut self, training: bool) {
         self.input_bn.set_training(training);
         for b in &mut self.blocks {
             b.set_training(training);
         }
+        if training {
+            self.inference = None;
+        }
+    }
+
+    fn prepare_inference(&mut self) {
+        self.set_training(false);
+        for b in &mut self.blocks {
+            b.prepare_inference();
+        }
+        self.inference = Some(self.input_bn.eval_affine());
+    }
+
+    fn forward_inference(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        let Some((bn_scale, bn_shift)) = &self.inference else {
+            // not compiled: grad-free but otherwise identical to forward
+            let _guard = dhg_tensor::no_grad();
+            return self.forward(x);
+        };
+        let _guard = dhg_tensor::no_grad();
+        let shape = x.shape();
+        assert_eq!(shape.len(), 4, "input must be [N, C, T, V]");
+        assert_eq!(shape[1], self.config.dims.in_channels, "channel mismatch");
+        assert_eq!(shape[3], self.config.dims.n_joints, "joint mismatch");
+        let xnd = x.data();
+        let needs_ops = self.blocks.iter().any(|b| b.needs_dynamic_ops());
+        let mut ops: Option<NdArray> = needs_ops.then(|| self.dynamic_joint_weight_ops(&xnd));
+        let mut h = self.input_bn.forward_affine(&xnd, bn_scale, bn_shift, ws);
+        for block in &self.blocks {
+            let block_ops = block
+                .needs_dynamic_ops()
+                .then(|| ops.as_ref().expect("ops precomputed"));
+            let next = block.forward_eval(&h, block_ops, ws);
+            ws.recycle(h);
+            h = next;
+            if block.stride() > 1 {
+                if let Some(o) = &ops {
+                    let t_out = h.shape()[2];
+                    ops = Some(Self::subsample_ops(o, t_out, block.stride()));
+                }
+            }
+        }
+        let pooled = h.mean_axes(&[2, 3], false); // [N, C]
+        ws.recycle(h);
+        Tensor::constant(crate::common::linear_eval(&self.fc, &pooled, ws))
     }
 }
 
@@ -362,6 +418,43 @@ mod tests {
         let sub = Dhgcn::subsample_ops(&ops, 2, 2);
         assert_eq!(sub.shape(), &[2, 2, 1, 1]);
         assert_eq!(sub.data(), &[0.0, 2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn compiled_inference_matches_eval_and_builds_no_graph() {
+        let mut m = small_model(BranchConfig::full());
+        let x = input(2, 8);
+        // warm BN statistics, then switch to eval
+        m.forward(&x);
+        m.set_training(false);
+        let reference = {
+            let _g = dhg_tensor::no_grad();
+            m.forward(&x).array()
+        };
+        m.prepare_inference();
+        let mut ws = dhg_tensor::Workspace::new();
+        let before = dhg_tensor::graph_nodes_created();
+        let got = m.forward_inference(&x, &mut ws).array();
+        assert_eq!(
+            dhg_tensor::graph_nodes_created(),
+            before,
+            "compiled inference must not allocate autograd nodes"
+        );
+        assert_eq!(got.shape(), reference.shape());
+        assert!(reference.allclose(&got, 1e-4, 1e-5), "compiled logits diverged");
+        // uncompiled default: grad-free but bitwise identical to forward
+        // (set_training(true) drops the compiled caches)
+        m.set_training(true);
+        m.set_training(false);
+        let unprepared = m.forward_inference(&x, &mut ws).array();
+        assert_eq!(unprepared, reference);
+    }
+
+    #[test]
+    fn model_buffers_cover_every_batchnorm() {
+        let m = small_model(BranchConfig::full());
+        // DataBn (2) + per block BN (2) + TCN BN (2)
+        assert_eq!(m.buffers().len(), 2 + m.n_blocks() * 4);
     }
 
     #[test]

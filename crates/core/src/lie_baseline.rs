@@ -1,4 +1,4 @@
-//! Hand-crafted-feature baseline in the spirit of Lie Group [34]: per
+//! Hand-crafted-feature baseline in the spirit of Lie Group \[34\]: per
 //! frame, the relative geometry between bone pairs (pairwise angles and
 //! joint distances) is extracted; features are temporally pooled
 //! (mean + variance, capturing motion statistics) and classified by a

@@ -1,4 +1,4 @@
-//! LSTM baseline (ST-LSTM-like [21]): joints flattened per frame, a
+//! LSTM baseline (ST-LSTM-like \[21\]): joints flattened per frame, a
 //! recurrent encoder, and a linear classifier. Represents the RNN family
 //! rows of Tabs. 7–8.
 

@@ -1,4 +1,4 @@
-//! PB-GCN [32] and the paper's PB-HGCN construction (Tab. 2).
+//! PB-GCN \[32\] and the paper's PB-HGCN construction (Tab. 2).
 //!
 //! PB-GCN splits the skeleton into overlapping body parts, convolves each
 //! part's subgraph separately and aggregates the per-part features. The
@@ -9,7 +9,7 @@
 use crate::common::{apply_vertex_op, ModelDims, StageSpec};
 use crate::tcn::TemporalConv;
 use dhg_hypergraph::{Graph, Hypergraph};
-use dhg_nn::{global_avg_pool, BatchNorm2d, Conv2d, Linear, Module};
+use dhg_nn::{global_avg_pool, BatchNorm2d, Buffer, Conv2d, Linear, Module};
 use dhg_tensor::ops::Conv2dSpec;
 use dhg_tensor::{NdArray, Tensor};
 use rand::Rng;
@@ -110,6 +110,12 @@ impl Module for PbBlock {
         ps
     }
 
+    fn buffers(&self) -> Vec<Buffer> {
+        let mut bs = self.bn.buffers();
+        bs.extend(self.tcn.buffers());
+        bs
+    }
+
     fn set_training(&mut self, training: bool) {
         self.bn.set_training(training);
         self.tcn.set_training(training);
@@ -192,6 +198,14 @@ impl Module for PartBasedModel {
         }
         ps.extend(self.fc.parameters());
         ps
+    }
+
+    fn buffers(&self) -> Vec<Buffer> {
+        let mut bs = self.input_bn.buffers();
+        for b in &self.blocks {
+            bs.extend(b.buffers());
+        }
+        bs
     }
 
     fn set_training(&mut self, training: bool) {

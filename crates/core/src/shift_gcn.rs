@@ -1,4 +1,4 @@
-//! Shift-GCN [3]: the strongest published rival in Tabs. 7–8.
+//! Shift-GCN \[3\]: the strongest published rival in Tabs. 7–8.
 //!
 //! Instead of adjacency-matrix convolution, Shift-GCN *shifts* channel
 //! groups across the joint axis and mixes with pointwise convolutions —
@@ -9,7 +9,7 @@
 
 use crate::common::{ModelDims, StageSpec};
 use crate::tcn::TemporalConv;
-use dhg_nn::{global_avg_pool, BatchNorm2d, Conv2d, Linear, Module};
+use dhg_nn::{global_avg_pool, BatchNorm2d, Buffer, Conv2d, Linear, Module};
 use dhg_tensor::ops::Conv2dSpec;
 use dhg_tensor::Tensor;
 use rand::Rng;
@@ -111,6 +111,12 @@ impl Module for ShiftBlock {
         ps
     }
 
+    fn buffers(&self) -> Vec<Buffer> {
+        let mut bs = self.bn.buffers();
+        bs.extend(self.tcn.buffers());
+        bs
+    }
+
     fn set_training(&mut self, training: bool) {
         self.bn.set_training(training);
         self.tcn.set_training(training);
@@ -175,6 +181,14 @@ impl Module for ShiftGcn {
         }
         ps.extend(self.fc.parameters());
         ps
+    }
+
+    fn buffers(&self) -> Vec<Buffer> {
+        let mut bs = self.input_bn.buffers();
+        for b in &self.blocks {
+            bs.extend(b.buffers());
+        }
+        bs
     }
 
     fn set_training(&mut self, training: bool) {

@@ -1,11 +1,11 @@
-//! ST-GCN [37]: the first graph-convolutional skeleton model (§3.1) and
+//! ST-GCN \[37\]: the first graph-convolutional skeleton model (§3.1) and
 //! the reference GCN baseline of Tabs. 6–7.
 
-use crate::common::{apply_vertex_op, ModelDims, StageSpec};
+use crate::common::{apply_vertex_op, apply_vertex_op_eval, linear_eval, ModelDims, StageSpec};
 use crate::tcn::TemporalConv;
-use dhg_nn::{global_avg_pool, BatchNorm2d, Conv2d, Linear, Module};
+use dhg_nn::{global_avg_pool, BatchNorm2d, Buffer, Conv2d, EvalConv, Linear, Module};
 use dhg_tensor::ops::Conv2dSpec;
-use dhg_tensor::{NdArray, Tensor};
+use dhg_tensor::{NdArray, Tensor, Workspace};
 use rand::Rng;
 
 /// One spatial-temporal block: fixed-operator graph convolution (Eq. 1)
@@ -20,6 +20,16 @@ pub struct StGcnBlock {
     tcn: TemporalConv,
     /// Projection for the residual path when channels or stride change.
     residual_proj: Option<Conv2d>,
+    inference: Option<StGcnBlockInference>,
+}
+
+/// Serving caches of an [`StGcnBlock`]: importance-weighted operator
+/// precomputed, BN folded into Θ, residual baked; the temporal unit holds
+/// its own folded Conv+BN.
+struct StGcnBlockInference {
+    op: NdArray,
+    theta: EvalConv,
+    residual: Option<EvalConv>,
 }
 
 impl StGcnBlock {
@@ -48,7 +58,36 @@ impl StGcnBlock {
         } else {
             None
         };
-        StGcnBlock { op: Tensor::constant(op), importance, theta, bn, tcn, residual_proj }
+        StGcnBlock {
+            op: Tensor::constant(op),
+            importance,
+            theta,
+            bn,
+            tcn,
+            residual_proj,
+            inference: None,
+        }
+    }
+
+    /// Grad-free eval forward on raw arrays; requires
+    /// [`Module::prepare_inference`].
+    fn forward_eval(&self, x: &NdArray, ws: &mut Workspace) -> NdArray {
+        let inf = self.inference.as_ref().expect("StGcnBlock eval requires prepare_inference()");
+        let mixed = apply_vertex_op_eval(x, &inf.op, ws);
+        // BN folded into Θ, ReLU fused into its output pass
+        let spatial = inf.theta.forward_relu(&mixed, ws);
+        ws.recycle(mixed);
+        let mut out = self.tcn.forward_eval(&spatial, ws);
+        ws.recycle(spatial);
+        match &inf.residual {
+            Some(proj) => {
+                let r = proj.forward(x, ws);
+                out.add_relu_inplace(&r);
+                ws.recycle(r);
+            }
+            None => out.add_relu_inplace(x),
+        }
+        out
     }
 }
 
@@ -76,9 +115,32 @@ impl Module for StGcnBlock {
         ps
     }
 
+    fn buffers(&self) -> Vec<Buffer> {
+        let mut bs = self.bn.buffers();
+        bs.extend(self.tcn.buffers());
+        bs
+    }
+
     fn set_training(&mut self, training: bool) {
         self.bn.set_training(training);
         self.tcn.set_training(training);
+        if training {
+            self.inference = None;
+        }
+    }
+
+    fn prepare_inference(&mut self) {
+        self.set_training(false);
+        self.tcn.prepare_inference();
+        let (scale, shift) = self.bn.eval_affine();
+        let op = self.op.data();
+        let imp = self.importance.data();
+        let weighted: Vec<f32> = op.data().iter().zip(imp.data()).map(|(&a, &b)| a * b).collect();
+        self.inference = Some(StGcnBlockInference {
+            op: NdArray::from_vec(weighted, op.shape()),
+            theta: EvalConv::fold_affine(&self.theta, &scale, &shift),
+            residual: self.residual_proj.as_ref().map(EvalConv::from_conv),
+        });
     }
 }
 
@@ -90,6 +152,8 @@ pub struct StGcn {
     blocks: Vec<StGcnBlock>,
     fc: Linear,
     dims: ModelDims,
+    /// Cached input-BN eval affine; present iff compiled for serving.
+    inference: Option<(Vec<f32>, Vec<f32>)>,
 }
 
 impl StGcn {
@@ -119,7 +183,7 @@ impl StGcn {
             in_ch = stage.channels;
         }
         let fc = Linear::new(in_ch, dims.n_classes, rng);
-        StGcn { input_bn, blocks, fc, dims }
+        StGcn { input_bn, blocks, fc, dims, inference: None }
     }
 
     /// Number of blocks in the backbone.
@@ -155,11 +219,52 @@ impl Module for StGcn {
         ps
     }
 
+    fn buffers(&self) -> Vec<Buffer> {
+        let mut bs = self.input_bn.buffers();
+        for b in &self.blocks {
+            bs.extend(b.buffers());
+        }
+        bs
+    }
+
     fn set_training(&mut self, training: bool) {
         self.input_bn.set_training(training);
         for b in &mut self.blocks {
             b.set_training(training);
         }
+        if training {
+            self.inference = None;
+        }
+    }
+
+    fn prepare_inference(&mut self) {
+        self.set_training(false);
+        for b in &mut self.blocks {
+            b.prepare_inference();
+        }
+        self.inference = Some(self.input_bn.eval_affine());
+    }
+
+    fn forward_inference(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        let Some((bn_scale, bn_shift)) = &self.inference else {
+            let _guard = dhg_tensor::no_grad();
+            return self.forward(x);
+        };
+        let _guard = dhg_tensor::no_grad();
+        let shape = x.shape();
+        assert_eq!(shape.len(), 4, "input must be [N, C, T, V]");
+        assert_eq!(shape[1], self.dims.in_channels, "channel mismatch");
+        assert_eq!(shape[3], self.dims.n_joints, "joint mismatch");
+        let xnd = x.data();
+        let mut h = self.input_bn.forward_affine(&xnd, bn_scale, bn_shift, ws);
+        for block in &self.blocks {
+            let next = block.forward_eval(&h, ws);
+            ws.recycle(h);
+            h = next;
+        }
+        let pooled = h.mean_axes(&[2, 3], false); // [N, C]
+        ws.recycle(h);
+        Tensor::constant(linear_eval(&self.fc, &pooled, ws))
     }
 }
 
@@ -213,6 +318,25 @@ mod tests {
         let h = m.blocks[1].forward(&h);
         let h = m.blocks[2].forward(&h);
         assert_eq!(h.shape(), vec![1, 32, 8, 25]);
+    }
+
+    #[test]
+    fn compiled_inference_matches_eval_within_tolerance() {
+        let mut m = model();
+        let x = Tensor::constant(NdArray::from_vec(
+            (0..2 * 3 * 16 * 25).map(|i| (i as f32 * 0.023).sin()).collect(),
+            &[2, 3, 16, 25],
+        ));
+        m.forward(&x); // warm BN stats
+        m.set_training(false);
+        let reference = {
+            let _g = dhg_tensor::no_grad();
+            m.forward(&x).array()
+        };
+        m.prepare_inference();
+        let mut ws = Workspace::new();
+        let got = m.forward_inference(&x, &mut ws).array();
+        assert!(reference.allclose(&got, 1e-4, 1e-5), "compiled logits diverged");
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! The temporal convolution unit shared by every block (§3.5: kernel
 //! fixed at `3 × 1`, receptive field widened via dilation).
 
-use dhg_nn::{BatchNorm2d, Conv2d, Dropout, Module};
-use dhg_tensor::Tensor;
+use dhg_nn::{BatchNorm2d, Buffer, Conv2d, Dropout, EvalConv, Module};
+use dhg_tensor::{NdArray, Tensor, Workspace};
 use rand::Rng;
 
 /// `3×1` temporal convolution → BatchNorm → (optional) dropout. ReLU and
@@ -12,6 +12,9 @@ pub struct TemporalConv {
     bn: BatchNorm2d,
     dropout: Option<Dropout>,
     stride: usize,
+    /// Conv+BN folded for serving; built by [`Module::prepare_inference`],
+    /// dropped when training resumes.
+    inference: Option<EvalConv>,
 }
 
 impl TemporalConv {
@@ -27,12 +30,22 @@ impl TemporalConv {
         let conv = Conv2d::temporal(in_channels, out_channels, 3, stride, dilation, rng);
         let bn = BatchNorm2d::new(out_channels);
         let dropout = if dropout > 0.0 { Some(Dropout::new(dropout, rng.gen())) } else { None };
-        TemporalConv { conv, bn, dropout, stride }
+        TemporalConv { conv, bn, dropout, stride, inference: None }
     }
 
     /// The temporal stride (2 halves the frame count).
     pub fn stride(&self) -> usize {
         self.stride
+    }
+
+    /// Grad-free eval forward on raw arrays through the folded Conv+BN
+    /// kernel (dropout is the identity in eval mode). Requires
+    /// [`Module::prepare_inference`] to have run.
+    pub fn forward_eval(&self, x: &NdArray, ws: &mut Workspace) -> NdArray {
+        self.inference
+            .as_ref()
+            .expect("TemporalConv::forward_eval requires prepare_inference()")
+            .forward(x, ws)
     }
 }
 
@@ -51,11 +64,24 @@ impl Module for TemporalConv {
         ps
     }
 
+    fn buffers(&self) -> Vec<Buffer> {
+        self.bn.buffers()
+    }
+
     fn set_training(&mut self, training: bool) {
         self.bn.set_training(training);
         if let Some(d) = &mut self.dropout {
             d.set_training(training);
         }
+        if training {
+            // folded weights are stale once the parameters move again
+            self.inference = None;
+        }
+    }
+
+    fn prepare_inference(&mut self) {
+        self.set_training(false);
+        self.inference = Some(EvalConv::from_conv_bn(&self.conv, &self.bn));
     }
 }
 
@@ -89,6 +115,35 @@ mod tests {
         let t = TemporalConv::new(4, 4, 1, 2, 0.0, &mut rng);
         let x = Tensor::constant(NdArray::ones(&[1, 4, 12, 25]));
         assert_eq!(t.forward(&x).shape(), vec![1, 4, 12, 25]);
+    }
+
+    #[test]
+    fn folded_eval_matches_unfused_within_tolerance() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut t = TemporalConv::new(3, 4, 1, 1, 0.0, &mut rng);
+        // warm the BN stats, then compare the two eval paths
+        for i in 0..3 {
+            let x = Tensor::constant(NdArray::from_vec(
+                (0..2 * 3 * 8 * 5).map(|j| ((i * 17 + j) as f32 * 0.11).sin()).collect(),
+                &[2, 3, 8, 5],
+            ));
+            t.forward(&x);
+        }
+        t.prepare_inference();
+        let x = NdArray::from_vec(
+            (0..2 * 3 * 8 * 5).map(|j| (j as f32 * 0.07).cos()).collect(),
+            &[2, 3, 8, 5],
+        );
+        let reference = {
+            let _g = dhg_tensor::no_grad();
+            t.forward(&Tensor::constant(x.clone())).array()
+        };
+        let mut ws = Workspace::new();
+        let got = t.forward_eval(&x, &mut ws);
+        assert!(reference.allclose(&got, 1e-5, 1e-6));
+        // resuming training must drop the folded cache
+        t.set_training(true);
+        assert!(t.inference.is_none());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! and their prediction scores are summed at test time (Tabs. 1 and 5).
 
 use dhg_nn::Module;
-use dhg_tensor::{NdArray, Tensor};
+use dhg_tensor::{NdArray, Tensor, Workspace};
 
 /// Sum two score matrices `[N, K]` (the paper's late fusion).
 pub fn fuse_scores(joint_scores: &NdArray, bone_scores: &NdArray) -> NdArray {
@@ -35,10 +35,28 @@ impl<M: Module> TwoStream<M> {
         fuse_scores(&js, &bs)
     }
 
+    /// Grad-free fused scores via each stream's compiled inference path.
+    pub fn predict_inference(
+        &self,
+        joint_batch: &Tensor,
+        bone_batch: &Tensor,
+        ws: &mut Workspace,
+    ) -> NdArray {
+        let js = self.joint.forward_inference(joint_batch, ws).array();
+        let bs = self.bone.forward_inference(bone_batch, ws).array();
+        fuse_scores(&js, &bs)
+    }
+
     /// Switch both streams between train and eval mode.
     pub fn set_training(&mut self, training: bool) {
         self.joint.set_training(training);
         self.bone.set_training(training);
+    }
+
+    /// Compile both streams for serving (see [`Module::prepare_inference`]).
+    pub fn prepare_inference(&mut self) {
+        self.joint.prepare_inference();
+        self.bone.prepare_inference();
     }
 }
 

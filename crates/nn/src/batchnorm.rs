@@ -1,8 +1,9 @@
 //! Batch normalisation over `[N, C, H, W]` feature maps.
 
-use crate::module::Module;
+use crate::module::{Buffer, Module};
 use dhg_tensor::{NdArray, Tensor};
 use std::cell::RefCell;
+use std::rc::Rc;
 
 /// BatchNorm2d: per-channel normalisation over the `(N, H, W)` axes with
 /// trainable scale `γ` and shift `β`.
@@ -13,8 +14,8 @@ use std::cell::RefCell;
 pub struct BatchNorm2d {
     gamma: Tensor,
     beta: Tensor,
-    running_mean: RefCell<NdArray>,
-    running_var: RefCell<NdArray>,
+    running_mean: Buffer,
+    running_var: Buffer,
     momentum: f32,
     eps: f32,
     training: bool,
@@ -27,8 +28,8 @@ impl BatchNorm2d {
         BatchNorm2d {
             gamma: Tensor::param(NdArray::ones(&[channels])),
             beta: Tensor::param(NdArray::zeros(&[channels])),
-            running_mean: RefCell::new(NdArray::zeros(&[channels])),
-            running_var: RefCell::new(NdArray::ones(&[channels])),
+            running_mean: Rc::new(RefCell::new(NdArray::zeros(&[channels]))),
+            running_var: Rc::new(RefCell::new(NdArray::ones(&[channels]))),
             momentum: 0.1,
             eps: 1e-5,
             training: true,
@@ -49,6 +50,40 @@ impl BatchNorm2d {
     /// The running variance estimate.
     pub fn running_var(&self) -> NdArray {
         self.running_var.borrow().clone()
+    }
+
+    /// The trainable per-channel scale `γ`.
+    pub fn gamma(&self) -> &Tensor {
+        &self.gamma
+    }
+
+    /// The trainable per-channel shift `β`.
+    pub fn beta(&self) -> &Tensor {
+        &self.beta
+    }
+
+    /// The numerical-stability epsilon.
+    pub fn eps(&self) -> f32 {
+        self.eps
+    }
+
+    /// Eval-mode BatchNorm collapsed to a per-channel affine map:
+    /// `y_c = scale_c · x_c + shift_c` with `scale_c = γ_c/√(σ²_c + ε)` and
+    /// `shift_c = β_c − scale_c·μ_c` over the running statistics. This is
+    /// the quantity Conv+BN folding bakes into the convolution weights.
+    pub fn eval_affine(&self) -> (Vec<f32>, Vec<f32>) {
+        let gamma = self.gamma.data();
+        let beta = self.beta.data();
+        let rm = self.running_mean.borrow();
+        let rv = self.running_var.borrow();
+        let mut scale = Vec::with_capacity(self.channels);
+        let mut shift = Vec::with_capacity(self.channels);
+        for c in 0..self.channels {
+            let s = gamma.data()[c] / (rv.data()[c] + self.eps).sqrt();
+            scale.push(s);
+            shift.push(beta.data()[c] - s * rm.data()[c]);
+        }
+        (scale, shift)
     }
 }
 
@@ -92,6 +127,10 @@ impl Module for BatchNorm2d {
 
     fn parameters(&self) -> Vec<Tensor> {
         vec![self.gamma.clone(), self.beta.clone()]
+    }
+
+    fn buffers(&self) -> Vec<Buffer> {
+        vec![Rc::clone(&self.running_mean), Rc::clone(&self.running_var)]
     }
 
     fn set_training(&mut self, training: bool) {

@@ -58,6 +58,16 @@ impl Conv2d {
     pub fn spec(&self) -> Conv2dSpec {
         self.spec
     }
+
+    /// The weight tensor `[Cout, Cin, kh, kw]`.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// The bias tensor `[Cout]`, if present.
+    pub fn bias(&self) -> Option<&Tensor> {
+        self.bias.as_ref()
+    }
 }
 
 impl Module for Conv2d {

@@ -12,6 +12,7 @@ pub mod adam;
 pub mod batchnorm;
 pub mod conv;
 pub mod dropout;
+pub mod fold;
 pub mod init;
 pub mod linear;
 pub mod lstm;
@@ -24,9 +25,10 @@ pub use adam::{Adam, AdamConfig};
 pub use batchnorm::BatchNorm2d;
 pub use conv::Conv2d;
 pub use dropout::Dropout;
+pub use fold::EvalConv;
 pub use linear::Linear;
 pub use lstm::Lstm;
 pub use metrics::{confusion_matrix, top_k_accuracy};
-pub use module::Module;
+pub use module::{collect_buffers, collect_parameters, Buffer, Module};
 pub use optim::{clip_gradient_norm, CosineLr, Sgd, SgdConfig, StepLr};
 pub use pool::global_avg_pool;

@@ -1,5 +1,5 @@
 //! A long short-term memory layer, used by the RNN-family baselines in
-//! Tabs. 7–8 (ST-LSTM [21] and relatives).
+//! Tabs. 7–8 (ST-LSTM \[21\] and relatives).
 
 use crate::init;
 use crate::module::Module;

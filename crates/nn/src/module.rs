@@ -1,12 +1,33 @@
 //! The [`Module`] trait: the common interface of all layers and models.
 
-use dhg_tensor::Tensor;
+use dhg_tensor::{NdArray, Tensor, Workspace};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Shared handle to a non-trainable state array (BatchNorm running
+/// statistics). Buffers are serialised by checkpoints alongside the
+/// parameters but are never touched by the optimiser.
+pub type Buffer = Rc<RefCell<NdArray>>;
 
 /// A trainable component: forward computation over a single input tensor,
 /// parameter enumeration for the optimiser, and a train/eval switch.
 ///
 /// Layers without parameters or mode-dependence accept the default no-op
 /// implementations.
+///
+/// ## Execution modes
+///
+/// [`Module::forward`] is the training path: it records autograd graph
+/// edges and uses batch statistics. [`Module::forward_inference`] is the
+/// serving path: it runs under a [`dhg_tensor::no_grad`] guard (zero graph
+/// nodes allocated) and may use weights pre-folded by
+/// [`Module::prepare_inference`] plus scratch buffers from the caller's
+/// [`Workspace`]. The contract: after `prepare_inference()`,
+/// `forward_inference` must agree with eval-mode `forward` bitwise when no
+/// folding applies, and within `1e-5` per logit when Conv+BN folding
+/// rewrites the arithmetic. Training again after `prepare_inference`
+/// invalidates the folded caches; call `set_training(true)` (which drops
+/// them) before resuming training.
 pub trait Module {
     /// Compute the layer's output. Builds autograd graph edges whenever
     /// any involved tensor requires gradients.
@@ -17,8 +38,33 @@ pub trait Module {
         Vec::new()
     }
 
+    /// Non-trainable state buffers in a stable order (BatchNorm running
+    /// statistics). Checkpoints persist these alongside parameters.
+    fn buffers(&self) -> Vec<Buffer> {
+        Vec::new()
+    }
+
     /// Switch between training (true) and evaluation (false) behaviour.
     fn set_training(&mut self, _training: bool) {}
+
+    /// Grad-free forward pass for serving. The default wraps
+    /// [`Module::forward`] in a [`dhg_tensor::no_grad`] guard — bitwise
+    /// identical outputs with zero graph construction. Models with a
+    /// compiled eval path (folded Conv+BN, cached hypergraph operators)
+    /// override this to run on [`NdArray`] kernels drawing scratch space
+    /// from `ws`.
+    fn forward_inference(&self, x: &Tensor, _ws: &mut Workspace) -> Tensor {
+        let _guard = dhg_tensor::no_grad();
+        self.forward(x)
+    }
+
+    /// One-time compilation step before serving: switch to eval mode and
+    /// build whatever caches [`Module::forward_inference`] uses (folded
+    /// Conv+BN weights, static-hypergraph propagation operators). Safe to
+    /// call repeatedly; caches are rebuilt from the current parameters.
+    fn prepare_inference(&mut self) {
+        self.set_training(false);
+    }
 
     /// Total number of scalar parameters.
     fn n_parameters(&self) -> usize {
@@ -26,9 +72,40 @@ pub trait Module {
     }
 }
 
+impl Module for Box<dyn Module> {
+    fn forward(&self, x: &Tensor) -> Tensor {
+        (**self).forward(x)
+    }
+
+    fn parameters(&self) -> Vec<Tensor> {
+        (**self).parameters()
+    }
+
+    fn buffers(&self) -> Vec<Buffer> {
+        (**self).buffers()
+    }
+
+    fn set_training(&mut self, training: bool) {
+        (**self).set_training(training)
+    }
+
+    fn forward_inference(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        (**self).forward_inference(x, ws)
+    }
+
+    fn prepare_inference(&mut self) {
+        (**self).prepare_inference()
+    }
+}
+
 /// Collect the parameters of many modules into one vector (stable order).
 pub fn collect_parameters<'a>(modules: impl IntoIterator<Item = &'a dyn Module>) -> Vec<Tensor> {
     modules.into_iter().flat_map(|m| m.parameters()).collect()
+}
+
+/// Collect the buffers of many modules into one vector (stable order).
+pub fn collect_buffers<'a>(modules: impl IntoIterator<Item = &'a dyn Module>) -> Vec<Buffer> {
+    modules.into_iter().flat_map(|m| m.buffers()).collect()
 }
 
 #[cfg(test)]

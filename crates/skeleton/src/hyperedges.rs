@@ -50,7 +50,7 @@ pub fn static_hypergraph(topology: &SkeletonTopology) -> Hypergraph {
     }
 }
 
-/// The body-part subsets used by PB-GCN [32] with 2, 4 or 6 parts
+/// The body-part subsets used by PB-GCN \[32\] with 2, 4 or 6 parts
 /// (Tab. 2). Parts overlap at the torso, matching PB-GCN's shared-joint
 /// partitioning; each part induces a subgraph (for PB-GCN) or becomes a
 /// hyperedge (for the paper's PB-HGCN construction).

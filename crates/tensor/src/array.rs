@@ -12,6 +12,8 @@
 
 use std::fmt;
 
+use crate::workspace::Workspace;
+
 /// A dense, contiguous, row-major `f32` n-dimensional array.
 ///
 /// The empty shape `[]` denotes a scalar holding exactly one element.
@@ -309,6 +311,67 @@ impl NdArray {
         }
     }
 
+    /// `max(x, 0)` applied in place — the inference-path ReLU, which reuses
+    /// the input buffer instead of allocating a fresh array.
+    pub fn relu_inplace(&mut self) {
+        for v in &mut self.data {
+            *v = v.max(0.0);
+        }
+    }
+
+    /// `self += other` followed by an in-place ReLU, fused into one pass
+    /// (the residual-join epilogue of every block's inference path).
+    pub fn add_relu_inplace(&mut self, other: &Self) {
+        assert_eq!(self.shape, other.shape, "add_relu_inplace shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a = (*a + b).max(0.0);
+        }
+    }
+
+    /// Per-channel affine `x[n, c, ...] = x[n, c, ...] * scale[c] + shift[c]`
+    /// over axis 1, in place. This is exactly an eval-mode BatchNorm once
+    /// the running statistics are folded into `(scale, shift)`.
+    pub fn channel_affine_inplace(&mut self, scale: &[f32], shift: &[f32]) {
+        assert!(self.ndim() >= 2, "channel_affine_inplace needs rank >= 2");
+        let c = self.shape[1];
+        assert_eq!(scale.len(), c, "channel_affine_inplace scale length mismatch");
+        assert_eq!(shift.len(), c, "channel_affine_inplace shift length mismatch");
+        let inner: usize = self.shape[2..].iter().product();
+        for plane in self.data.chunks_mut(c * inner) {
+            for (ci, chan) in plane.chunks_mut(inner).enumerate() {
+                let (s, b) = (scale[ci], shift[ci]);
+                for v in chan {
+                    *v = *v * s + b;
+                }
+            }
+        }
+    }
+
+    /// Add `bias[c]` to every element of channel `c` (axis 1), optionally
+    /// fusing a ReLU into the same pass — the epilogue of a folded
+    /// convolution, replacing the separate broadcast-add and ReLU ops of
+    /// the training path.
+    pub fn bias_relu_inplace(&mut self, bias: &[f32], relu: bool) {
+        assert!(self.ndim() >= 2, "bias_relu_inplace needs rank >= 2");
+        let c = self.shape[1];
+        assert_eq!(bias.len(), c, "bias_relu_inplace bias length mismatch");
+        let inner: usize = self.shape[2..].iter().product();
+        for plane in self.data.chunks_mut(c * inner) {
+            for (ci, chan) in plane.chunks_mut(inner).enumerate() {
+                let b = bias[ci];
+                if relu {
+                    for v in chan {
+                        *v = (*v + b).max(0.0);
+                    }
+                } else {
+                    for v in chan {
+                        *v += b;
+                    }
+                }
+            }
+        }
+    }
+
     // ------------------------------------------------------------------
     // Shape manipulation
     // ------------------------------------------------------------------
@@ -319,6 +382,15 @@ impl NdArray {
         let shape = resolve_reshape(self.len(), shape);
         assert_eq!(numel(&shape), self.len(), "reshape to {shape:?} from {:?}", self.shape);
         NdArray { shape, data: self.data.clone() }
+    }
+
+    /// [`NdArray::reshape`] by value: reinterpret the shape without copying
+    /// the buffer. The zero-cost reshape for owned intermediates on the
+    /// inference path (`reshape` on a borrowed array must clone).
+    pub fn into_shape(self, shape: &[usize]) -> Self {
+        let shape = resolve_reshape(self.len(), shape);
+        assert_eq!(numel(&shape), self.len(), "into_shape to {shape:?} from {:?}", self.shape);
+        NdArray { shape, data: self.data }
     }
 
     /// Materialise a permutation of the axes. `perm` must be a permutation of
@@ -584,6 +656,18 @@ impl NdArray {
     /// products are mostly zeros) without branching per element on dense
     /// conv workloads.
     pub fn matmul(&self, other: &Self) -> Self {
+        self.matmul_impl(other, None)
+    }
+
+    /// [`NdArray::matmul`] with the output buffer drawn from (and other
+    /// temporaries avoided via) a [`Workspace`], so repeated grad-free
+    /// forwards reuse storage instead of allocating per call. Bitwise
+    /// identical to `matmul`.
+    pub fn matmul_ws(&self, other: &Self, ws: &mut Workspace) -> Self {
+        self.matmul_impl(other, Some(ws))
+    }
+
+    fn matmul_impl(&self, other: &Self, ws: Option<&mut Workspace>) -> Self {
         assert!(self.ndim() >= 2 && other.ndim() >= 2, "matmul needs rank >= 2");
         let (m, k1) = (self.shape[self.ndim() - 2], self.shape[self.ndim() - 1]);
         let (k2, n) = (other.shape[other.ndim() - 2], other.shape[other.ndim() - 1]);
@@ -606,7 +690,10 @@ impl NdArray {
         let mut out_shape = batch.clone();
         out_shape.push(m);
         out_shape.push(n);
-        let mut out = vec![0.0f32; nb * m * n];
+        let mut out = match ws {
+            Some(ws) => ws.take_zeroed(nb * m * n),
+            None => vec![0.0f32; nb * m * n],
+        };
         // walk the broadcast odometer once to precompute each batch's
         // operand offsets; workers then index instead of iterating
         let nd = batch.len();
@@ -657,13 +744,30 @@ impl NdArray {
     /// see [`crate::parallel`] for the determinism contract.
     #[allow(clippy::too_many_arguments)]
     pub fn im2col(&self, kh: usize, kw: usize, sh: usize, sw: usize, ph: usize, pw: usize, dh: usize, dw: usize) -> Self {
+        self.im2col_impl(kh, kw, sh, sw, ph, pw, dh, dw, None)
+    }
+
+    /// [`NdArray::im2col`] with the column buffer drawn from a
+    /// [`Workspace`]. Bitwise identical to `im2col`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn im2col_ws(&self, kh: usize, kw: usize, sh: usize, sw: usize, ph: usize, pw: usize, dh: usize, dw: usize, ws: &mut Workspace) -> Self {
+        self.im2col_impl(kh, kw, sh, sw, ph, pw, dh, dw, Some(ws))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn im2col_impl(&self, kh: usize, kw: usize, sh: usize, sw: usize, ph: usize, pw: usize, dh: usize, dw: usize, ws: Option<&mut Workspace>) -> Self {
         assert_eq!(self.ndim(), 4, "im2col expects [N, C, H, W]");
         let (n, c, h, w) = (self.shape[0], self.shape[1], self.shape[2], self.shape[3]);
         let (ho, wo) = conv_out_size(h, w, kh, kw, sh, sw, ph, pw, dh, dw);
         let l = ho * wo;
         let ckk = c * kh * kw;
         let kk = kh * kw;
-        let mut out = vec![0.0f32; n * ckk * l];
+        // padding positions are skipped by the copy loop below, so the
+        // buffer must start zeroed either way
+        let mut out = match ws {
+            Some(ws) => ws.take_zeroed(n * ckk * l),
+            None => vec![0.0f32; n * ckk * l],
+        };
         let work = n * ckk * l;
         crate::parallel::for_each_block(&mut out, l.max(1), work, |item, row_out| {
             // item indexes the (batch, channel, kernel-tap) row

@@ -13,7 +13,7 @@
 //! iterations; their accumulated gradients are read by the optimiser and
 //! cleared with [`Tensor::zero_grad`].
 
-use std::cell::{Ref, RefCell, RefMut};
+use std::cell::{Cell, Ref, RefCell, RefMut};
 use std::collections::HashSet;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -21,6 +21,49 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use crate::NdArray;
 
 static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Count of autograd op nodes (nodes carrying a backward function) created
+/// since process start. The inference tests assert this stays constant
+/// across a [`no_grad`] forward pass.
+static GRAPH_NODES: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Whether [`Tensor::from_op`] records graph edges on this thread.
+    static GRAD_ENABLED: Cell<bool> = const { Cell::new(true) };
+}
+
+/// Whether operations on the current thread record autograd graph nodes.
+pub fn is_grad_enabled() -> bool {
+    GRAD_ENABLED.with(|g| g.get())
+}
+
+/// Total autograd op nodes created so far (process-wide). Take a reading
+/// before and after a forward pass to measure how many graph nodes it
+/// allocated; under [`no_grad`] the difference must be zero.
+pub fn graph_nodes_created() -> u64 {
+    GRAPH_NODES.load(Ordering::Relaxed)
+}
+
+/// RAII guard returned by [`no_grad`]; restores the previous grad mode
+/// (panic-safe) when dropped.
+pub struct NoGradGuard {
+    prev: bool,
+}
+
+impl Drop for NoGradGuard {
+    fn drop(&mut self) {
+        GRAD_ENABLED.with(|g| g.set(self.prev));
+    }
+}
+
+/// Disable gradient recording on the current thread until the returned
+/// guard is dropped. Inside the guard every op returns a plain
+/// [`Tensor::constant`]: no parents are retained and no backward closures
+/// are allocated, so a forward pass holds at most one live intermediate at
+/// a time. Guards nest; the innermost scope wins.
+pub fn no_grad() -> NoGradGuard {
+    NoGradGuard { prev: GRAD_ENABLED.with(|g| g.replace(false)) }
+}
 
 /// Context handed to [`Backward::backward`]: the node's parents and its
 /// forward output (some gradients, e.g. sigmoid's, are cheapest in terms of
@@ -104,14 +147,16 @@ impl Tensor {
         }
     }
 
-    /// Record an op node. If no parent requires gradients the graph edge is
-    /// dropped and a plain constant is returned, so inference builds no
-    /// graph at all.
+    /// Record an op node. If no parent requires gradients — or gradient
+    /// recording is disabled on this thread via [`no_grad`] — the graph
+    /// edge is dropped and a plain constant is returned, so inference
+    /// builds no graph at all.
     pub fn from_op(data: NdArray, parents: Vec<Tensor>, op: Box<dyn Backward>) -> Self {
-        let requires_grad = parents.iter().any(|p| p.requires_grad());
+        let requires_grad = is_grad_enabled() && parents.iter().any(|p| p.requires_grad());
         if !requires_grad {
             return Tensor::constant(data);
         }
+        GRAPH_NODES.fetch_add(1, Ordering::Relaxed);
         Tensor {
             inner: Rc::new(Inner {
                 id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
@@ -349,5 +394,50 @@ mod tests {
     fn backward_on_constant_panics() {
         let a = Tensor::constant(NdArray::ones(&[1]));
         a.backward();
+    }
+
+    #[test]
+    fn no_grad_skips_graph_construction() {
+        let x = Tensor::param(NdArray::from_vec(vec![1.0, 2.0], &[2]));
+        // grad mode: ops on a param create graph nodes
+        let before = graph_nodes_created();
+        let y = x.mul(&x).sum_all();
+        assert!(y.requires_grad());
+        assert!(graph_nodes_created() > before);
+        // no_grad: the same expression allocates zero graph nodes
+        let guard = no_grad();
+        let before = graph_nodes_created();
+        let z = x.mul(&x).sum_all();
+        assert!(!z.requires_grad());
+        assert_eq!(graph_nodes_created(), before);
+        // values are bitwise identical either way
+        assert_eq!(y.array(), z.array());
+        drop(guard);
+        assert!(is_grad_enabled());
+    }
+
+    #[test]
+    fn no_grad_guards_nest_and_restore() {
+        assert!(is_grad_enabled());
+        {
+            let _g1 = no_grad();
+            assert!(!is_grad_enabled());
+            {
+                let _g2 = no_grad();
+                assert!(!is_grad_enabled());
+            }
+            assert!(!is_grad_enabled());
+        }
+        assert!(is_grad_enabled());
+    }
+
+    #[test]
+    fn params_created_under_no_grad_still_require_grad() {
+        // no_grad silences op recording, not leaf declarations
+        let _g = no_grad();
+        let p = Tensor::param(NdArray::ones(&[1]));
+        assert!(p.requires_grad());
+        // but an op on it is cut from the graph
+        assert!(!p.add_scalar(1.0).requires_grad());
     }
 }

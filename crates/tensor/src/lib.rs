@@ -29,6 +29,8 @@ pub mod autograd;
 pub mod gradcheck;
 pub mod ops;
 pub mod parallel;
+pub mod workspace;
 
 pub use array::NdArray;
-pub use autograd::Tensor;
+pub use autograd::{graph_nodes_created, is_grad_enabled, no_grad, NoGradGuard, Tensor};
+pub use workspace::Workspace;

@@ -1,0 +1,144 @@
+//! Reusable scratch buffers for grad-free forward passes.
+//!
+//! Training forwards allocate a fresh buffer per op because every
+//! intermediate must outlive the forward pass (the backward pass reads it).
+//! Inference has no such constraint: intermediates die as soon as the next
+//! op consumes them, so a small pool of recycled `Vec<f32>` buffers brings
+//! the steady-state allocation count of a forward pass to (almost) zero.
+//!
+//! A [`Workspace`] is a plain best-fit free list. Kernels `take` a buffer,
+//! build an [`crate::NdArray`] in it, and the caller eventually feeds dead
+//! intermediates back with [`Workspace::recycle`]. Buffers are `Vec<f32>`,
+//! so a workspace is cheap to create and fully owned — dropping it frees
+//! everything.
+
+use crate::NdArray;
+
+/// Upper bound on pooled buffers; beyond this, recycled buffers are simply
+/// dropped. A model forward keeps only a handful of buffers alive at once,
+/// so a small pool already gives a ~100% hit rate.
+const MAX_POOLED: usize = 16;
+
+/// A pool of reusable `f32` buffers for allocation-free inference.
+#[derive(Default)]
+pub struct Workspace {
+    pool: Vec<Vec<f32>>,
+}
+
+impl Workspace {
+    /// An empty workspace. Buffers are created lazily on first use.
+    pub fn new() -> Self {
+        Workspace { pool: Vec::new() }
+    }
+
+    /// Number of buffers currently pooled (diagnostics only).
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// A buffer of exactly `len` elements, zero-filled. Reuses the pooled
+    /// buffer whose capacity fits best, else allocates.
+    pub fn take_zeroed(&mut self, len: usize) -> Vec<f32> {
+        let mut buf = self.take_raw(len);
+        buf.clear();
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// A buffer of exactly `len` elements with unspecified contents (the
+    /// caller overwrites every element). Element values are whatever the
+    /// recycled buffer held — never uninitialised memory.
+    pub fn take(&mut self, len: usize) -> Vec<f32> {
+        let mut buf = self.take_raw(len);
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    fn take_raw(&mut self, len: usize) -> Vec<f32> {
+        // best fit: smallest pooled capacity >= len, else the largest
+        // pooled buffer (its capacity grows once and then sticks)
+        let mut best: Option<(usize, usize)> = None; // (index, capacity)
+        let mut largest: Option<(usize, usize)> = None;
+        for (i, b) in self.pool.iter().enumerate() {
+            let cap = b.capacity();
+            if cap >= len {
+                if best.map_or(true, |(_, c)| cap < c) {
+                    best = Some((i, cap));
+                }
+            } else if largest.map_or(true, |(_, c)| cap > c) {
+                largest = Some((i, cap));
+            }
+        }
+        match best.or(largest) {
+            Some((i, _)) => {
+                let mut buf = self.pool.swap_remove(i);
+                buf.clear();
+                buf
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Return a dead buffer to the pool.
+    pub fn give(&mut self, buf: Vec<f32>) {
+        if self.pool.len() < MAX_POOLED && buf.capacity() > 0 {
+            self.pool.push(buf);
+        }
+    }
+
+    /// Return a dead intermediate array's storage to the pool.
+    pub fn recycle(&mut self, array: NdArray) {
+        self.give(array.into_vec());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_zeroed_is_zero_after_recycling_dirty_buffer() {
+        let mut ws = Workspace::new();
+        ws.give(vec![7.0; 64]);
+        let buf = ws.take_zeroed(32);
+        assert_eq!(buf.len(), 32);
+        assert!(buf.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn buffers_are_reused_not_reallocated() {
+        let mut ws = Workspace::new();
+        ws.give(Vec::with_capacity(100));
+        let buf = ws.take(80);
+        assert!(buf.capacity() >= 100, "expected the pooled buffer back");
+        assert_eq!(ws.pooled(), 0);
+        ws.give(buf);
+        assert_eq!(ws.pooled(), 1);
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_sufficient_buffer() {
+        let mut ws = Workspace::new();
+        ws.give(Vec::with_capacity(1000));
+        ws.give(Vec::with_capacity(10));
+        let buf = ws.take(8);
+        assert!(buf.capacity() < 1000, "should have picked the small buffer");
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let mut ws = Workspace::new();
+        for _ in 0..100 {
+            ws.give(vec![0.0; 8]);
+        }
+        assert!(ws.pooled() <= MAX_POOLED);
+    }
+
+    #[test]
+    fn recycle_accepts_arrays() {
+        let mut ws = Workspace::new();
+        ws.recycle(NdArray::zeros(&[4, 4]));
+        assert_eq!(ws.pooled(), 1);
+        assert_eq!(ws.take(16).len(), 16);
+    }
+}

@@ -1,14 +1,22 @@
-//! Compact binary checkpoints of model parameters.
+//! Compact binary checkpoints of model parameters and buffers.
 //!
 //! The format is deliberately simple: a magic header, the tensor count,
 //! then each tensor as `ndim, dims…, f32 data` in little-endian. Loading
 //! restores into an *existing* model whose parameter list must match
 //! shape-for-shape (the same constructor + seed produces it).
+//!
+//! Version 2 (`DHGCKPT2`, written by [`save`]) appends the model's
+//! [`dhg_nn::Module::buffers`] — BatchNorm running statistics — after the
+//! parameters, so a restored model evaluates identically to the saved one
+//! and [`dhg_nn::Module::prepare_inference`] folds the same weights.
+//! Version-1 blobs (parameters only) still load; buffers then keep their
+//! current values.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use dhg_nn::Module;
 
-const MAGIC: &[u8; 8] = b"DHGCKPT1";
+const MAGIC_V1: &[u8; 8] = b"DHGCKPT1";
+const MAGIC_V2: &[u8; 8] = b"DHGCKPT2";
 
 /// Errors produced by [`load`].
 #[derive(Debug, PartialEq, Eq)]
@@ -48,41 +56,47 @@ impl std::fmt::Display for CheckpointError {
 
 impl std::error::Error for CheckpointError {}
 
-/// Serialise all parameters of a model.
+/// Serialise all parameters and buffers of a model (version-2 format).
 pub fn save(model: &dyn Module) -> Bytes {
     let params = model.parameters();
+    let buffers = model.buffers();
     let mut buf = BytesMut::new();
-    buf.put_slice(MAGIC);
+    buf.put_slice(MAGIC_V2);
     buf.put_u32_le(params.len() as u32);
     for p in &params {
-        let data = p.data();
-        buf.put_u32_le(data.ndim() as u32);
-        for &d in data.shape() {
-            buf.put_u32_le(d as u32);
-        }
-        for &v in data.data() {
-            buf.put_f32_le(v);
-        }
+        put_array(&mut buf, &p.data());
+    }
+    buf.put_u32_le(buffers.len() as u32);
+    for b in &buffers {
+        put_array(&mut buf, &b.borrow());
     }
     buf.freeze()
 }
 
-/// Restore parameters into a structurally identical model.
-pub fn load(model: &dyn Module, mut bytes: Bytes) -> Result<(), CheckpointError> {
-    if bytes.remaining() < MAGIC.len() + 4 {
+fn put_array(buf: &mut BytesMut, data: &dhg_tensor::NdArray) {
+    buf.put_u32_le(data.ndim() as u32);
+    for &d in data.shape() {
+        buf.put_u32_le(d as u32);
+    }
+    for &v in data.data() {
+        buf.put_f32_le(v);
+    }
+}
+
+/// Read one tensor section (count + tensors) into `targets`, a list of
+/// `(shape check, write)` destinations materialised as mutable array refs.
+fn read_section(
+    bytes: &mut Bytes,
+    targets: &mut [&mut dhg_tensor::NdArray],
+) -> Result<(), CheckpointError> {
+    if bytes.remaining() < 4 {
         return Err(CheckpointError::Truncated);
     }
-    let mut magic = [0u8; 8];
-    bytes.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
-        return Err(CheckpointError::BadMagic);
-    }
-    let params = model.parameters();
     let count = bytes.get_u32_le() as usize;
-    if count != params.len() {
-        return Err(CheckpointError::CountMismatch { found: count, expected: params.len() });
+    if count != targets.len() {
+        return Err(CheckpointError::CountMismatch { found: count, expected: targets.len() });
     }
-    for (index, p) in params.iter().enumerate() {
+    for (index, data) in targets.iter_mut().enumerate() {
         if bytes.remaining() < 4 {
             return Err(CheckpointError::Truncated);
         }
@@ -94,23 +108,60 @@ pub fn load(model: &dyn Module, mut bytes: Bytes) -> Result<(), CheckpointError>
         for _ in 0..ndim {
             shape.push(bytes.get_u32_le() as usize);
         }
-        {
-            let mut data = p.data_mut();
-            if data.shape() != shape.as_slice() {
-                return Err(CheckpointError::ShapeMismatch { index });
-            }
-            let n = data.len();
-            if bytes.remaining() < n * 4 {
-                return Err(CheckpointError::Truncated);
-            }
-            for v in data.data_mut() {
-                *v = bytes.get_f32_le();
-            }
+        if data.shape() != shape.as_slice() {
+            return Err(CheckpointError::ShapeMismatch { index });
         }
+        let n = data.len();
+        if bytes.remaining() < n * 4 {
+            return Err(CheckpointError::Truncated);
+        }
+        for v in data.data_mut() {
+            *v = bytes.get_f32_le();
+        }
+    }
+    Ok(())
+}
+
+/// Restore parameters (and, for version-2 blobs, buffers) into a
+/// structurally identical model.
+pub fn load(model: &dyn Module, mut bytes: Bytes) -> Result<(), CheckpointError> {
+    if bytes.remaining() < MAGIC_V2.len() + 4 {
+        return Err(CheckpointError::Truncated);
+    }
+    let mut magic = [0u8; 8];
+    bytes.copy_to_slice(&mut magic);
+    let with_buffers = match &magic {
+        m if m == MAGIC_V2 => true,
+        m if m == MAGIC_V1 => false,
+        _ => return Err(CheckpointError::BadMagic),
+    };
+    let params = model.parameters();
+    let mut param_refs: Vec<_> = params.iter().map(|p| p.data_mut()).collect();
+    {
+        let mut targets: Vec<&mut dhg_tensor::NdArray> =
+            param_refs.iter_mut().map(|r| &mut **r).collect();
+        read_section(&mut bytes, &mut targets)?;
+    }
+    drop(param_refs);
+    if with_buffers {
+        let buffers = model.buffers();
+        let mut buffer_refs: Vec<_> = buffers.iter().map(|b| b.borrow_mut()).collect();
+        let mut targets: Vec<&mut dhg_tensor::NdArray> =
+            buffer_refs.iter_mut().map(|r| &mut **r).collect();
+        read_section(&mut bytes, &mut targets)?;
     }
     if bytes.has_remaining() {
         return Err(CheckpointError::Truncated);
     }
+    Ok(())
+}
+
+/// Restore a checkpoint and compile the model for serving in one step:
+/// [`load`] followed by [`Module::prepare_inference`], so BatchNorm folding
+/// uses the restored running statistics.
+pub fn load_prepared(model: &mut dyn Module, bytes: Bytes) -> Result<(), CheckpointError> {
+    load(model, bytes)?;
+    model.prepare_inference();
     Ok(())
 }
 
@@ -133,6 +184,62 @@ mod tests {
         for (pa, pb) in a.parameters().iter().zip(b.parameters()) {
             assert_eq!(pa.array(), pb.array());
         }
+    }
+
+    #[test]
+    fn version1_blobs_without_buffers_still_load() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Linear::new(4, 3, &mut rng);
+        // hand-build a v1 blob: old magic + parameter section only
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC_V1);
+        let params = a.parameters();
+        buf.put_u32_le(params.len() as u32);
+        for p in &params {
+            put_array(&mut buf, &p.data());
+        }
+        let mut rng2 = StdRng::seed_from_u64(77);
+        let b = Linear::new(4, 3, &mut rng2);
+        load(&b, buf.freeze()).expect("v1 load");
+        for (pa, pb) in a.parameters().iter().zip(b.parameters()) {
+            assert_eq!(pa.array(), pb.array());
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_running_stats_and_compiled_logits() {
+        use dhg_core::common::{ModelDims, StageSpec};
+        use dhg_core::StGcn;
+        use dhg_skeleton::SkeletonTopology;
+        use dhg_tensor::{NdArray, Tensor, Workspace};
+
+        let dims = ModelDims { in_channels: 3, n_joints: 25, n_classes: 4 };
+        let adjacency = SkeletonTopology::ntu25().graph().normalized_adjacency();
+        let stages = [StageSpec::new(8, 1)];
+        let x = Tensor::constant(NdArray::from_vec(
+            (0..2 * 3 * 8 * 25).map(|i| (i as f32 * 0.013).sin()).collect(),
+            &[2, 3, 8, 25],
+        ));
+
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut a = StGcn::new(dims, adjacency.clone(), &stages, 0.0, &mut rng);
+        a.forward(&x); // move BN running stats off their init values
+        a.forward(&x);
+        let blob = save(&a);
+
+        // a differently-seeded model: parameters AND buffers disagree
+        let mut rng2 = StdRng::seed_from_u64(99);
+        let mut b = StGcn::new(dims, adjacency, &stages, 0.0, &mut rng2);
+        load_prepared(&mut b, blob).expect("load");
+
+        for (ba, bb) in a.buffers().iter().zip(b.buffers()) {
+            assert_eq!(*ba.borrow(), *bb.borrow(), "running stats not restored");
+        }
+        a.prepare_inference();
+        let mut ws = Workspace::new();
+        let ya = a.forward_inference(&x, &mut ws).array();
+        let yb = b.forward_inference(&x, &mut ws).array();
+        assert_eq!(ya, yb, "compiled logits should be bitwise identical");
     }
 
     #[test]

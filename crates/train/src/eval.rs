@@ -3,7 +3,7 @@
 
 use dhg_nn::{top_k_accuracy, Module};
 use dhg_skeleton::{batch_samples, SkeletonDataset, SkeletonSample, Stream};
-use dhg_tensor::{NdArray, Tensor};
+use dhg_tensor::{NdArray, Tensor, Workspace};
 
 /// Accuracy summary of one evaluation.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -30,13 +30,32 @@ impl EvalResult {
 }
 
 /// Raw scores of `model` over the given sample indices, in index order:
-/// `([N, K] scores, labels)`.
+/// `([N, K] scores, labels)`. Allocates a fresh [`Workspace`]; callers
+/// scoring repeatedly should hold one and use [`score_with`].
 pub fn score(
     model: &dyn Module,
     dataset: &SkeletonDataset,
     indices: &[usize],
     stream: Stream,
     batch_size: usize,
+) -> (NdArray, Vec<usize>) {
+    let mut ws = Workspace::new();
+    score_with(model, dataset, indices, stream, batch_size, &mut ws)
+}
+
+/// [`score`] with a caller-provided scratch workspace.
+///
+/// Forward passes go through [`Module::forward_inference`]: no autograd
+/// graph is retained across batches (evaluation used to hold every batch's
+/// full graph alive until its scores were dropped), and models compiled
+/// with [`Module::prepare_inference`] run their folded serving path.
+pub fn score_with(
+    model: &dyn Module,
+    dataset: &SkeletonDataset,
+    indices: &[usize],
+    stream: Stream,
+    batch_size: usize,
+    ws: &mut Workspace,
 ) -> (NdArray, Vec<usize>) {
     assert!(!indices.is_empty(), "empty evaluation split");
     // batch assembly (normalisation + stream transform) is pure data work
@@ -55,7 +74,7 @@ pub fn score(
     let mut score_chunks: Vec<NdArray> = Vec::with_capacity(chunks.len());
     let mut labels = Vec::with_capacity(indices.len());
     for (x, batch_labels) in batches {
-        score_chunks.push(model.forward(&Tensor::constant(x)).array());
+        score_chunks.push(model.forward_inference(&Tensor::constant(x), ws).array());
         labels.extend(batch_labels);
     }
     let refs: Vec<&NdArray> = score_chunks.iter().collect();
@@ -141,6 +160,43 @@ mod tests {
         let b = Oracle { n_classes: 3, labels, cursor: std::cell::Cell::new(0) };
         let r = evaluate_fused(&j, &b, &d, &indices);
         assert!((r.top1 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn evaluation_builds_no_autograd_graph() {
+        // the former eval path called `forward` directly, retaining every
+        // batch's full autograd graph until its scores were dropped; the
+        // inference path must allocate zero graph nodes
+        use dhg_core::common::ModelDims;
+        use dhg_core::StGcn;
+        use dhg_skeleton::SkeletonTopology;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let d = SkeletonDataset::ntu60_like(3, 3, 8, 2);
+        let indices: Vec<usize> = (0..d.len()).collect();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = StGcn::new(
+            ModelDims { in_channels: 3, n_joints: 25, n_classes: 3 },
+            SkeletonTopology::ntu25().graph().normalized_adjacency(),
+            &[dhg_core::common::StageSpec::new(8, 1)],
+            0.0,
+            &mut rng,
+        );
+        model.set_training(false);
+        let before = dhg_tensor::graph_nodes_created();
+        let unprepared = evaluate(&model, &d, &indices, Stream::Joint);
+        assert_eq!(
+            dhg_tensor::graph_nodes_created(),
+            before,
+            "eval retained an autograd graph"
+        );
+        // the compiled path scores identically (no folding drift beyond 1e-4
+        // on logits means identical ranking on this tiny problem)
+        model.prepare_inference();
+        let prepared = evaluate(&model, &d, &indices, Stream::Joint);
+        assert_eq!(unprepared.n, prepared.n);
+        assert!((unprepared.top1 - prepared.top1).abs() < 1e-6);
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! Serving entry point: a model compiled for grad-free inference bundled
+//! with its reusable scratch workspace.
+//!
+//! [`InferenceSession::new`] runs [`Module::prepare_inference`] once —
+//! folding Conv+BN weights and caching static hypergraph operators — and
+//! every subsequent call reuses one [`Workspace`], so steady-state forward
+//! passes allocate (almost) nothing and build zero autograd graph nodes.
+
+use crate::eval::{self, EvalResult};
+use dhg_nn::Module;
+use dhg_skeleton::{SkeletonDataset, Stream};
+use dhg_tensor::{NdArray, Tensor, Workspace};
+
+/// A model compiled for serving plus its scratch buffers.
+pub struct InferenceSession<M: Module> {
+    model: M,
+    ws: Workspace,
+}
+
+impl<M: Module> InferenceSession<M> {
+    /// Compile `model` for serving. Works for any [`Module`]; models
+    /// without a dedicated serving path fall back to a grad-free eval-mode
+    /// forward with bitwise-identical outputs.
+    pub fn new(mut model: M) -> Self {
+        model.prepare_inference();
+        InferenceSession { model, ws: Workspace::new() }
+    }
+
+    /// The compiled model (read-only; mutating it could stale the caches).
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Raw class scores `[N, K]` for an input batch `[N, C, T, V]`.
+    pub fn logits(&mut self, x: &Tensor) -> NdArray {
+        self.model.forward_inference(x, &mut self.ws).array()
+    }
+
+    /// Predicted class index per sample.
+    pub fn predict(&mut self, x: &Tensor) -> Vec<usize> {
+        self.logits(x).argmax_last()
+    }
+
+    /// Scores and labels over dataset indices (see [`eval::score`]).
+    pub fn score(
+        &mut self,
+        dataset: &SkeletonDataset,
+        indices: &[usize],
+        stream: Stream,
+        batch_size: usize,
+    ) -> (NdArray, Vec<usize>) {
+        eval::score_with(&self.model, dataset, indices, stream, batch_size, &mut self.ws)
+    }
+
+    /// Top-1/Top-5 accuracy over dataset indices.
+    pub fn evaluate(
+        &mut self,
+        dataset: &SkeletonDataset,
+        indices: &[usize],
+        stream: Stream,
+    ) -> EvalResult {
+        eval::evaluate(&self.model, dataset, indices, stream)
+    }
+
+    /// Release the model, e.g. to resume training. The caller must switch
+    /// it back with `set_training(true)` (which drops the serving caches)
+    /// before further optimisation.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhg_core::common::{ModelDims, StageSpec};
+    use dhg_core::StGcn;
+    use dhg_skeleton::SkeletonTopology;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> StGcn {
+        let mut rng = StdRng::seed_from_u64(11);
+        StGcn::new(
+            ModelDims { in_channels: 3, n_joints: 25, n_classes: 5 },
+            SkeletonTopology::ntu25().graph().normalized_adjacency(),
+            &[StageSpec::new(8, 1)],
+            0.0,
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn session_matches_eval_forward_and_builds_no_graph() {
+        let mut m = model();
+        let x = Tensor::constant(NdArray::from_vec(
+            (0..2 * 3 * 8 * 25).map(|i| (i as f32 * 0.019).cos()).collect(),
+            &[2, 3, 8, 25],
+        ));
+        m.forward(&x); // warm BN stats
+        m.set_training(false);
+        let reference = {
+            let _g = dhg_tensor::no_grad();
+            m.forward(&x).array()
+        };
+        let mut session = InferenceSession::new(m);
+        let before = dhg_tensor::graph_nodes_created();
+        let got = session.logits(&x);
+        assert_eq!(dhg_tensor::graph_nodes_created(), before, "serving built graph nodes");
+        assert!(reference.allclose(&got, 1e-4, 1e-5), "serving logits diverged");
+        assert_eq!(session.predict(&x), reference.argmax_last());
+    }
+
+    #[test]
+    fn session_evaluates_datasets() {
+        let d = SkeletonDataset::ntu60_like(5, 3, 8, 2);
+        let indices: Vec<usize> = (0..d.len()).collect();
+        let mut session = InferenceSession::new(model());
+        let r = session.evaluate(&d, &indices, Stream::Joint);
+        assert_eq!(r.n, indices.len());
+        let (scores, labels) = session.score(&d, &indices, Stream::Joint, 4);
+        assert_eq!(scores.shape(), &[indices.len(), 5]);
+        assert_eq!(labels.len(), indices.len());
+    }
+
+    #[test]
+    fn into_model_returns_the_compiled_model() {
+        let session = InferenceSession::new(model());
+        let m = session.into_model();
+        assert!(m.n_parameters() > 0);
+    }
+}

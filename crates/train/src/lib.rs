@@ -10,18 +10,24 @@
 //! * [`experiment`] — table declarations: each `Table` pairs the paper's
 //!   published rows with rows measured on the synthetic corpus and prints
 //!   them side by side (the `dhg-bench` `tableN` binaries drive this).
-//! * [`checkpoint`] — compact binary save/load of model parameters.
+//! * [`infer`] — [`InferenceSession`]: a model compiled for grad-free
+//!   serving (folded Conv+BN, cached hypergraph operators) bundled with
+//!   its reusable scratch workspace.
+//! * [`checkpoint`] — compact binary save/load of model parameters and
+//!   BatchNorm running statistics.
 //! * [`zoo`] — canonical constructors for every model in the comparison,
 //!   so tables build models consistently.
 
 pub mod checkpoint;
 pub mod eval;
 pub mod experiment;
+pub mod infer;
 pub mod report;
 pub mod trainer;
 pub mod zoo;
 
 pub use eval::{evaluate, evaluate_fused, EvalResult};
 pub use experiment::{Table, TableRow};
+pub use infer::InferenceSession;
 pub use report::{classification_report, ClassificationReport};
-pub use trainer::{train, TrainConfig, TrainReport};
+pub use trainer::{train, train_validated, TrainConfig, TrainReport};

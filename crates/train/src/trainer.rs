@@ -1,5 +1,6 @@
 //! Minibatch SGD training (§4.2, scaled to CPU budgets).
 
+use crate::eval::EvalResult;
 use dhg_nn::{Module, Sgd, SgdConfig, StepLr};
 use dhg_skeleton::{batch_samples, SkeletonDataset, SkeletonSample, Stream};
 use dhg_tensor::Tensor;
@@ -50,6 +51,9 @@ pub struct TrainReport {
     /// Training-set Top-1 accuracy of the final epoch's batches (cheap
     /// running estimate, not a re-evaluation).
     pub final_train_accuracy: f32,
+    /// Held-out accuracy after training, when a validation split was given
+    /// (see [`train_validated`]); scored on the grad-free inference path.
+    pub validation: Option<EvalResult>,
 }
 
 impl TrainReport {
@@ -132,7 +136,30 @@ pub fn train(
         } else {
             0.0
         },
+        validation: None,
     }
+}
+
+/// [`train`], then score the held-out `val_indices` on the compiled
+/// inference path ([`Module::prepare_inference`] +
+/// [`crate::eval::evaluate`]) and record the result in
+/// [`TrainReport::validation`]. The model is returned compiled; call
+/// `set_training(true)` before resuming training (this drops the folded
+/// caches).
+pub fn train_validated(
+    model: &mut dyn Module,
+    dataset: &SkeletonDataset,
+    train_indices: &[usize],
+    val_indices: &[usize],
+    stream: Stream,
+    config: &TrainConfig,
+) -> TrainReport {
+    let mut report = train(model, dataset, train_indices, stream, config);
+    if !val_indices.is_empty() {
+        model.prepare_inference();
+        report.validation = Some(crate::eval::evaluate(&*model, dataset, val_indices, stream));
+    }
+    report
 }
 
 #[cfg(test)]
@@ -166,6 +193,39 @@ mod tests {
         let report = train(&mut model, &dataset, &split.train, Stream::Joint, &config);
         assert_eq!(report.epoch_losses.len(), 4);
         assert!(report.improved(), "losses: {:?}", report.epoch_losses);
+    }
+
+    #[test]
+    fn validated_training_scores_holdout_on_inference_path() {
+        let dataset = SkeletonDataset::ntu60_like(3, 8, 8, 1);
+        let split = dataset.split(Protocol::Random { test_fraction: 0.25 }, 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut model = StGcn::new(
+            ModelDims { in_channels: 3, n_joints: 25, n_classes: 3 },
+            SkeletonTopology::ntu25().graph().normalized_adjacency(),
+            &[dhg_core::common::StageSpec::new(8, 1)],
+            0.0,
+            &mut rng,
+        );
+        let config = TrainConfig {
+            epochs: 1,
+            batch_size: 8,
+            sgd: SgdConfig { lr: 0.05, momentum: 0.9, weight_decay: 0.0 },
+            lr_milestones: vec![1],
+            seed: 7,
+            verbose: false,
+        };
+        let report = train_validated(
+            &mut model,
+            &dataset,
+            &split.train,
+            &split.test,
+            Stream::Joint,
+            &config,
+        );
+        let v = report.validation.expect("validation recorded");
+        assert_eq!(v.n, split.test.len());
+        assert!(v.top1 >= 0.0 && v.top1 <= 1.0);
     }
 
     #[test]

@@ -48,7 +48,7 @@ impl Zoo {
         StdRng::seed_from_u64(self.seed)
     }
 
-    /// ST-GCN [37] on the normalised bone-graph adjacency.
+    /// ST-GCN \[37\] on the normalised bone-graph adjacency.
     pub fn stgcn(&self) -> StGcn {
         StGcn::new(
             self.dims,
@@ -59,7 +59,7 @@ impl Zoo {
         )
     }
 
-    /// One stream of 2s-AGCN [29].
+    /// One stream of 2s-AGCN \[29\].
     pub fn agcn(&self) -> Agcn {
         Agcn::new(
             self.dims,
@@ -123,24 +123,24 @@ impl Zoo {
         DhgcnLite::new(config, &self.topology, &mut self.rng())
     }
 
-    /// Shift-GCN [3].
+    /// Shift-GCN \[3\].
     pub fn shift_gcn(&self) -> ShiftGcn {
         ShiftGcn::new(self.dims, &self.stages, 8, self.dropout, &mut self.rng())
     }
 
-    /// The TCN baseline [13].
+    /// The TCN baseline \[13\].
     pub fn tcn(&self) -> TcnClassifier {
         // parameter parity with the backbone models
         let widths: Vec<usize> = self.stages.iter().map(|s| s.channels).collect();
         TcnClassifier::new(self.dims, &widths, self.dropout, &mut self.rng())
     }
 
-    /// The LSTM baseline (ST-LSTM-like [21]).
+    /// The LSTM baseline (ST-LSTM-like \[21\]).
     pub fn lstm(&self) -> LstmClassifier {
         LstmClassifier::new(self.dims, 32, &mut self.rng())
     }
 
-    /// The hand-crafted Lie-group-style baseline [34].
+    /// The hand-crafted Lie-group-style baseline \[34\].
     pub fn lie(&self) -> LieFeatureClassifier {
         LieFeatureClassifier::new(self.dims, self.topology.clone(), &mut self.rng())
     }
@@ -159,6 +159,12 @@ impl Zoo {
             "DHGCN-lite" => Box::new(self.dhgcn_lite()),
             _ => return None,
         })
+    }
+
+    /// Build by table row name, compiled for serving (see
+    /// [`crate::InferenceSession`]).
+    pub fn by_name_session(&self, name: &str) -> Option<crate::InferenceSession<Box<dyn Module>>> {
+        Some(crate::InferenceSession::new(self.by_name(name)?))
     }
 }
 
@@ -183,6 +189,31 @@ mod tests {
             assert_eq!(y.shape(), vec![2, 4], "{name}");
         }
         assert!(zoo.by_name("NoSuchModel").is_none());
+    }
+
+    #[test]
+    fn every_named_model_serves_through_a_session() {
+        let zoo = Zoo::tiny(SkeletonTopology::ntu25(), 4, 0);
+        let x = Tensor::constant(NdArray::from_vec(
+            (0..2 * 3 * 8 * 25).map(|i| (i as f32 * 0.01).sin()).collect(),
+            &[2, 3, 8, 25],
+        ));
+        for name in [
+            "ST-GCN", "2s-AGCN", "2s-AHGCN", "Shift-GCN", "TCN", "ST-LSTM", "Lie Group",
+            "DHGCN", "DHGCN-lite",
+        ] {
+            let mut session =
+                zoo.by_name_session(name).unwrap_or_else(|| panic!("unknown model {name}"));
+            let before = dhg_tensor::graph_nodes_created();
+            let y = session.logits(&x);
+            assert_eq!(
+                dhg_tensor::graph_nodes_created(),
+                before,
+                "{name} built autograd graph nodes while serving"
+            );
+            assert_eq!(y.shape(), &[2, 4], "{name}");
+            assert!(y.data().iter().all(|v| v.is_finite()), "{name}");
+        }
     }
 
     #[test]

@@ -4,7 +4,9 @@
 #   2. the full test suite (unit + integration + property tests)
 #   3. clippy with warnings denied
 #   4. a smoke pass over the criterion benches (--test runs each bench
-#      once without measuring, catching bit-rot in bench code)
+#      once without measuring, catching bit-rot in bench code; the
+#      inference_latency bench also asserts the execution-mode contract)
+#   5. rustdoc with warnings denied (broken intra-doc links fail the gate)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,5 +21,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== tier1: bench smoke (compile + single pass, no measurement) =="
 cargo bench -p dhg-bench -- --test
+
+echo "== tier1: cargo doc -D warnings =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 echo "== tier1: OK =="
