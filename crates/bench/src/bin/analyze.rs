@@ -1,0 +1,231 @@
+//! Static model-graph analyzer over the whole model zoo.
+//!
+//! Without a single real forward pass through the plan, the analyzer
+//! verifies for every zoo model, on both skeleton topologies:
+//!
+//! 1. **shape compatibility** end-to-end at representative `[N, C, T, V]`
+//!    inputs (joint stream, bone stream and two-stream fusion),
+//! 2. **inference readiness** — warmed BatchNorm statistics, serving
+//!    caches prepared, and zero autograd nodes built on the compiled path,
+//! 3. **hypergraph incidence invariants** — binary `H`, full joint
+//!    coverage, normalised `Imp` weights, non-singular degree matrices,
+//! 4. **workspace aliasing** — one audited `forward_inference` pass per
+//!    model must report zero buffer-alias hazards.
+//!
+//! Exit status is non-zero if *any* diagnostic (warning or error)
+//! survives. `analyze --self-test` instead seeds known-bad inputs and
+//! structures and fails if the analyzer misses any of them.
+//!
+//! ```text
+//! cargo run --release -p dhg-bench --bin analyze
+//! cargo run --release -p dhg-bench --bin analyze -- --self-test
+//! ```
+
+use dhg_core::TwoStream;
+use dhg_nn::{analyze, DiagCode, Module, SymShape};
+use dhg_skeleton::SkeletonTopology;
+use dhg_tensor::{NdArray, Tensor, Workspace};
+use dhg_train::zoo::Zoo;
+use std::process::ExitCode;
+
+/// Every row of the zoo registry (Tabs. 6–8).
+const MODELS: [&str; 9] = [
+    "ST-GCN",
+    "2s-AGCN",
+    "2s-AHGCN",
+    "Shift-GCN",
+    "TCN",
+    "ST-LSTM",
+    "Lie Group",
+    "DHGCN",
+    "DHGCN-lite",
+];
+
+/// Deterministic representative batch `[n, 3, t, v]`.
+fn batch(n: usize, t: usize, v: usize) -> Tensor {
+    Tensor::constant(NdArray::from_vec(
+        (0..n * 3 * t * v).map(|i| (i as f32 * 0.017).sin()).collect(),
+        &[n, 3, t, v],
+    ))
+}
+
+/// Warm BN statistics with one training-mode pass, then compile for
+/// serving — the state a correctly deployed model is in.
+fn warmed(zoo: &Zoo, name: &str, x: &Tensor) -> Box<dyn Module> {
+    let mut m = zoo.by_name(name).unwrap_or_else(|| panic!("unknown model {name}"));
+    m.forward(x);
+    m.prepare_inference();
+    m
+}
+
+/// Audit one topology's zoo; returns the number of failed checks.
+fn audit_topology(label: &str, topology: SkeletonTopology, t: usize) -> usize {
+    let v = topology.n_joints();
+    let zoo = Zoo::tiny(topology, 4, 0);
+    let x = batch(2, t, v);
+    let shape = SymShape::nctv(3, t, v);
+    let mut failures = 0;
+
+    for name in MODELS {
+        let m = warmed(&zoo, name, &x);
+
+        // joint- and bone-stream analysis (both streams are [N, 3, T, V])
+        let report = analyze(&m.plan(&shape));
+        if report.ok() {
+            println!("ok   {label:<12} {name:<12} plan: {report}");
+        } else {
+            println!("FAIL {label:<12} {name:<12} plan:\n{report}");
+            failures += 1;
+        }
+
+        // compiled-path execution audit: no autograd nodes, no buffer
+        // aliasing hazards
+        let mut ws = Workspace::new();
+        let nodes_before = dhg_tensor::graph_nodes_created();
+        let y = m.forward_inference(&x, &mut ws);
+        let nodes_built = dhg_tensor::graph_nodes_created() - nodes_before;
+        if nodes_built > 0 {
+            println!("FAIL {label:<12} {name:<12} built {nodes_built} autograd node(s) while serving");
+            failures += 1;
+        }
+        if ws.alias_hazards() > 0 {
+            println!(
+                "FAIL {label:<12} {name:<12} {} workspace alias hazard(s)",
+                ws.alias_hazards()
+            );
+            failures += 1;
+        }
+        if y.shape() != [2, 4] {
+            println!("FAIL {label:<12} {name:<12} serving output shape {:?}", y.shape());
+            failures += 1;
+        }
+
+        // two-stream late fusion: joint + bone models must agree on [N, K]
+        let fused = TwoStream::new(warmed(&zoo, name, &x), warmed(&zoo, name, &x));
+        let freport = analyze(&fused.plan_fusion(&shape, &shape));
+        if freport.ok() {
+            println!("ok   {label:<12} {name:<12} fusion: {freport}");
+        } else {
+            println!("FAIL {label:<12} {name:<12} fusion:\n{freport}");
+            failures += 1;
+        }
+    }
+    failures
+}
+
+/// One seeded negative: `what` must hold, else the analyzer missed it.
+fn expect(failures: &mut usize, what: &str, caught: bool) {
+    if caught {
+        println!("ok   self-test: {what}");
+    } else {
+        println!("MISS self-test: {what}");
+        *failures += 1;
+    }
+}
+
+/// Seed known-bad inputs and structures; every one must be flagged.
+fn self_test() -> usize {
+    let topology = SkeletonTopology::ntu25();
+    let v = topology.n_joints();
+    let t = 16;
+    let zoo = Zoo::tiny(topology.clone(), 4, 0);
+    let x = batch(2, t, v);
+    let mut missed = 0;
+
+    for name in MODELS {
+        let m = warmed(&zoo, name, &x);
+        let wrong_channels = analyze(&m.plan(&SymShape::nctv(4, t, v)));
+        expect(&mut missed, &format!("{name} rejects a 4-channel input"), wrong_channels.has_errors());
+        let wrong_joints = analyze(&m.plan(&SymShape::nctv(3, t, v + 1)));
+        expect(&mut missed, &format!("{name} rejects a {}-joint input", v + 1), wrong_joints.has_errors());
+        let wrong_rank = analyze(&m.plan(&SymShape::batched(&[3])));
+        expect(&mut missed, &format!("{name} rejects a rank-2 input"), wrong_rank.has_errors());
+    }
+
+    // cold, unprepared eval-mode models must at least warn
+    for name in ["ST-GCN", "TCN", "DHGCN", "DHGCN-lite"] {
+        let mut m = zoo.by_name(name).unwrap();
+        m.set_training(false); // never trained, never prepared
+        let r = analyze(&m.plan(&SymShape::nctv(3, t, v)));
+        expect(
+            &mut missed,
+            &format!("{name} cold eval mode is flagged"),
+            !r.with_code(DiagCode::BnStatsCold).is_empty()
+                || !r.with_code(DiagCode::NotPrepared).is_empty(),
+        );
+    }
+
+    // seeded incidence-invariant violations
+    let hg = dhg_skeleton::static_hypergraph(&topology);
+    let mut uncovered = hg.incidence();
+    for e in 0..uncovered.shape()[1] {
+        uncovered.set(&[dhg_skeleton::topology::ntu::HEAD, e], 0.0);
+    }
+    expect(
+        &mut missed,
+        "uncovered joint is flagged",
+        dhg_hypergraph::validate_incidence(&uncovered)
+            .iter()
+            .any(|i| i.code() == "incidence-uncovered-vertex"),
+    );
+    let mut empty = hg.incidence();
+    for j in 0..empty.shape()[0] {
+        empty.set(&[j, 5], 0.0);
+    }
+    expect(
+        &mut missed,
+        "empty hyperedge is flagged",
+        dhg_hypergraph::validate_incidence(&empty)
+            .iter()
+            .any(|i| i.code() == "incidence-empty-edge"),
+    );
+    let mut fractional = hg.incidence();
+    fractional.set(&[0, 0], 0.5);
+    expect(
+        &mut missed,
+        "non-binary incidence entry is flagged",
+        dhg_hypergraph::validate_incidence(&fractional)
+            .iter()
+            .any(|i| i.code() == "incidence-not-binary"),
+    );
+    let mut imp = dhg_hypergraph::joint_weights(&hg, &vec![1.0; v]);
+    imp.set(&[dhg_skeleton::topology::ntu::HEAD, 4], imp.at(&[dhg_skeleton::topology::ntu::HEAD, 4]) + 0.5);
+    expect(
+        &mut missed,
+        "denormalised Imp weights are flagged",
+        dhg_hypergraph::validate_imp(&hg.incidence(), &imp)
+            .iter()
+            .any(|i| i.code() == "imp-not-normalized"),
+    );
+
+    // mismatched class counts across fusion streams
+    let other = Zoo::tiny(topology, 5, 0);
+    let fused = TwoStream::new(warmed(&zoo, "ST-GCN", &x), warmed(&other, "ST-GCN", &x));
+    let r = analyze(&fused.plan_fusion(&SymShape::nctv(3, t, v), &SymShape::nctv(3, t, v)));
+    expect(
+        &mut missed,
+        "fusing 4-class and 5-class streams is flagged",
+        !r.with_code(DiagCode::FusionMismatch).is_empty(),
+    );
+
+    missed
+}
+
+fn main() -> ExitCode {
+    let self_test_mode = std::env::args().any(|a| a == "--self-test");
+    let failures = if self_test_mode {
+        println!("== analyze: seeded-negative self-test ==");
+        self_test()
+    } else {
+        println!("== analyze: static audit of the model zoo ==");
+        audit_topology("NTU-25", SkeletonTopology::ntu25(), 16)
+            + audit_topology("OpenPose-18", SkeletonTopology::openpose18(), 16)
+    };
+    if failures == 0 {
+        println!("== analyze: OK ==");
+        ExitCode::SUCCESS
+    } else {
+        println!("== analyze: {failures} failure(s) ==");
+        ExitCode::FAILURE
+    }
+}

@@ -131,6 +131,63 @@ impl Module for AgcnBlock {
         self.bn.set_training(training);
         self.tcn.set_training(training);
     }
+
+    fn prepare_inference(&mut self) {
+        self.set_training(false);
+        self.tcn.prepare_inference();
+    }
+
+    fn plan(&self, input: &dhg_nn::SymShape) -> dhg_nn::Plan {
+        use dhg_nn::{DiagCode, Plan};
+        let mut p = Plan::new(input);
+        if input.rank() != 4 {
+            p.error(
+                DiagCode::RankMismatch,
+                format!("features must be [N, C, T, V], got rank {} {input}", input.rank()),
+            );
+            return p;
+        }
+        let op_v = self.base.shape()[0];
+        if let Some(v) = input.known(3) {
+            if v != op_v {
+                p.error(
+                    DiagCode::JointMismatch,
+                    format!("operator must be square in V: base has {op_v} joints, input has {v}"),
+                );
+                return p;
+            }
+        }
+        // the attention branch consumes the same input through theta1/theta2
+        p.extend("theta1", self.theta1.plan(input));
+        if p.has_errors() {
+            return p;
+        }
+        p.push_op("attention", format!("softmax(e1' e2), [N, {op_v}, {op_v}]"), input.clone());
+        p.push_op("adaptive_vertex_op", "base + B + C per sample", input.clone());
+        p.extend("theta", self.theta.plan(&p.output().clone()));
+        if p.has_errors() {
+            return p;
+        }
+        p.extend("bn", self.bn.plan(&p.output().clone()));
+        p.push_op("relu", "", p.output().clone());
+        p.extend("tcn", self.tcn.plan(&p.output().clone()));
+        if p.has_errors() {
+            return p;
+        }
+        let main_out = p.output().clone();
+        let residual_out = match &self.residual_proj {
+            Some(proj) => proj.plan(input).output().clone(),
+            None => input.clone(),
+        };
+        if residual_out != main_out {
+            p.error(
+                DiagCode::ShapeMismatch,
+                format!("residual path produces {residual_out} but main path produces {main_out}"),
+            );
+        }
+        p.push_op("residual_add_relu", "", main_out);
+        p
+    }
 }
 
 /// The adaptive graph/hypergraph convolutional classifier (one stream of
@@ -209,6 +266,32 @@ impl Module for Agcn {
         for b in &mut self.blocks {
             b.set_training(training);
         }
+    }
+
+    fn prepare_inference(&mut self) {
+        self.input_bn.set_training(false);
+        for b in &mut self.blocks {
+            b.prepare_inference();
+        }
+    }
+
+    fn plan(&self, input: &dhg_nn::SymShape) -> dhg_nn::Plan {
+        use dhg_nn::{Plan, SymShape};
+        let mut p = Plan::new(input);
+        if !p.expect_nctv(self.dims.in_channels, self.dims.n_joints) || p.has_errors() {
+            return p;
+        }
+        p.extend("input_bn", self.input_bn.plan(input));
+        for (i, b) in self.blocks.iter().enumerate() {
+            p.extend(&format!("blocks[{i}]"), b.plan(&p.output().clone()));
+            if p.has_errors() {
+                return p;
+            }
+        }
+        let channels = p.output().at(1);
+        p.push_op("global_avg_pool", "mean over (T, V)", SymShape(vec![input.at(0), channels]));
+        p.extend("fc", self.fc.plan(&p.output().clone()));
+        p
     }
 }
 

@@ -178,6 +178,17 @@ impl DataBn {
         DataBn { bn: dhg_nn::BatchNorm2d::new(channels * joints), channels, joints }
     }
 
+    /// Whether the inner BatchNorm is in training mode.
+    pub fn training(&self) -> bool {
+        self.bn.training()
+    }
+
+    /// Whether the inner BatchNorm's running statistics are untouched
+    /// (see [`dhg_nn::BatchNorm2d::stats_cold`]).
+    pub fn stats_cold(&self) -> bool {
+        self.bn.stats_cold()
+    }
+
     /// Eval-mode DataBn as one per-(channel, joint) affine map. The inner
     /// BN runs over `C·V` folded channels where folded channel `c·V + v`
     /// normalises coordinate `c` of joint `v`, so the affine applies to the
@@ -236,6 +247,48 @@ impl dhg_nn::Module for DataBn {
 
     fn set_training(&mut self, training: bool) {
         self.bn.set_training(training);
+    }
+
+    fn plan(&self, input: &dhg_nn::SymShape) -> dhg_nn::Plan {
+        use dhg_nn::{DiagCode, Plan};
+        let mut p = Plan::new(input);
+        if input.rank() != 4 {
+            p.error(
+                DiagCode::RankMismatch,
+                format!("DataBn expects [N, C, T, V], got rank {} {input}", input.rank()),
+            );
+            return p;
+        }
+        if let Some(c) = input.known(1) {
+            if c != self.channels {
+                p.error(
+                    DiagCode::ChannelMismatch,
+                    format!("DataBn channel mismatch: expected {}, got {c}", self.channels),
+                );
+                return p;
+            }
+        }
+        if let Some(v) = input.known(3) {
+            if v != self.joints {
+                p.error(
+                    DiagCode::JointMismatch,
+                    format!("DataBn joint mismatch: expected {}, got {v}", self.joints),
+                );
+                return p;
+            }
+        }
+        p.push_op(
+            "databn",
+            format!("BN over {}x{} joint-channels", self.channels, self.joints),
+            input.clone(),
+        );
+        if !self.bn.training() && self.bn.stats_cold() {
+            p.warn(
+                DiagCode::BnStatsCold,
+                "eval-mode DataBn with untouched running statistics (mean=0, var=1)",
+            );
+        }
+        p
     }
 }
 

@@ -205,6 +205,81 @@ impl DhstBlock {
         self.inference = Some(BlockInference { static_branch, joint_weight, topology, residual });
     }
 
+    /// Static shape plan mirroring [`DhstBlock::forward`]: every active
+    /// spatial branch consumes the same input and their outputs must agree
+    /// before the sum.
+    pub fn plan(&self, input: &dhg_nn::SymShape) -> dhg_nn::Plan {
+        use dhg_nn::{DiagCode, Plan};
+        let mut p = Plan::new(input);
+        if input.rank() != 4 {
+            p.error(
+                DiagCode::RankMismatch,
+                format!("features must be [N, C, T, V], got rank {} {input}", input.rank()),
+            );
+            return p;
+        }
+        // plan each active branch against the block input; the first one
+        // anchors the chain, the others must produce the same shape
+        let mut branch_plans: Vec<(&'static str, Plan)> = Vec::new();
+        if let Some(b) = &self.static_branch {
+            branch_plans.push(("static_branch", b.plan(input)));
+        }
+        if let Some(b) = &self.joint_weight_branch {
+            branch_plans.push(("joint_weight_branch", b.plan(input)));
+        }
+        if let Some(b) = &self.topology_branch {
+            branch_plans.push(("topology_branch", b.plan(input)));
+        }
+        let mut sum_out: Option<dhg_nn::SymShape> = None;
+        for (i, (name, bp)) in branch_plans.into_iter().enumerate() {
+            let errored = bp.has_errors();
+            let out = bp.output().clone();
+            if i == 0 {
+                p.extend(name, bp);
+            } else if let Some(anchor) = &sum_out {
+                if errored {
+                    p.extend(name, bp);
+                } else if &out != anchor {
+                    p.error(
+                        DiagCode::ShapeMismatch,
+                        format!("{name} produces {out} but the branch sum expects {anchor}"),
+                    );
+                }
+            }
+            if errored {
+                return p;
+            }
+            if sum_out.is_none() {
+                sum_out = Some(out);
+            }
+        }
+        p.extend("bn", self.bn.plan(&p.output().clone()));
+        p.push_op("relu", "", p.output().clone());
+        p.extend("tcn", self.tcn.plan(&p.output().clone()));
+        if p.has_errors() {
+            return p;
+        }
+        let main_out = p.output().clone();
+        let residual_out = match &self.residual_proj {
+            Some(proj) => proj.plan(input).output().clone(),
+            None => input.clone(),
+        };
+        if residual_out != main_out {
+            p.error(
+                DiagCode::ShapeMismatch,
+                format!("residual path produces {residual_out} but main path produces {main_out}"),
+            );
+        }
+        p.push_op("residual_add_relu", "", main_out);
+        if !self.bn.training() && self.inference.is_none() {
+            p.warn(
+                DiagCode::NotPrepared,
+                "eval-mode DhstBlock without serving caches; call prepare_inference()",
+            );
+        }
+        p
+    }
+
     /// Grad-free eval forward on raw arrays using the caches built by
     /// [`DhstBlock::prepare_inference`]. `dyn_ops` mirrors
     /// [`DhstBlock::forward`].

@@ -69,6 +69,25 @@ impl StaticBranch {
         ps
     }
 
+    /// Static shape plan mirroring [`StaticBranch::forward`].
+    pub fn plan(&self, input: &dhg_nn::SymShape) -> dhg_nn::Plan {
+        use dhg_nn::{DiagCode, Plan};
+        let mut p = Plan::new(input);
+        let op_v = self.op.shape()[0];
+        if let Some(v) = input.known(3) {
+            if v != op_v {
+                p.error(
+                    DiagCode::JointMismatch,
+                    format!("operator must be [V, V]: operator has {op_v} joints, input has {v}"),
+                );
+                return p;
+            }
+        }
+        p.push_op("vertex_op", format!("static hypergraph operator [{op_v}, {op_v}]"), input.clone());
+        p.extend("theta", self.theta.plan(&p.output().clone()));
+        p
+    }
+
     /// Bake the branch for serving: the importance-weighted operator is
     /// precomputed once and Θ absorbs the block BN's per-channel affine.
     pub(crate) fn compile(&self, scale: &[f32], shift: &[f32]) -> StaticBranchEval {
@@ -131,6 +150,25 @@ impl JointWeightBranch {
         let mut ps = vec![self.importance.clone()];
         ps.extend(self.theta.parameters());
         ps
+    }
+
+    /// Static shape plan mirroring [`JointWeightBranch::forward`].
+    pub fn plan(&self, input: &dhg_nn::SymShape) -> dhg_nn::Plan {
+        use dhg_nn::{DiagCode, Plan};
+        let mut p = Plan::new(input);
+        let op_v = self.importance.shape()[0];
+        if let Some(v) = input.known(3) {
+            if v != op_v {
+                p.error(
+                    DiagCode::JointMismatch,
+                    format!("operator must be square in V: branch has {op_v} joints, input has {v}"),
+                );
+                return p;
+            }
+        }
+        p.push_op("dynamic_vertex_op", "per-frame Eq. 9 operators", input.clone());
+        p.extend("theta", self.theta.plan(&p.output().clone()));
+        p
     }
 
     /// Bake the branch for serving (Θ absorbs the block BN affine).
@@ -277,6 +315,38 @@ impl TopologyBranch {
         ps.push(self.learned.clone());
         ps.extend(self.theta.parameters());
         ps
+    }
+
+    /// Static shape plan mirroring [`TopologyBranch::forward`].
+    pub fn plan(&self, input: &dhg_nn::SymShape) -> dhg_nn::Plan {
+        use dhg_nn::{DiagCode, Plan};
+        let mut p = Plan::new(input);
+        let op_v = self.importance.shape()[0];
+        if let Some(v) = input.known(3) {
+            if v != op_v {
+                p.error(
+                    DiagCode::JointMismatch,
+                    format!("operator must be square in V: branch has {op_v} joints, input has {v}"),
+                );
+                return p;
+            }
+        }
+        p.extend("embed", self.embed.plan(input));
+        if p.has_errors() {
+            return p;
+        }
+        p.push_op("relu", "", p.output().clone());
+        let mode = match self.granularity {
+            TopologyGranularity::PerSample => "per-sample",
+            TopologyGranularity::PerFrame => "per-frame",
+        };
+        p.push_op(
+            "topology_vertex_op",
+            format!("{mode} k-NN(k={}) + k-means(k={}) hyperedges", self.kn, self.km),
+            p.output().clone(),
+        );
+        p.extend("theta", self.theta.plan(&p.output().clone()));
+        p
     }
 
     /// Bake the branch for serving: the embedding runs as a folded kernel

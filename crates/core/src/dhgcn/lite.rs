@@ -90,6 +90,18 @@ impl LowRankTheta {
         }
     }
 
+    fn plan(&self, input: &dhg_nn::SymShape) -> dhg_nn::Plan {
+        let mut p = dhg_nn::Plan::new(input);
+        if let Some(r) = &self.reduce {
+            p.extend("reduce", r.plan(input));
+            if p.has_errors() {
+                return p;
+            }
+        }
+        p.extend("expand", self.expand.plan(&p.output().clone()));
+        p
+    }
+
     fn parameters(&self) -> Vec<Tensor> {
         let mut ps = Vec::new();
         if let Some(r) = &self.reduce {
@@ -220,6 +232,48 @@ impl LiteBlock {
         if training {
             self.inference = None;
         }
+    }
+
+    fn plan(&self, input: &dhg_nn::SymShape) -> dhg_nn::Plan {
+        use dhg_nn::{DiagCode, Plan};
+        let mut p = Plan::new(input);
+        if input.rank() != 4 {
+            p.error(
+                DiagCode::RankMismatch,
+                format!("features must be [N, C, T, V], got rank {} {input}", input.rank()),
+            );
+            return p;
+        }
+        p.push_op("fused_vertex_op", "per-sample fused operator", input.clone());
+        p.extend("theta", self.theta.plan(&p.output().clone()));
+        if p.has_errors() {
+            return p;
+        }
+        p.extend("bn", self.bn.plan(&p.output().clone()));
+        p.push_op("relu", "", p.output().clone());
+        p.extend("tcn", self.tcn.plan(&p.output().clone()));
+        if p.has_errors() {
+            return p;
+        }
+        let main_out = p.output().clone();
+        let residual_out = match &self.residual_proj {
+            Some(proj) => proj.plan(input).output().clone(),
+            None => input.clone(),
+        };
+        if residual_out != main_out {
+            p.error(
+                DiagCode::ShapeMismatch,
+                format!("residual path produces {residual_out} but main path produces {main_out}"),
+            );
+        }
+        p.push_op("residual_add_relu", "", main_out);
+        if !self.bn.training() && self.inference.is_none() {
+            p.warn(
+                DiagCode::NotPrepared,
+                "eval-mode LiteBlock without serving caches; call prepare_inference()",
+            );
+        }
+        p
     }
 }
 
@@ -450,6 +504,64 @@ impl Module for DhgcnLite {
         let pooled = h.mean_axes(&[2, 3], false); // [N, C]
         ws.recycle(h);
         Tensor::constant(linear_eval(&self.fc, &pooled, ws))
+    }
+
+    fn plan(&self, input: &dhg_nn::SymShape) -> dhg_nn::Plan {
+        use dhg_nn::{DiagCode, Plan, Severity, SymShape};
+        let mut p = Plan::new(input);
+        if !p.expect_nctv(self.config.dims.in_channels, self.config.dims.n_joints)
+            || p.has_errors()
+        {
+            return p;
+        }
+        for issue in dhg_hypergraph::validate_hypergraph(&self.static_hg) {
+            let code = match issue {
+                dhg_hypergraph::IncidenceIssue::EmptyEdge { .. } => DiagCode::IncidenceEmptyEdge,
+                dhg_hypergraph::IncidenceIssue::UncoveredVertex { .. } => {
+                    DiagCode::IncidenceUncoveredVertex
+                }
+                dhg_hypergraph::IncidenceIssue::NotBinary { .. } => DiagCode::IncidenceNotBinary,
+                dhg_hypergraph::IncidenceIssue::ImpNotNormalized { .. }
+                | dhg_hypergraph::IncidenceIssue::ImpOutsideSupport { .. } => {
+                    DiagCode::ImpNotNormalized
+                }
+                dhg_hypergraph::IncidenceIssue::SingularVertexDegree { .. }
+                | dhg_hypergraph::IncidenceIssue::SingularEdgeDegree { .. } => {
+                    DiagCode::DegreeSingular
+                }
+            };
+            p.diag(code, Severity::Error, format!("static hypergraph: {issue}"));
+        }
+        if p.has_errors() {
+            return p;
+        }
+        let v = self.config.dims.n_joints;
+        p.push_op(
+            "fused_operator",
+            format!(
+                "static \u{2295} joint-weight \u{2295} topology k-NN(k={})/k-means(k={}) \u{2295} learned -> [N, {v}, {v}]",
+                self.config.kn, self.config.km
+            ),
+            input.clone(),
+        );
+        p.extend("input_bn", self.input_bn.plan(&p.output().clone()));
+        for (i, block) in self.blocks.iter().enumerate() {
+            p.extend(&format!("blocks[{i}]"), block.plan(&p.output().clone()));
+            if p.has_errors() {
+                return p;
+            }
+        }
+        let channels = p.output().at(1);
+        let pooled = SymShape(vec![input.at(0), channels]);
+        p.push_op("global_avg_pool", "mean over (T, V)", pooled);
+        p.extend("fc", self.fc.plan(&p.output().clone()));
+        if !self.input_bn.training() && self.inference.is_none() {
+            p.warn(
+                DiagCode::NotPrepared,
+                "eval-mode DHGCN-lite without folded serving caches; call prepare_inference() before serving",
+            );
+        }
+        p
     }
 }
 

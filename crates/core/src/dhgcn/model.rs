@@ -306,6 +306,56 @@ impl Module for Dhgcn {
         self.inference = Some(self.input_bn.eval_affine());
     }
 
+    fn plan(&self, input: &dhg_nn::SymShape) -> dhg_nn::Plan {
+        use dhg_nn::{DiagCode, Plan, Severity, SymShape};
+        let mut p = Plan::new(input);
+        if !p.expect_nctv(self.config.dims.in_channels, self.config.dims.n_joints)
+            || p.has_errors()
+        {
+            return p;
+        }
+        // the static hypergraph the model convolves with must satisfy the
+        // incidence invariants, or every block's operator is garbage
+        for issue in dhg_hypergraph::validate_hypergraph(&self.static_hg) {
+            let code = match issue {
+                dhg_hypergraph::IncidenceIssue::EmptyEdge { .. } => DiagCode::IncidenceEmptyEdge,
+                dhg_hypergraph::IncidenceIssue::UncoveredVertex { .. } => {
+                    DiagCode::IncidenceUncoveredVertex
+                }
+                dhg_hypergraph::IncidenceIssue::NotBinary { .. } => DiagCode::IncidenceNotBinary,
+                dhg_hypergraph::IncidenceIssue::ImpNotNormalized { .. }
+                | dhg_hypergraph::IncidenceIssue::ImpOutsideSupport { .. } => {
+                    DiagCode::ImpNotNormalized
+                }
+                dhg_hypergraph::IncidenceIssue::SingularVertexDegree { .. }
+                | dhg_hypergraph::IncidenceIssue::SingularEdgeDegree { .. } => {
+                    DiagCode::DegreeSingular
+                }
+            };
+            p.diag(code, Severity::Error, format!("static hypergraph: {issue}"));
+        }
+        if p.has_errors() {
+            return p;
+        }
+        p.extend("input_bn", self.input_bn.plan(input));
+        for (i, b) in self.blocks.iter().enumerate() {
+            p.extend(&format!("blocks[{i}]"), b.plan(&p.output().clone()));
+            if p.has_errors() {
+                return p;
+            }
+        }
+        let channels = p.output().at(1);
+        p.push_op("global_avg_pool", "mean over (T, V)", SymShape(vec![input.at(0), channels]));
+        p.extend("fc", self.fc.plan(&p.output().clone()));
+        if !self.input_bn.training() && self.inference.is_none() {
+            p.warn(
+                DiagCode::NotPrepared,
+                "eval-mode Dhgcn without a compiled serving path; call prepare_inference()",
+            );
+        }
+        p
+    }
+
     fn forward_inference(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
         let Some((bn_scale, bn_shift)) = &self.inference else {
             // not compiled: grad-free but otherwise identical to forward

@@ -116,6 +116,22 @@ impl Module for LieFeatureClassifier {
     fn parameters(&self) -> Vec<Tensor> {
         self.fc.parameters()
     }
+
+    fn plan(&self, input: &dhg_nn::SymShape) -> dhg_nn::Plan {
+        use dhg_nn::{Dim, Plan, SymShape};
+        let mut p = Plan::new(input);
+        if !p.expect_nctv(self.dims.in_channels, self.dims.n_joints) || p.has_errors() {
+            return p;
+        }
+        let feats = SymShape(vec![input.at(0), Dim::Known(self.feature_width)]);
+        p.push_op(
+            "extract_features",
+            format!("hand-crafted geometry, width {}", self.feature_width),
+            feats,
+        );
+        p.extend("fc", self.fc.plan(&p.output().clone()));
+        p
+    }
 }
 
 #[cfg(test)]

@@ -48,6 +48,23 @@ impl Module for LstmClassifier {
         ps.extend(self.fc.parameters());
         ps
     }
+
+    fn plan(&self, input: &dhg_nn::SymShape) -> dhg_nn::Plan {
+        use dhg_nn::{Dim, Plan, SymShape};
+        let mut p = Plan::new(input);
+        if !p.expect_nctv(self.dims.in_channels, self.dims.n_joints) || p.has_errors() {
+            return p;
+        }
+        let width = self.dims.in_channels * self.dims.n_joints;
+        let seq = SymShape(vec![input.at(0), input.at(2), Dim::Known(width)]);
+        p.push_op("permute_reshape", format!("[N, C, T, V] -> [N, T, {width}]"), seq);
+        p.extend("lstm", self.lstm.plan(&p.output().clone()));
+        if p.has_errors() {
+            return p;
+        }
+        p.extend("fc", self.fc.plan(&p.output().clone()));
+        p
+    }
 }
 
 #[cfg(test)]

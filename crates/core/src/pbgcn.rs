@@ -120,6 +120,77 @@ impl Module for PbBlock {
         self.bn.set_training(training);
         self.tcn.set_training(training);
     }
+
+    fn prepare_inference(&mut self) {
+        self.set_training(false);
+        self.tcn.prepare_inference();
+    }
+
+    fn plan(&self, input: &dhg_nn::SymShape) -> dhg_nn::Plan {
+        use dhg_nn::{DiagCode, Plan};
+        let mut p = Plan::new(input);
+        if input.rank() != 4 {
+            p.error(
+                DiagCode::RankMismatch,
+                format!("features must be [N, C, T, V], got rank {} {input}", input.rank()),
+            );
+            return p;
+        }
+        // every part operator must be [V, V] over the input's joint axis
+        if let Some(v) = input.known(3) {
+            for (i, (op, _)) in self.convs.iter().enumerate() {
+                if op.shape() != vec![v, v] {
+                    p.error(
+                        DiagCode::JointMismatch,
+                        format!("operator must be [V, V]: part {i} has {:?}, input has {v} joints", op.shape()),
+                    );
+                    return p;
+                }
+            }
+        }
+        // the part convolutions all consume the input and are summed, so
+        // their output shapes must agree; plan the first and compare
+        let (_, theta0) = &self.convs[0];
+        p.push_op("part_vertex_ops", format!("{} part operator(s), summed", self.convs.len()), input.clone());
+        p.extend("theta[0]", theta0.plan(&p.output().clone()));
+        if p.has_errors() {
+            return p;
+        }
+        let part_out = p.output().clone();
+        for (i, (_, theta)) in self.convs.iter().enumerate().skip(1) {
+            let other = theta.plan(input);
+            if other.has_errors() {
+                p.extend(&format!("theta[{i}]"), other);
+                return p;
+            }
+            if other.output() != &part_out {
+                p.error(
+                    DiagCode::ShapeMismatch,
+                    format!("part {i} produces {} but part 0 produces {part_out}", other.output()),
+                );
+                return p;
+            }
+        }
+        p.extend("bn", self.bn.plan(&part_out));
+        p.push_op("relu", "", p.output().clone());
+        p.extend("tcn", self.tcn.plan(&p.output().clone()));
+        if p.has_errors() {
+            return p;
+        }
+        let main_out = p.output().clone();
+        let residual_out = match &self.residual_proj {
+            Some(proj) => proj.plan(input).output().clone(),
+            None => input.clone(),
+        };
+        if residual_out != main_out {
+            p.error(
+                DiagCode::ShapeMismatch,
+                format!("residual path produces {residual_out} but main path produces {main_out}"),
+            );
+        }
+        p.push_op("residual_add_relu", "", main_out);
+        p
+    }
 }
 
 /// The part-based classifier of Tab. 2, in PB-GCN or PB-HGCN form.
@@ -213,6 +284,32 @@ impl Module for PartBasedModel {
         for b in &mut self.blocks {
             b.set_training(training);
         }
+    }
+
+    fn prepare_inference(&mut self) {
+        self.input_bn.set_training(false);
+        for b in &mut self.blocks {
+            b.prepare_inference();
+        }
+    }
+
+    fn plan(&self, input: &dhg_nn::SymShape) -> dhg_nn::Plan {
+        use dhg_nn::{Plan, SymShape};
+        let mut p = Plan::new(input);
+        if !p.expect_nctv(self.dims.in_channels, self.dims.n_joints) || p.has_errors() {
+            return p;
+        }
+        p.extend("input_bn", self.input_bn.plan(input));
+        for (i, b) in self.blocks.iter().enumerate() {
+            p.extend(&format!("blocks[{i}]"), b.plan(&p.output().clone()));
+            if p.has_errors() {
+                return p;
+            }
+        }
+        let channels = p.output().at(1);
+        p.push_op("global_avg_pool", "mean over (T, V)", SymShape(vec![input.at(0), channels]));
+        p.extend("fc", self.fc.plan(&p.output().clone()));
+        p
     }
 }
 

@@ -142,6 +142,58 @@ impl Module for StGcnBlock {
             residual: self.residual_proj.as_ref().map(EvalConv::from_conv),
         });
     }
+
+    fn plan(&self, input: &dhg_nn::SymShape) -> dhg_nn::Plan {
+        use dhg_nn::{DiagCode, Plan};
+        let mut p = Plan::new(input);
+        if input.rank() != 4 {
+            p.error(
+                DiagCode::RankMismatch,
+                format!("features must be [N, C, T, V], got rank {} {input}", input.rank()),
+            );
+            return p;
+        }
+        let op_v = self.op.shape()[0];
+        if let Some(v) = input.known(3) {
+            if v != op_v {
+                p.error(
+                    DiagCode::JointMismatch,
+                    format!("operator must be [V, V]: operator has {op_v} joints, input has {v}"),
+                );
+                return p;
+            }
+        }
+        p.push_op("vertex_op", format!("importance-weighted [{op_v}, {op_v}] operator"), input.clone());
+        p.extend("theta", self.theta.plan(&p.output().clone()));
+        if p.has_errors() {
+            return p;
+        }
+        p.extend("bn", self.bn.plan(&p.output().clone()));
+        p.push_op("relu", "", p.output().clone());
+        p.extend("tcn", self.tcn.plan(&p.output().clone()));
+        if p.has_errors() {
+            return p;
+        }
+        let main_out = p.output().clone();
+        let residual_out = match &self.residual_proj {
+            Some(proj) => proj.plan(input).output().clone(),
+            None => input.clone(),
+        };
+        if residual_out != main_out {
+            p.error(
+                DiagCode::ShapeMismatch,
+                format!("residual path produces {residual_out} but main path produces {main_out}"),
+            );
+        }
+        p.push_op("residual_add_relu", "", main_out);
+        if !self.bn.training() && self.inference.is_none() {
+            p.warn(
+                DiagCode::NotPrepared,
+                "eval-mode StGcnBlock without serving caches; call prepare_inference()",
+            );
+        }
+        p
+    }
 }
 
 /// The full ST-GCN classifier: input BatchNorm, a stack of blocks over the
@@ -243,6 +295,31 @@ impl Module for StGcn {
             b.prepare_inference();
         }
         self.inference = Some(self.input_bn.eval_affine());
+    }
+
+    fn plan(&self, input: &dhg_nn::SymShape) -> dhg_nn::Plan {
+        use dhg_nn::{DiagCode, Plan, SymShape};
+        let mut p = Plan::new(input);
+        if !p.expect_nctv(self.dims.in_channels, self.dims.n_joints) || p.has_errors() {
+            return p;
+        }
+        p.extend("input_bn", self.input_bn.plan(input));
+        for (i, b) in self.blocks.iter().enumerate() {
+            p.extend(&format!("blocks[{i}]"), b.plan(&p.output().clone()));
+            if p.has_errors() {
+                return p;
+            }
+        }
+        let channels = p.output().at(1);
+        p.push_op("global_avg_pool", "mean over (T, V)", SymShape(vec![input.at(0), channels]));
+        p.extend("fc", self.fc.plan(&p.output().clone()));
+        if !self.input_bn.training() && self.inference.is_none() {
+            p.warn(
+                DiagCode::NotPrepared,
+                "eval-mode StGcn without a compiled serving path; call prepare_inference()",
+            );
+        }
+        p
     }
 
     fn forward_inference(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {

@@ -83,6 +83,29 @@ impl Module for TemporalConv {
         self.set_training(false);
         self.inference = Some(EvalConv::from_conv_bn(&self.conv, &self.bn));
     }
+
+    fn plan(&self, input: &dhg_nn::SymShape) -> dhg_nn::Plan {
+        use dhg_nn::{DiagCode, Plan};
+        let mut p = Plan::new(input);
+        p.extend("conv", self.conv.plan(input));
+        if p.has_errors() {
+            return p;
+        }
+        let after_conv = p.output().clone();
+        p.extend("bn", self.bn.plan(&after_conv));
+        if let Some(d) = &self.dropout {
+            let after_bn = p.output().clone();
+            p.extend("dropout", d.plan(&after_bn));
+        }
+        if !self.bn.training() && self.inference.is_none() {
+            p.warn(
+                DiagCode::NotPrepared,
+                "eval-mode TemporalConv without a folded Conv+BN kernel; \
+                 call prepare_inference() before serving",
+            );
+        }
+        p
+    }
 }
 
 #[cfg(test)]

@@ -95,6 +95,35 @@ impl Module for TcnClassifier {
         self.inference = Some(self.input_bn.eval_affine());
     }
 
+    fn plan(&self, input: &dhg_nn::SymShape) -> dhg_nn::Plan {
+        use dhg_nn::{DiagCode, Dim, Plan, SymShape};
+        let mut p = Plan::new(input);
+        if !p.expect_nctv(self.dims.in_channels, self.dims.n_joints) || p.has_errors() {
+            return p;
+        }
+        let flat = self.dims.in_channels * self.dims.n_joints;
+        let flattened = SymShape(vec![input.at(0), Dim::Known(flat), input.at(2), Dim::Known(1)]);
+        p.push_op("permute_reshape", format!("[N, C, T, V] -> [N, {flat}, T, 1]"), flattened);
+        p.extend("input_bn", self.input_bn.plan(&p.output().clone()));
+        for (i, l) in self.layers.iter().enumerate() {
+            p.extend(&format!("layers[{i}]"), l.plan(&p.output().clone()));
+            if p.has_errors() {
+                return p;
+            }
+            p.push_op("relu", "", p.output().clone());
+        }
+        let channels = p.output().at(1);
+        p.push_op("global_avg_pool", "mean over (T, V)", SymShape(vec![input.at(0), channels]));
+        p.extend("fc", self.fc.plan(&p.output().clone()));
+        if !self.input_bn.training() && self.inference.is_none() {
+            p.warn(
+                DiagCode::NotPrepared,
+                "eval-mode TcnClassifier without a compiled serving path; call prepare_inference()",
+            );
+        }
+        p
+    }
+
     fn forward_inference(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
         let Some((scale, shift)) = &self.inference else {
             let _guard = dhg_tensor::no_grad();

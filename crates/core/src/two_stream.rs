@@ -2,7 +2,7 @@
 //! identical models are trained on the joint stream and the bone stream,
 //! and their prediction scores are summed at test time (Tabs. 1 and 5).
 
-use dhg_nn::Module;
+use dhg_nn::{DiagCode, Module, Plan, SymShape};
 use dhg_tensor::{NdArray, Tensor, Workspace};
 
 /// Sum two score matrices `[N, K]` (the paper's late fusion).
@@ -57,6 +57,30 @@ impl<M: Module> TwoStream<M> {
     pub fn prepare_inference(&mut self) {
         self.joint.prepare_inference();
         self.bone.prepare_inference();
+    }
+
+    /// Statically verify the late-fusion contract without running either
+    /// stream: each per-stream plan must be clean, and both plans must
+    /// produce the same score shape `[N, K]` — the condition
+    /// [`fuse_scores`] asserts eagerly at test time.
+    pub fn plan_fusion(&self, joint_input: &SymShape, bone_input: &SymShape) -> Plan {
+        let mut p = Plan::new(joint_input);
+        p.extend("joint", self.joint.plan(joint_input));
+        let joint_out = p.output().clone();
+        let bone_plan = self.bone.plan(bone_input);
+        let bone_out = bone_plan.output().clone();
+        p.adopt("bone", &bone_plan);
+        if joint_out != bone_out {
+            p.error(
+                DiagCode::FusionMismatch,
+                format!(
+                    "fusion shape mismatch: joint stream produces {joint_out}, bone stream produces {bone_out}"
+                ),
+            );
+        } else {
+            p.push_op("fuse_scores", "joint + bone late fusion", joint_out);
+        }
+        p
     }
 }
 

@@ -19,6 +19,9 @@
 //!   `Imp·Impᵀ` (Eq. 9).
 //! * [`sparse`] — a CSR matrix used to contrast sparse vs. dense operator
 //!   application as the vertex count grows (benchmarked in `dhg-bench`).
+//! * [`validate`] — static checks of the incidence invariants everything
+//!   above relies on (binary `H`, full vertex coverage, non-singular
+//!   degrees, normalised `Imp` columns), used by the model-plan analyzer.
 //!
 //! Operators are plain [`dhg_tensor::NdArray`]s: they enter model graphs as
 //! constants while features flow through differentiable matmuls.
@@ -30,6 +33,7 @@ pub mod kmeans;
 pub mod knn;
 pub mod sparse;
 pub mod spectral;
+pub mod validate;
 
 pub use dynamic::{dynamic_operators, joint_weights, moving_distance, normalize_rows, weighted_incidence_operator};
 pub use graph::Graph;
@@ -38,3 +42,4 @@ pub use kmeans::kmeans_hyperedges;
 pub use knn::knn_hyperedges;
 pub use sparse::CsrMatrix;
 pub use spectral::spectral_radius;
+pub use validate::{validate_hypergraph, validate_imp, validate_incidence, IncidenceIssue};

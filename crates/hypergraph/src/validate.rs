@@ -1,0 +1,283 @@
+//! Static validation of hypergraph incidence invariants.
+//!
+//! The propagation machinery of §3.2–§3.3 rests on a handful of
+//! structural invariants: the incidence matrix is binary (`H ∈
+//! {0,1}^{V×E}`, Eq. 2), every hyperedge has members and every joint is
+//! covered by at least one hyperedge (else its degree matrix entry is
+//! singular and Eq. 5 silently zeroes the joint out), and the dynamic
+//! per-hyperedge `Imp` weights of Eq. 7–8 are normalised to sum to 1
+//! within each hyperedge. The functions here check those invariants on
+//! raw matrices — so corrupted structures that the [`Hypergraph`]
+//! constructor would reject can still be diagnosed — and return typed
+//! [`IncidenceIssue`]s whose [`IncidenceIssue::code`] strings match the
+//! diagnostic codes of the model-plan analyzer in `dhg-nn`.
+
+use crate::Hypergraph;
+use dhg_tensor::NdArray;
+use std::fmt;
+
+/// Tolerance for the per-hyperedge `Imp` normalisation check.
+const NORM_TOL: f32 = 1e-4;
+
+/// One violated incidence invariant.
+#[derive(Clone, Debug, PartialEq)]
+pub enum IncidenceIssue {
+    /// Hyperedge `edge` has no member vertices (edge degree 0).
+    EmptyEdge {
+        /// Column index of the offending hyperedge.
+        edge: usize,
+    },
+    /// Vertex `vertex` belongs to no hyperedge — Eq. 5 zeroes it out.
+    UncoveredVertex {
+        /// The offending vertex.
+        vertex: usize,
+    },
+    /// An incidence entry outside `{0, 1}`.
+    NotBinary {
+        /// Vertex (row) of the entry.
+        vertex: usize,
+        /// Hyperedge (column) of the entry.
+        edge: usize,
+        /// The offending value.
+        value: f32,
+    },
+    /// A weighted vertex degree of zero: `D_v^{-1/2}` is singular there.
+    SingularVertexDegree {
+        /// The offending vertex.
+        vertex: usize,
+    },
+    /// A hyperedge degree of zero: `D_e^{-1}` is singular there.
+    SingularEdgeDegree {
+        /// The offending hyperedge.
+        edge: usize,
+    },
+    /// A hyperedge whose `Imp` weights do not sum to 1 over its members.
+    ImpNotNormalized {
+        /// The offending hyperedge.
+        edge: usize,
+        /// The actual member-weight sum.
+        sum: f32,
+    },
+    /// A non-zero `Imp` weight outside the incidence support
+    /// (`Imp = W_all ∘ H` must vanish wherever `H` does).
+    ImpOutsideSupport {
+        /// Vertex (row) of the entry.
+        vertex: usize,
+        /// Hyperedge (column) of the entry.
+        edge: usize,
+        /// The offending value.
+        value: f32,
+    },
+}
+
+impl IncidenceIssue {
+    /// Stable kebab-case diagnostic code, matching the plan analyzer's
+    /// `DiagCode` names in `dhg-nn`.
+    pub fn code(&self) -> &'static str {
+        match self {
+            IncidenceIssue::EmptyEdge { .. } => "incidence-empty-edge",
+            IncidenceIssue::UncoveredVertex { .. } => "incidence-uncovered-vertex",
+            IncidenceIssue::NotBinary { .. } => "incidence-not-binary",
+            IncidenceIssue::SingularVertexDegree { .. } | IncidenceIssue::SingularEdgeDegree { .. } => {
+                "degree-singular"
+            }
+            IncidenceIssue::ImpNotNormalized { .. } | IncidenceIssue::ImpOutsideSupport { .. } => {
+                "imp-not-normalized"
+            }
+        }
+    }
+}
+
+impl fmt::Display for IncidenceIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IncidenceIssue::EmptyEdge { edge } => write!(f, "hyperedge {edge} has no members"),
+            IncidenceIssue::UncoveredVertex { vertex } => {
+                write!(f, "vertex {vertex} is covered by no hyperedge")
+            }
+            IncidenceIssue::NotBinary { vertex, edge, value } => {
+                write!(f, "incidence entry ({vertex}, {edge}) = {value} is not in {{0, 1}}")
+            }
+            IncidenceIssue::SingularVertexDegree { vertex } => {
+                write!(f, "vertex degree d({vertex}) = 0 makes D_v^(-1/2) singular")
+            }
+            IncidenceIssue::SingularEdgeDegree { edge } => {
+                write!(f, "edge degree delta({edge}) = 0 makes D_e^(-1) singular")
+            }
+            IncidenceIssue::ImpNotNormalized { edge, sum } => {
+                write!(f, "Imp weights of hyperedge {edge} sum to {sum}, expected 1")
+            }
+            IncidenceIssue::ImpOutsideSupport { vertex, edge, value } => {
+                write!(f, "Imp entry ({vertex}, {edge}) = {value} lies outside the incidence support")
+            }
+        }
+    }
+}
+
+/// Validate a raw incidence matrix `h ∈ R^{V×E}`: entries must be binary,
+/// every column (hyperedge) must have at least one member, and every row
+/// (vertex) must be covered by at least one hyperedge. Returns all
+/// violations, in row-major discovery order.
+pub fn validate_incidence(h: &NdArray) -> Vec<IncidenceIssue> {
+    assert_eq!(h.ndim(), 2, "incidence must be [V, E]");
+    let (v, e) = (h.shape()[0], h.shape()[1]);
+    let data = h.data();
+    let mut issues = Vec::new();
+    for (i, row) in data.chunks(e).enumerate() {
+        for (j, &x) in row.iter().enumerate() {
+            if x != 0.0 && x != 1.0 {
+                issues.push(IncidenceIssue::NotBinary { vertex: i, edge: j, value: x });
+            }
+        }
+    }
+    for j in 0..e {
+        if (0..v).all(|i| data[i * e + j] == 0.0) {
+            issues.push(IncidenceIssue::EmptyEdge { edge: j });
+        }
+    }
+    for (i, row) in data.chunks(e).enumerate() {
+        if row.iter().all(|&x| x == 0.0) {
+            issues.push(IncidenceIssue::UncoveredVertex { vertex: i });
+        }
+    }
+    issues
+}
+
+/// Validate a constructed [`Hypergraph`]: its incidence invariants plus
+/// non-singular weighted degree matrices (a zero hyperedge weight can
+/// zero a vertex degree even when the vertex is covered).
+pub fn validate_hypergraph(hg: &Hypergraph) -> Vec<IncidenceIssue> {
+    let mut issues = validate_incidence(&hg.incidence());
+    for (i, &d) in hg.vertex_degrees().iter().enumerate() {
+        if d == 0.0 && !issues.iter().any(|x| matches!(x, IncidenceIssue::UncoveredVertex { vertex } if *vertex == i)) {
+            issues.push(IncidenceIssue::SingularVertexDegree { vertex: i });
+        }
+    }
+    for (j, &d) in hg.edge_degrees().iter().enumerate() {
+        if d == 0.0 && !issues.iter().any(|x| matches!(x, IncidenceIssue::EmptyEdge { edge } if *edge == j)) {
+            issues.push(IncidenceIssue::SingularEdgeDegree { edge: j });
+        }
+    }
+    issues
+}
+
+/// Validate a dynamic weight matrix `imp ∈ R^{V×E}` against the incidence
+/// `h` it was derived from (Eq. 7–8): weights must vanish outside the
+/// incidence support and each hyperedge's member weights must sum to 1.
+pub fn validate_imp(h: &NdArray, imp: &NdArray) -> Vec<IncidenceIssue> {
+    assert_eq!(h.shape(), imp.shape(), "Imp must match the incidence shape");
+    let (v, e) = (h.shape()[0], h.shape()[1]);
+    let (hd, wd) = (h.data(), imp.data());
+    let mut issues = Vec::new();
+    for j in 0..e {
+        let mut sum = 0.0f32;
+        let mut members = 0usize;
+        for i in 0..v {
+            let (hx, wx) = (hd[i * e + j], wd[i * e + j]);
+            if hx == 0.0 {
+                if wx != 0.0 {
+                    issues.push(IncidenceIssue::ImpOutsideSupport { vertex: i, edge: j, value: wx });
+                }
+            } else {
+                sum += wx;
+                members += 1;
+            }
+        }
+        if members > 0 && (sum - 1.0).abs() > NORM_TOL {
+            issues.push(IncidenceIssue::ImpNotNormalized { edge: j, sum });
+        }
+    }
+    issues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::joint_weights;
+
+    fn sample() -> Hypergraph {
+        Hypergraph::new(5, vec![vec![0, 1, 2], vec![2, 3], vec![3, 4, 0]])
+    }
+
+    #[test]
+    fn well_formed_hypergraph_is_clean() {
+        assert!(validate_hypergraph(&sample()).is_empty());
+    }
+
+    #[test]
+    fn uncovered_vertex_is_reported() {
+        let hg = Hypergraph::new(4, vec![vec![0, 1]]);
+        let issues = validate_hypergraph(&hg);
+        assert!(issues.contains(&IncidenceIssue::UncoveredVertex { vertex: 2 }));
+        assert!(issues.contains(&IncidenceIssue::UncoveredVertex { vertex: 3 }));
+        assert!(issues.iter().all(|i| i.code() == "incidence-uncovered-vertex"));
+    }
+
+    #[test]
+    fn empty_edge_column_is_reported() {
+        // the Hypergraph constructor rejects empty edges, so corrupt the
+        // raw matrix instead — exactly what the validator is for
+        let mut h = sample().incidence();
+        for i in 0..5 {
+            h.set(&[i, 1], 0.0);
+        }
+        let issues = validate_incidence(&h);
+        assert!(issues.contains(&IncidenceIssue::EmptyEdge { edge: 1 }));
+    }
+
+    #[test]
+    fn non_binary_entry_is_reported() {
+        let mut h = sample().incidence();
+        h.set(&[0, 0], 0.5);
+        let issues = validate_incidence(&h);
+        assert!(matches!(issues[0], IncidenceIssue::NotBinary { vertex: 0, edge: 0, .. }));
+        assert_eq!(issues[0].code(), "incidence-not-binary");
+    }
+
+    #[test]
+    fn zero_weight_edge_gives_singular_vertex_degree() {
+        // vertex 3 is only covered by the zero-weight edge: covered in the
+        // binary incidence, but its weighted degree is 0
+        let hg = Hypergraph::with_weights(4, vec![vec![0, 1, 2], vec![3]], vec![1.0, 0.0]);
+        let issues = validate_hypergraph(&hg);
+        assert!(issues.contains(&IncidenceIssue::SingularVertexDegree { vertex: 3 }));
+        assert!(issues.iter().all(|i| i.code() == "degree-singular"));
+    }
+
+    #[test]
+    fn generated_joint_weights_validate() {
+        let hg = sample();
+        let w = joint_weights(&hg, &[0.3, 0.0, 2.0, 1.5, 0.7]);
+        assert!(validate_imp(&hg.incidence(), &w).is_empty());
+    }
+
+    #[test]
+    fn denormalised_imp_column_is_reported() {
+        let hg = sample();
+        let mut w = joint_weights(&hg, &[1.0, 1.0, 1.0, 1.0, 1.0]);
+        w.set(&[0, 0], w.at(&[0, 0]) + 0.5);
+        let issues = validate_imp(&hg.incidence(), &w);
+        assert!(matches!(issues[0], IncidenceIssue::ImpNotNormalized { edge: 0, .. }));
+        assert_eq!(issues[0].code(), "imp-not-normalized");
+    }
+
+    #[test]
+    fn imp_weight_outside_support_is_reported() {
+        let hg = Hypergraph::new(3, vec![vec![0, 1]]);
+        let mut w = joint_weights(&hg, &[1.0, 1.0, 1.0]);
+        w.set(&[2, 0], 0.25); // vertex 2 is not a member of edge 0
+        let issues = validate_imp(&hg.incidence(), &w);
+        assert!(matches!(issues[0], IncidenceIssue::ImpOutsideSupport { vertex: 2, edge: 0, .. }));
+    }
+
+    #[test]
+    fn issue_display_is_informative() {
+        assert_eq!(
+            IncidenceIssue::EmptyEdge { edge: 3 }.to_string(),
+            "hyperedge 3 has no members"
+        );
+        assert!(IncidenceIssue::ImpNotNormalized { edge: 1, sum: 1.5 }
+            .to_string()
+            .contains("sum to 1.5"));
+    }
+}

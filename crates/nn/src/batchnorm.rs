@@ -1,6 +1,7 @@
 //! Batch normalisation over `[N, C, H, W]` feature maps.
 
 use crate::module::{Buffer, Module};
+use crate::plan::{bn_stats_cold, DiagCode, Plan, SymShape};
 use dhg_tensor::{NdArray, Tensor};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -40,6 +41,19 @@ impl BatchNorm2d {
     /// Channel count.
     pub fn channels(&self) -> usize {
         self.channels
+    }
+
+    /// Whether the layer is in training mode (batch statistics).
+    pub fn training(&self) -> bool {
+        self.training
+    }
+
+    /// Whether the running statistics still hold their initialisation
+    /// values (mean ≡ 0, var ≡ 1) — i.e. no training batch was ever folded
+    /// in. Serving in eval mode with cold statistics normalises with
+    /// made-up constants; the plan analyzer flags it as `bn-stats-cold`.
+    pub fn stats_cold(&self) -> bool {
+        bn_stats_cold(&self.running_mean.borrow(), &self.running_var.borrow())
     }
 
     /// The running mean estimate (eval-mode statistics).
@@ -135,6 +149,36 @@ impl Module for BatchNorm2d {
 
     fn set_training(&mut self, training: bool) {
         self.training = training;
+    }
+
+    fn plan(&self, input: &SymShape) -> Plan {
+        let mut p = Plan::new(input);
+        if input.rank() != 4 {
+            p.error(
+                DiagCode::RankMismatch,
+                format!("BatchNorm2d expects [N, C, H, W], got rank {} {input}", input.rank()),
+            );
+            return p;
+        }
+        if let Some(c) = input.known(1) {
+            if c != self.channels {
+                p.error(
+                    DiagCode::ChannelMismatch,
+                    format!("BatchNorm2d channel mismatch: layer has {}, input has {c}", self.channels),
+                );
+                return p;
+            }
+        }
+        let mode = if self.training { "train (batch stats)" } else { "eval (running stats)" };
+        p.push_op("batchnorm2d", format!("{} channels, {mode}", self.channels), input.clone());
+        if !self.training && self.stats_cold() {
+            p.warn(
+                DiagCode::BnStatsCold,
+                "eval-mode BatchNorm with untouched running statistics (mean=0, var=1); \
+                 output will be normalised with initialisation constants",
+            );
+        }
+        p
     }
 }
 

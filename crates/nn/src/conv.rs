@@ -3,6 +3,7 @@
 
 use crate::init;
 use crate::module::Module;
+use crate::plan::{DiagCode, Dim, Plan, SymShape};
 use dhg_tensor::ops::Conv2dSpec;
 use dhg_tensor::{NdArray, Tensor};
 use rand::Rng;
@@ -81,6 +82,66 @@ impl Module for Conv2d {
             ps.push(b.clone());
         }
         ps
+    }
+
+    fn plan(&self, input: &SymShape) -> Plan {
+        let mut p = Plan::new(input);
+        if input.rank() != 4 {
+            p.error(
+                DiagCode::RankMismatch,
+                format!("conv2d expects [N, Cin, H, W], got rank {} {input}", input.rank()),
+            );
+            return p;
+        }
+        if let Some(c) = input.known(1) {
+            if c != self.in_channels {
+                p.error(
+                    DiagCode::ChannelMismatch,
+                    format!("conv2d channel mismatch: weight expects {}, input has {c}", self.in_channels),
+                );
+                return p;
+            }
+        }
+        let (kh, kw) = self.spec.kernel;
+        let detail = format!(
+            "{}x{} kernel {kh}x{kw} stride {:?} pad {:?} dil {:?}",
+            self.in_channels, self.out_channels, self.spec.stride, self.spec.padding, self.spec.dilation
+        );
+        match (input.known(2), input.known(3)) {
+            (Some(h), Some(w)) => {
+                match dhg_tensor::check_conv_out_size(
+                    h, w, kh, kw,
+                    self.spec.stride.0, self.spec.stride.1,
+                    self.spec.padding.0, self.spec.padding.1,
+                    self.spec.dilation.0, self.spec.dilation.1,
+                ) {
+                    Ok((ho, wo)) => {
+                        let out = SymShape(vec![
+                            input.at(0),
+                            Dim::Known(self.out_channels),
+                            Dim::Known(ho),
+                            Dim::Known(wo),
+                        ]);
+                        p.push_op("conv2d", detail, out);
+                    }
+                    // "conv input height {h} too small for kernel" — the
+                    // exact text the eager path panics with
+                    Err(e) => p.error(DiagCode::TemporalUnderflow, e.to_string()),
+                }
+            }
+            _ => {
+                // symbolic spatial extents: the output size can't be
+                // computed, so record the channel change and flag it
+                let out = input
+                    .with_dim(1, Dim::Known(self.out_channels));
+                p.push_op("conv2d", detail, out);
+                p.warn(
+                    DiagCode::UnplannedModule,
+                    "conv2d over symbolic spatial extents; output size not verified",
+                );
+            }
+        }
+        p
     }
 }
 

@@ -1,6 +1,7 @@
 //! Inverted dropout.
 
 use crate::module::Module;
+use crate::plan::{Plan, SymShape};
 use dhg_tensor::{NdArray, Tensor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -46,6 +47,13 @@ impl Module for Dropout {
 
     fn set_training(&mut self, training: bool) {
         self.training = training;
+    }
+
+    fn plan(&self, input: &SymShape) -> Plan {
+        let mut p = Plan::new(input);
+        let mode = if self.training && self.p > 0.0 { "mask" } else { "identity" };
+        p.push_op("dropout", format!("p={} ({mode})", self.p), input.clone());
+        p
     }
 }
 

@@ -19,6 +19,7 @@ pub mod lstm;
 pub mod metrics;
 pub mod module;
 pub mod optim;
+pub mod plan;
 pub mod pool;
 
 pub use adam::{Adam, AdamConfig};
@@ -31,4 +32,5 @@ pub use lstm::Lstm;
 pub use metrics::{confusion_matrix, top_k_accuracy};
 pub use module::{collect_buffers, collect_parameters, Buffer, Module};
 pub use optim::{clip_gradient_norm, CosineLr, Sgd, SgdConfig, StepLr};
+pub use plan::{analyze, bn_stats_cold, DiagCode, Diagnostic, Dim, Plan, PlanOp, Report, Severity, SymShape};
 pub use pool::global_avg_pool;

@@ -2,6 +2,7 @@
 
 use crate::init;
 use crate::module::Module;
+use crate::plan::{DiagCode, Dim, Plan, SymShape};
 use dhg_tensor::{NdArray, Tensor};
 use rand::Rng;
 
@@ -79,6 +80,26 @@ impl Module for Linear {
             ps.push(b.clone());
         }
         ps
+    }
+
+    fn plan(&self, input: &SymShape) -> Plan {
+        let mut p = Plan::new(input);
+        if input.rank() == 0 {
+            p.error(DiagCode::RankMismatch, "linear input must have rank >= 1");
+            return p;
+        }
+        if let Some(last) = input.known(input.rank() - 1) {
+            if last != self.in_features {
+                p.error(
+                    DiagCode::ShapeMismatch,
+                    format!("linear expected last dim {}, got {input}", self.in_features),
+                );
+                return p;
+            }
+        }
+        let out = input.with_dim(input.rank() - 1, Dim::Known(self.out_features));
+        p.push_op("linear", format!("{} -> {}", self.in_features, self.out_features), out);
+        p
     }
 }
 

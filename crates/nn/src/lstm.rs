@@ -3,6 +3,7 @@
 
 use crate::init;
 use crate::module::Module;
+use crate::plan::{DiagCode, Plan, SymShape};
 use dhg_tensor::{NdArray, Tensor};
 use rand::Rng;
 
@@ -85,6 +86,29 @@ impl Module for Lstm {
 
     fn parameters(&self) -> Vec<Tensor> {
         vec![self.w_ih.clone(), self.w_hh.clone(), self.bias.clone()]
+    }
+
+    fn plan(&self, input: &SymShape) -> Plan {
+        let mut p = Plan::new(input);
+        if input.rank() != 3 {
+            p.error(
+                DiagCode::RankMismatch,
+                format!("LSTM expects [N, T, D], got rank {} {input}", input.rank()),
+            );
+            return p;
+        }
+        if let Some(d) = input.known(2) {
+            if d != self.input_size {
+                p.error(
+                    DiagCode::ShapeMismatch,
+                    format!("LSTM input width mismatch: layer expects {}, input has {d}", self.input_size),
+                );
+                return p;
+            }
+        }
+        let out = SymShape(vec![input.at(0), crate::plan::Dim::Known(self.hidden_size)]);
+        p.push_op("lstm", format!("{} -> {} (final hidden)", self.input_size, self.hidden_size), out);
+        p
     }
 }
 

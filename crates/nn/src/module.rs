@@ -1,5 +1,6 @@
 //! The [`Module`] trait: the common interface of all layers and models.
 
+use crate::plan::{Plan, SymShape};
 use dhg_tensor::{NdArray, Tensor, Workspace};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -70,6 +71,21 @@ pub trait Module {
     fn n_parameters(&self) -> usize {
         self.parameters().iter().map(|p| p.data().len()).sum()
     }
+
+    /// Record the op-level [`Plan`] this module would execute for a
+    /// symbolic `input` shape — **without running a forward pass**. The
+    /// plan carries the shapes flowing between ops plus diagnostics for
+    /// anything the static analyzer can prove wrong: shape
+    /// incompatibilities (the same categories the eager path's asserts
+    /// raise), cold BatchNorm statistics in eval mode, missing
+    /// `prepare_inference` caches, and broken hypergraph invariants.
+    ///
+    /// The default is an honest passthrough: shape unchanged plus an
+    /// `unplanned-module` warning, so un-implemented modules can never be
+    /// silently vouched for.
+    fn plan(&self, input: &SymShape) -> Plan {
+        Plan::unplanned(std::any::type_name::<Self>(), input)
+    }
 }
 
 impl Module for Box<dyn Module> {
@@ -95,6 +111,10 @@ impl Module for Box<dyn Module> {
 
     fn prepare_inference(&mut self) {
         (**self).prepare_inference()
+    }
+
+    fn plan(&self, input: &SymShape) -> Plan {
+        (**self).plan(input)
     }
 }
 

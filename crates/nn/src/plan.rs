@@ -1,0 +1,560 @@
+//! Static op-level plan IR: symbolic shapes, diagnostics, and an analyzer
+//! that walks a model's recorded op chain **without running a forward
+//! pass**.
+//!
+//! Every [`Module`](crate::Module) can describe itself via
+//! [`Module::plan`](crate::Module::plan): given a symbolic input shape it
+//! returns a [`Plan`] — the ops it would execute, the shapes flowing
+//! between them, and any [`Diagnostic`]s found along the way (shape
+//! incompatibilities, cold BatchNorm statistics, missing serving caches,
+//! broken hypergraph invariants). [`analyze`] then verifies the chain is
+//! internally consistent and produces a printable [`Report`].
+//!
+//! Shape checks deliberately reuse the wording of the runtime
+//! [`dhg_tensor::ShapeError`] diagnostics so that a plan rejected here and
+//! an eager forward that panics report the same failure category.
+
+use dhg_tensor::NdArray;
+use std::fmt;
+
+/// One dimension of a symbolic shape: either the free batch dimension `N`
+/// (which every op passes through unchanged) or a concrete extent.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Dim {
+    /// The symbolic batch dimension — any size, preserved by every op.
+    Batch,
+    /// A concrete extent.
+    Known(usize),
+}
+
+impl Dim {
+    /// The concrete extent, if this dimension has one.
+    pub fn known(self) -> Option<usize> {
+        match self {
+            Dim::Batch => None,
+            Dim::Known(n) => Some(n),
+        }
+    }
+}
+
+impl fmt::Display for Dim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dim::Batch => write!(f, "N"),
+            Dim::Known(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// A shape whose batch dimension may be symbolic, e.g. `[N, 3, 16, 25]`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SymShape(pub Vec<Dim>);
+
+impl SymShape {
+    /// The canonical skeleton-sequence input `[N, C, T, V]`.
+    pub fn nctv(c: usize, t: usize, v: usize) -> Self {
+        SymShape(vec![Dim::Batch, Dim::Known(c), Dim::Known(t), Dim::Known(v)])
+    }
+
+    /// A symbolic batch followed by concrete trailing dims.
+    pub fn batched(dims: &[usize]) -> Self {
+        let mut ds = vec![Dim::Batch];
+        ds.extend(dims.iter().map(|&d| Dim::Known(d)));
+        SymShape(ds)
+    }
+
+    /// A fully concrete shape.
+    pub fn concrete(dims: &[usize]) -> Self {
+        SymShape(dims.iter().map(|&d| Dim::Known(d)).collect())
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The dimensions.
+    pub fn dims(&self) -> &[Dim] {
+        &self.0
+    }
+
+    /// Dimension `i` (panics if out of range).
+    pub fn at(&self, i: usize) -> Dim {
+        self.0[i]
+    }
+
+    /// Concrete extent of dimension `i`, if it has one.
+    pub fn known(&self, i: usize) -> Option<usize> {
+        self.0.get(i).and_then(|d| d.known())
+    }
+
+    /// The shape with dimension `i` replaced.
+    pub fn with_dim(&self, i: usize, d: Dim) -> Self {
+        let mut ds = self.0.clone();
+        ds[i] = d;
+        SymShape(ds)
+    }
+}
+
+impl fmt::Display for SymShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// How serious a [`Diagnostic`] is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but servable (e.g. a fallback path will run).
+    Warning,
+    /// The described execution would panic or produce garbage.
+    Error,
+}
+
+/// Stable machine-readable category of a [`Diagnostic`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum DiagCode {
+    /// Input rank differs from what the op requires.
+    RankMismatch,
+    /// Channel dimension disagrees with the layer's weights.
+    ChannelMismatch,
+    /// Joint/vertex dimension disagrees with the model topology.
+    JointMismatch,
+    /// General dimension disagreement (matmul inner dims, fusion, …).
+    ShapeMismatch,
+    /// The temporal extent is too small for a kernel/stride combination.
+    TemporalUnderflow,
+    /// Two-stream fusion received score tensors of different shapes.
+    FusionMismatch,
+    /// Eval-mode BatchNorm whose running statistics were never updated.
+    BnStatsCold,
+    /// Serving path requested but `prepare_inference` was not called.
+    NotPrepared,
+    /// A module without a real `plan` implementation was encountered.
+    UnplannedModule,
+    /// A hyperedge with no member vertices.
+    IncidenceEmptyEdge,
+    /// A vertex covered by no hyperedge.
+    IncidenceUncoveredVertex,
+    /// An incidence entry outside `{0, 1}`.
+    IncidenceNotBinary,
+    /// A per-hyperedge `Imp` weight column that does not sum to 1.
+    ImpNotNormalized,
+    /// A singular vertex/edge degree matrix (zero diagonal entry).
+    DegreeSingular,
+    /// A recycled workspace buffer was returned to the pool twice.
+    WorkspaceAlias,
+    /// Consecutive plan ops whose shapes do not connect.
+    BrokenChain,
+}
+
+impl DiagCode {
+    /// Stable kebab-case name (used by tests and tooling).
+    pub fn name(self) -> &'static str {
+        match self {
+            DiagCode::RankMismatch => "rank-mismatch",
+            DiagCode::ChannelMismatch => "channel-mismatch",
+            DiagCode::JointMismatch => "joint-mismatch",
+            DiagCode::ShapeMismatch => "shape-mismatch",
+            DiagCode::TemporalUnderflow => "temporal-underflow",
+            DiagCode::FusionMismatch => "fusion-mismatch",
+            DiagCode::BnStatsCold => "bn-stats-cold",
+            DiagCode::NotPrepared => "not-prepared",
+            DiagCode::UnplannedModule => "unplanned-module",
+            DiagCode::IncidenceEmptyEdge => "incidence-empty-edge",
+            DiagCode::IncidenceUncoveredVertex => "incidence-uncovered-vertex",
+            DiagCode::IncidenceNotBinary => "incidence-not-binary",
+            DiagCode::ImpNotNormalized => "imp-not-normalized",
+            DiagCode::DegreeSingular => "degree-singular",
+            DiagCode::WorkspaceAlias => "workspace-alias",
+            DiagCode::BrokenChain => "broken-chain",
+        }
+    }
+}
+
+impl fmt::Display for DiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One analyzer finding, attached to the op scope that produced it.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Machine-readable category.
+    pub code: DiagCode,
+    /// Error (would panic / produce garbage) or warning (fallback runs).
+    pub severity: Severity,
+    /// Human-readable description; shape checks reuse the runtime
+    /// [`dhg_tensor::ShapeError`] wording.
+    pub message: String,
+    /// Dotted path of the op that raised it, e.g. `blocks[3].tcn.conv`.
+    pub scope: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        if self.scope.is_empty() {
+            write!(f, "{sev}[{}]: {}", self.code, self.message)
+        } else {
+            write!(f, "{sev}[{}] at {}: {}", self.code, self.scope, self.message)
+        }
+    }
+}
+
+/// One recorded op: name, free-form detail, and the shapes around it.
+#[derive(Clone, Debug)]
+pub struct PlanOp {
+    /// Dotted scope path, e.g. `blocks[0].theta`.
+    pub name: String,
+    /// Short free-form description (kernel sizes, stride, …).
+    pub detail: String,
+    /// Shape consumed.
+    pub input: SymShape,
+    /// Shape produced.
+    pub output: SymShape,
+}
+
+/// The op chain a module would execute for a given input shape, plus any
+/// diagnostics discovered while recording it.
+#[derive(Clone, Debug)]
+pub struct Plan {
+    input: SymShape,
+    ops: Vec<PlanOp>,
+    diagnostics: Vec<Diagnostic>,
+    output: SymShape,
+}
+
+impl Plan {
+    /// An empty plan whose output is the (unmodified) input.
+    pub fn new(input: &SymShape) -> Self {
+        Plan {
+            input: input.clone(),
+            ops: Vec::new(),
+            diagnostics: Vec::new(),
+            output: input.clone(),
+        }
+    }
+
+    /// The passthrough plan of a module without a real `plan`
+    /// implementation: shape unchanged, one [`DiagCode::UnplannedModule`]
+    /// warning so the analyzer can't silently vouch for it.
+    pub fn unplanned(what: &str, input: &SymShape) -> Self {
+        let mut p = Plan::new(input);
+        p.warn(
+            DiagCode::UnplannedModule,
+            format!("{what} has no plan() implementation; shapes not verified"),
+        );
+        p
+    }
+
+    /// The shape the plan was recorded for.
+    pub fn input(&self) -> &SymShape {
+        &self.input
+    }
+
+    /// The shape flowing out of the last recorded op.
+    pub fn output(&self) -> &SymShape {
+        &self.output
+    }
+
+    /// The recorded ops in execution order.
+    pub fn ops(&self) -> &[PlanOp] {
+        &self.ops
+    }
+
+    /// All diagnostics recorded so far.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Record an op consuming the current output and producing `output`.
+    pub fn push_op(&mut self, name: &str, detail: impl Into<String>, output: SymShape) {
+        self.ops.push(PlanOp {
+            name: name.to_string(),
+            detail: detail.into(),
+            input: self.output.clone(),
+            output: output.clone(),
+        });
+        self.output = output;
+    }
+
+    /// Record an error diagnostic at the current scope tail.
+    pub fn error(&mut self, code: DiagCode, message: impl Into<String>) {
+        self.diag(code, Severity::Error, message);
+    }
+
+    /// Record a warning diagnostic.
+    pub fn warn(&mut self, code: DiagCode, message: impl Into<String>) {
+        self.diag(code, Severity::Warning, message);
+    }
+
+    /// Record a diagnostic with explicit severity.
+    pub fn diag(&mut self, code: DiagCode, severity: Severity, message: impl Into<String>) {
+        let scope = self.ops.last().map(|op| op.name.clone()).unwrap_or_default();
+        self.diagnostics.push(Diagnostic { code, severity, message: message.into(), scope });
+    }
+
+    /// Carry over a side branch's diagnostics (re-scoped under `scope.`)
+    /// without splicing its ops into the chain — for parallel paths such
+    /// as the bone stream of a two-stream fusion, whose ops would
+    /// otherwise violate the sequential-chain invariant [`analyze`]
+    /// checks.
+    pub fn adopt(&mut self, scope: &str, child: &Plan) {
+        for d in &child.diagnostics {
+            let mut d = d.clone();
+            d.scope = if d.scope.is_empty() {
+                scope.to_string()
+            } else {
+                format!("{scope}.{}", d.scope)
+            };
+            self.diagnostics.push(d);
+        }
+    }
+
+    /// Splice a sub-module's plan in: its ops are re-scoped under
+    /// `scope.`, its diagnostics are carried over, and the plan output
+    /// advances to the child's output.
+    pub fn extend(&mut self, scope: &str, child: Plan) {
+        for mut op in child.ops {
+            op.name = if op.name.is_empty() {
+                scope.to_string()
+            } else {
+                format!("{scope}.{}", op.name)
+            };
+            self.ops.push(op);
+        }
+        for mut d in child.diagnostics {
+            d.scope = if d.scope.is_empty() {
+                scope.to_string()
+            } else {
+                format!("{scope}.{}", d.scope)
+            };
+            self.diagnostics.push(d);
+        }
+        self.output = child.output;
+    }
+
+    /// True when no diagnostics of any severity were recorded.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// True when at least one [`Severity::Error`] diagnostic is present.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Require the input to be a rank-4 `[N, C, T, V]` shape with the
+    /// given channel and joint extents; records the same error categories
+    /// the eager path's asserts raise. Returns false when the plan cannot
+    /// proceed meaningfully (wrong rank).
+    pub fn expect_nctv(&mut self, c: usize, v: usize) -> bool {
+        if self.output.rank() != 4 {
+            self.error(
+                DiagCode::RankMismatch,
+                format!("input must be [N, C, T, V], got rank {} {}", self.output.rank(), self.output),
+            );
+            return false;
+        }
+        if let Some(got) = self.output.known(1) {
+            if got != c {
+                self.error(DiagCode::ChannelMismatch, format!("channel mismatch: expected {c}, got {got}"));
+            }
+        }
+        if let Some(got) = self.output.known(3) {
+            if got != v {
+                self.error(DiagCode::JointMismatch, format!("joint mismatch: expected {v}, got {got}"));
+            }
+        }
+        true
+    }
+}
+
+/// The outcome of [`analyze`]: the plan's diagnostics plus chain-level
+/// findings, ready to print.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Every diagnostic, plan-level and chain-level.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of ops walked.
+    pub n_ops: usize,
+    /// The plan's final output shape.
+    pub output: SymShape,
+}
+
+impl Report {
+    /// True when no diagnostics at all were found.
+    pub fn ok(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// True when at least one error-severity diagnostic was found.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Diagnostics of a given category.
+    pub fn with_code(&self, code: DiagCode) -> Vec<&Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.code == code).collect()
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.ok() {
+            return write!(f, "ok: {} ops, output {}", self.n_ops, self.output);
+        }
+        writeln!(f, "{} diagnostic(s) over {} ops:", self.diagnostics.len(), self.n_ops)?;
+        for d in &self.diagnostics {
+            writeln!(f, "  {d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Walk a recorded [`Plan`] and verify it is internally consistent: every
+/// op must consume exactly the shape the previous op produced. Returns the
+/// plan's diagnostics plus any [`DiagCode::BrokenChain`] findings.
+pub fn analyze(plan: &Plan) -> Report {
+    let mut diagnostics = plan.diagnostics().to_vec();
+    let mut current = plan.input().clone();
+    for op in plan.ops() {
+        if op.input != current {
+            diagnostics.push(Diagnostic {
+                code: DiagCode::BrokenChain,
+                severity: Severity::Error,
+                message: format!("op consumes {} but predecessor produced {current}", op.input),
+                scope: op.name.clone(),
+            });
+        }
+        current = op.output.clone();
+    }
+    if &current != plan.output() {
+        diagnostics.push(Diagnostic {
+            code: DiagCode::BrokenChain,
+            severity: Severity::Error,
+            message: format!("plan output {} disagrees with last op output {current}", plan.output()),
+            scope: String::new(),
+        });
+    }
+    Report { diagnostics, n_ops: plan.ops().len(), output: plan.output().clone() }
+}
+
+/// True when a BatchNorm running-statistics pair still holds its
+/// initialisation values (mean ≡ 0, var ≡ 1) — i.e. no training batch was
+/// ever folded in. Serving such a layer in eval mode normalises with
+/// made-up statistics, the classic v1-checkpoint silent failure.
+pub fn bn_stats_cold(running_mean: &NdArray, running_var: &NdArray) -> bool {
+    running_mean.data().iter().all(|&m| m == 0.0) && running_var.data().iter().all(|&v| v == 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symshape_display_and_accessors() {
+        let s = SymShape::nctv(3, 16, 25);
+        assert_eq!(s.to_string(), "[N, 3, 16, 25]");
+        assert_eq!(s.rank(), 4);
+        assert_eq!(s.at(0), Dim::Batch);
+        assert_eq!(s.known(1), Some(3));
+        assert_eq!(s.known(0), None);
+        assert_eq!(s.with_dim(1, Dim::Known(64)).known(1), Some(64));
+    }
+
+    #[test]
+    fn push_op_advances_output_and_chain_is_consistent() {
+        let input = SymShape::nctv(3, 16, 25);
+        let mut p = Plan::new(&input);
+        p.push_op("theta", "1x1 conv", SymShape::nctv(64, 16, 25));
+        p.push_op("pool", "global avg", SymShape::batched(&[64]));
+        let r = analyze(&p);
+        assert!(r.ok(), "{r}");
+        assert_eq!(p.output(), &SymShape::batched(&[64]));
+    }
+
+    #[test]
+    fn hand_built_broken_chain_is_detected() {
+        let input = SymShape::nctv(3, 16, 25);
+        let mut p = Plan::new(&input);
+        p.push_op("a", "", SymShape::nctv(64, 16, 25));
+        // corrupt the chain by splicing in a child plan recorded for a
+        // different shape than `a` produces
+        let child = Plan::new(&SymShape::nctv(32, 16, 25));
+        p.extend("b", Plan { input: child.input.clone(), ops: vec![PlanOp {
+            name: String::new(),
+            detail: String::new(),
+            input: SymShape::nctv(32, 16, 25),
+            output: SymShape::nctv(32, 16, 25),
+        }], diagnostics: Vec::new(), output: SymShape::nctv(32, 16, 25) });
+        let r = analyze(&p);
+        assert!(r.has_errors());
+        assert!(!r.with_code(DiagCode::BrokenChain).is_empty());
+    }
+
+    #[test]
+    fn expect_nctv_reports_runtime_error_categories() {
+        let mut p = Plan::new(&SymShape::nctv(3, 16, 25));
+        assert!(p.expect_nctv(3, 25));
+        assert!(p.is_clean());
+
+        let mut p = Plan::new(&SymShape::nctv(4, 16, 25));
+        p.expect_nctv(3, 25);
+        assert_eq!(p.diagnostics()[0].code, DiagCode::ChannelMismatch);
+        assert!(p.diagnostics()[0].message.contains("channel mismatch"));
+
+        let mut p = Plan::new(&SymShape::nctv(3, 16, 21));
+        p.expect_nctv(3, 25);
+        assert_eq!(p.diagnostics()[0].code, DiagCode::JointMismatch);
+
+        let mut p = Plan::new(&SymShape::batched(&[3]));
+        assert!(!p.expect_nctv(3, 25));
+        assert_eq!(p.diagnostics()[0].code, DiagCode::RankMismatch);
+        assert!(p.diagnostics()[0].message.contains("input must be [N, C, T, V]"));
+    }
+
+    #[test]
+    fn unplanned_module_warns_but_is_not_an_error() {
+        let p = Plan::unplanned("Mystery", &SymShape::nctv(3, 8, 25));
+        assert!(!p.is_clean());
+        assert!(!p.has_errors());
+        assert_eq!(p.diagnostics()[0].code, DiagCode::UnplannedModule);
+    }
+
+    #[test]
+    fn extend_rescopes_ops_and_diagnostics() {
+        let mut child = Plan::new(&SymShape::nctv(3, 8, 25));
+        child.push_op("conv", "", SymShape::nctv(16, 8, 25));
+        child.error(DiagCode::ShapeMismatch, "boom");
+        let mut parent = Plan::new(&SymShape::nctv(3, 8, 25));
+        parent.extend("blocks[0]", child);
+        assert_eq!(parent.ops()[0].name, "blocks[0].conv");
+        assert_eq!(parent.diagnostics()[0].scope, "blocks[0].conv");
+        assert_eq!(parent.output(), &SymShape::nctv(16, 8, 25));
+    }
+
+    #[test]
+    fn bn_cold_detection() {
+        assert!(bn_stats_cold(&NdArray::zeros(&[4]), &NdArray::ones(&[4])));
+        assert!(!bn_stats_cold(&NdArray::full(&[4], 0.1), &NdArray::ones(&[4])));
+    }
+
+    #[test]
+    fn diag_codes_have_stable_names() {
+        assert_eq!(DiagCode::ImpNotNormalized.name(), "imp-not-normalized");
+        assert_eq!(DiagCode::IncidenceEmptyEdge.to_string(), "incidence-empty-edge");
+    }
+}

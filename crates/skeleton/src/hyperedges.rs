@@ -12,6 +12,16 @@ use dhg_hypergraph::Hypergraph;
 /// The six-hyperedge static skeleton hypergraph of Fig. 1(c)/Fig. 3 for
 /// the given topology.
 pub fn static_hypergraph(topology: &SkeletonTopology) -> Hypergraph {
+    let hg = build_static_hypergraph(topology);
+    debug_assert!(
+        dhg_hypergraph::validate_hypergraph(&hg).is_empty(),
+        "static skeleton hypergraph violates an incidence invariant: {:?}",
+        dhg_hypergraph::validate_hypergraph(&hg)
+    );
+    hg
+}
+
+fn build_static_hypergraph(topology: &SkeletonTopology) -> Hypergraph {
     match topology.kind() {
         TopologyKind::Ntu25 => {
             use ntu::*;
@@ -123,6 +133,15 @@ mod tests {
             let missing: Vec<usize> =
                 (0..t.n_joints()).filter(|&j| !covered[j]).collect();
             assert!(missing.is_empty(), "uncovered joints in {:?}: {missing:?}", t.kind());
+        }
+    }
+
+    #[test]
+    fn static_hypergraph_passes_the_incidence_validator() {
+        for t in [SkeletonTopology::ntu25(), SkeletonTopology::openpose18()] {
+            let hg = static_hypergraph(&t);
+            let issues = dhg_hypergraph::validate_hypergraph(&hg);
+            assert!(issues.is_empty(), "{:?}: {issues:?}", t.kind());
         }
     }
 

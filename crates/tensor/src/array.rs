@@ -12,6 +12,7 @@
 
 use std::fmt;
 
+use crate::shape_check::ShapeError;
 use crate::workspace::Workspace;
 
 /// A dense, contiguous, row-major `f32` n-dimensional array.
@@ -656,7 +657,7 @@ impl NdArray {
     /// products are mostly zeros) without branching per element on dense
     /// conv workloads.
     pub fn matmul(&self, other: &Self) -> Self {
-        self.matmul_impl(other, None)
+        self.try_matmul_impl(other, None).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// [`NdArray::matmul`] with the output buffer drawn from (and other
@@ -664,17 +665,32 @@ impl NdArray {
     /// forwards reuse storage instead of allocating per call. Bitwise
     /// identical to `matmul`.
     pub fn matmul_ws(&self, other: &Self, ws: &mut Workspace) -> Self {
-        self.matmul_impl(other, Some(ws))
+        self.try_matmul_impl(other, Some(ws)).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`NdArray::matmul`] returning a typed [`ShapeError`] instead of
+    /// panicking on incompatible operands. The error `Display` is the same
+    /// text the panicking entry point raises, so the static analyzer and
+    /// the runtime report one diagnostic.
+    pub fn try_matmul(&self, other: &Self) -> Result<Self, ShapeError> {
+        self.try_matmul_impl(other, None)
+    }
+
+    fn try_matmul_impl(&self, other: &Self, ws: Option<&mut Workspace>) -> Result<Self, ShapeError> {
+        crate::shape_check::check_matmul(&self.shape, &other.shape)?;
+        Ok(self.matmul_impl(other, ws))
     }
 
     fn matmul_impl(&self, other: &Self, ws: Option<&mut Workspace>) -> Self {
-        assert!(self.ndim() >= 2 && other.ndim() >= 2, "matmul needs rank >= 2");
+        debug_assert!(self.ndim() >= 2 && other.ndim() >= 2, "matmul needs rank >= 2");
         let (m, k1) = (self.shape[self.ndim() - 2], self.shape[self.ndim() - 1]);
-        let (k2, n) = (other.shape[other.ndim() - 2], other.shape[other.ndim() - 1]);
-        assert_eq!(
-            k1, k2,
+        let n = other.shape[other.ndim() - 1];
+        debug_assert_eq!(
+            k1,
+            other.shape[other.ndim() - 2],
             "matmul inner-dim mismatch: {:?} x {:?}",
-            self.shape, other.shape
+            self.shape,
+            other.shape
         );
         let batch_a = &self.shape[..self.ndim() - 2];
         let batch_b = &other.shape[..other.ndim() - 2];
@@ -744,19 +760,33 @@ impl NdArray {
     /// see [`crate::parallel`] for the determinism contract.
     #[allow(clippy::too_many_arguments)]
     pub fn im2col(&self, kh: usize, kw: usize, sh: usize, sw: usize, ph: usize, pw: usize, dh: usize, dw: usize) -> Self {
-        self.im2col_impl(kh, kw, sh, sw, ph, pw, dh, dw, None)
+        self.try_im2col_impl(kh, kw, sh, sw, ph, pw, dh, dw, None).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// [`NdArray::im2col`] with the column buffer drawn from a
     /// [`Workspace`]. Bitwise identical to `im2col`.
     #[allow(clippy::too_many_arguments)]
     pub fn im2col_ws(&self, kh: usize, kw: usize, sh: usize, sw: usize, ph: usize, pw: usize, dh: usize, dw: usize, ws: &mut Workspace) -> Self {
-        self.im2col_impl(kh, kw, sh, sw, ph, pw, dh, dw, Some(ws))
+        self.try_im2col_impl(kh, kw, sh, sw, ph, pw, dh, dw, Some(ws)).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`NdArray::im2col`] returning a typed [`ShapeError`] instead of
+    /// panicking on a bad rank or an input smaller than the effective
+    /// kernel — same `Display` text as the panicking entry point.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_im2col(&self, kh: usize, kw: usize, sh: usize, sw: usize, ph: usize, pw: usize, dh: usize, dw: usize) -> Result<Self, ShapeError> {
+        self.try_im2col_impl(kh, kw, sh, sw, ph, pw, dh, dw, None)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn try_im2col_impl(&self, kh: usize, kw: usize, sh: usize, sw: usize, ph: usize, pw: usize, dh: usize, dw: usize, ws: Option<&mut Workspace>) -> Result<Self, ShapeError> {
+        crate::shape_check::check_im2col(&self.shape, kh, kw, sh, sw, ph, pw, dh, dw)?;
+        Ok(self.im2col_impl(kh, kw, sh, sw, ph, pw, dh, dw, ws))
     }
 
     #[allow(clippy::too_many_arguments)]
     fn im2col_impl(&self, kh: usize, kw: usize, sh: usize, sw: usize, ph: usize, pw: usize, dh: usize, dw: usize, ws: Option<&mut Workspace>) -> Self {
-        assert_eq!(self.ndim(), 4, "im2col expects [N, C, H, W]");
+        debug_assert_eq!(self.ndim(), 4, "im2col expects [N, C, H, W]");
         let (n, c, h, w) = (self.shape[0], self.shape[1], self.shape[2], self.shape[3]);
         let (ho, wo) = conv_out_size(h, w, kh, kw, sh, sw, ph, pw, dh, dw);
         let l = ho * wo;
@@ -894,14 +924,13 @@ fn matmul_row(arow: &[f32], bm: &[f32], orow: &mut [f32], n: usize, skip_zeros: 
     }
 }
 
-/// Output spatial size of a 2-D convolution.
+/// Output spatial size of a 2-D convolution. Panics when the padded input
+/// is smaller than the effective kernel; [`crate::check_conv_out_size`] is
+/// the non-panicking equivalent with the same diagnostic text.
 #[allow(clippy::too_many_arguments)]
 pub fn conv_out_size(h: usize, w: usize, kh: usize, kw: usize, sh: usize, sw: usize, ph: usize, pw: usize, dh: usize, dw: usize) -> (usize, usize) {
-    let eff_kh = dh * (kh - 1) + 1;
-    let eff_kw = dw * (kw - 1) + 1;
-    assert!(h + 2 * ph >= eff_kh, "conv input height {h} too small for kernel");
-    assert!(w + 2 * pw >= eff_kw, "conv input width {w} too small for kernel");
-    ((h + 2 * ph - eff_kh) / sh + 1, (w + 2 * pw - eff_kw) / sw + 1)
+    crate::shape_check::check_conv_out_size(h, w, kh, kw, sh, sw, ph, pw, dh, dw)
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 fn resolve_reshape(len: usize, shape: &[usize]) -> Vec<usize> {

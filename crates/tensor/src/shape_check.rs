@@ -1,0 +1,213 @@
+//! Typed shape validation for the matmul/im2col entry points.
+//!
+//! The checks here are pure shape arithmetic — no data access — so the
+//! same functions serve two callers: the runtime entry points
+//! ([`NdArray::try_matmul`](crate::NdArray::try_matmul),
+//! [`NdArray::try_im2col`](crate::NdArray::try_im2col)) and the static
+//! plan analyzer in `dhg-nn`, which validates whole models without
+//! running a forward pass. Because both go through one [`ShapeError`]
+//! `Display`, a plan rejected statically and an eager call that panics
+//! report the *same* diagnostic text.
+
+use crate::array::broadcast_shape;
+use std::fmt;
+
+/// A shape-level precondition violation of a tensor entry point.
+///
+/// `Display` reproduces the historical panic messages verbatim, so code
+/// (and tests) matching on panic text keep working while `try_*` callers
+/// get a typed value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShapeError {
+    /// A matmul operand of rank below 2.
+    MatmulRank {
+        /// Left operand shape.
+        lhs: Vec<usize>,
+        /// Right operand shape.
+        rhs: Vec<usize>,
+    },
+    /// Matmul inner dimensions (`k`) disagree.
+    MatmulInnerDim {
+        /// Left operand shape.
+        lhs: Vec<usize>,
+        /// Right operand shape.
+        rhs: Vec<usize>,
+    },
+    /// Matmul leading (batch) dimensions do not broadcast.
+    MatmulBroadcast {
+        /// Left operand shape.
+        lhs: Vec<usize>,
+        /// Right operand shape.
+        rhs: Vec<usize>,
+    },
+    /// im2col input is not rank-4 `[N, C, H, W]`.
+    Im2colRank {
+        /// The offending input shape.
+        found: Vec<usize>,
+    },
+    /// The padded input height is smaller than the effective kernel.
+    ConvHeightTooSmall {
+        /// Input height.
+        h: usize,
+        /// Effective (dilated) kernel height.
+        effective_kernel: usize,
+    },
+    /// The padded input width is smaller than the effective kernel.
+    ConvWidthTooSmall {
+        /// Input width.
+        w: usize,
+        /// Effective (dilated) kernel width.
+        effective_kernel: usize,
+    },
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShapeError::MatmulRank { .. } => write!(f, "matmul needs rank >= 2"),
+            ShapeError::MatmulInnerDim { lhs, rhs } => {
+                write!(f, "matmul inner-dim mismatch: {lhs:?} x {rhs:?}")
+            }
+            ShapeError::MatmulBroadcast { lhs, rhs } => {
+                write!(f, "matmul batch broadcast mismatch: {lhs:?} x {rhs:?}")
+            }
+            ShapeError::Im2colRank { .. } => write!(f, "im2col expects [N, C, H, W]"),
+            ShapeError::ConvHeightTooSmall { h, .. } => {
+                write!(f, "conv input height {h} too small for kernel")
+            }
+            ShapeError::ConvWidthTooSmall { w, .. } => {
+                write!(f, "conv input width {w} too small for kernel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// Validate a batched matmul `lhs × rhs` and return the output shape.
+pub fn check_matmul(lhs: &[usize], rhs: &[usize]) -> Result<Vec<usize>, ShapeError> {
+    if lhs.len() < 2 || rhs.len() < 2 {
+        return Err(ShapeError::MatmulRank { lhs: lhs.to_vec(), rhs: rhs.to_vec() });
+    }
+    let (m, k1) = (lhs[lhs.len() - 2], lhs[lhs.len() - 1]);
+    let (k2, n) = (rhs[rhs.len() - 2], rhs[rhs.len() - 1]);
+    if k1 != k2 {
+        return Err(ShapeError::MatmulInnerDim { lhs: lhs.to_vec(), rhs: rhs.to_vec() });
+    }
+    let batch = broadcast_shape(&lhs[..lhs.len() - 2], &rhs[..rhs.len() - 2])
+        .ok_or(ShapeError::MatmulBroadcast { lhs: lhs.to_vec(), rhs: rhs.to_vec() })?;
+    let mut out = batch;
+    out.push(m);
+    out.push(n);
+    Ok(out)
+}
+
+/// Validate a convolution's spatial geometry and return `(h_out, w_out)`.
+#[allow(clippy::too_many_arguments)]
+pub fn check_conv_out_size(
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    sh: usize,
+    sw: usize,
+    ph: usize,
+    pw: usize,
+    dh: usize,
+    dw: usize,
+) -> Result<(usize, usize), ShapeError> {
+    let eff_kh = dh * (kh - 1) + 1;
+    let eff_kw = dw * (kw - 1) + 1;
+    if h + 2 * ph < eff_kh {
+        return Err(ShapeError::ConvHeightTooSmall { h, effective_kernel: eff_kh });
+    }
+    if w + 2 * pw < eff_kw {
+        return Err(ShapeError::ConvWidthTooSmall { w, effective_kernel: eff_kw });
+    }
+    Ok(((h + 2 * ph - eff_kh) / sh + 1, (w + 2 * pw - eff_kw) / sw + 1))
+}
+
+/// Validate an im2col unfold of `shape` and return the column shape
+/// `[N, C·kh·kw, Ho·Wo]`.
+#[allow(clippy::too_many_arguments)]
+pub fn check_im2col(
+    shape: &[usize],
+    kh: usize,
+    kw: usize,
+    sh: usize,
+    sw: usize,
+    ph: usize,
+    pw: usize,
+    dh: usize,
+    dw: usize,
+) -> Result<Vec<usize>, ShapeError> {
+    if shape.len() != 4 {
+        return Err(ShapeError::Im2colRank { found: shape.to_vec() });
+    }
+    let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+    let (ho, wo) = check_conv_out_size(h, w, kh, kw, sh, sw, ph, pw, dh, dw)?;
+    Ok(vec![n, c * kh * kw, ho * wo])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_shapes() {
+        assert_eq!(check_matmul(&[2, 3], &[3, 4]), Ok(vec![2, 4]));
+        assert_eq!(check_matmul(&[5, 2, 3], &[3, 4]), Ok(vec![5, 2, 4]));
+        assert_eq!(check_matmul(&[1, 2, 3], &[5, 3, 4]), Ok(vec![5, 2, 4]));
+        assert!(matches!(check_matmul(&[3], &[3, 4]), Err(ShapeError::MatmulRank { .. })));
+        assert!(matches!(
+            check_matmul(&[2, 3], &[4, 5]),
+            Err(ShapeError::MatmulInnerDim { .. })
+        ));
+        assert!(matches!(
+            check_matmul(&[2, 2, 3], &[3, 3, 4]),
+            Err(ShapeError::MatmulBroadcast { .. })
+        ));
+    }
+
+    #[test]
+    fn conv_geometry() {
+        // 3x1 temporal kernel, same padding
+        assert_eq!(check_conv_out_size(8, 25, 3, 1, 1, 1, 1, 0, 1, 1), Ok((8, 25)));
+        // stride-2 halves the temporal axis
+        assert_eq!(check_conv_out_size(8, 25, 3, 1, 2, 1, 1, 0, 1, 1), Ok((4, 25)));
+        // dilation-2 widens the effective kernel to 5
+        assert!(matches!(
+            check_conv_out_size(2, 25, 3, 1, 1, 1, 0, 0, 2, 1),
+            Err(ShapeError::ConvHeightTooSmall { effective_kernel: 5, .. })
+        ));
+        assert!(matches!(
+            check_conv_out_size(8, 0, 1, 3, 1, 1, 0, 0, 1, 1),
+            Err(ShapeError::ConvWidthTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn im2col_shapes() {
+        assert_eq!(check_im2col(&[2, 3, 8, 25], 3, 1, 1, 1, 1, 0, 1, 1), Ok(vec![2, 9, 8 * 25]));
+        assert!(matches!(
+            check_im2col(&[3, 8, 25], 3, 1, 1, 1, 1, 0, 1, 1),
+            Err(ShapeError::Im2colRank { .. })
+        ));
+    }
+
+    #[test]
+    fn display_matches_runtime_panics() {
+        assert_eq!(
+            ShapeError::MatmulInnerDim { lhs: vec![2, 3], rhs: vec![4, 5] }.to_string(),
+            "matmul inner-dim mismatch: [2, 3] x [4, 5]"
+        );
+        assert_eq!(
+            ShapeError::ConvHeightTooSmall { h: 2, effective_kernel: 5 }.to_string(),
+            "conv input height 2 too small for kernel"
+        );
+        assert_eq!(
+            ShapeError::Im2colRank { found: vec![1] }.to_string(),
+            "im2col expects [N, C, H, W]"
+        );
+    }
+}

@@ -23,17 +23,28 @@ const MAX_POOLED: usize = 16;
 #[derive(Default)]
 pub struct Workspace {
     pool: Vec<Vec<f32>>,
+    alias_hazards: usize,
 }
 
 impl Workspace {
     /// An empty workspace. Buffers are created lazily on first use.
     pub fn new() -> Self {
-        Workspace { pool: Vec::new() }
+        Workspace { pool: Vec::new(), alias_hazards: 0 }
     }
 
     /// Number of buffers currently pooled (diagnostics only).
     pub fn pooled(&self) -> usize {
         self.pool.len()
+    }
+
+    /// Number of aliasing hazards caught by [`Workspace::give`]: attempts
+    /// to return a buffer whose storage is already pooled. A non-zero
+    /// count means some serving path recycled the same storage twice —
+    /// the next two `take` calls would hand out aliased buffers and
+    /// silently corrupt each other. The static analyzer surfaces this as
+    /// a `workspace-alias` diagnostic.
+    pub fn alias_hazards(&self) -> usize {
+        self.alias_hazards
     }
 
     /// A buffer of exactly `len` elements, zero-filled. Reuses the pooled
@@ -80,8 +91,24 @@ impl Workspace {
     }
 
     /// Return a dead buffer to the pool.
+    ///
+    /// If the buffer's storage is already pooled (a double-recycle — only
+    /// possible through unsafe aliasing, but catastrophic when it
+    /// happens), the buffer is *leaked* instead of pooled or dropped:
+    /// pooling it would hand the same storage to two `take` calls, and
+    /// dropping it would double-free. The event is counted in
+    /// [`Workspace::alias_hazards`].
     pub fn give(&mut self, buf: Vec<f32>) {
-        if self.pool.len() < MAX_POOLED && buf.capacity() > 0 {
+        if buf.capacity() == 0 {
+            return;
+        }
+        let ptr = buf.as_ptr();
+        if self.pool.iter().any(|b| b.as_ptr() == ptr) {
+            self.alias_hazards += 1;
+            std::mem::forget(buf);
+            return;
+        }
+        if self.pool.len() < MAX_POOLED {
             self.pool.push(buf);
         }
     }
@@ -132,6 +159,22 @@ mod tests {
             ws.give(vec![0.0; 8]);
         }
         assert!(ws.pooled() <= MAX_POOLED);
+    }
+
+    #[test]
+    fn double_give_of_aliased_storage_is_counted_not_pooled() {
+        let mut ws = Workspace::new();
+        let buf = vec![1.0f32; 8];
+        let (ptr, len, cap) = (buf.as_ptr() as *mut f32, buf.len(), buf.capacity());
+        ws.give(buf);
+        assert_eq!(ws.alias_hazards(), 0);
+        // forge an alias of the pooled storage; `give` must refuse to pool
+        // it (two pooled copies would alias future `take`s) and must not
+        // drop it (that would double-free) — it leaks it and counts
+        let alias = unsafe { Vec::from_raw_parts(ptr, len, cap) };
+        ws.give(alias);
+        assert_eq!(ws.alias_hazards(), 1);
+        assert_eq!(ws.pooled(), 1);
     }
 
     #[test]

@@ -165,6 +165,48 @@ pub fn load_prepared(model: &mut dyn Module, bytes: Bytes) -> Result<(), Checkpo
     Ok(())
 }
 
+/// What [`load_with_report`] found while restoring a checkpoint.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// Checkpoint format version (1 = parameters only, 2 = + buffers).
+    pub version: u8,
+    /// Analyzer warnings — non-fatal, but serving a model that triggers
+    /// them silently degrades accuracy (the v1 cold-BN failure mode).
+    pub warnings: Vec<String>,
+}
+
+/// [`load`] plus a static post-load audit: version-1 blobs carry no
+/// BatchNorm running statistics, so if any (mean, var) buffer pair still
+/// holds its initialisation values after loading, the report warns with
+/// [`dhg_nn::DiagCode::BnStatsCold`] — eval-mode forwards would normalise
+/// with made-up statistics.
+pub fn load_with_report(model: &dyn Module, bytes: Bytes) -> Result<LoadReport, CheckpointError> {
+    let version = if bytes.len() >= 8 && &bytes[..8] == MAGIC_V1 { 1 } else { 2 };
+    load(model, bytes)?;
+    let mut warnings = Vec::new();
+    if version == 1 {
+        let buffers = model.buffers();
+        if !buffers.is_empty() {
+            warnings.push(format!(
+                "checkpoint is version 1 (parameters only): {} buffer(s) were not restored",
+                buffers.len()
+            ));
+        }
+        for (i, pair) in buffers.chunks(2).enumerate() {
+            if let [rm, rv] = pair {
+                if dhg_nn::bn_stats_cold(&rm.borrow(), &rv.borrow()) {
+                    warnings.push(format!(
+                        "{}: BatchNorm pair {i} still holds init statistics (mean=0, var=1); \
+                         eval-mode output will be wrong until stats are warmed",
+                        dhg_nn::DiagCode::BnStatsCold
+                    ));
+                }
+            }
+        }
+    }
+    Ok(LoadReport { version, warnings })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,6 +282,46 @@ mod tests {
         let ya = a.forward_inference(&x, &mut ws).array();
         let yb = b.forward_inference(&x, &mut ws).array();
         assert_eq!(ya, yb, "compiled logits should be bitwise identical");
+    }
+
+    #[test]
+    fn v1_load_report_warns_about_cold_bn_stats() {
+        use dhg_core::common::{ModelDims, StageSpec};
+        use dhg_core::StGcn;
+        use dhg_skeleton::SkeletonTopology;
+
+        let dims = ModelDims { in_channels: 3, n_joints: 25, n_classes: 4 };
+        let adjacency = SkeletonTopology::ntu25().graph().normalized_adjacency();
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = StGcn::new(dims, adjacency.clone(), &[StageSpec::new(8, 1)], 0.0, &mut rng);
+
+        // hand-build a v1 blob: parameters only, no running statistics
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC_V1);
+        let params = a.parameters();
+        buf.put_u32_le(params.len() as u32);
+        for p in &params {
+            put_array(&mut buf, &p.data());
+        }
+
+        let mut rng2 = StdRng::seed_from_u64(71);
+        let b = StGcn::new(dims, adjacency, &[StageSpec::new(8, 1)], 0.0, &mut rng2);
+        let report = load_with_report(&b, buf.freeze()).expect("v1 load");
+        assert_eq!(report.version, 1);
+        assert!(
+            report.warnings.iter().any(|w| w.contains("bn-stats-cold")),
+            "expected a bn-stats-cold warning, got {:?}",
+            report.warnings
+        );
+    }
+
+    #[test]
+    fn v2_load_report_is_clean() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = Linear::new(5, 3, &mut rng);
+        let report = load_with_report(&a, save(&a)).expect("v2 load");
+        assert_eq!(report.version, 2);
+        assert!(report.warnings.is_empty(), "{:?}", report.warnings);
     }
 
     #[test]

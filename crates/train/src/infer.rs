@@ -26,6 +26,23 @@ impl<M: Module> InferenceSession<M> {
         InferenceSession { model, ws: Workspace::new() }
     }
 
+    /// Compile `model` for serving, but first run the static analyzer
+    /// ([`dhg_nn::analyze`]) over its plan at `input`: if any diagnostic
+    /// is an error — shape breaks, invalid hypergraph incidence — the
+    /// session is refused and the report returned instead. Warnings
+    /// (e.g. cold BatchNorm statistics) are carried in the `Ok` report.
+    pub fn analyzed(
+        mut model: M,
+        input: &dhg_nn::SymShape,
+    ) -> Result<(Self, dhg_nn::Report), dhg_nn::Report> {
+        model.prepare_inference();
+        let report = dhg_nn::analyze(&model.plan(input));
+        if report.has_errors() {
+            return Err(report);
+        }
+        Ok((InferenceSession { model, ws: Workspace::new() }, report))
+    }
+
     /// The compiled model (read-only; mutating it could stale the caches).
     pub fn model(&self) -> &M {
         &self.model
@@ -128,5 +145,27 @@ mod tests {
         let session = InferenceSession::new(model());
         let m = session.into_model();
         assert!(m.n_parameters() > 0);
+    }
+
+    #[test]
+    fn analyzed_session_accepts_a_warmed_model_and_refuses_bad_shapes() {
+        use dhg_nn::SymShape;
+        let m = model();
+        let x = Tensor::constant(NdArray::from_vec(
+            (0..2 * 3 * 8 * 25).map(|i| (i as f32 * 0.019).cos()).collect(),
+            &[2, 3, 8, 25],
+        ));
+        m.forward(&x); // warm BN stats
+        let (mut session, report) =
+            InferenceSession::analyzed(m, &SymShape::nctv(3, 8, 25)).expect("clean model");
+        assert!(report.ok(), "{report}");
+        assert_eq!(session.logits(&x).shape(), &[2, 5]);
+
+        // a mis-shaped serving contract is refused outright
+        let m2 = model();
+        m2.forward(&x);
+        let err = InferenceSession::analyzed(m2, &SymShape::nctv(4, 8, 25)).err().expect("refused");
+        assert!(err.has_errors());
+        assert!(!err.with_code(dhg_nn::DiagCode::ChannelMismatch).is_empty());
     }
 }

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Static model-graph analysis over the whole model zoo.
+#
+# Runs the `analyze` binary twice:
+#   1. the positive audit — every zoo model (both topologies, joint and
+#      bone streams, two-stream fusion) must produce a clean plan AND a
+#      clean serving forward (zero autograd nodes, zero workspace alias
+#      hazards);
+#   2. `--self-test` — seeded negatives (wrong channels/joints/rank,
+#      cold eval-mode BatchNorm, mutated incidence matrices, mismatched
+#      fusion streams) must each be flagged with the expected code.
+#
+# Exits non-zero on the first diagnostic either mode misses.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== analyze: zoo audit =="
+cargo run --release -q -p dhg-bench --bin analyze
+
+echo "== analyze: self-test (seeded negatives) =="
+cargo run --release -q -p dhg-bench --bin analyze -- --self-test
+
+echo "== analyze: OK =="

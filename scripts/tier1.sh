@@ -6,7 +6,9 @@
 #   4. a smoke pass over the criterion benches (--test runs each bench
 #      once without measuring, catching bit-rot in bench code; the
 #      inference_latency bench also asserts the execution-mode contract)
-#   5. rustdoc with warnings denied (broken intra-doc links fail the gate)
+#   5. the static model-graph analyzer over the whole zoo (clean plans,
+#      clean serving audit) plus its self-test of seeded negatives
+#   6. rustdoc with warnings denied (broken intra-doc links fail the gate)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,6 +23,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== tier1: bench smoke (compile + single pass, no measurement) =="
 cargo bench -p dhg-bench -- --test
+
+echo "== tier1: static model-graph analysis =="
+cargo run --release -q -p dhg-bench --bin analyze
+cargo run --release -q -p dhg-bench --bin analyze -- --self-test
 
 echo "== tier1: cargo doc -D warnings =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet

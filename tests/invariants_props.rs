@@ -131,6 +131,67 @@ proptest! {
     }
 
     #[test]
+    fn random_covering_hypergraphs_pass_the_incidence_validator(
+        edge_bits in prop::collection::vec(prop::collection::vec(any::<bool>(), 8), 1..6),
+    ) {
+        let mut edges: Vec<Vec<usize>> = edge_bits
+            .iter()
+            .map(|bits| bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect())
+            .filter(|e: &Vec<usize>| !e.is_empty())
+            .collect();
+        // guarantee full coverage — the invariant the validator demands
+        edges.push((0..8).collect());
+        let hg = Hypergraph::new(8, edges);
+        let issues = dhgcn::hypergraph::validate_hypergraph(&hg);
+        prop_assert!(issues.is_empty(), "validator rejected a well-formed hypergraph: {:?}", issues);
+        // and its generated Imp weights validate too
+        let w = joint_weights(&hg, &[1.0; 8]);
+        prop_assert!(dhgcn::hypergraph::validate_imp(&hg.incidence(), &w).is_empty());
+    }
+
+    #[test]
+    fn mutated_incidence_fails_with_the_expected_codes(
+        vertex in 0usize..25,
+        edge in 0usize..6,
+        value in 1.5f32..9.0,
+    ) {
+        let hg = static_hypergraph(&SkeletonTopology::ntu25());
+
+        // uncovered joint: zero the vertex's whole incidence row
+        let mut uncovered = hg.incidence();
+        for e in 0..uncovered.shape()[1] {
+            uncovered.set(&[vertex, e], 0.0);
+        }
+        prop_assert!(dhgcn::hypergraph::validate_incidence(&uncovered)
+            .iter()
+            .any(|i| i.code() == "incidence-uncovered-vertex"));
+
+        // empty hyperedge: zero a whole incidence column
+        let mut empty = hg.incidence();
+        for v in 0..empty.shape()[0] {
+            empty.set(&[v, edge], 0.0);
+        }
+        prop_assert!(dhgcn::hypergraph::validate_incidence(&empty)
+            .iter()
+            .any(|i| i.code() == "incidence-empty-edge"));
+
+        // non-binary entry
+        let mut fractional = hg.incidence();
+        fractional.set(&[vertex, edge], 0.5);
+        prop_assert!(dhgcn::hypergraph::validate_incidence(&fractional)
+            .iter()
+            .any(|i| i.code() == "incidence-not-binary"));
+
+        // denormalised Imp weights: scale one member weight up
+        let mut w = joint_weights(&hg, &[1.0; 25]);
+        let member = hg.edge(edge)[0];
+        w.set(&[member, edge], w.at(&[member, edge]) + value);
+        prop_assert!(dhgcn::hypergraph::validate_imp(&hg.incidence(), &w)
+            .iter()
+            .any(|i| i.code() == "imp-not-normalized"));
+    }
+
+    #[test]
     fn generated_samples_are_always_finite(
         class in 0usize..8,
         subject in 0usize..40,
