@@ -1,0 +1,384 @@
+//! Offered-load driver for the micro-batching serve engine.
+//!
+//! Drives a zoo model through [`dhg_train::ServeEngine`] with concurrent
+//! closed-loop clients, compares throughput against the one-request-at-a-
+//! time [`dhg_train::InferenceSession`] baseline, demonstrates typed load
+//! shedding past the queue bound, and prints (or JSON-dumps) the engine's
+//! latency/batch-size histograms.
+//!
+//! ```text
+//! cargo run --release -p dhg-bench --bin serve                 # full run
+//! cargo run --release -p dhg-bench --bin serve -- --smoke      # CI gate
+//! cargo run --release -p dhg-bench --bin serve -- --model DHGCN --json
+//! ```
+//!
+//! Where the speedup comes from: serving one request at a time leaves a
+//! multi-core host mostly idle — per-op work at batch 1 is too small to
+//! parallelise efficiently inside a single forward (much of it sits near
+//! [`dhg_tensor::parallel::MIN_PARALLEL_WORK`]). The engine instead
+//! scales *out*: `--workers` (default = hardware parallelism) model
+//! replicas each drain micro-batches concurrently, which multiplies
+//! throughput by core count rather than by intra-op parallel efficiency.
+//! On a single-core host replicas cannot help and batching only amortises
+//! per-op fixed costs (~1.0-1.2×); the ≥2× headroom is exactly what the
+//! engine exists to unlock on real serving hardware.
+//!
+//! `--smoke` is the tier-1 gate: at low offered load (in-flight well
+//! under the queue bound) *zero* requests may shed; past the bound,
+//! shedding must be observed as typed [`dhg_train::ServeError::Rejected`]
+//! values — and every accepted request must still be answered.
+
+use dhg_skeleton::SkeletonTopology;
+use dhg_tensor::{NdArray, Tensor};
+use dhg_train::serve::{Pending, ServeConfig, ServeEngine, ServeError};
+use dhg_train::zoo::Zoo;
+use dhg_train::InferenceSession;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+const C: usize = 3;
+const V: usize = 25;
+
+struct Args {
+    model: String,
+    tiny: bool,
+    requests: usize,
+    frames: usize,
+    max_batch: usize,
+    queue_cap: usize,
+    workers: usize,
+    threads: usize,
+    max_wait_us: u64,
+    clients: usize,
+    json: bool,
+    smoke: bool,
+}
+
+impl Args {
+    fn parse() -> Result<Args, String> {
+        let mut args = Args {
+            model: "DHGCN-lite".to_string(),
+            tiny: false,
+            requests: 96,
+            frames: 16,
+            max_batch: 8,
+            queue_cap: 64,
+            workers: 0, // 0 = one replica per hardware thread
+            threads: 1,
+            max_wait_us: 2000,
+            clients: 4,
+            json: false,
+            smoke: false,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let value = |it: &mut dyn Iterator<Item = String>| {
+                it.next().ok_or(format!("{flag} needs a value"))
+            };
+            match flag.as_str() {
+                "--model" => args.model = value(&mut it)?,
+                "--tiny" => args.tiny = true,
+                "--requests" => args.requests = num(&value(&mut it)?)?,
+                "--frames" => args.frames = num(&value(&mut it)?)?,
+                "--max-batch" => args.max_batch = num(&value(&mut it)?)?,
+                "--queue-cap" => args.queue_cap = num(&value(&mut it)?)?,
+                "--workers" => args.workers = num(&value(&mut it)?)?,
+                "--threads" => args.threads = num(&value(&mut it)?)?,
+                "--max-wait-us" => args.max_wait_us = num(&value(&mut it)?)? as u64,
+                "--clients" => args.clients = num(&value(&mut it)?)?,
+                "--json" => args.json = true,
+                "--smoke" => args.smoke = true,
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        Ok(args)
+    }
+}
+
+fn num(s: &str) -> Result<usize, String> {
+    s.parse::<usize>().map_err(|_| format!("not a number: {s}"))
+}
+
+/// Deterministic single-sample input `[C, T, V]`, distinct per seed.
+fn sample(seed: usize, t: usize) -> NdArray {
+    NdArray::from_vec(
+        (0..C * t * V).map(|i| ((i * 7 + seed * 1009) as f32 * 0.0173).sin()).collect(),
+        &[C, t, V],
+    )
+}
+
+fn zoo(tiny: bool) -> Zoo {
+    if tiny {
+        Zoo::tiny(SkeletonTopology::ntu25(), 4, 0)
+    } else {
+        Zoo::new(SkeletonTopology::ntu25(), 60, 0)
+    }
+}
+
+/// One-request-at-a-time baseline: N sequential `logits` calls.
+fn sequential_rps(args: &Args) -> f64 {
+    let mut session = InferenceSession::new(zoo(args.tiny).by_name(&args.model).unwrap());
+    let t = args.frames;
+    // warm caches out of the timed region
+    session.logits(&Tensor::constant(sample(0, t).reshape(&[1, C, t, V])));
+    let start = Instant::now();
+    for seed in 0..args.requests {
+        let x = Tensor::constant(sample(seed, t).reshape(&[1, C, t, V]));
+        session.logits(&x);
+    }
+    args.requests as f64 / start.elapsed().as_secs_f64()
+}
+
+fn engine_config(args: &Args) -> ServeConfig {
+    ServeConfig {
+        max_batch: args.max_batch,
+        max_wait: Duration::from_micros(args.max_wait_us),
+        queue_cap: args.queue_cap,
+        workers: if args.workers == 0 {
+            dhg_tensor::parallel::num_threads()
+        } else {
+            args.workers
+        },
+        threads_per_worker: args.threads.max(1),
+    }
+}
+
+fn start_engine(args: &Args, config: ServeConfig) -> ServeEngine {
+    let zoo = zoo(args.tiny);
+    let model = args.model.clone();
+    ServeEngine::start(
+        move || zoo.by_name(&model).unwrap_or_else(|| panic!("unknown model {model}")),
+        &[C, args.frames, V],
+        config,
+    )
+    .unwrap_or_else(|e| panic!("engine start failed: {e}"))
+}
+
+/// Closed-loop offered load: `clients` threads each keep a bounded window
+/// of requests in flight until `total` requests complete. Returns
+/// requests/second over the whole run.
+fn drive(engine: &ServeEngine, args: &Args, total: usize) -> f64 {
+    let t = args.frames;
+    let clients = args.clients.max(1);
+    // in-flight window per client: enough to keep batches full, small
+    // enough that the bounded queue absorbs it without shedding
+    let window = (args.queue_cap / (2 * clients)).max(1);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..clients {
+            scope.spawn(move || {
+                let share = total / clients + usize::from(client < total % clients);
+                let mut inflight: Vec<Pending> = Vec::with_capacity(window);
+                for i in 0..share {
+                    let seed = client * 100_003 + i;
+                    loop {
+                        match engine.submit(sample(seed, t)) {
+                            Ok(pending) => {
+                                inflight.push(pending);
+                                break;
+                            }
+                            Err(ServeError::Rejected { .. }) => {
+                                // backpressure: drain one before retrying
+                                if let Some(p) = inflight.pop() {
+                                    p.wait().expect("reply");
+                                } else {
+                                    std::thread::yield_now();
+                                }
+                            }
+                            Err(e) => panic!("submit failed: {e}"),
+                        }
+                    }
+                    if inflight.len() >= window {
+                        inflight.remove(0).wait().expect("reply");
+                    }
+                }
+                for p in inflight {
+                    p.wait().expect("reply");
+                }
+            });
+        }
+    });
+    total as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Flood the queue faster than it can drain and count typed rejections.
+/// Returns (accepted, shed) — every accepted request is also awaited.
+fn flood(engine: &ServeEngine, args: &Args, burst: usize) -> (usize, usize) {
+    let mut accepted = Vec::new();
+    let mut shed = 0usize;
+    for seed in 0..burst {
+        match engine.submit(sample(seed, args.frames)) {
+            Ok(p) => accepted.push(p),
+            Err(ServeError::Rejected { queue_depth }) => {
+                assert!(queue_depth > 0, "rejection must carry the observed depth");
+                shed += 1;
+            }
+            Err(e) => panic!("flood submit failed: {e}"),
+        }
+    }
+    let n = accepted.len();
+    for p in accepted {
+        p.wait().expect("accepted requests must still be answered");
+    }
+    (n, shed)
+}
+
+fn report(args: &Args, seq_rps: f64, eng_rps: f64, engine: &ServeEngine) {
+    let m = engine.metrics();
+    if args.json {
+        println!(
+            "{{\"model\":\"{}\",\"requests\":{},\"sequential_rps\":{seq_rps:.2},\
+             \"engine_rps\":{eng_rps:.2},\"speedup\":{:.3},\"metrics\":{}}}",
+            args.model,
+            args.requests,
+            eng_rps / seq_rps,
+            m.registry().to_json()
+        );
+    } else {
+        let cfg = engine_config(args);
+        println!("model            {}", args.model);
+        println!("sequential       {seq_rps:>10.1} req/s (one-request-at-a-time baseline)");
+        println!(
+            "micro-batched    {eng_rps:>10.1} req/s ({} worker(s) x {} thread(s), \
+             max_batch {}, max_wait {} us)",
+            cfg.workers, cfg.threads_per_worker, args.max_batch, args.max_wait_us
+        );
+        println!("speedup          {:>10.2}x", eng_rps / seq_rps);
+        println!("batch size       {}", m.batch_size.snapshot());
+        println!("latency (us)     {}", m.latency_us.snapshot());
+        println!(
+            "counters         accepted={} completed={} batches={} shed={}",
+            m.requests.get(),
+            m.completed.get(),
+            m.batches.get(),
+            m.shed.get()
+        );
+    }
+}
+
+/// Full offered-load run: baseline, batched throughput, overload demo.
+fn run(args: &Args) -> ExitCode {
+    println!("== serve: micro-batched throughput vs sequential baseline ==");
+    let seq_rps = sequential_rps(args);
+    let engine = start_engine(args, engine_config(args));
+    // warm each worker replica once outside the timed window
+    engine.infer(sample(0, args.frames)).expect("warmup");
+    let eng_rps = drive(&engine, args, args.requests);
+    report(args, seq_rps, eng_rps, &engine);
+
+    // overload: hold batches open so the burst overruns the bounded queue
+    let overload = start_engine(
+        args,
+        ServeConfig {
+            max_batch: 2,
+            max_wait: Duration::from_secs(2),
+            queue_cap: 8,
+            workers: 1,
+            threads_per_worker: 1,
+        },
+    );
+    let (accepted, shed) = flood(&overload, args, 64);
+    println!(
+        "overload         {shed}/{} shed as typed Rejected at queue_cap 8 \
+         ({accepted} accepted, all answered)",
+        64
+    );
+    overload.shutdown();
+    engine.shutdown();
+    if shed == 0 {
+        println!("== serve: FAIL (no shedding past the queue bound) ==");
+        return ExitCode::FAILURE;
+    }
+    println!("== serve: OK ==");
+    ExitCode::SUCCESS
+}
+
+/// Tier-1 smoke: shed semantics must hold exactly, fast, on a tiny model.
+fn smoke() -> ExitCode {
+    let args = Args {
+        model: "DHGCN-lite".into(),
+        tiny: true,
+        requests: 32,
+        frames: 8,
+        max_batch: 4,
+        queue_cap: 32,
+        workers: 1,
+        threads: 1,
+        max_wait_us: 500,
+        clients: 2,
+        json: false,
+        smoke: true,
+    };
+    println!("== serve --smoke: backpressure semantics on DHGCN-lite (tiny) ==");
+    let mut failures = 0usize;
+
+    // 1. low offered load (in-flight << queue_cap): nothing may shed
+    let engine = start_engine(&args, engine_config(&args));
+    let rps = drive(&engine, &args, args.requests);
+    let m = engine.metrics();
+    if m.shed.get() != 0 {
+        println!("FAIL low load shed {} request(s); queue bound was never reached", m.shed.get());
+        failures += 1;
+    } else {
+        println!("ok   low load: {} requests, zero sheds, {rps:.1} req/s", args.requests);
+    }
+    if m.completed.get() != args.requests as u64 {
+        println!(
+            "FAIL completed {} != driven {}",
+            m.completed.get(),
+            args.requests
+        );
+        failures += 1;
+    }
+    println!("     batch size  {}", m.batch_size.snapshot());
+    println!("     latency us  {}", m.latency_us.snapshot());
+    engine.shutdown();
+
+    // 2. past the queue bound: typed rejections, accepted work still served
+    let overload = start_engine(
+        &args,
+        ServeConfig {
+            max_batch: 2,
+            max_wait: Duration::from_secs(2),
+            queue_cap: 4,
+            workers: 1,
+            threads_per_worker: 1,
+        },
+    );
+    let (accepted, shed) = flood(&overload, &args, 64);
+    let shed_counter = overload.metrics().shed.get();
+    if shed == 0 {
+        println!("FAIL flood of 64 past queue_cap 4 shed nothing");
+        failures += 1;
+    } else if shed_counter != shed as u64 {
+        println!("FAIL shed counter {shed_counter} != observed rejections {shed}");
+        failures += 1;
+    } else {
+        println!("ok   overload: {shed}/64 shed as typed Rejected, {accepted} accepted+answered");
+    }
+    overload.shutdown();
+
+    if failures == 0 {
+        println!("== serve --smoke: OK ==");
+        ExitCode::SUCCESS
+    } else {
+        println!("== serve --smoke: {failures} failure(s) ==");
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    match Args::parse() {
+        Ok(args) if args.smoke => smoke(),
+        Ok(args) => run(&args),
+        Err(why) => {
+            eprintln!("serve: {why}");
+            eprintln!(
+                "usage: serve [--model NAME] [--tiny] [--requests N] [--frames T] \
+                 [--max-batch B] [--queue-cap Q] [--workers W] [--threads P] \
+                 [--max-wait-us U] [--clients C] [--json] [--smoke]"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

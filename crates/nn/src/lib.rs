@@ -29,7 +29,9 @@ pub use dropout::Dropout;
 pub use fold::EvalConv;
 pub use linear::Linear;
 pub use lstm::Lstm;
-pub use metrics::{confusion_matrix, top_k_accuracy};
+pub use metrics::{
+    confusion_matrix, top_k_accuracy, Counter, Gauge, Histogram, HistogramSnapshot, Registry,
+};
 pub use module::{collect_buffers, collect_parameters, Buffer, Module};
 pub use optim::{clip_gradient_norm, CosineLr, Sgd, SgdConfig, StepLr};
 pub use plan::{analyze, bn_stats_cold, DiagCode, Diagnostic, Dim, Plan, PlanOp, Report, Severity, SymShape};

@@ -25,8 +25,16 @@
 //! ## Thread-count resolution
 //!
 //! 1. a [`with_threads`] override active on the calling thread, else
-//! 2. the `DHGCN_THREADS` environment variable (a positive integer), else
+//! 2. the `DHGCN_THREADS` environment variable (a positive integer no
+//!    larger than [`MAX_ENV_THREADS`]), else
 //! 3. [`std::thread::available_parallelism`].
+//!
+//! A malformed `DHGCN_THREADS` — `0`, non-numeric garbage, or an absurdly
+//! large value that would fork-bomb the process — never panics and never
+//! produces a zero-thread pool: it falls back to
+//! [`std::thread::available_parallelism`] and prints a one-time warning to
+//! stderr (once per process, not once per kernel launch — a long-running
+//! server must not spam its log from every forward pass).
 //!
 //! Worker threads run with parallelism suppressed, so closures may freely
 //! call back into parallel kernels (e.g. the per-frame operator build calls
@@ -34,6 +42,7 @@
 
 use std::cell::Cell;
 use std::ops::Range;
+use std::sync::Once;
 use std::thread;
 
 /// Problems whose estimated scalar-op count falls below this run serially:
@@ -64,21 +73,55 @@ fn suppress_nested() -> OverrideGuard {
     set_override(Some(1))
 }
 
+/// Largest thread count accepted from the `DHGCN_THREADS` environment
+/// variable. Anything above this is treated as a configuration mistake
+/// (e.g. a byte count pasted into the wrong variable) rather than a real
+/// request to spawn thousands of OS threads per kernel launch.
+pub const MAX_ENV_THREADS: usize = 512;
+
+/// The hardware fallback: [`std::thread::available_parallelism`], or 1
+/// when even that cannot be determined.
+fn default_threads() -> usize {
+    thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Validate a raw `DHGCN_THREADS` value. `Ok(n)` for `1..=MAX_ENV_THREADS`;
+/// `Err(reason)` for everything a long-running process must survive:
+/// zero, negative, non-numeric, empty, and absurdly large values.
+fn parse_env_threads(raw: &str) -> Result<usize, &'static str> {
+    match raw.trim().parse::<usize>() {
+        Ok(0) => Err("zero threads is meaningless"),
+        Ok(n) if n > MAX_ENV_THREADS => Err("absurdly large"),
+        Ok(n) => Ok(n),
+        Err(_) => Err("not a positive integer"),
+    }
+}
+
 /// The number of worker threads a parallel region started on this thread
-/// would use: a [`with_threads`] override if active, else `DHGCN_THREADS`,
-/// else [`std::thread::available_parallelism`]. Always at least 1.
+/// would use: a [`with_threads`] override if active, else a *valid*
+/// `DHGCN_THREADS` (see [`MAX_ENV_THREADS`]), else
+/// [`std::thread::available_parallelism`]. Always at least 1. An invalid
+/// environment value warns once per process and falls back.
 pub fn num_threads() -> usize {
     if let Some(n) = THREAD_OVERRIDE.with(|o| o.get()) {
         return n.max(1);
     }
     if let Ok(s) = std::env::var("DHGCN_THREADS") {
-        if let Ok(n) = s.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
+        match parse_env_threads(&s) {
+            Ok(n) => return n,
+            Err(why) => {
+                static WARN_ONCE: Once = Once::new();
+                WARN_ONCE.call_once(|| {
+                    eprintln!(
+                        "dhg-tensor: ignoring DHGCN_THREADS={s:?} ({why}); \
+                         falling back to {} thread(s)",
+                        default_threads()
+                    );
+                });
             }
         }
     }
-    thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    default_threads()
 }
 
 /// Run `f` with the thread count pinned to `n` (at least 1) on the current
@@ -221,6 +264,28 @@ mod tests {
     #[test]
     fn zero_thread_request_clamps_to_one() {
         with_threads(0, || assert_eq!(num_threads(), 1));
+    }
+
+    #[test]
+    fn env_thread_parsing_accepts_sane_values() {
+        assert_eq!(parse_env_threads("1"), Ok(1));
+        assert_eq!(parse_env_threads("8"), Ok(8));
+        assert_eq!(parse_env_threads("  16 "), Ok(16)); // whitespace tolerated
+        assert_eq!(parse_env_threads("512"), Ok(512)); // boundary
+    }
+
+    #[test]
+    fn env_thread_parsing_rejects_hazards() {
+        // every historical long-running-process hazard: zero-thread pools,
+        // garbage, negatives, empties, and fork-bomb-sized requests
+        assert!(parse_env_threads("0").is_err());
+        assert!(parse_env_threads("-4").is_err());
+        assert!(parse_env_threads("").is_err());
+        assert!(parse_env_threads("eight").is_err());
+        assert!(parse_env_threads("8.0").is_err());
+        assert!(parse_env_threads("513").is_err());
+        assert!(parse_env_threads("1000000").is_err());
+        assert!(parse_env_threads("18446744073709551616").is_err()); // > u64
     }
 
     #[test]

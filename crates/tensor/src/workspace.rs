@@ -11,30 +11,85 @@
 //! intermediates back with [`Workspace::recycle`]. Buffers are `Vec<f32>`,
 //! so a workspace is cheap to create and fully owned — dropping it frees
 //! everything.
+//!
+//! ## Residency bounds
+//!
+//! The pool is bounded two ways, because a long-running server must not
+//! ratchet its memory upward forever:
+//!
+//! * **count** — at most [`MAX_POOLED`] buffers are retained; excess
+//!   recycles are dropped on the floor.
+//! * **bytes** — total pooled capacity is capped at a high-water byte
+//!   budget ([`DEFAULT_BYTE_BUDGET`] unless overridden with
+//!   [`Workspace::with_byte_budget`]). When a recycle pushes the pool past
+//!   the budget, the *oldest* pooled buffers are evicted until it fits
+//!   again. Without this cap, one oversized request permanently pins
+//!   `MAX_POOLED` oversized buffers: `take` hands out the largest buffer
+//!   when nothing fits, `resize` grows it, and the grown capacity comes
+//!   back on recycle — a slow ratchet toward `MAX_POOLED × largest
+//!   request ever seen`.
 
 use crate::NdArray;
+use std::collections::VecDeque;
 
 /// Upper bound on pooled buffers; beyond this, recycled buffers are simply
 /// dropped. A model forward keeps only a handful of buffers alive at once,
 /// so a small pool already gives a ~100% hit rate.
 const MAX_POOLED: usize = 16;
 
+/// Default high-water byte budget for pooled capacity (64 MiB). Far above
+/// any steady-state forward of the CPU-scale zoo, low enough that a burst
+/// of oversized requests cannot pin gigabytes in a serving process.
+pub const DEFAULT_BYTE_BUDGET: usize = 64 << 20;
+
 /// A pool of reusable `f32` buffers for allocation-free inference.
-#[derive(Default)]
 pub struct Workspace {
-    pool: Vec<Vec<f32>>,
+    /// Front = oldest (first evicted), back = most recently recycled.
+    pool: VecDeque<Vec<f32>>,
+    pooled_bytes: usize,
+    byte_budget: usize,
     alias_hazards: usize,
 }
 
+impl Default for Workspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl Workspace {
-    /// An empty workspace. Buffers are created lazily on first use.
+    /// An empty workspace with the [`DEFAULT_BYTE_BUDGET`]. Buffers are
+    /// created lazily on first use.
     pub fn new() -> Self {
-        Workspace { pool: Vec::new(), alias_hazards: 0 }
+        Self::with_byte_budget(DEFAULT_BYTE_BUDGET)
+    }
+
+    /// An empty workspace whose pooled capacity never exceeds `budget`
+    /// bytes (recycles past the high-water mark evict the oldest buffers,
+    /// and a buffer larger than the whole budget is never pooled at all).
+    pub fn with_byte_budget(budget: usize) -> Self {
+        Workspace {
+            pool: VecDeque::new(),
+            pooled_bytes: 0,
+            byte_budget: budget,
+            alias_hazards: 0,
+        }
     }
 
     /// Number of buffers currently pooled (diagnostics only).
     pub fn pooled(&self) -> usize {
         self.pool.len()
+    }
+
+    /// Total capacity currently pooled, in bytes (diagnostics only).
+    /// Invariant: never exceeds [`Workspace::byte_budget`].
+    pub fn pooled_bytes(&self) -> usize {
+        self.pooled_bytes
+    }
+
+    /// The high-water byte budget this pool enforces.
+    pub fn byte_budget(&self) -> usize {
+        self.byte_budget
     }
 
     /// Number of aliasing hazards caught by [`Workspace::give`]: attempts
@@ -82,7 +137,8 @@ impl Workspace {
         }
         match best.or(largest) {
             Some((i, _)) => {
-                let mut buf = self.pool.swap_remove(i);
+                let mut buf = self.pool.remove(i).expect("index from enumerate");
+                self.pooled_bytes -= buf.capacity() * std::mem::size_of::<f32>();
                 buf.clear();
                 buf
             }
@@ -98,6 +154,11 @@ impl Workspace {
     /// pooling it would hand the same storage to two `take` calls, and
     /// dropping it would double-free. The event is counted in
     /// [`Workspace::alias_hazards`].
+    ///
+    /// Pooling past [`MAX_POOLED`] drops the incoming buffer; pooling past
+    /// the byte budget evicts the oldest pooled buffers until the total
+    /// fits again (the incoming buffer itself is evicted last, so a buffer
+    /// larger than the whole budget is never retained).
     pub fn give(&mut self, buf: Vec<f32>) {
         if buf.capacity() == 0 {
             return;
@@ -108,8 +169,18 @@ impl Workspace {
             std::mem::forget(buf);
             return;
         }
-        if self.pool.len() < MAX_POOLED {
-            self.pool.push(buf);
+        if self.pool.len() >= MAX_POOLED {
+            return;
+        }
+        self.pooled_bytes += buf.capacity() * std::mem::size_of::<f32>();
+        self.pool.push_back(buf);
+        while self.pooled_bytes > self.byte_budget {
+            match self.pool.pop_front() {
+                Some(old) => {
+                    self.pooled_bytes -= old.capacity() * std::mem::size_of::<f32>();
+                }
+                None => break,
+            }
         }
     }
 
@@ -139,6 +210,7 @@ mod tests {
         let buf = ws.take(80);
         assert!(buf.capacity() >= 100, "expected the pooled buffer back");
         assert_eq!(ws.pooled(), 0);
+        assert_eq!(ws.pooled_bytes(), 0);
         ws.give(buf);
         assert_eq!(ws.pooled(), 1);
     }
@@ -159,6 +231,73 @@ mod tests {
             ws.give(vec![0.0; 8]);
         }
         assert!(ws.pooled() <= MAX_POOLED);
+    }
+
+    #[test]
+    fn pooled_bytes_tracks_capacity() {
+        let mut ws = Workspace::new();
+        ws.give(Vec::with_capacity(10));
+        ws.give(Vec::with_capacity(6));
+        assert_eq!(ws.pooled_bytes(), 16 * std::mem::size_of::<f32>());
+        let _ = ws.take(10);
+        assert_eq!(ws.pooled_bytes(), 6 * std::mem::size_of::<f32>());
+    }
+
+    #[test]
+    fn byte_budget_evicts_oldest_first() {
+        // budget fits exactly one of the two buffers
+        let mut ws = Workspace::with_byte_budget(120 * std::mem::size_of::<f32>());
+        ws.give(Vec::with_capacity(100)); // oldest
+        ws.give(Vec::with_capacity(80)); // pushes total to 180 floats
+        assert_eq!(ws.pooled(), 1, "oldest buffer must have been evicted");
+        assert_eq!(ws.pooled_bytes(), 80 * std::mem::size_of::<f32>());
+        // the survivor is the newer 80-capacity buffer
+        let buf = ws.take(1);
+        assert_eq!(buf.capacity(), 80);
+    }
+
+    #[test]
+    fn buffer_larger_than_budget_is_never_retained() {
+        let mut ws = Workspace::with_byte_budget(64);
+        ws.give(Vec::with_capacity(1000));
+        assert_eq!(ws.pooled(), 0);
+        assert_eq!(ws.pooled_bytes(), 0);
+    }
+
+    /// The long-running-server regression: hammer the pool with
+    /// mixed-size takes and recycles (the ratcheting pattern where `take`
+    /// grows the largest buffer when nothing fits) and assert residency
+    /// stays under the high-water budget at every step.
+    #[test]
+    fn byte_budget_bounds_residency_under_mixed_load() {
+        let budget = 4096; // 1024 floats
+        let mut ws = Workspace::with_byte_budget(budget);
+        let mut held: Vec<Vec<f32>> = Vec::new();
+        for i in 0..2000usize {
+            // deterministic mixed sizes, including occasional oversized
+            // requests that exceed the whole budget on their own
+            let len = match i % 7 {
+                0 => 1500, // bigger than the budget
+                k => 1 + (i * 37 + k * 113) % 900,
+            };
+            held.push(ws.take(len));
+            if i % 3 == 0 {
+                for b in held.drain(..) {
+                    ws.give(b);
+                }
+            }
+            assert!(
+                ws.pooled_bytes() <= budget,
+                "residency {} exceeded budget {budget} at step {i}",
+                ws.pooled_bytes()
+            );
+            assert!(ws.pooled() <= MAX_POOLED);
+        }
+        for b in held.drain(..) {
+            ws.give(b);
+        }
+        assert!(ws.pooled_bytes() <= budget);
+        assert_eq!(ws.alias_hazards(), 0);
     }
 
     #[test]

@@ -18,7 +18,10 @@ use dhg_nn::Module;
 const MAGIC_V1: &[u8; 8] = b"DHGCKPT1";
 const MAGIC_V2: &[u8; 8] = b"DHGCKPT2";
 
-/// Errors produced by [`load`].
+/// Errors produced by [`load`] and the file-based entry points. Every
+/// corrupt-artifact failure mode is a typed variant — a serving process
+/// restoring a bad checkpoint must get an error it can log and refuse,
+/// never a panic that takes the whole process down.
 #[derive(Debug, PartialEq, Eq)]
 pub enum CheckpointError {
     /// The header magic did not match.
@@ -37,6 +40,14 @@ pub enum CheckpointError {
         /// Tensors the model expects.
         expected: usize,
     },
+    /// Reading or writing the checkpoint file failed.
+    Io {
+        /// The offending path.
+        path: String,
+        /// The I/O error kind (the message is not kept: `ErrorKind` is
+        /// comparable, which keeps this enum `Eq` for test assertions).
+        kind: std::io::ErrorKind,
+    },
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -49,6 +60,9 @@ impl std::fmt::Display for CheckpointError {
             }
             CheckpointError::CountMismatch { found, expected } => {
                 write!(f, "checkpoint has {found} tensors, model expects {expected}")
+            }
+            CheckpointError::Io { path, kind } => {
+                write!(f, "checkpoint I/O on {path}: {kind}")
             }
         }
     }
@@ -161,6 +175,36 @@ pub fn load(model: &dyn Module, mut bytes: Bytes) -> Result<(), CheckpointError>
 /// uses the restored running statistics.
 pub fn load_prepared(model: &mut dyn Module, bytes: Bytes) -> Result<(), CheckpointError> {
     load(model, bytes)?;
+    model.prepare_inference();
+    Ok(())
+}
+
+fn io_error(path: &std::path::Path, e: std::io::Error) -> CheckpointError {
+    CheckpointError::Io { path: path.display().to_string(), kind: e.kind() }
+}
+
+/// Serialise a model ([`save`]) straight to `path`.
+pub fn save_file(model: &dyn Module, path: &std::path::Path) -> Result<(), CheckpointError> {
+    std::fs::write(path, save(model)).map_err(|e| io_error(path, e))
+}
+
+/// Restore a checkpoint file into a structurally identical model. The
+/// whole decode path is typed: unreadable files, truncated or
+/// magic-mismatched artifacts, and shape/count disagreements all come back
+/// as a [`CheckpointError`], never a panic — a corrupt artifact on disk
+/// cannot kill a serving process that calls this.
+pub fn load_file(model: &dyn Module, path: &std::path::Path) -> Result<(), CheckpointError> {
+    let raw = std::fs::read(path).map_err(|e| io_error(path, e))?;
+    load(model, Bytes::from(raw))
+}
+
+/// [`load_file`] followed by [`Module::prepare_inference`] — the one-call
+/// artifact-to-serving path (see [`load_prepared`]).
+pub fn load_file_prepared(
+    model: &mut dyn Module,
+    path: &std::path::Path,
+) -> Result<(), CheckpointError> {
+    load_file(model, path)?;
     model.prepare_inference();
     Ok(())
 }
@@ -348,6 +392,123 @@ mod tests {
         let b = Linear::new_no_bias(3, 3, &mut rng);
         let err = load(&b, save(&a)).unwrap_err();
         assert_eq!(err, CheckpointError::CountMismatch { found: 2, expected: 1 });
+    }
+
+    /// A v1 (parameters-only) blob for `model`, as written by the
+    /// pre-buffer format.
+    fn v1_blob(model: &dyn Module) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC_V1);
+        let params = model.parameters();
+        buf.put_u32_le(params.len() as u32);
+        for p in &params {
+            put_array(&mut buf, &p.data());
+        }
+        buf.freeze()
+    }
+
+    /// The long-running-server regression: *every* truncation of a valid
+    /// artifact — mid-magic, mid-header, mid-shape, mid-data, mid-buffer
+    /// section — must come back as a typed error, never a panic. Covers
+    /// both format versions (v2 via a BatchNorm-carrying model so the
+    /// buffer section is non-empty).
+    #[test]
+    fn every_truncation_is_a_typed_error_v1_and_v2() {
+        use dhg_core::common::{ModelDims, StageSpec};
+        use dhg_core::StGcn;
+        use dhg_skeleton::SkeletonTopology;
+
+        let mut rng = StdRng::seed_from_u64(21);
+        let lin = Linear::new(4, 3, &mut rng);
+        let dims = ModelDims { in_channels: 3, n_joints: 25, n_classes: 3 };
+        let st = StGcn::new(
+            dims,
+            SkeletonTopology::ntu25().graph().normalized_adjacency(),
+            &[StageSpec::new(4, 1)],
+            0.0,
+            &mut rng,
+        );
+        for (model, blob) in [
+            (&lin as &dyn Module, v1_blob(&lin)),
+            (&lin as &dyn Module, save(&lin)),
+            (&st as &dyn Module, save(&st)),
+        ] {
+            assert!(load(model, blob.clone()).is_ok(), "intact blob must load");
+            for cut in 0..blob.len() {
+                let err = load(model, blob.slice(0..cut));
+                assert!(err.is_err(), "truncation at {cut}/{} must fail", blob.len());
+            }
+        }
+    }
+
+    /// Single-byte corruption anywhere in the stream must never panic:
+    /// the decoder either detects it (typed error) or the flip lands in
+    /// f32 payload bytes, where every bit pattern is a legal value.
+    #[test]
+    fn every_single_byte_flip_never_panics() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let m = Linear::new(4, 3, &mut rng);
+        for blob in [v1_blob(&m), save(&m)] {
+            for i in 0..blob.len() {
+                let mut corrupt = BytesMut::from(&blob[..]);
+                corrupt[i] ^= 0xFF;
+                let _ = load(&m, corrupt.freeze()); // Ok or typed Err, no panic
+            }
+            // header corruption specifically must be *detected*, not merely
+            // survived
+            for i in 0..8 {
+                let mut corrupt = BytesMut::from(&blob[..]);
+                corrupt[i] ^= 0xFF;
+                assert_eq!(load(&m, corrupt.freeze()).unwrap_err(), CheckpointError::BadMagic);
+            }
+        }
+    }
+
+    /// Unique temp path for file-based tests (std-only; no tempfile dep).
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("dhg-ckpt-test-{}-{tag}.bin", std::process::id()))
+    }
+
+    #[test]
+    fn file_roundtrip_restores_exact_values() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let a = Linear::new(5, 3, &mut rng);
+        let path = temp_path("roundtrip");
+        save_file(&a, &path).expect("save_file");
+        let mut rng2 = StdRng::seed_from_u64(91);
+        let mut b = Linear::new(5, 3, &mut rng2);
+        load_file_prepared(&mut b, &path).expect("load_file_prepared");
+        for (pa, pb) in a.parameters().iter().zip(b.parameters()) {
+            assert_eq!(pa.array(), pb.array());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_a_typed_io_error() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let m = Linear::new(2, 2, &mut rng);
+        let path = temp_path("does-not-exist");
+        let err = load_file(&m, &path).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::Io { kind: std::io::ErrorKind::NotFound, .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn corrupt_file_on_disk_is_a_typed_error() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let m = Linear::new(2, 2, &mut rng);
+        // truncated-on-disk artifact (e.g. a crashed writer)
+        let path = temp_path("truncated");
+        let blob = save(&m);
+        std::fs::write(&path, &blob[..blob.len() / 2]).expect("write");
+        assert_eq!(load_file(&m, &path).unwrap_err(), CheckpointError::Truncated);
+        // magic-mismatched artifact (e.g. the wrong file entirely)
+        std::fs::write(&path, b"definitely not a checkpoint").expect("write");
+        assert_eq!(load_file(&m, &path).unwrap_err(), CheckpointError::BadMagic);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -13,6 +13,10 @@
 //! * [`infer`] — [`InferenceSession`]: a model compiled for grad-free
 //!   serving (folded Conv+BN, cached hypergraph operators) bundled with
 //!   its reusable scratch workspace.
+//! * [`serve`] — [`ServeEngine`]: concurrent serving over inference
+//!   sessions — bounded request queue with explicit load shedding,
+//!   micro-batch coalescing, per-worker model replicas, latency/through-
+//!   put metrics.
 //! * [`checkpoint`] — compact binary save/load of model parameters and
 //!   BatchNorm running statistics.
 //! * [`zoo`] — canonical constructors for every model in the comparison,
@@ -23,11 +27,13 @@ pub mod eval;
 pub mod experiment;
 pub mod infer;
 pub mod report;
+pub mod serve;
 pub mod trainer;
 pub mod zoo;
 
 pub use eval::{evaluate, evaluate_fused, EvalResult};
 pub use experiment::{Table, TableRow};
 pub use infer::InferenceSession;
+pub use serve::{Pending, ServeConfig, ServeEngine, ServeError, ServeMetrics};
 pub use report::{classification_report, ClassificationReport};
 pub use trainer::{train, train_validated, TrainConfig, TrainReport};

@@ -1,0 +1,656 @@
+//! Micro-batching serve engine: concurrent request traffic over one model.
+//!
+//! A single [`crate::InferenceSession`] answers one caller at a time, so
+//! every request pays a full forward pass alone. Skeleton models are small
+//! — serving them is throughput-bound, and the headroom is *across*
+//! requests: coalescing concurrent single-sample requests into one
+//! `[B, C, T, V]` forward amortises per-op fixed costs (shape checks,
+//! dispatch, buffer handling) over the whole batch and lets the batched
+//! kernels clear the [`dhg_tensor::parallel`] work threshold.
+//!
+//! ## Architecture
+//!
+//! ```text
+//! submit() ──▶ bounded queue ──▶ worker 1..W ──▶ oneshot reply
+//!    │            │  coalesce: flush at max_batch         ▲
+//!    │            │  or max_wait, whichever first         │
+//!    └─ Rejected{queue_depth} when full     per-request logits ─┘
+//! ```
+//!
+//! * **Bounded queue, explicit shedding.** [`ServeEngine::submit`] never
+//!   blocks: a full queue returns [`ServeError::Rejected`] with the
+//!   current depth, so overload degrades gracefully (the caller can
+//!   retry, redirect, or drop) instead of growing an unbounded backlog.
+//! * **Micro-batches.** A worker that finds the queue non-empty gathers
+//!   up to `max_batch` requests, waiting at most `max_wait` for
+//!   stragglers; under saturation batches are full and no one waits.
+//! * **Per-worker model replicas.** Models hold `Rc`-based tensors and
+//!   cannot cross threads, so each worker *builds its own replica* from
+//!   the caller's factory and compiles it through
+//!   [`crate::InferenceSession::analyzed`] — an analyzer-refused model
+//!   never starts serving. Replica construction is deterministic (seeded
+//!   constructors), so every worker computes bitwise-identical logits.
+//! * **Deterministic results.** Every per-sample computation in the
+//!   workspace is bitwise-independent of its batch neighbours and of the
+//!   thread count, so a request's logits are bitwise-identical to a
+//!   sequential [`crate::InferenceSession::logits`] call on the same
+//!   input, whatever batch it landed in (the cross-crate suite in
+//!   `tests/serve_invariance.rs` asserts this for the whole zoo).
+//! * **Deterministic shutdown.** [`ServeEngine::shutdown`] (or drop)
+//!   closes the queue, lets the workers drain every already-accepted
+//!   request, and joins them; in-flight work is finished, never dropped.
+//!
+//! The whole path is instrumented through a [`dhg_nn::Registry`]:
+//! queue-depth gauge, batch-size and end-to-end latency histograms
+//! (p50/p95/p99), and request/batch/shed counters — see [`ServeMetrics`].
+
+use crate::InferenceSession;
+use dhg_nn::{Counter, Gauge, Histogram, Module, Registry, SymShape};
+use dhg_tensor::parallel::with_threads;
+use dhg_tensor::{NdArray, Tensor};
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for a [`ServeEngine`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Largest micro-batch a worker will coalesce; a flush happens at
+    /// this size or at `max_wait`, whichever comes first.
+    pub max_batch: usize,
+    /// How long a worker holding a partial batch waits for stragglers
+    /// before flushing. Zero means "flush whatever is there immediately".
+    pub max_wait: Duration,
+    /// Bounded queue capacity; a submit beyond it is shed with
+    /// [`ServeError::Rejected`].
+    pub queue_cap: usize,
+    /// Number of worker threads, each owning its own model replica.
+    pub workers: usize,
+    /// Thread count pinned (via [`dhg_tensor::parallel::with_threads`])
+    /// around each worker's batched forward. 1 keeps workers independent;
+    /// raise it to parallelise inside a batch on an otherwise idle host.
+    pub threads_per_worker: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+            queue_cap: 64,
+            workers: 1,
+            threads_per_worker: 1,
+        }
+    }
+}
+
+/// Typed serving failures. Overload and shutdown are explicit values, not
+/// blocked callers or panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded queue was full; the request was shed (graceful
+    /// degradation under overload). `queue_depth` is the depth observed
+    /// at rejection time — callers can use it for retry backoff.
+    Rejected {
+        /// Queue depth at the moment of rejection (== configured cap).
+        queue_depth: usize,
+    },
+    /// The input's shape did not match the engine's sample shape.
+    BadShape {
+        /// Per-sample shape the engine was started with.
+        expected: Vec<usize>,
+        /// Shape of the offending input.
+        got: Vec<usize>,
+    },
+    /// The engine is shut down (or a worker died before replying).
+    Closed,
+    /// Worker startup failed: the factory's model was refused by the
+    /// static analyzer, or a worker died while compiling it.
+    Startup(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Rejected { queue_depth } => {
+                write!(f, "request shed: queue full at depth {queue_depth}")
+            }
+            ServeError::BadShape { expected, got } => {
+                write!(f, "input shape {got:?} does not match sample shape {expected:?}")
+            }
+            ServeError::Closed => write!(f, "serve engine is shut down"),
+            ServeError::Startup(why) => write!(f, "serve engine failed to start: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Lock-free handles to every metric the engine updates, backed by a
+/// shared [`Registry`] (so callers can also render/export the registry
+/// wholesale).
+#[derive(Clone)]
+pub struct ServeMetrics {
+    registry: Arc<Registry>,
+    /// Requests accepted into the queue.
+    pub requests: Arc<Counter>,
+    /// Requests answered with logits.
+    pub completed: Arc<Counter>,
+    /// Requests shed at a full queue.
+    pub shed: Arc<Counter>,
+    /// Micro-batches executed.
+    pub batches: Arc<Counter>,
+    /// Requests that died inside a failed batch (worker panic).
+    pub failed: Arc<Counter>,
+    /// Current queue depth.
+    pub queue_depth: Arc<Gauge>,
+    /// Distribution of executed batch sizes.
+    pub batch_size: Arc<Histogram>,
+    /// End-to-end (submit → reply) latency in microseconds.
+    pub latency_us: Arc<Histogram>,
+}
+
+impl ServeMetrics {
+    fn new() -> Self {
+        let registry = Arc::new(Registry::new());
+        ServeMetrics {
+            requests: registry.counter("serve-requests-total"),
+            completed: registry.counter("serve-completed-total"),
+            shed: registry.counter("serve-shed-total"),
+            batches: registry.counter("serve-batches-total"),
+            failed: registry.counter("serve-failed-total"),
+            queue_depth: registry.gauge("serve-queue-depth"),
+            batch_size: registry.histogram("serve-batch-size", || {
+                Histogram::exponential(1, 12) // 1 .. 2048
+            }),
+            latency_us: registry.histogram("serve-latency-us", || {
+                Histogram::exponential(1, 27) // 1 µs .. ~67 s
+            }),
+            registry,
+        }
+    }
+
+    /// The backing registry (for text/JSON export of every metric).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+}
+
+/// One queued request: the input sample, its submit timestamp (end-to-end
+/// latency starts at the queue, not the forward), and the oneshot reply
+/// channel its [`Pending`] handle waits on.
+struct Request {
+    input: NdArray,
+    enqueued: Instant,
+    reply: mpsc::SyncSender<Result<NdArray, ServeError>>,
+}
+
+struct QueueState {
+    queue: VecDeque<Request>,
+    closed: bool,
+}
+
+/// State shared between the submit side and the workers.
+struct Shared {
+    state: Mutex<QueueState>,
+    available: Condvar,
+    config: ServeConfig,
+    metrics: ServeMetrics,
+}
+
+/// A ticket for an in-flight request; redeem with [`Pending::wait`].
+#[derive(Debug)]
+pub struct Pending {
+    rx: mpsc::Receiver<Result<NdArray, ServeError>>,
+}
+
+impl Pending {
+    /// Block until the request's logits (a `[n_classes]` vector) arrive.
+    pub fn wait(self) -> Result<NdArray, ServeError> {
+        match self.rx.recv() {
+            Ok(result) => result,
+            Err(_) => Err(ServeError::Closed),
+        }
+    }
+}
+
+/// A micro-batching, backpressured serving front-end over analyzer-
+/// validated inference sessions. See the module docs for the contract.
+pub struct ServeEngine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    sample_shape: Vec<usize>,
+}
+
+impl ServeEngine {
+    /// Start an engine for single-sample inputs of shape `sample_shape`
+    /// (`[C, T, V]` for skeleton models). `factory` is called once per
+    /// worker, *inside* that worker's thread, to build its model replica;
+    /// each replica is compiled through
+    /// [`crate::InferenceSession::analyzed`] and the engine refuses to
+    /// start (with [`ServeError::Startup`]) if any replica's plan has
+    /// errors.
+    pub fn start<M, F>(
+        factory: F,
+        sample_shape: &[usize],
+        config: ServeConfig,
+    ) -> Result<Self, ServeError>
+    where
+        M: Module,
+        F: Fn() -> M + Send + Sync + 'static,
+    {
+        if config.max_batch == 0 || config.queue_cap == 0 || config.workers == 0 {
+            return Err(ServeError::Startup(
+                "max_batch, queue_cap and workers must all be at least 1".into(),
+            ));
+        }
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState { queue: VecDeque::new(), closed: false }),
+            available: Condvar::new(),
+            config: config.clone(),
+            metrics: ServeMetrics::new(),
+        });
+        let factory = Arc::new(factory);
+        let sym = SymShape::batched(sample_shape);
+        let (ready_tx, ready_rx) = mpsc::channel::<Result<(), String>>();
+        let mut workers = Vec::with_capacity(config.workers);
+        for index in 0..config.workers {
+            let shared = shared.clone();
+            let factory = factory.clone();
+            let ready_tx = ready_tx.clone();
+            let sym = sym.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("dhg-serve-{index}"))
+                    .spawn(move || worker_main(&shared, &*factory, &sym, &ready_tx))
+                    .map_err(|e| ServeError::Startup(format!("spawn failed: {e}")))?,
+            );
+        }
+        drop(ready_tx);
+        let mut engine =
+            ServeEngine { shared, workers, sample_shape: sample_shape.to_vec() };
+        for _ in 0..config.workers {
+            let startup = match ready_rx.recv() {
+                Ok(Ok(())) => Ok(()),
+                Ok(Err(why)) => Err(ServeError::Startup(why)),
+                Err(_) => Err(ServeError::Startup("a worker died during startup".into())),
+            };
+            if let Err(e) = startup {
+                engine.close();
+                return Err(e);
+            }
+        }
+        Ok(engine)
+    }
+
+    /// Enqueue one `[C, T, V]` sample without blocking. Returns a
+    /// [`Pending`] ticket, or a typed error: [`ServeError::Rejected`]
+    /// when the bounded queue is full, [`ServeError::BadShape`] for a
+    /// mis-shaped input, [`ServeError::Closed`] after shutdown.
+    pub fn submit(&self, input: NdArray) -> Result<Pending, ServeError> {
+        if input.shape() != self.sample_shape.as_slice() {
+            return Err(ServeError::BadShape {
+                expected: self.sample_shape.clone(),
+                got: input.shape().to_vec(),
+            });
+        }
+        let metrics = &self.shared.metrics;
+        let (tx, rx) = mpsc::sync_channel(1);
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            if st.closed {
+                return Err(ServeError::Closed);
+            }
+            let depth = st.queue.len();
+            if depth >= self.shared.config.queue_cap {
+                metrics.shed.inc();
+                return Err(ServeError::Rejected { queue_depth: depth });
+            }
+            st.queue.push_back(Request { input, enqueued: Instant::now(), reply: tx });
+            metrics.requests.inc();
+            metrics.queue_depth.set((depth + 1) as i64);
+        }
+        self.shared.available.notify_one();
+        Ok(Pending { rx })
+    }
+
+    /// Submit and wait: the one-call blocking path.
+    pub fn infer(&self, input: NdArray) -> Result<NdArray, ServeError> {
+        self.submit(input)?.wait()
+    }
+
+    /// The engine's metric handles (live; snapshot or render at will).
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.shared.metrics
+    }
+
+    /// Per-sample input shape this engine was started with.
+    pub fn sample_shape(&self) -> &[usize] {
+        &self.sample_shape
+    }
+
+    /// Close the queue, drain every accepted request, join the workers.
+    /// New submits fail with [`ServeError::Closed`]; already-accepted
+    /// requests are answered before the workers exit. Dropping the engine
+    /// does the same.
+    pub fn shutdown(mut self) {
+        self.close();
+    }
+
+    fn close(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.closed = true;
+        }
+        self.shared.available.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// Worker entry: build + validate this worker's replica, report readiness,
+/// then serve batches until the queue is closed and drained.
+fn worker_main<M: Module>(
+    shared: &Shared,
+    factory: &(dyn Fn() -> M + Send + Sync),
+    sym: &SymShape,
+    ready_tx: &mpsc::Sender<Result<(), String>>,
+) {
+    let mut session = match InferenceSession::analyzed(factory(), sym) {
+        Ok((session, _report)) => {
+            let _ = ready_tx.send(Ok(()));
+            session
+        }
+        Err(report) => {
+            let _ = ready_tx.send(Err(format!("analyzer refused the model:\n{report}")));
+            return;
+        }
+    };
+    while let Some(batch) = gather(shared) {
+        execute(shared, &mut session, batch);
+    }
+}
+
+/// Pull the next micro-batch: wait for a non-empty queue, then coalesce up
+/// to `max_batch` requests, waiting at most `max_wait` for stragglers.
+/// `None` once the queue is closed *and* drained (deterministic drain).
+fn gather(shared: &Shared) -> Option<Vec<Request>> {
+    let config = &shared.config;
+    let mut st = shared.state.lock().unwrap();
+    loop {
+        if !st.queue.is_empty() {
+            break;
+        }
+        if st.closed {
+            return None;
+        }
+        st = shared.available.wait(st).unwrap();
+    }
+    let mut batch = Vec::with_capacity(config.max_batch);
+    let deadline = Instant::now() + config.max_wait;
+    loop {
+        while batch.len() < config.max_batch {
+            match st.queue.pop_front() {
+                Some(request) => batch.push(request),
+                None => break,
+            }
+        }
+        shared.metrics.queue_depth.set(st.queue.len() as i64);
+        if batch.len() >= config.max_batch || st.closed {
+            break;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        let (guard, timeout) = shared.available.wait_timeout(st, deadline - now).unwrap();
+        st = guard;
+        if timeout.timed_out() && st.queue.is_empty() {
+            break;
+        }
+    }
+    Some(batch)
+}
+
+/// Run one micro-batch: stack inputs into `[B, C, T, V]`, one batched
+/// forward (thread count pinned to `threads_per_worker`), then scatter the
+/// logit rows back over the reply channels. A panicking forward fails the
+/// batch's requests (their `Pending`s see [`ServeError::Closed`]) but
+/// leaves the worker alive for the next batch.
+fn execute<M: Module>(shared: &Shared, session: &mut InferenceSession<M>, batch: Vec<Request>) {
+    if batch.is_empty() {
+        return;
+    }
+    let metrics = &shared.metrics;
+    let b = batch.len();
+    metrics.batches.inc();
+    metrics.batch_size.observe(b as u64);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let sample_len = batch[0].input.len();
+        let mut data = Vec::with_capacity(b * sample_len);
+        for request in &batch {
+            data.extend_from_slice(request.input.data());
+        }
+        let mut shape = Vec::with_capacity(batch[0].input.ndim() + 1);
+        shape.push(b);
+        shape.extend_from_slice(batch[0].input.shape());
+        let x = Tensor::constant(NdArray::from_vec(data, &shape));
+        let logits = with_threads(shared.config.threads_per_worker, || session.logits(&x));
+        assert_eq!(logits.ndim(), 2, "serving model must produce [N, K] logits");
+        assert_eq!(logits.shape()[0], b, "batched forward changed the batch size");
+        let k = logits.shape()[1];
+        for (i, request) in batch.into_iter().enumerate() {
+            let row = NdArray::from_vec(logits.data()[i * k..(i + 1) * k].to_vec(), &[k]);
+            metrics.latency_us.observe(request.enqueued.elapsed().as_micros() as u64);
+            metrics.completed.inc();
+            let _ = request.reply.send(Ok(row));
+        }
+    }));
+    if outcome.is_err() {
+        // the batch's Requests were consumed by the closure; their reply
+        // senders are dropped, so every Pending unblocks with Closed
+        metrics.failed.add(b as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::Zoo;
+    use dhg_skeleton::SkeletonTopology;
+
+    const SHAPE: [usize; 3] = [3, 8, 25];
+
+    fn sample(seed: usize) -> NdArray {
+        NdArray::from_vec(
+            (0..3 * 8 * 25).map(|i| ((i + seed * 131) as f32 * 0.013).sin()).collect(),
+            &SHAPE,
+        )
+    }
+
+    fn engine(config: ServeConfig) -> ServeEngine {
+        let zoo = Zoo::tiny(SkeletonTopology::ntu25(), 4, 0);
+        ServeEngine::start(move || zoo.stgcn(), &SHAPE, config).expect("engine start")
+    }
+
+    #[test]
+    fn serves_requests_and_matches_sequential_logits() {
+        let zoo = Zoo::tiny(SkeletonTopology::ntu25(), 4, 0);
+        let mut reference = InferenceSession::new(zoo.stgcn());
+        let engine = engine(ServeConfig::default());
+        for seed in 0..5 {
+            let x = sample(seed);
+            let got = engine.infer(x.clone()).expect("infer");
+            assert_eq!(got.shape(), &[4]);
+            let batch1 = Tensor::constant(x.reshape(&[1, 3, 8, 25]));
+            let want = reference.logits(&batch1);
+            assert_eq!(got.data(), &want.data()[..4], "seed {seed} diverged");
+        }
+        let m = engine.metrics();
+        assert_eq!(m.completed.get(), 5);
+        assert_eq!(m.shed.get(), 0);
+        assert!(m.latency_us.count() == 5);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn coalesces_concurrent_requests_into_batches() {
+        let engine = engine(ServeConfig {
+            max_batch: 4,
+            max_wait: Duration::from_millis(50),
+            ..ServeConfig::default()
+        });
+        let pendings: Vec<Pending> =
+            (0..8).map(|s| engine.submit(sample(s)).expect("submit")).collect();
+        for p in pendings {
+            assert_eq!(p.wait().expect("wait").shape(), &[4]);
+        }
+        let m = engine.metrics();
+        assert_eq!(m.completed.get(), 8);
+        assert!(
+            m.batches.get() < 8,
+            "8 concurrent requests must coalesce into fewer than 8 batches (got {})",
+            m.batches.get()
+        );
+        assert!(m.batch_size.quantile(1.0) >= 2, "largest batch should exceed one request");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn full_queue_sheds_with_typed_error() {
+        // max_wait long enough that the worker holds its first batch open
+        // while we flood the bounded queue behind it
+        let engine = engine(ServeConfig {
+            max_batch: 2,
+            max_wait: Duration::from_secs(5),
+            queue_cap: 4,
+            ..ServeConfig::default()
+        });
+        let mut accepted = Vec::new();
+        let mut rejected = 0usize;
+        for s in 0..64 {
+            match engine.submit(sample(s)) {
+                Ok(p) => accepted.push(p),
+                Err(ServeError::Rejected { queue_depth }) => {
+                    assert!(queue_depth >= 1, "rejection must report the observed depth");
+                    rejected += 1;
+                }
+                Err(other) => panic!("unexpected error {other:?}"),
+            }
+        }
+        assert!(rejected > 0, "a 4-deep queue cannot absorb 64 instant submits");
+        assert_eq!(engine.metrics().shed.get(), rejected as u64);
+        // accepted requests still complete (shutdown drains deterministically)
+        let n = accepted.len();
+        for p in accepted {
+            p.wait().expect("accepted request must be answered");
+        }
+        assert_eq!(engine.metrics().completed.get(), n as u64);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_work_then_refuses() {
+        let engine = engine(ServeConfig {
+            max_batch: 4,
+            max_wait: Duration::from_millis(1),
+            ..ServeConfig::default()
+        });
+        let pendings: Vec<Pending> =
+            (0..6).map(|s| engine.submit(sample(s)).expect("submit")).collect();
+        engine.shutdown();
+        for p in pendings {
+            assert!(p.wait().is_ok(), "accepted requests must be drained on shutdown");
+        }
+    }
+
+    #[test]
+    fn mis_shaped_inputs_are_rejected_with_bad_shape() {
+        let engine = engine(ServeConfig::default());
+        let err = engine.submit(NdArray::zeros(&[3, 8, 24])).unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::BadShape { expected: vec![3, 8, 25], got: vec![3, 8, 24] }
+        );
+        engine.shutdown();
+    }
+
+    #[test]
+    fn analyzer_refused_model_fails_startup() {
+        let zoo = Zoo::tiny(SkeletonTopology::ntu25(), 4, 0);
+        // declare a 24-joint sample shape against a 25-joint model: the
+        // plan has shape errors, so no worker may start serving
+        let err = ServeEngine::start(move || zoo.stgcn(), &[3, 8, 24], ServeConfig::default())
+            .err()
+            .expect("mis-shaped serving contract must be refused");
+        assert!(matches!(err, ServeError::Startup(_)), "{err:?}");
+    }
+
+    #[test]
+    fn invalid_config_fails_startup() {
+        let zoo = Zoo::tiny(SkeletonTopology::ntu25(), 4, 0);
+        let err = ServeEngine::start(
+            move || zoo.stgcn(),
+            &SHAPE,
+            ServeConfig { max_batch: 0, ..ServeConfig::default() },
+        )
+        .err()
+        .expect("zero max_batch must be refused");
+        assert!(matches!(err, ServeError::Startup(_)));
+    }
+
+    #[test]
+    fn metrics_registry_renders_all_serving_metrics() {
+        let engine = engine(ServeConfig::default());
+        engine.infer(sample(0)).expect("infer");
+        let text = engine.metrics().registry().render_text();
+        for name in [
+            "serve-requests-total",
+            "serve-completed-total",
+            "serve-shed-total",
+            "serve-batches-total",
+            "serve-queue-depth",
+            "serve-batch-size",
+            "serve-latency-us",
+        ] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+        let json = engine.metrics().registry().to_json();
+        assert!(json.contains("\"serve-latency-us\":{\"count\":1"), "{json}");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn multiple_workers_serve_identical_logits() {
+        let zoo = Zoo::tiny(SkeletonTopology::ntu25(), 4, 0);
+        let mut reference = InferenceSession::new(zoo.stgcn());
+        let want: Vec<Vec<f32>> = (0..8)
+            .map(|s| {
+                let x = Tensor::constant(sample(s).reshape(&[1, 3, 8, 25]));
+                reference.logits(&x).data()[..4].to_vec()
+            })
+            .collect();
+        let engine = engine(ServeConfig {
+            workers: 3,
+            max_batch: 2,
+            max_wait: Duration::from_millis(1),
+            ..ServeConfig::default()
+        });
+        let pendings: Vec<Pending> =
+            (0..8).map(|s| engine.submit(sample(s)).expect("submit")).collect();
+        for (s, p) in pendings.into_iter().enumerate() {
+            let got = p.wait().expect("wait");
+            assert_eq!(got.data(), want[s].as_slice(), "request {s} diverged across workers");
+        }
+        engine.shutdown();
+    }
+}

@@ -8,7 +8,9 @@
 #      inference_latency bench also asserts the execution-mode contract)
 #   5. the static model-graph analyzer over the whole zoo (clean plans,
 #      clean serving audit) plus its self-test of seeded negatives
-#   6. rustdoc with warnings denied (broken intra-doc links fail the gate)
+#   6. the serve-engine smoke: zero sheds at low offered load, typed
+#      Rejected shedding past the queue bound, accepted work all answered
+#   7. rustdoc with warnings denied (broken intra-doc links fail the gate)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,6 +29,9 @@ cargo bench -p dhg-bench -- --test
 echo "== tier1: static model-graph analysis =="
 cargo run --release -q -p dhg-bench --bin analyze
 cargo run --release -q -p dhg-bench --bin analyze -- --self-test
+
+echo "== tier1: serve-engine smoke (backpressure semantics) =="
+cargo run --release -q -p dhg-bench --bin serve -- --smoke
 
 echo "== tier1: cargo doc -D warnings =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
