@@ -140,6 +140,7 @@ fn engine_config(args: &Args) -> ServeConfig {
             args.workers
         },
         threads_per_worker: args.threads.max(1),
+        ..ServeConfig::default()
     }
 }
 
@@ -275,6 +276,7 @@ fn run(args: &Args) -> ExitCode {
             queue_cap: 8,
             workers: 1,
             threads_per_worker: 1,
+            ..ServeConfig::default()
         },
     );
     let (accepted, shed) = flood(&overload, args, 64);
@@ -343,6 +345,7 @@ fn smoke() -> ExitCode {
             queue_cap: 4,
             workers: 1,
             threads_per_worker: 1,
+            ..ServeConfig::default()
         },
     );
     let (accepted, shed) = flood(&overload, &args, 64);

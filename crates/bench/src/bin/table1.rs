@@ -28,7 +28,8 @@ fn main() {
     let kin = kinetics();
     let ntu = ntu60();
     // measured: per variant — Kinetics (random split), NTU X-Sub, NTU X-View
-    let mut measured: Vec<(String, Vec<(String, Option<f32>)>)> = Vec::new();
+    type VariantRows = Vec<(String, Vec<(String, Option<f32>)>)>;
+    let mut measured: VariantRows = Vec::new();
     for variant in ["2s-AGCN", "2s-AHGCN"] {
         eprintln!("training {variant} on Kinetics-like…");
         let kz = zoo_for(&kin);

@@ -485,7 +485,7 @@ mod tests {
         let mut r = rng();
         let b = TopologyBranch::new(3, 6, 4, 10, 2, 3, TopologyGranularity::PerFrame, 7, &mut r);
         let x = Tensor::constant(NdArray::from_vec(
-            (0..1 * 3 * 3 * 10).map(|i| (i as f32 * 0.31).cos()).collect(),
+            (0..3 * 3 * 10).map(|i| (i as f32 * 0.31).cos()).collect(),
             &[1, 3, 3, 10],
         ));
         let y = b.forward(&x);

@@ -464,7 +464,7 @@ mod tests {
 
     #[test]
     fn subsample_ops_picks_strided_frames() {
-        let ops = NdArray::from_vec((0..2 * 4 * 1 * 1).map(|i| i as f32).collect(), &[2, 4, 1, 1]);
+        let ops = NdArray::from_vec((0..2 * 4).map(|i| i as f32).collect(), &[2, 4, 1, 1]);
         let sub = Dhgcn::subsample_ops(&ops, 2, 2);
         assert_eq!(sub.shape(), &[2, 2, 1, 1]);
         assert_eq!(sub.data(), &[0.0, 2.0, 4.0, 6.0]);

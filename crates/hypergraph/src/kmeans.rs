@@ -44,7 +44,7 @@ pub fn kmeans_hyperedges(
     let mut assign = vec![0usize; n_vertices];
     for _ in 0..MAX_ITERS {
         // assignment step: nearest medoid (ties to the lower cluster index)
-        for v in 0..n_vertices {
+        for (v, slot) in assign.iter_mut().enumerate() {
             let mut best = 0usize;
             let mut best_d = f32::INFINITY;
             for (c, &m) in medoids.iter().enumerate() {
@@ -54,7 +54,7 @@ pub fn kmeans_hyperedges(
                     best = c;
                 }
             }
-            assign[v] = best;
+            *slot = best;
         }
 
         // repair empty clusters: steal the globally worst-assigned point
@@ -76,7 +76,7 @@ pub fn kmeans_hyperedges(
         // update step: medoid = member with the smallest mean distance to
         // the other members of its cluster
         let mut new_medoids = medoids.clone();
-        for c in 0..km {
+        for (c, medoid) in new_medoids.iter_mut().enumerate() {
             let members: Vec<usize> = (0..n_vertices).filter(|&v| assign[v] == c).collect();
             let best = members
                 .iter()
@@ -87,7 +87,7 @@ pub fn kmeans_hyperedges(
                     sa.partial_cmp(&sb).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
                 })
                 .expect("cluster repaired to be non-empty");
-            new_medoids[c] = best;
+            *medoid = best;
         }
 
         if new_medoids == medoids {
@@ -127,7 +127,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let hg = kmeans_hyperedges(&coords, 8, 3, 3, &mut rng);
         assert_eq!(hg.n_edges(), 3);
-        let mut seen = vec![false; 8];
+        let mut seen = [false; 8];
         for e in hg.edges() {
             assert!(!e.is_empty());
             for &v in e {

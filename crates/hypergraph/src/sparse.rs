@@ -92,12 +92,12 @@ impl CsrMatrix {
     pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
         assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         let mut y = vec![0.0f32; self.rows];
-        for r in 0..self.rows {
+        for (r, slot) in y.iter_mut().enumerate() {
             let mut acc = 0.0f32;
             for i in self.row_ptr[r]..self.row_ptr[r + 1] {
                 acc += self.values[i] * x[self.col_idx[i]];
             }
-            y[r] = acc;
+            *slot = acc;
         }
         y
     }

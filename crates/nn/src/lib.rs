@@ -12,6 +12,7 @@ pub mod adam;
 pub mod batchnorm;
 pub mod conv;
 pub mod dropout;
+pub mod fault;
 pub mod fold;
 pub mod init;
 pub mod linear;
@@ -26,6 +27,7 @@ pub use adam::{Adam, AdamConfig};
 pub use batchnorm::BatchNorm2d;
 pub use conv::Conv2d;
 pub use dropout::Dropout;
+pub use fault::{FaultConfig, FaultPlan, FaultSite};
 pub use fold::EvalConv;
 pub use linear::Linear;
 pub use lstm::Lstm;

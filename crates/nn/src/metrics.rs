@@ -53,11 +53,11 @@ pub fn confusion_matrix(scores: &NdArray, labels: &[usize], n_classes: usize) ->
         counts.set(&[label, pred], cur + 1.0);
         row_totals[label] += 1;
     }
-    for i in 0..n_classes {
-        if row_totals[i] > 0 {
+    for (i, &total) in row_totals.iter().enumerate() {
+        if total > 0 {
             for j in 0..n_classes {
                 let v = counts.at(&[i, j]);
-                counts.set(&[i, j], v / row_totals[i] as f32);
+                counts.set(&[i, j], v / total as f32);
             }
         }
     }

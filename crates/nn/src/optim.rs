@@ -73,6 +73,45 @@ impl Sgd {
         }
     }
 
+    /// Snapshot the momentum buffers in parameter order, materialising a
+    /// zero buffer for parameters that have never been stepped. With the
+    /// parameters themselves, this is the complete optimiser state:
+    /// restoring it via [`Sgd::load_velocities`] resumes training
+    /// bitwise-identically.
+    pub fn velocities(&self) -> Vec<NdArray> {
+        self.params
+            .iter()
+            .map(|p| {
+                self.velocity
+                    .get(&p.id())
+                    .cloned()
+                    .unwrap_or_else(|| NdArray::zeros(p.data().shape()))
+            })
+            .collect()
+    }
+
+    /// Restore momentum buffers snapshotted by [`Sgd::velocities`] (same
+    /// parameter order, shape-for-shape).
+    ///
+    /// # Panics
+    /// If the count or any shape disagrees with the managed parameters.
+    pub fn load_velocities(&mut self, velocities: Vec<NdArray>) {
+        assert_eq!(
+            velocities.len(),
+            self.params.len(),
+            "velocity count does not match parameter count"
+        );
+        self.velocity.clear();
+        for (p, v) in self.params.iter().zip(velocities) {
+            assert_eq!(
+                v.shape(),
+                p.data().shape(),
+                "velocity shape does not match its parameter"
+            );
+            self.velocity.insert(p.id(), v);
+        }
+    }
+
     /// Number of managed parameter tensors.
     pub fn n_params(&self) -> usize {
         self.params.len()
@@ -219,6 +258,52 @@ mod tests {
     }
 
     #[test]
+    fn velocity_roundtrip_resumes_bitwise() {
+        let config = SgdConfig { lr: 0.05, momentum: 0.9, weight_decay: 0.0 };
+        let step_once = |opt: &mut Sgd, x: &Tensor| {
+            x.square().sum_all().backward();
+            opt.step();
+        };
+        // reference: four uninterrupted steps
+        let a = Tensor::param(NdArray::from_vec(vec![3.0, -2.0], &[2]));
+        let mut opt_a = Sgd::new(vec![a.clone()], config);
+        for _ in 0..4 {
+            step_once(&mut opt_a, &a);
+        }
+        // resumed: two steps, snapshot, restore into a fresh optimiser
+        let b = Tensor::param(NdArray::from_vec(vec![3.0, -2.0], &[2]));
+        let mut opt_b = Sgd::new(vec![b.clone()], config);
+        for _ in 0..2 {
+            step_once(&mut opt_b, &b);
+        }
+        let snapshot = opt_b.velocities();
+        assert_eq!(snapshot.len(), 1);
+        let mut opt_b2 = Sgd::new(vec![b.clone()], config);
+        opt_b2.load_velocities(snapshot);
+        for _ in 0..2 {
+            step_once(&mut opt_b2, &b);
+        }
+        assert_eq!(a.data().data(), b.data().data(), "resumed trajectory must be bitwise");
+    }
+
+    #[test]
+    fn velocities_materialise_zeros_for_unstepped_parameters() {
+        let x = Tensor::param(NdArray::from_vec(vec![1.0, 2.0, 3.0], &[3]));
+        let opt = Sgd::new(vec![x], SgdConfig::default());
+        let vs = opt.velocities();
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0], NdArray::zeros(&[3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "velocity count")]
+    fn load_velocities_rejects_count_mismatch() {
+        let x = Tensor::param(NdArray::from_vec(vec![1.0], &[1]));
+        let mut opt = Sgd::new(vec![x], SgdConfig::default());
+        opt.load_velocities(vec![]);
+    }
+
+    #[test]
     fn cosine_lr_endpoints_and_monotonicity() {
         let s = CosineLr::new(0.1, 0.001, 20);
         assert!((s.lr_at(0) - 0.1).abs() < 1e-6);
@@ -251,7 +336,7 @@ mod tests {
         let a = Tensor::param(NdArray::from_vec(vec![0.1], &[1]));
         a.square().sum_all().backward();
         let g_before = a.grad().unwrap();
-        clip_gradient_norm(&[a.clone()], 100.0);
+        clip_gradient_norm(std::slice::from_ref(&a), 100.0);
         assert_eq!(a.grad().unwrap(), g_before);
     }
 

@@ -37,7 +37,7 @@ pub fn normalize_sample(data: &NdArray, topology: &SkeletonTopology) -> NdArray 
     let centre = topology.centre();
     let origin = [data.at(&[0, 0, centre]), data.at(&[1, 0, centre]), data.at(&[2, 0, centre])];
     let mut out = data.clone();
-    for c in 0..3 {
+    for (c, &shift) in origin.iter().enumerate() {
         for t in 0..t_len {
             for j in 0..v {
                 let val = out.at(&[c, t, j]);
@@ -45,7 +45,7 @@ pub fn normalize_sample(data: &NdArray, topology: &SkeletonTopology) -> NdArray 
                     && data.at(&[1, t, j]) == 0.0
                     && data.at(&[2, t, j]) == 0.0;
                 if !missing {
-                    out.set(&[c, t, j], val - origin[c]);
+                    out.set(&[c, t, j], val - shift);
                 }
             }
         }

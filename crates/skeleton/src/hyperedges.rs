@@ -180,7 +180,7 @@ mod tests {
     fn parts_cover_all_joints() {
         let t = SkeletonTopology::ntu25();
         for n in [2usize, 4, 6] {
-            let mut covered = vec![false; 25];
+            let mut covered = [false; 25];
             for p in part_subsets(&t, n) {
                 for v in p {
                     covered[v] = true;

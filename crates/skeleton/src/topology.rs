@@ -316,11 +316,11 @@ mod tests {
             for &(c, _) in t.bones() {
                 child_count[c] += 1;
             }
-            for j in 0..t.n_joints() {
+            for (j, &count) in child_count.iter().enumerate() {
                 if j == t.centre() {
-                    assert_eq!(child_count[j], 0, "centre {j} must not be a child");
+                    assert_eq!(count, 0, "centre {j} must not be a child");
                 } else {
-                    assert_eq!(child_count[j], 1, "joint {j} of {:?}", t.kind());
+                    assert_eq!(count, 1, "joint {j} of {:?}", t.kind());
                 }
             }
         }

@@ -475,9 +475,9 @@ impl NdArray {
         out_shape[axis] = parts.iter().map(|p| p.shape[axis]).sum();
         for p in parts {
             assert_eq!(p.ndim(), nd, "concat rank mismatch");
-            for d in 0..nd {
+            for (d, &want) in out_shape.iter().enumerate() {
                 if d != axis {
-                    assert_eq!(p.shape[d], out_shape[d], "concat dim {d} mismatch");
+                    assert_eq!(p.shape[d], want, "concat dim {d} mismatch");
                 }
             }
         }
@@ -940,7 +940,7 @@ fn resolve_reshape(len: usize, shape: &[usize]) -> Vec<usize> {
         return shape.to_vec();
     }
     let known: usize = shape.iter().filter(|&&d| d != usize::MAX).product();
-    assert!(known > 0 && len % known == 0, "cannot infer reshape dim");
+    assert!(known > 0 && len.is_multiple_of(known), "cannot infer reshape dim");
     shape.iter().map(|&d| if d == usize::MAX { len / known } else { d }).collect()
 }
 

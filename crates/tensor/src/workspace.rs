@@ -17,7 +17,7 @@
 //! The pool is bounded two ways, because a long-running server must not
 //! ratchet its memory upward forever:
 //!
-//! * **count** — at most [`MAX_POOLED`] buffers are retained; excess
+//! * **count** — at most `MAX_POOLED` buffers are retained; excess
 //!   recycles are dropped on the floor.
 //! * **bytes** — total pooled capacity is capped at a high-water byte
 //!   budget ([`DEFAULT_BYTE_BUDGET`] unless overridden with
@@ -128,10 +128,10 @@ impl Workspace {
         for (i, b) in self.pool.iter().enumerate() {
             let cap = b.capacity();
             if cap >= len {
-                if best.map_or(true, |(_, c)| cap < c) {
+                if best.is_none_or(|(_, c)| cap < c) {
                     best = Some((i, cap));
                 }
-            } else if largest.map_or(true, |(_, c)| cap > c) {
+            } else if largest.is_none_or(|(_, c)| cap > c) {
                 largest = Some((i, cap));
             }
         }
@@ -155,7 +155,7 @@ impl Workspace {
     /// dropping it would double-free. The event is counted in
     /// [`Workspace::alias_hazards`].
     ///
-    /// Pooling past [`MAX_POOLED`] drops the incoming buffer; pooling past
+    /// Pooling past `MAX_POOLED` drops the incoming buffer; pooling past
     /// the byte budget evicts the oldest pooled buffers until the total
     /// fits again (the incoming buffer itself is evicted last, so a buffer
     /// larger than the whole budget is never retained).

@@ -13,10 +13,13 @@
 //! current values.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use dhg_nn::fault::FaultPlan;
 use dhg_nn::Module;
+use dhg_tensor::NdArray;
 
 const MAGIC_V1: &[u8; 8] = b"DHGCKPT1";
 const MAGIC_V2: &[u8; 8] = b"DHGCKPT2";
+const MAGIC_TRAIN: &[u8; 8] = b"DHGTRNS1";
 
 /// Errors produced by [`load`] and the file-based entry points. Every
 /// corrupt-artifact failure mode is a typed variant — a serving process
@@ -183,9 +186,56 @@ fn io_error(path: &std::path::Path, e: std::io::Error) -> CheckpointError {
     CheckpointError::Io { path: path.display().to_string(), kind: e.kind() }
 }
 
-/// Serialise a model ([`save`]) straight to `path`.
+/// Crash-atomic file write: the blob lands in a temp sibling
+/// (`<name>.tmp`), is fsynced, and is renamed over `path`; the directory
+/// is then fsynced so the rename itself is durable. A crash — or an
+/// injected [`dhg_nn::fault::FaultSite::CheckpointIo`] failure — at any
+/// point leaves either the complete old file or the complete new file on
+/// disk, never a torn mix (the temp may linger; it is overwritten by the
+/// next attempt).
+fn atomic_write(
+    path: &std::path::Path,
+    blob: &[u8],
+    faults: Option<&FaultPlan>,
+) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    let mut file = std::fs::File::create(&tmp)?;
+    if let Some(error) = faults.and_then(|f| f.maybe_io_error()) {
+        // simulate a writer killed mid-save: half the payload reaches the
+        // temp file, the destination is never touched
+        let _ = file.write_all(&blob[..blob.len() / 2]);
+        return Err(error);
+    }
+    file.write_all(blob)?;
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Ok(handle) = std::fs::File::open(dir) {
+            let _ = handle.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Serialise a model ([`save`]) straight to `path`, crash-atomically: a
+/// writer killed mid-save leaves the previous checkpoint intact (see the
+/// kill-mid-save test). Consults the process-wide fault plan, if any.
 pub fn save_file(model: &dyn Module, path: &std::path::Path) -> Result<(), CheckpointError> {
-    std::fs::write(path, save(model)).map_err(|e| io_error(path, e))
+    save_file_with(model, path, dhg_nn::fault::installed().as_deref())
+}
+
+/// [`save_file`] with an explicit fault plan (chaos tests prefer this:
+/// plans stay isolated from concurrently running tests).
+pub fn save_file_with(
+    model: &dyn Module,
+    path: &std::path::Path,
+    faults: Option<&FaultPlan>,
+) -> Result<(), CheckpointError> {
+    atomic_write(path, &save(model), faults).map_err(|e| io_error(path, e))
 }
 
 /// Restore a checkpoint file into a structurally identical model. The
@@ -249,6 +299,132 @@ pub fn load_with_report(model: &dyn Module, bytes: Bytes) -> Result<LoadReport, 
         }
     }
     Ok(LoadReport { version, warnings })
+}
+
+/// Everything beyond the model needed to resume a training run exactly
+/// where it stopped: progress counters plus the optimiser's momentum
+/// buffers. Serialised (with the model's parameters and buffers) in the
+/// `DHGTRNS1` format by [`save_train_state`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrainState {
+    /// Epochs fully completed (resume starts at this epoch index).
+    pub epochs_done: usize,
+    /// Mean loss of each completed epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Minibatches skipped so far by the non-finite guard.
+    pub skipped_batches: u64,
+    /// SGD momentum buffers, in parameter order
+    /// ([`dhg_nn::Sgd::velocities`]).
+    pub velocities: Vec<NdArray>,
+}
+
+/// Serialise a mid-training snapshot: progress scalars, then the model's
+/// parameters and buffers (as in [`save`]), then the optimiser velocity
+/// section. Restoring with [`load_train_state`] and
+/// [`dhg_nn::Sgd::load_velocities`] resumes training bitwise-identically.
+pub fn save_train_state(model: &dyn Module, state: &TrainState) -> Bytes {
+    let params = model.parameters();
+    let buffers = model.buffers();
+    assert_eq!(
+        state.velocities.len(),
+        params.len(),
+        "one velocity buffer per parameter"
+    );
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC_TRAIN);
+    buf.put_u32_le(state.epochs_done as u32);
+    buf.put_u32_le(state.epoch_losses.len() as u32);
+    for &loss in &state.epoch_losses {
+        buf.put_f32_le(loss);
+    }
+    buf.put_u64_le(state.skipped_batches);
+    buf.put_u32_le(params.len() as u32);
+    for p in &params {
+        put_array(&mut buf, &p.data());
+    }
+    buf.put_u32_le(buffers.len() as u32);
+    for b in &buffers {
+        put_array(&mut buf, &b.borrow());
+    }
+    buf.put_u32_le(state.velocities.len() as u32);
+    for v in &state.velocities {
+        put_array(&mut buf, v);
+    }
+    buf.freeze()
+}
+
+/// Restore a [`save_train_state`] snapshot: model parameters and buffers
+/// are written back into `model`, and the returned [`TrainState`] carries
+/// the progress counters and velocity buffers (shape-checked against the
+/// model's parameters). Fully typed: corrupt snapshots come back as
+/// [`CheckpointError`], never a panic, so a resume path can skip them.
+pub fn load_train_state(
+    model: &dyn Module,
+    mut bytes: Bytes,
+) -> Result<TrainState, CheckpointError> {
+    if bytes.remaining() < MAGIC_TRAIN.len() + 8 {
+        return Err(CheckpointError::Truncated);
+    }
+    let mut magic = [0u8; 8];
+    bytes.copy_to_slice(&mut magic);
+    if &magic != MAGIC_TRAIN {
+        return Err(CheckpointError::BadMagic);
+    }
+    let epochs_done = bytes.get_u32_le() as usize;
+    let n_losses = bytes.get_u32_le() as usize;
+    if bytes.remaining() < n_losses * 4 {
+        return Err(CheckpointError::Truncated);
+    }
+    let epoch_losses: Vec<f32> = (0..n_losses).map(|_| bytes.get_f32_le()).collect();
+    if bytes.remaining() < 8 {
+        return Err(CheckpointError::Truncated);
+    }
+    let skipped_batches = bytes.get_u64_le();
+    let params = model.parameters();
+    {
+        let mut param_refs: Vec<_> = params.iter().map(|p| p.data_mut()).collect();
+        let mut targets: Vec<&mut NdArray> = param_refs.iter_mut().map(|r| &mut **r).collect();
+        read_section(&mut bytes, &mut targets)?;
+    }
+    {
+        let buffers = model.buffers();
+        let mut buffer_refs: Vec<_> = buffers.iter().map(|b| b.borrow_mut()).collect();
+        let mut targets: Vec<&mut NdArray> =
+            buffer_refs.iter_mut().map(|r| &mut **r).collect();
+        read_section(&mut bytes, &mut targets)?;
+    }
+    // velocities mirror the parameter shapes exactly
+    let mut velocities: Vec<NdArray> =
+        params.iter().map(|p| NdArray::zeros(p.data().shape())).collect();
+    {
+        let mut targets: Vec<&mut NdArray> = velocities.iter_mut().collect();
+        read_section(&mut bytes, &mut targets)?;
+    }
+    if bytes.has_remaining() {
+        return Err(CheckpointError::Truncated);
+    }
+    Ok(TrainState { epochs_done, epoch_losses, skipped_batches, velocities })
+}
+
+/// [`save_train_state`] straight to `path`, crash-atomically (temp +
+/// fsync + rename, with the same injected-fault semantics as
+/// [`save_file`]).
+pub fn save_train_state_file(
+    model: &dyn Module,
+    state: &TrainState,
+    path: &std::path::Path,
+    faults: Option<&FaultPlan>,
+) -> Result<(), CheckpointError> {
+    atomic_write(path, &save_train_state(model, state), faults).map_err(|e| io_error(path, e))
+}
+
+/// Read and decode a [`save_train_state_file`] snapshot.
+pub fn load_train_state_file(
+    model: &dyn Module,
+    path: &std::path::Path,
+) -> Result<TrainState, CheckpointError> {
+    let raw = std::fs::read(path).map_err(|e| io_error(path, e))?;
+    load_train_state(model, Bytes::from(raw))
 }
 
 #[cfg(test)]
@@ -509,6 +685,111 @@ mod tests {
         std::fs::write(&path, b"definitely not a checkpoint").expect("write");
         assert_eq!(load_file(&m, &path).unwrap_err(), CheckpointError::BadMagic);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn kill_mid_save_leaves_previous_checkpoint_intact() {
+        use dhg_nn::fault::{FaultPlan, FaultSite};
+
+        let mut rng = StdRng::seed_from_u64(31);
+        let old = Linear::new(6, 3, &mut rng);
+        let path = temp_path("kill-mid-save");
+        save_file(&old, &path).expect("initial save");
+
+        // a differently-seeded model whose save is killed partway through
+        let mut rng2 = StdRng::seed_from_u64(32);
+        let new = Linear::new(6, 3, &mut rng2);
+        let faults = FaultPlan::builder(0xDEAD).rate(FaultSite::CheckpointIo, 1.0).build();
+        let err = save_file_with(&new, &path, Some(&faults)).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::Io { kind: std::io::ErrorKind::Interrupted, .. }),
+            "{err:?}"
+        );
+        assert_eq!(faults.trips(FaultSite::CheckpointIo), 1);
+
+        // the destination still holds the complete OLD checkpoint
+        let mut rng3 = StdRng::seed_from_u64(33);
+        let restored = Linear::new(6, 3, &mut rng3);
+        load_file(&restored, &path).expect("previous checkpoint must survive the kill");
+        for (pa, pb) in old.parameters().iter().zip(restored.parameters()) {
+            assert_eq!(pa.array(), pb.array(), "old checkpoint corrupted by killed save");
+        }
+
+        // with the fault budget exhausted, the next save goes through
+        let clean = FaultPlan::builder(0xDEAD)
+            .rate(FaultSite::CheckpointIo, 1.0)
+            .limit(FaultSite::CheckpointIo, 0)
+            .build();
+        save_file_with(&new, &path, Some(&clean)).expect("save after the fault");
+        load_file(&restored, &path).expect("new checkpoint loads");
+        for (pa, pb) in new.parameters().iter().zip(restored.parameters()) {
+            assert_eq!(pa.array(), pb.array());
+        }
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(path.with_file_name("dhg-ckpt-test-kill-mid-save.bin.tmp")).ok();
+    }
+
+    #[test]
+    fn train_state_roundtrips_through_disk() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let a = Linear::new(4, 2, &mut rng);
+        let state = TrainState {
+            epochs_done: 3,
+            epoch_losses: vec![2.5, 1.25, 0.75],
+            skipped_batches: 2,
+            velocities: a
+                .parameters()
+                .iter()
+                .map(|p| {
+                    let mut v = p.data().clone();
+                    v.map_inplace(|x| x * 0.5);
+                    v
+                })
+                .collect(),
+        };
+        let path = temp_path("train-state");
+        save_train_state_file(&a, &state, &path, None).expect("save");
+
+        let mut rng2 = StdRng::seed_from_u64(42);
+        let b = Linear::new(4, 2, &mut rng2);
+        let restored = load_train_state_file(&b, &path).expect("load");
+        assert_eq!(restored, state);
+        for (pa, pb) in a.parameters().iter().zip(b.parameters()) {
+            assert_eq!(pa.array(), pb.array(), "model section restored");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn train_state_corruption_is_always_typed() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let m = Linear::new(3, 2, &mut rng);
+        let state = TrainState {
+            epochs_done: 1,
+            epoch_losses: vec![1.0],
+            skipped_batches: 0,
+            velocities: m.parameters().iter().map(|p| NdArray::zeros(p.data().shape())).collect(),
+        };
+        let blob = save_train_state(&m, &state);
+        assert!(load_train_state(&m, blob.clone()).is_ok());
+        // every truncation point is a typed error, never a panic
+        for cut in 0..blob.len() {
+            assert!(
+                load_train_state(&m, blob.slice(0..cut)).is_err(),
+                "truncation at {cut} must fail typed"
+            );
+        }
+        // wrong artifact kind is detected up front
+        assert_eq!(
+            load_train_state(&m, save(&m)).unwrap_err(),
+            CheckpointError::BadMagic,
+            "a plain model checkpoint is not a train state"
+        );
+        assert_eq!(
+            load(&m, blob).unwrap_err(),
+            CheckpointError::BadMagic,
+            "a train state is not a plain model checkpoint"
+        );
     }
 
     #[test]

@@ -34,6 +34,10 @@ pub mod zoo;
 pub use eval::{evaluate, evaluate_fused, EvalResult};
 pub use experiment::{Table, TableRow};
 pub use infer::InferenceSession;
-pub use serve::{Pending, ServeConfig, ServeEngine, ServeError, ServeMetrics};
+pub use serve::{Pending, ServeConfig, ServeEngine, ServeError, ServeHealth, ServeMetrics};
 pub use report::{classification_report, ClassificationReport};
-pub use trainer::{train, train_validated, TrainConfig, TrainReport};
+pub use checkpoint::TrainState;
+pub use trainer::{
+    train, train_resumable, train_validated, ResumableConfig, TrainConfig, TrainError,
+    TrainReport,
+};

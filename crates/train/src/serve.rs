@@ -15,6 +15,8 @@
 //!    │            │  coalesce: flush at max_batch         ▲
 //!    │            │  or max_wait, whichever first         │
 //!    └─ Rejected{queue_depth} when full     per-request logits ─┘
+//!                 ▲
+//!        supervisor: respawns dead workers (bounded budget + backoff)
 //! ```
 //!
 //! * **Bounded queue, explicit shedding.** [`ServeEngine::submit`] never
@@ -30,27 +32,56 @@
 //!   [`crate::InferenceSession::analyzed`] — an analyzer-refused model
 //!   never starts serving. Replica construction is deterministic (seeded
 //!   constructors), so every worker computes bitwise-identical logits.
+//! * **Self-healing workers.** A supervisor thread watches for worker
+//!   deaths (a panic that escapes the batch guard — e.g. inside the
+//!   queue lock) and respawns a fresh replica in its place, under a
+//!   bounded restart budget ([`ServeConfig::max_restarts`]) with
+//!   exponential backoff. Queue-lock poisoning from a mid-critical-
+//!   section death is recovered, not propagated: the queue state is a
+//!   `VecDeque` + flag whose invariants survive any panic point. If the
+//!   *last* worker dies with the budget exhausted, the engine closes
+//!   itself and fails the backlog with typed [`ServeError::Closed`] —
+//!   no caller is ever left blocked on a queue nobody serves.
+//! * **Per-request deadlines.** With [`ServeConfig::deadline`] set,
+//!   requests that exceed it come back as typed
+//!   [`ServeError::DeadlineExceeded`] — both when they expire in the
+//!   queue (workers skip them instead of wasting a forward) and when the
+//!   caller's [`Pending::wait`] times out (a stalled batch cannot wedge
+//!   its callers).
+//! * **Output validation.** Every reply row is checked for non-finite
+//!   values before it leaves the engine; a corrupted forward yields
+//!   typed [`ServeError::BadOutput`], never a silent NaN to a caller.
 //! * **Deterministic results.** Every per-sample computation in the
 //!   workspace is bitwise-independent of its batch neighbours and of the
 //!   thread count, so a request's logits are bitwise-identical to a
 //!   sequential [`crate::InferenceSession::logits`] call on the same
 //!   input, whatever batch it landed in (the cross-crate suite in
-//!   `tests/serve_invariance.rs` asserts this for the whole zoo).
+//!   `tests/serve_invariance.rs` asserts this for the whole zoo, and
+//!   `tests/chaos.rs` re-asserts it for survivors under injected
+//!   faults).
 //! * **Deterministic shutdown.** [`ServeEngine::shutdown`] (or drop)
 //!   closes the queue, lets the workers drain every already-accepted
 //!   request, and joins them; in-flight work is finished, never dropped.
 //!
 //! The whole path is instrumented through a [`dhg_nn::Registry`]:
-//! queue-depth gauge, batch-size and end-to-end latency histograms
-//! (p50/p95/p99), and request/batch/shed counters — see [`ServeMetrics`].
+//! queue-depth and live-worker gauges, batch-size and end-to-end latency
+//! histograms (p50/p95/p99), and request/batch/shed/restart/deadline/
+//! bad-output counters — see [`ServeMetrics`] and the one-call
+//! [`ServeEngine::health`] snapshot.
+//!
+//! Fault injection for chaos tests hangs off [`ServeConfig::faults`]
+//! (see [`dhg_nn::fault`]): worker deaths, batch panics, batch stalls
+//! and logit corruption are all injected through that plan, and none of
+//! the hooks cost anything when no plan is configured.
 
 use crate::InferenceSession;
+use dhg_nn::fault::{FaultPlan, FaultSite};
 use dhg_nn::{Counter, Gauge, Histogram, Module, Registry, SymShape};
 use dhg_tensor::parallel::with_threads;
 use dhg_tensor::{NdArray, Tensor};
 use std::collections::VecDeque;
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -72,6 +103,21 @@ pub struct ServeConfig {
     /// around each worker's batched forward. 1 keeps workers independent;
     /// raise it to parallelise inside a batch on an otherwise idle host.
     pub threads_per_worker: usize,
+    /// End-to-end (submit → reply) budget per request. Requests past it
+    /// fail with [`ServeError::DeadlineExceeded`] — skipped by workers if
+    /// still queued, timed out in [`Pending::wait`] if in flight. `None`
+    /// disables deadlines.
+    pub deadline: Option<Duration>,
+    /// Total worker respawns the supervisor may spend over the engine's
+    /// lifetime before a dead worker stays dead.
+    pub max_restarts: usize,
+    /// Base supervisor backoff before a respawn; doubles with each
+    /// restart already spent (capped at 64×).
+    pub restart_backoff: Duration,
+    /// Fault-injection plan consulted on the serving hot path (chaos
+    /// testing). `None` — the production default — makes every fault
+    /// hook a no-op.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServeConfig {
@@ -82,12 +128,16 @@ impl Default for ServeConfig {
             queue_cap: 64,
             workers: 1,
             threads_per_worker: 1,
+            deadline: None,
+            max_restarts: 8,
+            restart_backoff: Duration::from_millis(1),
+            faults: None,
         }
     }
 }
 
-/// Typed serving failures. Overload and shutdown are explicit values, not
-/// blocked callers or panics.
+/// Typed serving failures. Overload, shutdown, deadlines and corrupt
+/// outputs are explicit values, not blocked callers or panics.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServeError {
     /// The bounded queue was full; the request was shed (graceful
@@ -104,6 +154,11 @@ pub enum ServeError {
         /// Shape of the offending input.
         got: Vec<usize>,
     },
+    /// The request exceeded [`ServeConfig::deadline`] before completing.
+    DeadlineExceeded,
+    /// The forward produced non-finite logits for this request; the
+    /// corrupt values were withheld.
+    BadOutput,
     /// The engine is shut down (or a worker died before replying).
     Closed,
     /// Worker startup failed: the factory's model was refused by the
@@ -120,6 +175,8 @@ impl std::fmt::Display for ServeError {
             ServeError::BadShape { expected, got } => {
                 write!(f, "input shape {got:?} does not match sample shape {expected:?}")
             }
+            ServeError::DeadlineExceeded => write!(f, "request exceeded its deadline"),
+            ServeError::BadOutput => write!(f, "forward produced non-finite logits"),
             ServeError::Closed => write!(f, "serve engine is shut down"),
             ServeError::Startup(why) => write!(f, "serve engine failed to start: {why}"),
         }
@@ -144,8 +201,18 @@ pub struct ServeMetrics {
     pub batches: Arc<Counter>,
     /// Requests that died inside a failed batch (worker panic).
     pub failed: Arc<Counter>,
+    /// Requests that failed their [`ServeConfig::deadline`].
+    pub deadline_exceeded: Arc<Counter>,
+    /// Requests whose logits came back non-finite (withheld as
+    /// [`ServeError::BadOutput`]).
+    pub bad_output: Arc<Counter>,
+    /// Worker respawns performed by the supervisor.
+    pub restarts: Arc<Counter>,
     /// Current queue depth.
     pub queue_depth: Arc<Gauge>,
+    /// Workers currently believed alive (spawned minus unrecovered
+    /// deaths).
+    pub live_workers: Arc<Gauge>,
     /// Distribution of executed batch sizes.
     pub batch_size: Arc<Histogram>,
     /// End-to-end (submit → reply) latency in microseconds.
@@ -161,7 +228,11 @@ impl ServeMetrics {
             shed: registry.counter("serve-shed-total"),
             batches: registry.counter("serve-batches-total"),
             failed: registry.counter("serve-failed-total"),
+            deadline_exceeded: registry.counter("serve-deadline-exceeded-total"),
+            bad_output: registry.counter("serve-bad-output-total"),
+            restarts: registry.counter("serve-worker-restarts-total"),
             queue_depth: registry.gauge("serve-queue-depth"),
+            live_workers: registry.gauge("serve-live-workers"),
             batch_size: registry.histogram("serve-batch-size", || {
                 Histogram::exponential(1, 12) // 1 .. 2048
             }),
@@ -175,6 +246,40 @@ impl ServeMetrics {
     /// The backing registry (for text/JSON export of every metric).
     pub fn registry(&self) -> &Registry {
         &self.registry
+    }
+}
+
+/// Point-in-time liveness/pressure snapshot of a [`ServeEngine`] — the
+/// answer a health endpoint would serve.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeHealth {
+    /// Workers currently alive.
+    pub live_workers: i64,
+    /// Workers the engine was configured with.
+    pub configured_workers: usize,
+    /// Worker respawns spent so far (out of
+    /// [`ServeConfig::max_restarts`]).
+    pub restarts: u64,
+    /// Current queue depth.
+    pub queue_depth: i64,
+    /// Requests accepted into the queue so far.
+    pub accepted: u64,
+    /// Requests answered with logits.
+    pub completed: u64,
+    /// Requests shed at the full queue.
+    pub shed: u64,
+    /// Requests lost to failed batches.
+    pub failed: u64,
+    /// Requests that missed their deadline.
+    pub deadline_exceeded: u64,
+    /// Requests withheld for non-finite logits.
+    pub bad_output: u64,
+}
+
+impl ServeHealth {
+    /// A serving-capacity verdict: at least one worker is alive.
+    pub fn is_serving(&self) -> bool {
+        self.live_workers > 0
     }
 }
 
@@ -192,7 +297,7 @@ struct QueueState {
     closed: bool,
 }
 
-/// State shared between the submit side and the workers.
+/// State shared between the submit side, the workers and the supervisor.
 struct Shared {
     state: Mutex<QueueState>,
     available: Condvar,
@@ -200,27 +305,70 @@ struct Shared {
     metrics: ServeMetrics,
 }
 
+impl Shared {
+    /// Lock the queue state, recovering from poisoning: a worker that
+    /// panics mid-critical-section (injected or real) must not take the
+    /// submit/shutdown paths down with it. The guarded state is a
+    /// `VecDeque` + flag whose invariants hold at every panic point, so
+    /// the poisoned value is safe to keep using.
+    fn lock_state(&self) -> MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
 /// A ticket for an in-flight request; redeem with [`Pending::wait`].
 #[derive(Debug)]
 pub struct Pending {
     rx: mpsc::Receiver<Result<NdArray, ServeError>>,
+    /// Absolute deadline (when the engine has one): `wait` stops blocking
+    /// here even if the worker never replies.
+    deadline: Option<Instant>,
+    deadline_metric: Arc<Counter>,
 }
 
 impl Pending {
-    /// Block until the request's logits (a `[n_classes]` vector) arrive.
+    /// Block until the request's logits (a `[n_classes]` vector) arrive,
+    /// or — when the engine has a [`ServeConfig::deadline`] — until the
+    /// deadline passes, whichever is first.
     pub fn wait(self) -> Result<NdArray, ServeError> {
-        match self.rx.recv() {
-            Ok(result) => result,
-            Err(_) => Err(ServeError::Closed),
+        match self.deadline {
+            None => match self.rx.recv() {
+                Ok(result) => result,
+                Err(_) => Err(ServeError::Closed),
+            },
+            Some(deadline) => {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                match self.rx.recv_timeout(remaining) {
+                    Ok(result) => result,
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        self.deadline_metric.inc();
+                        Err(ServeError::DeadlineExceeded)
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServeError::Closed),
+                }
+            }
         }
     }
 }
 
-/// A micro-batching, backpressured serving front-end over analyzer-
-/// validated inference sessions. See the module docs for the contract.
+/// Supervisor mailbox traffic.
+enum SupMsg {
+    /// Worker `index` exited abnormally while the engine was open.
+    Died {
+        /// Slot of the dead worker.
+        index: usize,
+    },
+    /// The engine is closing: join everyone and exit.
+    Shutdown,
+}
+
+/// A micro-batching, backpressured, self-healing serving front-end over
+/// analyzer-validated inference sessions. See the module docs for the
+/// contract.
 pub struct ServeEngine {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
+    events_tx: mpsc::Sender<SupMsg>,
     sample_shape: Vec<usize>,
 }
 
@@ -231,7 +379,8 @@ impl ServeEngine {
     /// each replica is compiled through
     /// [`crate::InferenceSession::analyzed`] and the engine refuses to
     /// start (with [`ServeError::Startup`]) if any replica's plan has
-    /// errors.
+    /// errors. The same factory rebuilds replicas when the supervisor
+    /// respawns a dead worker.
     pub fn start<M, F>(
         factory: F,
         sample_shape: &[usize],
@@ -252,25 +401,37 @@ impl ServeEngine {
             config: config.clone(),
             metrics: ServeMetrics::new(),
         });
+        shared.metrics.live_workers.set(config.workers as i64);
         let factory = Arc::new(factory);
         let sym = SymShape::batched(sample_shape);
         let (ready_tx, ready_rx) = mpsc::channel::<Result<(), String>>();
-        let mut workers = Vec::with_capacity(config.workers);
+        let (events_tx, events_rx) = mpsc::channel::<SupMsg>();
+        let mut handles: Vec<Option<JoinHandle<()>>> = Vec::with_capacity(config.workers);
         for index in 0..config.workers {
-            let shared = shared.clone();
-            let factory = factory.clone();
-            let ready_tx = ready_tx.clone();
-            let sym = sym.clone();
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("dhg-serve-{index}"))
-                    .spawn(move || worker_main(&shared, &*factory, &sym, &ready_tx))
-                    .map_err(|e| ServeError::Startup(format!("spawn failed: {e}")))?,
-            );
+            let handle =
+                spawn_worker(index, &shared, &factory, &sym, Some(ready_tx.clone()), &events_tx)
+                    .map_err(|e| ServeError::Startup(format!("spawn failed: {e}")))?;
+            handles.push(Some(handle));
         }
         drop(ready_tx);
-        let mut engine =
-            ServeEngine { shared, workers, sample_shape: sample_shape.to_vec() };
+        let supervisor = {
+            let shared = shared.clone();
+            let factory = factory.clone();
+            let sym = sym.clone();
+            let events_tx = events_tx.clone();
+            std::thread::Builder::new()
+                .name("dhg-serve-supervisor".into())
+                .spawn(move || {
+                    supervisor_main(&shared, &factory, &sym, handles, events_rx, &events_tx)
+                })
+                .map_err(|e| ServeError::Startup(format!("supervisor spawn failed: {e}")))?
+        };
+        let mut engine = ServeEngine {
+            shared,
+            supervisor: Some(supervisor),
+            events_tx,
+            sample_shape: sample_shape.to_vec(),
+        };
         for _ in 0..config.workers {
             let startup = match ready_rx.recv() {
                 Ok(Ok(())) => Ok(()),
@@ -298,8 +459,9 @@ impl ServeEngine {
         }
         let metrics = &self.shared.metrics;
         let (tx, rx) = mpsc::sync_channel(1);
+        let enqueued = Instant::now();
         {
-            let mut st = self.shared.state.lock().unwrap();
+            let mut st = self.shared.lock_state();
             if st.closed {
                 return Err(ServeError::Closed);
             }
@@ -308,12 +470,16 @@ impl ServeEngine {
                 metrics.shed.inc();
                 return Err(ServeError::Rejected { queue_depth: depth });
             }
-            st.queue.push_back(Request { input, enqueued: Instant::now(), reply: tx });
+            st.queue.push_back(Request { input, enqueued, reply: tx });
             metrics.requests.inc();
             metrics.queue_depth.set((depth + 1) as i64);
         }
         self.shared.available.notify_one();
-        Ok(Pending { rx })
+        Ok(Pending {
+            rx,
+            deadline: self.shared.config.deadline.map(|d| enqueued + d),
+            deadline_metric: metrics.deadline_exceeded.clone(),
+        })
     }
 
     /// Submit and wait: the one-call blocking path.
@@ -326,6 +492,23 @@ impl ServeEngine {
         &self.shared.metrics
     }
 
+    /// One-call liveness/pressure snapshot (see [`ServeHealth`]).
+    pub fn health(&self) -> ServeHealth {
+        let m = &self.shared.metrics;
+        ServeHealth {
+            live_workers: m.live_workers.get(),
+            configured_workers: self.shared.config.workers,
+            restarts: m.restarts.get(),
+            queue_depth: m.queue_depth.get(),
+            accepted: m.requests.get(),
+            completed: m.completed.get(),
+            shed: m.shed.get(),
+            failed: m.failed.get(),
+            deadline_exceeded: m.deadline_exceeded.get(),
+            bad_output: m.bad_output.get(),
+        }
+    }
+
     /// Per-sample input shape this engine was started with.
     pub fn sample_shape(&self) -> &[usize] {
         &self.sample_shape
@@ -333,21 +516,26 @@ impl ServeEngine {
 
     /// Close the queue, drain every accepted request, join the workers.
     /// New submits fail with [`ServeError::Closed`]; already-accepted
-    /// requests are answered before the workers exit. Dropping the engine
-    /// does the same.
+    /// requests are answered before the workers exit (or failed with a
+    /// typed error if every worker is dead). Dropping the engine does the
+    /// same.
     pub fn shutdown(mut self) {
         self.close();
     }
 
     fn close(&mut self) {
         {
-            let mut st = self.shared.state.lock().unwrap();
+            let mut st = self.shared.lock_state();
             st.closed = true;
         }
         self.shared.available.notify_all();
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
+        let _ = self.events_tx.send(SupMsg::Shutdown);
+        if let Some(supervisor) = self.supervisor.take() {
+            let _ = supervisor.join();
         }
+        // live workers drained the queue before exiting; whatever a fully
+        // dead worker set left behind is failed typed, never stranded
+        drain_queue(&self.shared, &ServeError::Closed);
     }
 }
 
@@ -357,35 +545,176 @@ impl Drop for ServeEngine {
     }
 }
 
-/// Worker entry: build + validate this worker's replica, report readiness,
-/// then serve batches until the queue is closed and drained.
+/// Fail every queued request with `error` (deadlock backstop for the
+/// no-workers-left cases).
+fn drain_queue(shared: &Shared, error: &ServeError) {
+    let drained: Vec<Request> = {
+        let mut st = shared.lock_state();
+        let drained = st.queue.drain(..).collect();
+        shared.metrics.queue_depth.set(0);
+        drained
+    };
+    for request in drained {
+        let _ = request.reply.send(Err(error.clone()));
+    }
+}
+
+/// Spawn one worker thread. The thread reports over `ready_tx` on initial
+/// startup (respawns pass `None`: the factory already passed analysis
+/// once) and notifies the supervisor if it exits abnormally while the
+/// engine is open.
+fn spawn_worker<M, F>(
+    index: usize,
+    shared: &Arc<Shared>,
+    factory: &Arc<F>,
+    sym: &SymShape,
+    ready_tx: Option<mpsc::Sender<Result<(), String>>>,
+    events_tx: &mpsc::Sender<SupMsg>,
+) -> std::io::Result<JoinHandle<()>>
+where
+    M: Module,
+    F: Fn() -> M + Send + Sync + 'static,
+{
+    let shared = shared.clone();
+    let factory = factory.clone();
+    let sym = sym.clone();
+    let events_tx = events_tx.clone();
+    std::thread::Builder::new().name(format!("dhg-serve-{index}")).spawn(move || {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            worker_main(&shared, &*factory, &sym, ready_tx.as_ref())
+        }));
+        let died = match outcome {
+            // a drained queue or a refusal already reported over the
+            // ready channel are normal exits
+            Ok(WorkerExit::Drained) | Ok(WorkerExit::Refused) => false,
+            Ok(WorkerExit::RespawnFailed) | Err(_) => true,
+        };
+        if died && !shared.lock_state().closed {
+            let _ = events_tx.send(SupMsg::Died { index });
+        }
+    })
+}
+
+/// Watch for worker deaths and respawn them (fresh replica, same slot)
+/// under the engine's restart budget, with exponential backoff. When the
+/// last worker dies unrecoverable, closes the engine and fails the
+/// backlog typed. On shutdown joins every remaining worker.
+fn supervisor_main<M, F>(
+    shared: &Arc<Shared>,
+    factory: &Arc<F>,
+    sym: &SymShape,
+    mut handles: Vec<Option<JoinHandle<()>>>,
+    events_rx: mpsc::Receiver<SupMsg>,
+    events_tx: &mpsc::Sender<SupMsg>,
+) where
+    M: Module,
+    F: Fn() -> M + Send + Sync + 'static,
+{
+    let config = &shared.config;
+    let mut restarts_spent = 0usize;
+    let mut live = handles.len();
+    loop {
+        match events_rx.recv() {
+            Ok(SupMsg::Shutdown) | Err(_) => break,
+            Ok(SupMsg::Died { index }) => {
+                if let Some(handle) = handles[index].take() {
+                    let _ = handle.join();
+                }
+                if shared.lock_state().closed {
+                    continue; // dying during drain: shutdown joins the rest
+                }
+                let respawned = restarts_spent < config.max_restarts
+                    && {
+                        let backoff_exp = restarts_spent.min(6) as u32;
+                        std::thread::sleep(config.restart_backoff * (1u32 << backoff_exp));
+                        restarts_spent += 1;
+                        match spawn_worker(index, shared, factory, sym, None, events_tx) {
+                            Ok(handle) => {
+                                shared.metrics.restarts.inc();
+                                handles[index] = Some(handle);
+                                true
+                            }
+                            Err(_) => false,
+                        }
+                    };
+                if !respawned {
+                    live -= 1;
+                    shared.metrics.live_workers.set(live as i64);
+                    if live == 0 {
+                        // nobody serves this queue any more: close it and
+                        // fail the backlog so no caller blocks forever
+                        {
+                            let mut st = shared.lock_state();
+                            st.closed = true;
+                        }
+                        shared.available.notify_all();
+                        drain_queue(shared, &ServeError::Closed);
+                    }
+                }
+            }
+        }
+    }
+    for handle in handles.iter_mut().filter_map(Option::take) {
+        let _ = handle.join();
+    }
+}
+
+/// How a worker's serve loop ended (vs. a panic, caught by the spawner).
+enum WorkerExit {
+    /// Queue closed and drained — the normal shutdown path.
+    Drained,
+    /// Initial replica refused by the analyzer (reported over `ready_tx`).
+    Refused,
+    /// Respawned replica failed to build — the supervisor must know.
+    RespawnFailed,
+}
+
+/// Worker entry: build + validate this worker's replica, report readiness
+/// (initial spawn only), then serve batches until the queue is closed and
+/// drained.
 fn worker_main<M: Module>(
     shared: &Shared,
     factory: &(dyn Fn() -> M + Send + Sync),
     sym: &SymShape,
-    ready_tx: &mpsc::Sender<Result<(), String>>,
-) {
+    ready_tx: Option<&mpsc::Sender<Result<(), String>>>,
+) -> WorkerExit {
     let mut session = match InferenceSession::analyzed(factory(), sym) {
         Ok((session, _report)) => {
-            let _ = ready_tx.send(Ok(()));
+            if let Some(tx) = ready_tx {
+                let _ = tx.send(Ok(()));
+            }
             session
         }
         Err(report) => {
-            let _ = ready_tx.send(Err(format!("analyzer refused the model:\n{report}")));
-            return;
+            return match ready_tx {
+                Some(tx) => {
+                    let _ = tx.send(Err(format!("analyzer refused the model:\n{report}")));
+                    WorkerExit::Refused
+                }
+                None => WorkerExit::RespawnFailed,
+            };
         }
     };
     while let Some(batch) = gather(shared) {
         execute(shared, &mut session, batch);
     }
+    WorkerExit::Drained
 }
 
 /// Pull the next micro-batch: wait for a non-empty queue, then coalesce up
 /// to `max_batch` requests, waiting at most `max_wait` for stragglers.
-/// `None` once the queue is closed *and* drained (deterministic drain).
+/// Requests already past the engine deadline are answered with
+/// [`ServeError::DeadlineExceeded`] instead of joining a batch. `None`
+/// once the queue is closed *and* drained (deterministic drain).
 fn gather(shared: &Shared) -> Option<Vec<Request>> {
     let config = &shared.config;
-    let mut st = shared.state.lock().unwrap();
+    let mut st = shared.lock_state();
+    if let Some(faults) = &config.faults {
+        // inside the critical section on purpose: an injected death here
+        // kills the thread *and* poisons the queue lock, exercising both
+        // the supervisor and the poison-recovery paths
+        faults.maybe_panic(FaultSite::WorkerDeath);
+    }
     loop {
         if !st.queue.is_empty() {
             break;
@@ -393,14 +722,26 @@ fn gather(shared: &Shared) -> Option<Vec<Request>> {
         if st.closed {
             return None;
         }
-        st = shared.available.wait(st).unwrap();
+        st = shared
+            .available
+            .wait(st)
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
     }
     let mut batch = Vec::with_capacity(config.max_batch);
     let deadline = Instant::now() + config.max_wait;
     loop {
         while batch.len() < config.max_batch {
             match st.queue.pop_front() {
-                Some(request) => batch.push(request),
+                Some(request) => {
+                    if let Some(budget) = config.deadline {
+                        if request.enqueued.elapsed() > budget {
+                            shared.metrics.deadline_exceeded.inc();
+                            let _ = request.reply.send(Err(ServeError::DeadlineExceeded));
+                            continue;
+                        }
+                    }
+                    batch.push(request);
+                }
                 None => break,
             }
         }
@@ -412,7 +753,10 @@ fn gather(shared: &Shared) -> Option<Vec<Request>> {
         if now >= deadline {
             break;
         }
-        let (guard, timeout) = shared.available.wait_timeout(st, deadline - now).unwrap();
+        let (guard, timeout) = shared
+            .available
+            .wait_timeout(st, deadline - now)
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         st = guard;
         if timeout.timed_out() && st.queue.is_empty() {
             break;
@@ -423,9 +767,10 @@ fn gather(shared: &Shared) -> Option<Vec<Request>> {
 
 /// Run one micro-batch: stack inputs into `[B, C, T, V]`, one batched
 /// forward (thread count pinned to `threads_per_worker`), then scatter the
-/// logit rows back over the reply channels. A panicking forward fails the
-/// batch's requests (their `Pending`s see [`ServeError::Closed`]) but
-/// leaves the worker alive for the next batch.
+/// logit rows back over the reply channels. Every row is validated finite
+/// before it leaves ([`ServeError::BadOutput`] otherwise). A panicking
+/// forward fails the batch's requests (their `Pending`s see
+/// [`ServeError::Closed`]) but leaves the worker alive for the next batch.
 fn execute<M: Module>(shared: &Shared, session: &mut InferenceSession<M>, batch: Vec<Request>) {
     if batch.is_empty() {
         return;
@@ -435,6 +780,10 @@ fn execute<M: Module>(shared: &Shared, session: &mut InferenceSession<M>, batch:
     metrics.batches.inc();
     metrics.batch_size.observe(b as u64);
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if let Some(faults) = &shared.config.faults {
+            faults.maybe_delay();
+            faults.maybe_panic(FaultSite::BatchPanic);
+        }
         let sample_len = batch[0].input.len();
         let mut data = Vec::with_capacity(b * sample_len);
         for request in &batch {
@@ -449,10 +798,18 @@ fn execute<M: Module>(shared: &Shared, session: &mut InferenceSession<M>, batch:
         assert_eq!(logits.shape()[0], b, "batched forward changed the batch size");
         let k = logits.shape()[1];
         for (i, request) in batch.into_iter().enumerate() {
-            let row = NdArray::from_vec(logits.data()[i * k..(i + 1) * k].to_vec(), &[k]);
+            let mut row = logits.data()[i * k..(i + 1) * k].to_vec();
+            if let Some(faults) = &shared.config.faults {
+                faults.maybe_corrupt(&mut row);
+            }
             metrics.latency_us.observe(request.enqueued.elapsed().as_micros() as u64);
-            metrics.completed.inc();
-            let _ = request.reply.send(Ok(row));
+            if row.iter().all(|v| v.is_finite()) {
+                metrics.completed.inc();
+                let _ = request.reply.send(Ok(NdArray::from_vec(row, &[k])));
+            } else {
+                metrics.bad_output.inc();
+                let _ = request.reply.send(Err(ServeError::BadOutput));
+            }
         }
     }));
     if outcome.is_err() {
@@ -618,7 +975,11 @@ mod tests {
             "serve-completed-total",
             "serve-shed-total",
             "serve-batches-total",
+            "serve-deadline-exceeded-total",
+            "serve-bad-output-total",
+            "serve-worker-restarts-total",
             "serve-queue-depth",
+            "serve-live-workers",
             "serve-batch-size",
             "serve-latency-us",
         ] {
@@ -651,6 +1012,166 @@ mod tests {
             let got = p.wait().expect("wait");
             assert_eq!(got.data(), want[s].as_slice(), "request {s} diverged across workers");
         }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn healthy_engine_reports_full_worker_complement() {
+        let engine = engine(ServeConfig { workers: 2, ..ServeConfig::default() });
+        engine.infer(sample(0)).expect("infer");
+        let health = engine.health();
+        assert!(health.is_serving());
+        assert_eq!(health.live_workers, 2);
+        assert_eq!(health.configured_workers, 2);
+        assert_eq!(health.restarts, 0);
+        assert_eq!(health.completed, 1);
+        assert_eq!(health.bad_output, 0);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn injected_worker_death_is_respawned_and_serving_continues() {
+        let faults = FaultPlan::builder(0xFA17)
+            .rate(FaultSite::WorkerDeath, 1.0)
+            .limit(FaultSite::WorkerDeath, 1)
+            .build();
+        let engine = engine(ServeConfig {
+            faults: Some(faults.clone()),
+            restart_backoff: Duration::from_micros(100),
+            ..ServeConfig::default()
+        });
+        // first request's gather kills the worker; the supervisor must
+        // respawn it and the request must still be answered eventually
+        // (it stays queued: the dying worker never dequeued it)
+        let got = engine.infer(sample(0)).expect("served after respawn");
+        assert_eq!(got.shape(), &[4]);
+        assert_eq!(faults.trips(FaultSite::WorkerDeath), 1);
+        let health = engine.health();
+        assert_eq!(health.restarts, 1, "supervisor must log the respawn");
+        assert_eq!(health.live_workers, 1);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn exhausted_restart_budget_fails_pending_work_typed() {
+        let faults = FaultPlan::builder(7).rate(FaultSite::WorkerDeath, 1.0).build();
+        let engine = engine(ServeConfig {
+            faults: Some(faults),
+            max_restarts: 2,
+            restart_backoff: Duration::from_micros(100),
+            ..ServeConfig::default()
+        });
+        // every gather dies: after the budget (2 respawns) the last
+        // worker stays dead and the engine must fail the backlog typed
+        // rather than strand the callers
+        let pendings: Vec<Pending> =
+            (0..4).map(|s| engine.submit(sample(s)).expect("submit")).collect();
+        for p in pendings {
+            let err = p.wait().expect_err("no worker survives to serve this");
+            assert_eq!(err, ServeError::Closed);
+        }
+        let health = engine.health();
+        assert_eq!(health.restarts, 2);
+        assert_eq!(health.live_workers, 0);
+        assert!(!health.is_serving());
+        // the engine is closed: new submits refuse typed
+        assert_eq!(engine.submit(sample(9)).unwrap_err(), ServeError::Closed);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn corrupted_logits_are_withheld_as_bad_output() {
+        let faults = FaultPlan::builder(3)
+            .rate(FaultSite::BadLogits, 1.0)
+            .limit(FaultSite::BadLogits, 1)
+            .build();
+        let engine = engine(ServeConfig { faults: Some(faults), ..ServeConfig::default() });
+        let err = engine.infer(sample(0)).expect_err("corrupt row must be withheld");
+        assert_eq!(err, ServeError::BadOutput);
+        assert_eq!(engine.metrics().bad_output.get(), 1);
+        // the fault was limited to one trip: the engine still serves
+        let got = engine.infer(sample(1)).expect("subsequent requests are clean");
+        assert!(got.data().iter().all(|v| v.is_finite()));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn stalled_batch_times_out_callers_with_deadline_exceeded() {
+        let faults = FaultPlan::builder(5)
+            .rate(FaultSite::BatchDelay, 1.0)
+            .limit(FaultSite::BatchDelay, 1)
+            .delay(Duration::from_millis(200))
+            .build();
+        let engine = engine(ServeConfig {
+            faults: Some(faults),
+            deadline: Some(Duration::from_millis(30)),
+            ..ServeConfig::default()
+        });
+        let err = engine.infer(sample(0)).expect_err("stalled batch must time out");
+        assert_eq!(err, ServeError::DeadlineExceeded);
+        assert!(engine.metrics().deadline_exceeded.get() >= 1);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn queued_requests_past_their_deadline_are_expired_not_served() {
+        // wedge the single worker's first batch long enough for the rest
+        // of the backlog to age past its deadline while still queued
+        let faults = FaultPlan::builder(13)
+            .rate(FaultSite::BatchDelay, 1.0)
+            .limit(FaultSite::BatchDelay, 1)
+            .delay(Duration::from_millis(80))
+            .build();
+        let engine = engine(ServeConfig {
+            max_batch: 1,
+            max_wait: Duration::ZERO,
+            deadline: Some(Duration::from_millis(10)),
+            faults: Some(faults),
+            ..ServeConfig::default()
+        });
+        let pendings: Vec<Pending> =
+            (0..8).map(|s| engine.submit(sample(s)).expect("submit")).collect();
+        let outcomes: Vec<_> = pendings.into_iter().map(|p| p.wait()).collect();
+        let expired = outcomes
+            .iter()
+            .filter(|o| matches!(o, Err(ServeError::DeadlineExceeded)))
+            .count();
+        for o in &outcomes {
+            assert!(
+                matches!(o, Ok(_) | Err(ServeError::DeadlineExceeded)),
+                "unexpected outcome {o:?}"
+            );
+        }
+        assert!(
+            expired >= 1,
+            "an 80 ms stall against a 10 ms deadline must expire queued requests"
+        );
+        assert!(engine.metrics().deadline_exceeded.get() >= expired as u64);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn injected_batch_panic_fails_only_that_batch() {
+        let faults = FaultPlan::builder(11)
+            .rate(FaultSite::BatchPanic, 1.0)
+            .limit(FaultSite::BatchPanic, 1)
+            .build();
+        let engine = engine(ServeConfig { faults: Some(faults), ..ServeConfig::default() });
+        let err = engine.infer(sample(0)).expect_err("first batch dies");
+        assert_eq!(err, ServeError::Closed);
+        // the worker bumps the failed counter after the reply senders
+        // drop (which is what unblocked us), so allow it a beat
+        for _ in 0..200 {
+            if engine.metrics().failed.get() == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(engine.metrics().failed.get(), 1);
+        // same worker, next batch: alive and correct
+        let got = engine.infer(sample(1)).expect("worker survives a batch panic");
+        assert_eq!(got.shape(), &[4]);
+        assert_eq!(engine.health().restarts, 0, "a caught batch panic is not a death");
         engine.shutdown();
     }
 }

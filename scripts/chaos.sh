@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Chaos gate: runs the full fault-injection contract suite.
+#   1. the chaos driver binary — self-healing serving, reply-or-typed-
+#      error conservation under a mixed fault storm, crash-safe bitwise
+#      training resume — under a FIXED fault seed so any failure replays
+#      exactly (override with DHGCN_CHAOS_SEED, or export DHGCN_FAULTS
+#      to drive the storm mix from its spec grammar, e.g.
+#      DHGCN_FAULTS='seed=7,worker-death=0.05:4;batch-panic=0.2')
+#   2. the chaos integration tests (tests/chaos.rs): respawn across the
+#      whole zoo at 1/2/8 workers, storm invariants, budget exhaustion,
+#      interrupted-training bitwise resume, schedule determinism
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEED="${DHGCN_CHAOS_SEED:-3405691582}" # 0xCAFEBABE — fixed for reproducibility
+
+echo "== chaos: driver binary (seed $SEED) =="
+cargo run --release -q -p dhg-bench --bin chaos -- --seed "$SEED" "$@"
+
+echo "== chaos: integration tests =="
+cargo test -q --test chaos
+
+echo "== chaos: OK =="

@@ -10,7 +10,11 @@
 #      clean serving audit) plus its self-test of seeded negatives
 #   6. the serve-engine smoke: zero sheds at low offered load, typed
 #      Rejected shedding past the queue bound, accepted work all answered
-#   7. rustdoc with warnings denied (broken intra-doc links fail the gate)
+#   7. the chaos smoke: under seeded fault injection, dead workers are
+#      respawned, every accepted request resolves to logits or a typed
+#      error (with surviving logits bitwise-exact), and interrupted
+#      training resumes bitwise from its last valid snapshot
+#   8. rustdoc with warnings denied (broken intra-doc links fail the gate)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,6 +36,9 @@ cargo run --release -q -p dhg-bench --bin analyze -- --self-test
 
 echo "== tier1: serve-engine smoke (backpressure semantics) =="
 cargo run --release -q -p dhg-bench --bin serve -- --smoke
+
+echo "== tier1: chaos smoke (fault-injection contracts) =="
+cargo run --release -q -p dhg-bench --bin chaos -- --smoke
 
 echo "== tier1: cargo doc -D warnings =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet

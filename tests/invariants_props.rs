@@ -55,7 +55,7 @@ proptest! {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let hg = kmeans_hyperedges(&points, 10, 3, km, &mut rng);
         prop_assert_eq!(hg.n_edges(), km);
-        let mut seen = vec![false; 10];
+        let mut seen = [false; 10];
         for edge in hg.edges() {
             prop_assert!(!edge.is_empty(), "clusters are non-empty");
             for &v in edge {

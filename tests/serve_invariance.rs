@@ -78,6 +78,7 @@ fn engine_logits_are_bitwise_identical_to_sequential_for_every_zoo_model() {
                     max_wait: Duration::from_millis(5),
                     queue_cap: 64,
                     threads_per_worker: 1,
+                    ..ServeConfig::default()
                 },
             )
             .unwrap_or_else(|e| panic!("{name}: engine start failed: {e}"));
@@ -120,6 +121,7 @@ fn concurrent_clients_get_bitwise_sequential_results() {
             max_wait: Duration::from_millis(2),
             queue_cap: 64,
             threads_per_worker: 1,
+            ..ServeConfig::default()
         },
     )
     .expect("engine start");
@@ -131,11 +133,11 @@ fn concurrent_clients_get_bitwise_sequential_results() {
             scope.spawn(move || {
                 // each client hammers the same 8 canonical requests twice
                 for round in 0..2 {
-                    for s in 0..REQUESTS {
+                    for (s, want) in reference.iter().enumerate() {
                         let got = engine.infer(sample(s)).expect("infer");
                         assert_eq!(
                             got.data(),
-                            reference[s].as_slice(),
+                            want.as_slice(),
                             "client {client} round {round} request {s} diverged"
                         );
                     }
