@@ -1,7 +1,10 @@
 //! Serving-path latency: the same DHGCN-lite batch pushed through the
 //! three execution modes — grad-recording eval-mode `forward`, the default
 //! `no_grad` fallback, and the compiled inference path (Conv+BN folded,
-//! fused hypergraph operator cached, workspace-recycled buffers).
+//! fused hypergraph operator cached, workspace-recycled buffers). All
+//! three modes ride the packed cache-blocked GEMM (`dhg_tensor::gemm`)
+//! for their dense conv and propagation matmuls, so this bench also
+//! tracks end-to-end regressions in the matmul dispatch.
 //!
 //! The setup asserts the mode contract before measuring anything: the
 //! no_grad path is bitwise identical to the grad path, and the folded path

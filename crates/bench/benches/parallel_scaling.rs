@@ -74,10 +74,30 @@ fn bench_dense_matmul_regression(c: &mut Criterion) {
     });
 }
 
+fn bench_gemm_kernels(c: &mut Criterion) {
+    // The acceptance shape: a conv-sized [64, 576]·[576, 425] product,
+    // packed cache-blocked kernel vs the retained reference `ikj` row
+    // kernel, across the thread sweep. The ISSUE bar is ≥ 2× packed over
+    // reference at 8 threads.
+    let a = deterministic_array(&[64, 576], 6);
+    let b = deterministic_array(&[576, 425], 7);
+    let mut g = c.benchmark_group("gemm_conv_64x576x425");
+    for threads in thread_counts() {
+        g.bench_with_input(BenchmarkId::new("packed", threads), &threads, |bench, &t| {
+            bench.iter(|| with_threads(t, || black_box(a.matmul_packed(&b))))
+        });
+        g.bench_with_input(BenchmarkId::new("reference", threads), &threads, |bench, &t| {
+            bench.iter(|| with_threads(t, || black_box(a.matmul_reference(&b))))
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_batched_matmul,
     bench_dynamic_operators,
-    bench_dense_matmul_regression
+    bench_dense_matmul_regression,
+    bench_gemm_kernels
 );
 criterion_main!(benches);

@@ -1,0 +1,341 @@
+//! Machine-readable performance snapshot — the producer behind
+//! `scripts/bench.sh` and the committed `BENCH_6.json`.
+//!
+//! Two sections:
+//!
+//! * **gemm** — per-kernel GFLOP/s on the two matmul families the model
+//!   actually runs: a conv-shaped dense product (`[64, 576]·[576, 425]`,
+//!   the im2col'd feature transform) measured on both the packed
+//!   cache-blocked kernel and the retained reference `ikj` kernel, and an
+//!   incidence-shaped mostly-zero product (hypergraph propagation)
+//!   measured on the zero-skip auto dispatch and forced packed.
+//! * **serve** — client-observed p50/p95/p99 latency and throughput of
+//!   the micro-batching engine at a fixed closed-loop offered load.
+//!
+//! ```text
+//! cargo run --release -p dhg-bench --bin perf -- --out BENCH_6.json
+//! cargo run --release -p dhg-bench --bin perf -- --smoke --out target/BENCH_6.smoke.json
+//! ```
+//!
+//! `--smoke` shrinks repetitions and the request count so the tier-1 gate
+//! exercises every code path in seconds; the JSON schema is identical.
+
+use dhg_skeleton::SkeletonTopology;
+use dhg_tensor::parallel::with_threads;
+use dhg_tensor::NdArray;
+use dhg_train::serve::{Pending, ServeConfig, ServeEngine, ServeError};
+use dhg_train::zoo::Zoo;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+struct Args {
+    out: String,
+    smoke: bool,
+    threads: usize,
+}
+
+impl Args {
+    fn parse() -> Result<Args, String> {
+        let mut args = Args { out: "BENCH_6.json".into(), smoke: false, threads: 8 };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--out" => args.out = it.next().ok_or("--out needs a path")?,
+                "--smoke" => args.smoke = true,
+                "--threads" => {
+                    args.threads = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--threads needs a number")?
+                }
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        Ok(args)
+    }
+}
+
+fn filled(shape: &[usize], seed: u64) -> NdArray {
+    let n: usize = shape.iter().product();
+    let mut s = seed | 1;
+    let data = (0..n)
+        .map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        })
+        .collect();
+    NdArray::from_vec(data, shape)
+}
+
+/// Incidence-like operand: `nnz_per_row` ones scattered per row, the rest
+/// exactly zero — the density profile of a hypergraph `H` product.
+fn incidence(rows: usize, cols: usize, nnz_per_row: usize) -> NdArray {
+    let mut data = vec![0.0f32; rows * cols];
+    for r in 0..rows {
+        for j in 0..nnz_per_row {
+            data[r * cols + (r * 7 + j * 41) % cols] = 1.0;
+        }
+    }
+    NdArray::from_vec(data, &[rows, cols])
+}
+
+struct GemmResult {
+    name: &'static str,
+    kernel: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+    gflops: f64,
+}
+
+/// Median-of-samples GFLOP/s for one kernel on one shape. Each sample
+/// iterates long enough to drown scheduling noise.
+fn gflops(a: &NdArray, b: &NdArray, threads: usize, smoke: bool, f: impl Fn(&NdArray, &NdArray) -> NdArray) -> f64 {
+    let (m, k) = (a.shape()[a.ndim() - 2], a.shape()[a.ndim() - 1]);
+    let n = b.shape()[b.ndim() - 1];
+    let flops = 2.0 * m as f64 * k as f64 * n as f64;
+    let (samples, min_iters, target) = if smoke { (3, 1, 0.005) } else { (9, 4, 0.10) };
+    with_threads(threads, || {
+        std::hint::black_box(f(a, b)); // warm packs, pools, page faults
+        // size iterations to the per-sample time target
+        let t0 = Instant::now();
+        std::hint::black_box(f(a, b));
+        let once = t0.elapsed().as_secs_f64().max(1e-9);
+        let iters = ((target / once).ceil() as usize).max(min_iters);
+        let mut rates: Vec<f64> = (0..samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(f(a, b));
+                }
+                flops * iters as f64 / start.elapsed().as_secs_f64() / 1e9
+            })
+            .collect();
+        rates.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        rates[rates.len() / 2]
+    })
+}
+
+fn gemm_section(args: &Args) -> Vec<GemmResult> {
+    let mut results = Vec::new();
+    // conv-shaped: the im2col'd feature transform of the acceptance bar
+    let a = filled(&[64, 576], 42);
+    let b = filled(&[576, 425], 43);
+    // incidence-shaped: mostly-zero lhs, hypergraph propagation profile
+    let hi = incidence(256, 512, 24);
+    let hb = filled(&[512, 128], 44);
+    for &threads in &[1usize, args.threads] {
+        results.push(GemmResult {
+            name: "conv_64x576x425",
+            kernel: "packed",
+            m: 64,
+            k: 576,
+            n: 425,
+            threads,
+            gflops: gflops(&a, &b, threads, args.smoke, |a, b| a.matmul_packed(b)),
+        });
+        results.push(GemmResult {
+            name: "conv_64x576x425",
+            kernel: "reference",
+            m: 64,
+            k: 576,
+            n: 425,
+            threads,
+            gflops: gflops(&a, &b, threads, args.smoke, |a, b| a.matmul_reference(b)),
+        });
+        results.push(GemmResult {
+            name: "incidence_256x512x128",
+            kernel: "auto_zero_skip",
+            m: 256,
+            k: 512,
+            n: 128,
+            threads,
+            gflops: gflops(&hi, &hb, threads, args.smoke, |a, b| a.matmul(b)),
+        });
+        results.push(GemmResult {
+            name: "incidence_256x512x128",
+            kernel: "packed",
+            m: 256,
+            k: 512,
+            n: 128,
+            threads,
+            gflops: gflops(&hi, &hb, threads, args.smoke, |a, b| a.matmul_packed(b)),
+        });
+    }
+    results
+}
+
+struct ServeResult {
+    requests: usize,
+    clients: usize,
+    window: usize,
+    rps: f64,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+}
+
+/// Deterministic single-sample input `[C, T, V]`, distinct per seed.
+fn sample(seed: usize, t: usize) -> NdArray {
+    NdArray::from_vec(
+        (0..3 * t * 25).map(|i| ((i * 7 + seed * 1009) as f32 * 0.0173).sin()).collect(),
+        &[3, t, 25],
+    )
+}
+
+/// Fixed closed-loop offered load (`clients` threads, `window` in flight
+/// each); every request's client-observed latency is recorded and the
+/// quantiles are read off the sorted set.
+fn serve_section(args: &Args) -> ServeResult {
+    let (requests, clients, window, frames) = if args.smoke { (48, 2, 2, 8) } else { (512, 4, 4, 16) };
+    let zoo = Zoo::tiny(SkeletonTopology::ntu25(), 4, 0);
+    let engine = ServeEngine::start(
+        move || zoo.dhgcn_lite(),
+        &[3, frames, 25],
+        ServeConfig {
+            max_batch: 4,
+            max_wait: Duration::from_micros(500),
+            queue_cap: 64,
+            workers: 1,
+            threads_per_worker: 1,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("engine start");
+    engine.infer(sample(0, frames)).expect("warmup");
+
+    let start = Instant::now();
+    let mut all_latencies: Vec<u64> = Vec::with_capacity(requests);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client| {
+                let engine = &engine;
+                scope.spawn(move || {
+                    let share = requests / clients + usize::from(client < requests % clients);
+                    let mut latencies = Vec::with_capacity(share);
+                    let mut inflight: Vec<(Instant, Pending)> = Vec::with_capacity(window);
+                    for i in 0..share {
+                        let seed = client * 100_003 + i;
+                        loop {
+                            match engine.submit(sample(seed, frames)) {
+                                Ok(p) => {
+                                    inflight.push((Instant::now(), p));
+                                    break;
+                                }
+                                Err(ServeError::Rejected { .. }) => {
+                                    if let Some((t0, p)) = inflight.pop() {
+                                        p.wait().expect("reply");
+                                        latencies.push(t0.elapsed().as_micros() as u64);
+                                    } else {
+                                        std::thread::yield_now();
+                                    }
+                                }
+                                Err(e) => panic!("submit failed: {e}"),
+                            }
+                        }
+                        if inflight.len() >= window {
+                            let (t0, p) = inflight.remove(0);
+                            p.wait().expect("reply");
+                            latencies.push(t0.elapsed().as_micros() as u64);
+                        }
+                    }
+                    for (t0, p) in inflight {
+                        p.wait().expect("reply");
+                        latencies.push(t0.elapsed().as_micros() as u64);
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        for h in handles {
+            all_latencies.extend(h.join().expect("client thread"));
+        }
+    });
+    let rps = all_latencies.len() as f64 / start.elapsed().as_secs_f64();
+    engine.shutdown();
+
+    all_latencies.sort_unstable();
+    let q = |p: f64| -> u64 {
+        let idx = ((all_latencies.len() as f64 - 1.0) * p).round() as usize;
+        all_latencies[idx]
+    };
+    ServeResult {
+        requests: all_latencies.len(),
+        clients,
+        window,
+        rps,
+        p50_us: q(0.50),
+        p95_us: q(0.95),
+        p99_us: q(0.99),
+    }
+}
+
+fn write_json(args: &Args, gemm: &[GemmResult], serve: &ServeResult) -> std::io::Result<()> {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"bench\": 6,\n  \"smoke\": {},\n", args.smoke));
+    s.push_str("  \"gemm\": [\n");
+    for (i, g) in gemm.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"kernel\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \
+             \"threads\": {}, \"gflops\": {:.3}}}{}\n",
+            g.name,
+            g.kernel,
+            g.m,
+            g.k,
+            g.n,
+            g.threads,
+            g.gflops,
+            if i + 1 < gemm.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"serve\": {{\"model\": \"DHGCN-lite\", \"requests\": {}, \"clients\": {}, \
+         \"window\": {}, \"rps\": {:.1}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}}}\n",
+        serve.requests, serve.clients, serve.window, serve.rps, serve.p50_us, serve.p95_us, serve.p99_us
+    ));
+    s.push_str("}\n");
+    if let Some(parent) = std::path::Path::new(&args.out).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(&args.out, s)
+}
+
+fn main() -> ExitCode {
+    let args = match Args::parse() {
+        Ok(a) => a,
+        Err(why) => {
+            eprintln!("perf: {why}");
+            eprintln!("usage: perf [--smoke] [--out PATH] [--threads N]");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "== perf: GEMM GFLOP/s + serve latency quantiles ({}) ==",
+        if args.smoke { "smoke" } else { "full" }
+    );
+    let gemm = gemm_section(&args);
+    for g in &gemm {
+        println!("gemm  {:<24} {:<15} threads={} {:>8.2} GFLOP/s", g.name, g.kernel, g.threads, g.gflops);
+    }
+    let serve = serve_section(&args);
+    println!(
+        "serve DHGCN-lite(tiny)  {} requests  {:.1} req/s  p50={}us p95={}us p99={}us",
+        serve.requests, serve.rps, serve.p50_us, serve.p95_us, serve.p99_us
+    );
+    match write_json(&args, &gemm, &serve) {
+        Ok(()) => {
+            println!("wrote {}", args.out);
+            println!("== perf: OK ==");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("perf: failed to write {}: {e}", args.out);
+            ExitCode::FAILURE
+        }
+    }
+}

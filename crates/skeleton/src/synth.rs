@@ -418,7 +418,7 @@ fn openpose_catalog() -> Vec<ActionClass> {
 }
 
 /// Configuration of the synthetic generator.
-#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SynthConfig {
     /// Skeleton format to generate.
     pub topology: TopologyKindConfig,
@@ -445,7 +445,7 @@ pub struct SynthConfig {
 }
 
 /// Serde-friendly mirror of [`TopologyKind`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum TopologyKindConfig {
     Ntu25,

@@ -649,15 +649,47 @@ impl NdArray {
     /// dimensions. `self: [..., m, k]`, `other: [..., k, n]` →
     /// `[broadcast(...), m, n]`. Rank-2 inputs are ordinary matmul.
     ///
-    /// Output rows are sharded over the worker pool (see
-    /// [`crate::parallel`]): each `(batch, row)` pair is computed by exactly
-    /// one thread with the serial `ikj` loop, so the result is bitwise
-    /// identical at every thread count. A density probe on `self` keeps the
-    /// zero-skip fast path for sparse operators (hypergraph incidence
-    /// products are mostly zeros) without branching per element on dense
-    /// conv workloads.
+    /// Dense operands with at least two output rows run the packed
+    /// cache-blocked microkernel (see [`crate::gemm`]): row-blocks are
+    /// sharded over the worker pool with [`crate::parallel::for_each_span`]
+    /// and each block packs A/B panels and runs the register-tiled inner
+    /// kernel. A bounded density probe on `self` keeps the zero-skip `ikj`
+    /// fast path for sparse operators (hypergraph incidence products are
+    /// mostly zeros). Dense products of every shape — `m = 1` included —
+    /// take the packed kernel, because serving relies on each output row
+    /// being bitwise identical whether computed alone or inside a larger
+    /// batch, which forbids dispatching on `m`.
+    ///
+    /// Every dispatch decision depends only on shapes and operand data —
+    /// never on the thread count — and both kernels fix each output
+    /// element's accumulation order independently of the sharding, so the
+    /// result is bitwise identical at every `DHGCN_THREADS` value. The
+    /// packed and reference kernels round differently; they agree within
+    /// `allclose(1e-5)` (pinned by the property suite) but not bit-for-bit,
+    /// which is why [`NdArray::matmul_reference`] stays available.
     pub fn matmul(&self, other: &Self) -> Self {
         self.try_matmul_impl(other, None).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`NdArray::matmul`] forced onto the retained reference `ikj` row
+    /// kernel (with its zero-skip density branch). This is the numerical
+    /// baseline the packed kernel is pinned against in the property suite
+    /// and the "before" side of the GEMM benchmarks.
+    pub fn matmul_reference(&self, other: &Self) -> Self {
+        crate::shape_check::check_matmul(&self.shape, &other.shape)
+            .unwrap_or_else(|e| panic!("{e}"));
+        self.matmul_impl(other, None, MatmulKernel::Reference)
+    }
+
+    /// [`NdArray::matmul`] forced onto the packed cache-blocked kernel,
+    /// bypassing the density/shape dispatch — degenerate shapes (`m = 1`,
+    /// `k = 1`, ragged edge tiles) and sparse operands included. Property
+    /// tests use this to exercise the packed kernel on shapes the automatic
+    /// dispatch would route elsewhere.
+    pub fn matmul_packed(&self, other: &Self) -> Self {
+        crate::shape_check::check_matmul(&self.shape, &other.shape)
+            .unwrap_or_else(|e| panic!("{e}"));
+        self.matmul_impl(other, None, MatmulKernel::Packed)
     }
 
     /// [`NdArray::matmul`] with the output buffer drawn from (and other
@@ -678,10 +710,10 @@ impl NdArray {
 
     fn try_matmul_impl(&self, other: &Self, ws: Option<&mut Workspace>) -> Result<Self, ShapeError> {
         crate::shape_check::check_matmul(&self.shape, &other.shape)?;
-        Ok(self.matmul_impl(other, ws))
+        Ok(self.matmul_impl(other, ws, MatmulKernel::Auto))
     }
 
-    fn matmul_impl(&self, other: &Self, ws: Option<&mut Workspace>) -> Self {
+    fn matmul_impl(&self, other: &Self, ws: Option<&mut Workspace>, kernel: MatmulKernel) -> Self {
         debug_assert!(self.ndim() >= 2 && other.ndim() >= 2, "matmul needs rank >= 2");
         let (m, k1) = (self.shape[self.ndim() - 2], self.shape[self.ndim() - 1]);
         let n = other.shape[other.ndim() - 1];
@@ -706,8 +738,12 @@ impl NdArray {
         let mut out_shape = batch.clone();
         out_shape.push(m);
         out_shape.push(n);
-        let mut out = match ws {
-            Some(ws) => ws.take_zeroed(nb * m * n),
+        // both kernels fully overwrite their output span (matmul_row zeroes
+        // the row, gemm assigns on the first k-block), so the buffer may
+        // come back dirty from the workspace — no memset needed
+        let mut ws = ws;
+        let mut out = match ws.as_mut() {
+            Some(ws) => ws.take(nb * m * n),
             None => vec![0.0f32; nb * m * n],
         };
         // walk the broadcast odometer once to precompute each batch's
@@ -732,18 +768,83 @@ impl NdArray {
                 ob -= sb[d] * batch[d];
             }
         }
-        let skip_zeros = m > 0 && mostly_zero(&self.data);
         let work = nb
             .saturating_mul(m)
             .saturating_mul(n)
             .saturating_mul(k1.max(1));
-        crate::parallel::for_each_block(&mut out, n.max(1), work, |item, orow| {
-            let (b, i) = (item / m, item % m);
-            let abase = abases[b];
-            let arow = &self.data[abase + i * k1..abase + (i + 1) * k1];
-            let bm = &other.data[bbases[b]..bbases[b] + eb];
-            matmul_row(arow, bm, orow, n, skip_zeros);
-        });
+        // Dispatch. The packed kernel takes every dense product — including
+        // m = 1, where packing B costs more than it saves, because serving
+        // depends on batch-size invariance: a request's logits must be
+        // bitwise identical whether it runs alone (an [1, F] FC product) or
+        // inside a micro-batch ([B, F]). Both kernels fix each output row's
+        // bits as a function of that row and B alone, so invariance holds
+        // exactly when the *kernel choice* cannot differ between those two
+        // calls — no shape test on m is allowed. The zero-skipping row
+        // kernel keeps sparse incidence products (constant operands, stable
+        // density) off the packed path. Nothing here reads the thread
+        // count, so dispatch never breaks thread-count determinism either.
+        let skip_zeros = kernel != MatmulKernel::Packed && m > 0 && mostly_zero(&self.data);
+        let packed = match kernel {
+            MatmulKernel::Packed => true,
+            MatmulKernel::Reference => false,
+            MatmulKernel::Auto => !skip_zeros && k1 > 0,
+        };
+        if packed {
+            // Pack each *distinct* rhs matrix once, before sharding: a
+            // broadcast B (the common conv/FC case) packs a single time no
+            // matter how many batches or row-blocks consume it. Workers
+            // share the packed image read-only and pack only their own A
+            // row-block, so the sharding grain can shrink with the thread
+            // count without multiplying pack work.
+            let mut uniq = bbases.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            let bp_len = crate::gemm::packed_b_len(k1, n);
+            let mut bpack = match ws.as_mut() {
+                Some(ws) => ws.take(uniq.len() * bp_len),
+                None => vec![0.0f32; uniq.len() * bp_len],
+            };
+            for (u, &bb) in uniq.iter().enumerate() {
+                crate::gemm::pack_b_full(
+                    &other.data[bb..bb + eb],
+                    &mut bpack[u * bp_len..(u + 1) * bp_len],
+                    n,
+                    k1,
+                );
+            }
+            // Shard (batch, row-block) spans; each span multiplies up to
+            // `rb` rows of A against its batch's packed B.
+            let rb = crate::gemm::row_block(m, nb, crate::parallel::num_threads());
+            let nbk = m.div_ceil(rb);
+            let mut ends = Vec::with_capacity(nb * nbk);
+            for b in 0..nb {
+                for ib in 0..nbk {
+                    let i1 = ((ib + 1) * rb).min(m);
+                    ends.push(b * m * n + i1 * n);
+                }
+            }
+            crate::parallel::for_each_span(&mut out, &ends, work, |item, cspan| {
+                let (b, ib) = (item / nbk, item % nbk);
+                let i0 = ib * rb;
+                let i1 = (i0 + rb).min(m);
+                let abase = abases[b];
+                let ablock = &self.data[abase + i0 * k1..abase + i1 * k1];
+                let u = uniq.binary_search(&bbases[b]).unwrap();
+                let bp = &bpack[u * bp_len..(u + 1) * bp_len];
+                crate::gemm::gemm_block_prepacked(ablock, bp, cspan, i1 - i0, n, k1);
+            });
+            if let Some(ws) = ws.as_mut() {
+                ws.give(bpack);
+            }
+        } else {
+            crate::parallel::for_each_block(&mut out, n.max(1), work, |item, orow| {
+                let (b, i) = (item / m, item % m);
+                let abase = abases[b];
+                let arow = &self.data[abase + i * k1..abase + (i + 1) * k1];
+                let bm = &other.data[bbases[b]..bbases[b] + eb];
+                matmul_row(arow, bm, orow, n, skip_zeros);
+            });
+        }
         NdArray { shape: out_shape, data: out }
     }
 
@@ -878,32 +979,92 @@ impl NdArray {
 
     /// Whether every element differs from `other`'s by at most
     /// `atol + rtol * |other|`.
+    ///
+    /// The tolerance is **asymmetric** — `other` is the reference operand
+    /// and scales the relative term (numpy's `allclose` convention), so
+    /// `a.allclose(b, ..)` and `b.allclose(a, ..)` can disagree when the
+    /// magnitudes differ near the tolerance boundary.
+    ///
+    /// Bitwise-equal elements short-circuit before any arithmetic: equal
+    /// infinities compare close (where `inf - inf = NaN` would fail the
+    /// tolerance test), as do identical NaN bit patterns, and the common
+    /// exactly-equal case skips the float ops entirely. Non-finite
+    /// elements are *only* close when bitwise equal — otherwise
+    /// `rtol * |±inf|` would make the threshold infinite and declare
+    /// opposite infinities close.
     pub fn allclose(&self, other: &Self, rtol: f32, atol: f32) -> bool {
         self.shape == other.shape
-            && self
-                .data
-                .iter()
-                .zip(&other.data)
-                .all(|(&a, &b)| (a - b).abs() <= atol + rtol * b.abs())
+            && self.data.iter().zip(&other.data).all(|(&a, &b)| {
+                if a.to_bits() == b.to_bits() {
+                    return true;
+                }
+                a.is_finite() && b.is_finite() && (a - b).abs() <= atol + rtol * b.abs()
+            })
     }
 }
 
-/// Whether more than half of `data` is exactly zero — the density probe
-/// that decides between the dense inner loop and the zero-skipping one in
-/// [`NdArray::matmul`]. Hypergraph operators (`H`-products, `Imp·Impᵀ`
-/// factors) are mostly zeros and win with the skip; im2col'd conv inputs
-/// and weights are dense and lose to the per-element branch.
-fn mostly_zero(data: &[f32]) -> bool {
-    let zeros = data.iter().filter(|&&v| v == 0.0).count();
-    zeros * 2 > data.len()
+/// Which matmul inner kernel [`NdArray::matmul_impl`] runs. `Auto` is the
+/// production dispatch; the forced variants back the public
+/// [`NdArray::matmul_reference`] / [`NdArray::matmul_packed`] entry points
+/// so tests and benches can pin a kernel regardless of operand shape or
+/// density.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum MatmulKernel {
+    Auto,
+    Reference,
+    Packed,
 }
 
-/// One output row of the `ikj` matmul kernel: `orow += arow · bm` where
-/// `bm` is the `[k, n]` right-hand matrix. Shared by the serial and
-/// parallel paths so both make identical per-element decisions — this is
-/// what makes the parallel result bitwise equal to the serial one.
+/// Most elements the density probe is willing to look at. Above this the
+/// probe strides instead of scanning, keeping the cost of the dispatch
+/// decision bounded no matter how large the operand is.
+const DENSITY_PROBE_MAX: usize = 4096;
+
+/// Whether more than half of the probed elements of `data` are exactly
+/// zero — the density probe that decides between the dense packed kernel
+/// and the zero-skipping row kernel in [`NdArray::matmul`]. Hypergraph
+/// operators (`H`-products, `Imp·Impᵀ` factors) are mostly zeros and win
+/// with the skip; im2col'd conv inputs and weights are dense.
+///
+/// Small operands are scanned in full. Larger ones are probed at a fixed
+/// deterministic stride chosen odd and not divisible by 3, so the sample
+/// cannot alias the period-2/3/4/6 zero patterns that interleaved or
+/// padded operands produce. The probe reads only operand data and length,
+/// never the thread count, so the dispatch decision — and therefore the
+/// result bits — are identical at every `DHGCN_THREADS` value. A wrong
+/// density guess on an adversarial pattern costs only speed, never
+/// correctness: both kernels compute the same product.
+fn mostly_zero(data: &[f32]) -> bool {
+    if data.len() <= DENSITY_PROBE_MAX {
+        let zeros = data.iter().filter(|&&v| v == 0.0).count();
+        return zeros * 2 > data.len();
+    }
+    let mut stride = data.len() / DENSITY_PROBE_MAX;
+    stride |= 1;
+    if stride.is_multiple_of(3) {
+        stride += 2;
+    }
+    let (mut zeros, mut probed) = (0usize, 0usize);
+    let mut i = 0;
+    while i < data.len() {
+        if data[i] == 0.0 {
+            zeros += 1;
+        }
+        probed += 1;
+        i += stride;
+    }
+    zeros * 2 > probed
+}
+
+/// One output row of the `ikj` matmul kernel: `orow = arow · bm` where
+/// `bm` is the `[k, n]` right-hand matrix. Zeroes `orow` first — the
+/// output buffer may be recycled dirty from a [`Workspace`]. Shared by the
+/// serial and parallel paths so both make identical per-element
+/// decisions — this is what makes the parallel result bitwise equal to
+/// the serial one.
 #[inline]
 fn matmul_row(arow: &[f32], bm: &[f32], orow: &mut [f32], n: usize, skip_zeros: bool) {
+    orow.fill(0.0);
     if skip_zeros {
         for (p, &av) in arow.iter().enumerate() {
             if av == 0.0 {
@@ -1161,5 +1322,135 @@ mod tests {
         assert!(a.allclose(&b, 1e-4, 1e-5));
         let c = NdArray::from_vec(vec![1.1, 2.0], &[2]);
         assert!(!a.allclose(&c, 1e-4, 1e-5));
+    }
+
+    #[test]
+    fn allclose_handles_infinities_and_bitwise_equality() {
+        // equal infinities must compare close: inf - inf = NaN would fail
+        // the tolerance check without the bitwise short-circuit
+        let inf = NdArray::from_vec(vec![f32::INFINITY, f32::NEG_INFINITY, 1.0], &[3]);
+        assert!(inf.allclose(&inf.clone(), 1e-5, 1e-8));
+        // opposite infinities are not close
+        let flipped = NdArray::from_vec(vec![f32::NEG_INFINITY, f32::INFINITY, 1.0], &[3]);
+        assert!(!inf.allclose(&flipped, 1e-5, 1e-8));
+        // identical NaN payloads are bitwise equal and therefore close
+        let nan = NdArray::from_vec(vec![f32::NAN], &[1]);
+        assert!(nan.allclose(&nan.clone(), 0.0, 0.0));
+        // NaN vs a number is never close
+        assert!(!nan.allclose(&NdArray::from_vec(vec![0.0], &[1]), 1.0, 1.0));
+    }
+
+    #[test]
+    fn allclose_relative_tolerance_is_asymmetric() {
+        // rtol scales |b| (the receiver's argument), numpy-style: with
+        // a = 100, b = 104, |a-b| = 4 <= rtol*104 but not rtol*100 once
+        // rtol sits between the two thresholds
+        let a = NdArray::from_vec(vec![100.0], &[1]);
+        let b = NdArray::from_vec(vec![104.0], &[1]);
+        let rtol = 4.0 / 102.0;
+        assert!(a.allclose(&b, rtol, 0.0));
+        assert!(!b.allclose(&a, rtol, 0.0));
+    }
+
+    #[test]
+    fn density_probe_decision_is_unchanged_by_sampling() {
+        // Small operands: exact scan. An incidence-like pattern (2 of 3
+        // zero) reads sparse; a dense weight block reads dense.
+        assert!(mostly_zero(&[0.0, 0.0, 1.0, 0.0, 0.0, 2.0]));
+        assert!(!mostly_zero(&[1.0; 100]));
+
+        // Large operands go through the strided probe; the decision on
+        // realistic workloads must match the full scan. Incidence-shaped:
+        // each row of H has ~k nonzeros out of many columns.
+        let (rows, cols, nnz_per_row) = (512, 400, 10);
+        let mut incidence = vec![0.0f32; rows * cols];
+        for r in 0..rows {
+            for j in 0..nnz_per_row {
+                incidence[r * cols + (r * 7 + j * 41) % cols] = 1.0;
+            }
+        }
+        assert!(incidence.len() > DENSITY_PROBE_MAX);
+        assert!(mostly_zero(&incidence));
+
+        // Conv-shaped dense operand (im2col output with some zero padding
+        // positions, still majority nonzero).
+        let mut dense: Vec<f32> = (0..64 * 576).map(|i| (i % 13) as f32 + 1.0).collect();
+        for v in dense.iter_mut().step_by(10) {
+            *v = 0.0; // 10% padding zeros
+        }
+        assert!(dense.len() > DENSITY_PROBE_MAX);
+        assert!(!mostly_zero(&dense));
+
+        // Period-2 and period-3 alternating patterns: exactly half /
+        // one-third zero. The stride (odd, not divisible by 3) cannot
+        // alias onto only-zeros or only-nonzeros.
+        let alt2: Vec<f32> = (0..20000).map(|i| (i % 2) as f32).collect();
+        assert!(!mostly_zero(&alt2)); // exactly half zero -> not "mostly"
+        let alt3: Vec<f32> = (0..20000).map(|i| ((i % 3) != 0) as i32 as f32).collect();
+        assert!(!mostly_zero(&alt3)); // one third zero
+        let alt3_sparse: Vec<f32> = (0..20000).map(|i| ((i % 3) == 0) as i32 as f32).collect();
+        assert!(mostly_zero(&alt3_sparse)); // two thirds zero
+    }
+
+    #[test]
+    fn forced_kernels_agree_with_auto_dispatch() {
+        // One shape the auto path sends to the packed kernel and one it
+        // sends to the row kernel; both forced entry points must agree
+        // within tolerance everywhere.
+        let mut s = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        };
+        let a = NdArray::from_vec((0..23 * 17).map(|_| next()).collect(), &[23, 17]);
+        let b = NdArray::from_vec((0..17 * 29).map(|_| next()).collect(), &[17, 29]);
+        let auto = a.matmul(&b);
+        let reference = a.matmul_reference(&b);
+        let packed = a.matmul_packed(&b);
+        assert!(auto.allclose(&reference, 1e-5, 1e-6));
+        assert!(auto.allclose(&packed, 1e-5, 1e-6));
+        // dense multi-row auto dispatch IS the packed kernel, bit for bit
+        assert_eq!(
+            auto.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            packed.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+
+        // a dense single-row product also dispatches packed: its row must
+        // be bitwise identical to the same row inside a larger batch
+        // (serving batch-size invariance), so dispatch cannot test m
+        let row = NdArray::from_vec(a.data()[..17].to_vec(), &[1, 17]);
+        let auto_row = row.matmul(&b);
+        assert_eq!(
+            auto_row.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            row.matmul_packed(&b).data().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            auto_row.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            packed.data()[..auto_row.len()].iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn matmul_ws_reuses_dirty_buffers_correctly() {
+        // Recycle a workspace buffer through products of both kernels and
+        // a smaller follow-up product; stale garbage from the larger
+        // buffer must never leak into results.
+        let mut ws = Workspace::new();
+        let a = NdArray::from_vec((0..12 * 7).map(|i| (i as f32).sin()).collect(), &[12, 7]);
+        let b = NdArray::from_vec((0..7 * 9).map(|i| (i as f32).cos()).collect(), &[7, 9]);
+        let expect = a.matmul(&b);
+        for _ in 0..3 {
+            let got = a.matmul_ws(&b, &mut ws);
+            assert_eq!(got, expect);
+            ws.give(got.into_vec());
+        }
+        // sparse operand -> row kernel, same recycled buffer
+        let mut sp = vec![0.0f32; 12 * 7];
+        sp[3] = 2.0;
+        sp[40] = -1.0;
+        let sparse = NdArray::from_vec(sp, &[12, 7]);
+        let expect_sp = sparse.matmul(&b);
+        let got_sp = sparse.matmul_ws(&b, &mut ws);
+        assert_eq!(got_sp, expect_sp);
     }
 }

@@ -26,6 +26,7 @@
 
 pub mod array;
 pub mod autograd;
+pub mod gemm;
 pub mod gradcheck;
 pub mod ops;
 pub mod parallel;

@@ -8,6 +8,9 @@
 //! * [`for_each_block`] — split a flat output buffer into equally sized
 //!   blocks and fill each block independently (matmul rows, `im2col` rows,
 //!   per-frame operators, per-sample batch slots).
+//! * [`for_each_span`] — the ragged-span variant of [`for_each_block`]:
+//!   consecutive spans of caller-chosen lengths (the packed GEMM's
+//!   row-blocks, whose last block per batch is shorter).
 //! * [`parallel_map`] — compute `n` independent values and return them in
 //!   index order (hyperedge lists, per-sample topology operators,
 //!   pre-assembled minibatches).
@@ -204,6 +207,71 @@ where
     });
 }
 
+/// Split `out` into consecutive *ragged* spans and call `f(span_index,
+/// span)` for each, sharding spans over the worker pool. `ends[i]` is the
+/// exclusive element offset where span `i` stops; spans therefore cover
+/// `0..out.len()` contiguously and may differ in length (the packed GEMM
+/// shards row-blocks whose last block per batch is shorter).
+///
+/// Same `work` threshold and bitwise-determinism contract as
+/// [`for_each_block`]: each span is written by exactly one closure
+/// invocation with the same arguments at every thread count.
+///
+/// Panics unless `ends` is non-decreasing and its last entry equals
+/// `out.len()`.
+pub fn for_each_span<F>(out: &mut [f32], ends: &[usize], work: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    if out.is_empty() && ends.is_empty() {
+        return;
+    }
+    assert_eq!(
+        ends.last().copied(),
+        Some(out.len()),
+        "for_each_span: ends must finish at the buffer length"
+    );
+    assert!(ends.windows(2).all(|w| w[0] <= w[1]), "for_each_span: ends must be non-decreasing");
+    let n_items = ends.len();
+    let nt = plan(n_items, work);
+    if nt <= 1 {
+        let mut start = 0;
+        for (i, &end) in ends.iter().enumerate() {
+            f(i, &mut out[start..end]);
+            start = end;
+        }
+        return;
+    }
+    thread::scope(|s| {
+        let item_end = |t: usize| shard_end(n_items, nt, t);
+        let offset = |item: usize| if item == 0 { 0 } else { ends[item - 1] };
+        let (mine, mut rest) = out.split_at_mut(offset(item_end(1)));
+        for t in 1..nt {
+            let (i0, i1) = (item_end(t), item_end(t + 1));
+            let (shard, tail) = rest.split_at_mut(offset(i1) - offset(i0));
+            rest = tail;
+            let f = &f;
+            s.spawn(move || {
+                let _guard = suppress_nested();
+                let base = offset(i0);
+                let mut start = 0;
+                for (i, &e) in ends.iter().enumerate().take(i1).skip(i0) {
+                    let end = e - base;
+                    f(i, &mut shard[start..end]);
+                    start = end;
+                }
+            });
+        }
+        // shard 0 runs on the calling thread while the workers run theirs
+        let _guard = suppress_nested();
+        let mut start = 0;
+        for (i, &end) in ends[..item_end(1)].iter().enumerate() {
+            f(i, &mut mine[start..end]);
+            start = end;
+        }
+    });
+}
+
 /// Compute `f(0), f(1), …, f(n-1)` sharded over the worker pool and return
 /// the results in index order. Same `work` threshold and determinism
 /// contract as [`for_each_block`].
@@ -340,6 +408,62 @@ mod tests {
     fn for_each_block_misaligned_buffer_panics() {
         let mut out = vec![0.0f32; 7];
         for_each_block(&mut out, 2, BIG, |_, _| {});
+    }
+
+    #[test]
+    fn for_each_span_matches_serial_loop() {
+        // ragged spans: lengths cycle 1..=9, mimicking GEMM edge row-blocks
+        let lens: Vec<usize> = (0..97).map(|i| i % 9 + 1).collect();
+        let ends: Vec<usize> = lens
+            .iter()
+            .scan(0usize, |acc, &l| {
+                *acc += l;
+                Some(*acc)
+            })
+            .collect();
+        let total = *ends.last().unwrap();
+        let fill = |i: usize, span: &mut [f32]| {
+            for (k, v) in span.iter_mut().enumerate() {
+                *v = (i * 131 + k) as f32 * 0.5 - 7.0;
+            }
+        };
+        let mut serial = vec![0.0f32; total];
+        {
+            let mut start = 0;
+            for (i, &end) in ends.iter().enumerate() {
+                fill(i, &mut serial[start..end]);
+                start = end;
+            }
+        }
+        for threads in [1usize, 2, 5, 8] {
+            let mut par = vec![0.0f32; total];
+            with_threads(threads, || for_each_span(&mut par, &ends, BIG, fill));
+            assert_eq!(par, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn for_each_span_allows_empty_spans() {
+        let ends = [0usize, 2, 2, 5];
+        let mut out = vec![0.0f32; 5];
+        for_each_span(&mut out, &ends, 4, |i, span| {
+            assert_eq!(span.len(), [0, 2, 0, 3][i]);
+            span.fill(i as f32);
+        });
+        assert_eq!(out, vec![1.0, 1.0, 3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn for_each_span_empty_everything_is_a_no_op() {
+        let mut out: Vec<f32> = Vec::new();
+        for_each_span(&mut out, &[], BIG, |_, _| panic!("must not be called"));
+    }
+
+    #[test]
+    #[should_panic(expected = "finish at the buffer length")]
+    fn for_each_span_bad_ends_panic() {
+        let mut out = vec![0.0f32; 4];
+        for_each_span(&mut out, &[1, 3], BIG, |_, _| {});
     }
 
     #[test]

@@ -103,19 +103,25 @@ impl Workspace {
     }
 
     /// A buffer of exactly `len` elements, zero-filled. Reuses the pooled
-    /// buffer whose capacity fits best, else allocates.
+    /// buffer whose capacity fits best, else allocates. Costs one memset of
+    /// `len` elements — callers that overwrite every element (GEMM pack
+    /// panels, matmul outputs) should use [`Workspace::take`] instead.
     pub fn take_zeroed(&mut self, len: usize) -> Vec<f32> {
         let mut buf = self.take_raw(len);
-        buf.clear();
+        buf.truncate(len);
+        buf.iter_mut().for_each(|v| *v = 0.0);
         buf.resize(len, 0.0);
         buf
     }
 
     /// A buffer of exactly `len` elements with unspecified contents (the
     /// caller overwrites every element). Element values are whatever the
-    /// recycled buffer held — never uninitialised memory.
+    /// recycled buffer held — never uninitialised memory — and, unlike
+    /// [`Workspace::take_zeroed`], no memset is paid on reuse: only growth
+    /// beyond the recycled length is zero-filled.
     pub fn take(&mut self, len: usize) -> Vec<f32> {
         let mut buf = self.take_raw(len);
+        buf.truncate(len);
         buf.resize(len, 0.0);
         buf
     }
@@ -137,9 +143,8 @@ impl Workspace {
         }
         match best.or(largest) {
             Some((i, _)) => {
-                let mut buf = self.pool.remove(i).expect("index from enumerate");
+                let buf = self.pool.remove(i).expect("index from enumerate");
                 self.pooled_bytes -= buf.capacity() * std::mem::size_of::<f32>();
-                buf.clear();
                 buf
             }
             None => Vec::new(),
@@ -201,6 +206,22 @@ mod tests {
         let buf = ws.take_zeroed(32);
         assert_eq!(buf.len(), 32);
         assert!(buf.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn take_skips_the_memset_and_keeps_recycled_contents() {
+        // pins the dirty-reuse contract the GEMM pack buffers rely on:
+        // `take` must not pay a zeroing pass over reused storage (only
+        // growth past the recycled length may be zero-filled)
+        let mut ws = Workspace::new();
+        ws.give(vec![7.0; 64]);
+        let buf = ws.take(32);
+        assert_eq!(buf.len(), 32);
+        assert!(buf.iter().all(|&v| v == 7.0), "recycled contents must survive take");
+        ws.give(buf);
+        let grown = ws.take(96);
+        assert!(grown[..32].iter().all(|&v| v == 7.0));
+        assert!(grown[32..].iter().all(|&v| v == 0.0), "growth is zero-filled");
     }
 
     #[test]

@@ -6,12 +6,12 @@
 //! optima) is what each `tableN` binary checks and what EXPERIMENTS.md
 //! records.
 
-use serde::{Deserialize, Serialize};
+use crate::json::{self, Value};
 use std::fmt::Write as _;
 use std::path::Path;
 
 /// One row of a results table.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TableRow {
     /// Method name exactly as the paper prints it.
     pub method: String,
@@ -37,7 +37,7 @@ impl TableRow {
 
 /// A full experiment table: identification, the paper's rows, and the
 /// measured rows.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Table {
     /// Table id, e.g. "Tab. 3".
     pub id: String,
@@ -137,13 +137,114 @@ impl Table {
         out
     }
 
+    /// Render as a JSON document (the schema `serde_json` used to derive:
+    /// rows as objects, `(label, value)` pairs as two-element arrays,
+    /// blank cells as `null`).
+    pub fn to_json(&self) -> String {
+        fn rows(out: &mut String, rows: &[TableRow]) {
+            out.push('[');
+            for (i, row) in rows.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\n    {{\"method\": \"{}\", \"values\": [", json::escape(&row.method));
+                for (j, (label, value)) in row.values.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "[\"{}\", ", json::escape(label));
+                    match value {
+                        Some(v) => {
+                            let _ = write!(out, "{v}");
+                        }
+                        None => out.push_str("null"),
+                    }
+                    out.push(']');
+                }
+                out.push_str("]}");
+            }
+            out.push_str("\n  ]");
+        }
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\n  \"id\": \"{}\",\n  \"title\": \"{}\",\n  \"paper_rows\": ",
+            json::escape(&self.id),
+            json::escape(&self.title)
+        );
+        rows(&mut out, &self.paper_rows);
+        out.push_str(",\n  \"measured_rows\": ");
+        rows(&mut out, &self.measured_rows);
+        out.push_str(",\n  \"notes\": [");
+        for (i, note) in self.notes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    \"{}\"", json::escape(note));
+        }
+        out.push_str(if self.notes.is_empty() { "]\n}\n" } else { "\n  ]\n}\n" });
+        out
+    }
+
+    /// Parse a document produced by [`Table::to_json`].
+    pub fn from_json(text: &str) -> Result<Table, String> {
+        let doc = Value::parse(text)?;
+        let field = |key: &str| doc.get(key).ok_or_else(|| format!("missing field '{key}'"));
+        let str_field = |key: &str| -> Result<String, String> {
+            Ok(field(key)?.as_str().ok_or_else(|| format!("'{key}' is not a string"))?.to_string())
+        };
+        let row_field = |key: &str| -> Result<Vec<TableRow>, String> {
+            field(key)?
+                .as_arr()
+                .ok_or_else(|| format!("'{key}' is not an array"))?
+                .iter()
+                .map(|row| {
+                    let method = row
+                        .get("method")
+                        .and_then(Value::as_str)
+                        .ok_or("row without method")?
+                        .to_string();
+                    let values = row
+                        .get("values")
+                        .and_then(Value::as_arr)
+                        .ok_or("row without values")?
+                        .iter()
+                        .map(|pair| {
+                            let pair = pair.as_arr().filter(|p| p.len() == 2).ok_or("malformed value pair")?;
+                            let label = pair[0].as_str().ok_or("non-string column label")?.to_string();
+                            let value = match &pair[1] {
+                                Value::Null => None,
+                                v => Some(v.as_f64().ok_or("non-numeric cell")? as f32),
+                            };
+                            Ok((label, value))
+                        })
+                        .collect::<Result<_, String>>()?;
+                    Ok(TableRow { method, values })
+                })
+                .collect()
+        };
+        let notes = field("notes")?
+            .as_arr()
+            .ok_or("'notes' is not an array")?
+            .iter()
+            .map(|n| Ok(n.as_str().ok_or("non-string note")?.to_string()))
+            .collect::<Result<_, String>>()?;
+        Ok(Table {
+            id: str_field("id")?,
+            title: str_field("title")?,
+            paper_rows: row_field("paper_rows")?,
+            measured_rows: row_field("measured_rows")?,
+            notes,
+        })
+    }
+
     /// Persist as JSON under the given directory (created if missing),
     /// returning the file path.
     pub fn save_json(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
         std::fs::create_dir_all(dir)?;
         let slug = self.id.to_lowercase().replace([' ', '.'], "");
         let path = dir.join(format!("{slug}.json"));
-        std::fs::write(&path, serde_json::to_string_pretty(self).expect("table serialises"))?;
+        std::fs::write(&path, self.to_json())?;
         Ok(path)
     }
 }
@@ -192,8 +293,8 @@ mod tests {
         let t = sample();
         let dir = std::env::temp_dir().join("dhg_experiment_test");
         let path = t.save_json(&dir).expect("write");
-        let loaded: Table =
-            serde_json::from_str(&std::fs::read_to_string(&path).expect("read")).expect("parse");
+        let loaded =
+            Table::from_json(&std::fs::read_to_string(&path).expect("read")).expect("parse");
         assert_eq!(loaded, t);
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -26,6 +26,7 @@ pub mod checkpoint;
 pub mod eval;
 pub mod experiment;
 pub mod infer;
+pub mod json;
 pub mod report;
 pub mod serve;
 pub mod trainer;

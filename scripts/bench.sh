@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Machine-readable performance snapshot: per-kernel GEMM GFLOP/s (packed
+# cache-blocked vs reference ikj, conv- and incidence-shaped operands) and
+# serve-engine p50/p95/p99 latency at a fixed closed-loop offered load.
+#
+#   scripts/bench.sh            # full run, writes BENCH_6.json at the repo root
+#   scripts/bench.sh --smoke    # tier-1 gate: same code paths and schema in
+#                               # seconds, writes target/BENCH_6.smoke.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--smoke" ]]; then
+    cargo run --release -q -p dhg-bench --bin perf -- --smoke --out target/BENCH_6.smoke.json
+else
+    cargo run --release -q -p dhg-bench --bin perf -- --out BENCH_6.json
+fi

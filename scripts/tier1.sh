@@ -6,15 +6,17 @@
 #   4. a smoke pass over the criterion benches (--test runs each bench
 #      once without measuring, catching bit-rot in bench code; the
 #      inference_latency bench also asserts the execution-mode contract)
-#   5. the static model-graph analyzer over the whole zoo (clean plans,
+#   5. the perf snapshot smoke (scripts/bench.sh --smoke): GEMM GFLOP/s
+#      per kernel and serve latency quantiles, same schema as BENCH_6.json
+#   6. the static model-graph analyzer over the whole zoo (clean plans,
 #      clean serving audit) plus its self-test of seeded negatives
-#   6. the serve-engine smoke: zero sheds at low offered load, typed
+#   7. the serve-engine smoke: zero sheds at low offered load, typed
 #      Rejected shedding past the queue bound, accepted work all answered
-#   7. the chaos smoke: under seeded fault injection, dead workers are
+#   8. the chaos smoke: under seeded fault injection, dead workers are
 #      respawned, every accepted request resolves to logits or a typed
 #      error (with surviving logits bitwise-exact), and interrupted
 #      training resumes bitwise from its last valid snapshot
-#   8. rustdoc with warnings denied (broken intra-doc links fail the gate)
+#   9. rustdoc with warnings denied (broken intra-doc links fail the gate)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,6 +31,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== tier1: bench smoke (compile + single pass, no measurement) =="
 cargo bench -p dhg-bench -- --test
+
+echo "== tier1: perf snapshot smoke (GEMM GFLOP/s + serve quantiles) =="
+scripts/bench.sh --smoke
 
 echo "== tier1: static model-graph analysis =="
 cargo run --release -q -p dhg-bench --bin analyze

@@ -42,6 +42,24 @@ fn batched_matmul_is_bitwise_identical_across_thread_counts() {
 }
 
 #[test]
+fn packed_gemm_is_bitwise_identical_across_thread_counts() {
+    // Conv-shaped product (the GCN feature transform after im2col) well
+    // above MIN_PARALLEL_WORK, dense -> auto dispatch takes the packed
+    // cache-blocked kernel; forced matmul_packed must match the auto
+    // entry point bit for bit at every thread count, and the adaptive
+    // row-block split must never leak into the result bits.
+    let a = random_array(&[32, 288], 21);
+    let b = random_array(&[288, 213], 22);
+    let serial = with_threads(1, || a.matmul(&b));
+    for t in THREADS {
+        let par = with_threads(t, || a.matmul(&b));
+        assert_bitwise_eq(&serial, &par, &format!("packed gemm, threads = {t}"));
+        let forced = with_threads(t, || a.matmul_packed(&b));
+        assert_bitwise_eq(&serial, &forced, &format!("forced packed gemm, threads = {t}"));
+    }
+}
+
+#[test]
 fn sparse_lhs_matmul_is_bitwise_identical_across_thread_counts() {
     // >50% zeros in the lhs flips the zero-skip inner loop; the branch
     // decision is global, so it too must be thread-count independent

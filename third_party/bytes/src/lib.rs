@@ -1,0 +1,226 @@
+//! Offline drop-in subset of the `bytes` 1.x API.
+//!
+//! `Bytes` is a plain `Vec<u8>` plus a read cursor (no refcounted zero-copy
+//! slicing); `BytesMut` is a growable buffer that freezes into `Bytes`.
+//! Covers exactly what the checkpoint codec uses: little-endian u32/f32/u64
+//! put/get, `put_slice`/`copy_to_slice`, `remaining`/`has_remaining`, and
+//! `Deref<Target = [u8]>` so byte slices index the *unread* portion.
+
+use std::ops::Deref;
+
+/// Read side: a cursor over bytes.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+}
+
+/// Write side: an append-only byte sink.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_u32_le(v.to_bits());
+    }
+}
+
+/// An immutable byte buffer with a read cursor. `Deref`/indexing views the
+/// unread remainder, matching how upstream `Bytes` shrinks as it is read.
+#[derive(Clone, Debug, Default)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data[self.pos..].to_vec()
+    }
+
+    /// Construct from a static byte string (copying, unlike upstream —
+    /// `Bytes` here is always `Vec`-backed).
+    pub fn from_static(data: &'static [u8]) -> Bytes {
+        Bytes::from(data.to_vec())
+    }
+
+    /// A copying sub-range of the unread remainder (upstream is zero-copy;
+    /// callers only use this on checkpoint-sized buffers in tests).
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        Bytes::from(self[range].to_vec())
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Bytes { data: data.to_vec(), pos: 0 }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.remaining(), "copy_to_slice past end of Bytes");
+        dst.copy_from_slice(&self.data[self.pos..self.pos + dst.len()]);
+        self.pos += dst.len();
+    }
+}
+
+/// A growable byte buffer; `freeze` converts to `Bytes` without copying.
+#[derive(Clone, Debug, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(cap) }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data, pos: 0 }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(data: &[u8]) -> Self {
+        BytesMut { data: data.to_vec() }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_le_codec() {
+        let mut w = BytesMut::new();
+        w.put_slice(b"MAGI");
+        w.put_u32_le(0xDEAD_BEEF);
+        w.put_f32_le(1.5);
+        w.put_u64_le(u64::MAX - 7);
+        let mut r = w.freeze();
+        assert_eq!(r.len(), 4 + 4 + 4 + 8);
+        assert_eq!(&r[..4], b"MAGI");
+        let mut magic = [0u8; 4];
+        r.copy_to_slice(&mut magic);
+        assert_eq!(&magic, b"MAGI");
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_f32_le(), 1.5);
+        assert_eq!(r.get_u64_le(), u64::MAX - 7);
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn deref_tracks_cursor() {
+        let mut b = Bytes::from(vec![1u8, 2, 3, 4]);
+        b.get_u32_le();
+        assert_eq!(b.len(), 0);
+        assert!(b.is_empty());
+        let fresh = Bytes::from(vec![9u8; 10]);
+        assert_eq!(fresh[..3].len(), 3);
+        assert_eq!(fresh.to_vec().len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "past end")]
+    fn overread_panics() {
+        let mut b = Bytes::from(vec![0u8; 3]);
+        b.get_u32_le();
+    }
+}

@@ -1,0 +1,254 @@
+//! Offline drop-in subset of the `criterion` 0.5 API.
+//!
+//! Runs each registered benchmark with a warmup, picks an iteration count
+//! targeting a fixed per-sample wall time, and reports the median over
+//! `sample_size` samples. There is no statistics engine, no plotting, and
+//! no baseline comparison — just honest wall-clock medians on stdout in a
+//! criterion-shaped line format. `--test` (as passed by `cargo bench --
+//! --test`, the tier-1 smoke gate) runs every benchmark body exactly once
+//! to prove it executes.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall time per measured sample in bench mode.
+const SAMPLE_TARGET: Duration = Duration::from_millis(25);
+
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10, test_mode: false, filters: Vec::new() }
+    }
+}
+
+impl Criterion {
+    /// Builder: number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Apply the harness command line: `--test` selects single-pass smoke
+    /// mode; bare arguments are substring filters on benchmark ids; other
+    /// flags are accepted and ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                self.test_mode = true;
+            } else if !arg.starts_with('-') {
+                self.filters.push(arg);
+            }
+        }
+        self
+    }
+
+    fn selected(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f))
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&self, id: &str, mut f: F) {
+        if !self.selected(id) {
+            return;
+        }
+        if self.test_mode {
+            let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+            f(&mut b);
+            println!("{id}: test passed");
+            return;
+        }
+        // Warmup pass both primes caches and calibrates the per-iteration
+        // cost used to size measured samples.
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        let warm = Instant::now();
+        f(&mut b);
+        let per_iter = if b.elapsed > Duration::ZERO { b.elapsed } else { warm.elapsed() };
+        let iters = (SAMPLE_TARGET.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64;
+        let mut samples: Vec<f64> = (0..self.sample_size)
+            .map(|_| {
+                let mut b = Bencher { iters, elapsed: Duration::ZERO };
+                f(&mut b);
+                b.elapsed.as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        let best = samples[0];
+        println!("{id:<52} time: [{} median, {} fastest]", fmt_ns(median), fmt_ns(best));
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_one(id, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.to_string(), sample_size: None }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Times the closure the harness hands it; `iter` runs the body `iters`
+/// times inside one timed region.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// A `function_name/parameter` benchmark id.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    fn scoped(&self) -> Criterion {
+        let mut c = self.c.clone();
+        if let Some(n) = self.sample_size {
+            c.sample_size = n;
+        }
+        c
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        self.scoped().run_one(&full, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        self.scoped().run_one(&full, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion { sample_size: 2, test_mode: true, filters: Vec::new() };
+        let mut ran = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran >= 1);
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = Criterion { sample_size: 1, test_mode: true, filters: vec!["only".into()] };
+        let mut hits = Vec::new();
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(3);
+            g.bench_with_input(BenchmarkId::new("only", 42), &7usize, |b, &x| {
+                b.iter(|| x * 2);
+            });
+            g.bench_function("skipped-by-filter", |b| b.iter(|| hits.push(())));
+            g.finish();
+        }
+        assert!(hits.is_empty(), "filter must skip non-matching ids");
+    }
+}
