@@ -1,7 +1,7 @@
 //! Machine-readable performance snapshot — the producer behind
-//! `scripts/bench.sh` and the committed `BENCH_6.json`.
+//! `scripts/bench.sh` and the committed `BENCH_7.json`.
 //!
-//! Two sections:
+//! Three sections:
 //!
 //! * **gemm** — per-kernel GFLOP/s on the two matmul families the model
 //!   actually runs: a conv-shaped dense product (`[64, 576]·[576, 425]`,
@@ -9,20 +9,35 @@
 //!   cache-blocked kernel and the retained reference `ikj` kernel, and an
 //!   incidence-shaped mostly-zero product (hypergraph propagation)
 //!   measured on the zero-skip auto dispatch and forced packed.
+//! * **streaming** — per-frame incremental topology maintenance vs.
+//!   per-window from-scratch reconstruction at `T = 64` on NTU-25 shapes,
+//!   for both the kNN/k-medoid window topology
+//!   ([`dhg_hypergraph::WindowTopology`]) and the Eq. 9 joint-weight
+//!   operators ([`dhg_hypergraph::RollingOperators`]). The acceptance
+//!   floor — maintenance ≥ 3× cheaper — is asserted, not just recorded.
 //! * **serve** — client-observed p50/p95/p99 latency and throughput of
 //!   the micro-batching engine at a fixed closed-loop offered load.
 //!
 //! ```text
-//! cargo run --release -p dhg-bench --bin perf -- --out BENCH_6.json
-//! cargo run --release -p dhg-bench --bin perf -- --smoke --out target/BENCH_6.smoke.json
+//! cargo run --release -p dhg-bench --bin perf -- --out BENCH_7.json \
+//!     --baseline BENCH_6.json --tolerance 0.5
+//! cargo run --release -p dhg-bench --bin perf -- --smoke --out target/BENCH_7.smoke.json
 //! ```
 //!
 //! `--smoke` shrinks repetitions and the request count so the tier-1 gate
 //! exercises every code path in seconds; the JSON schema is identical.
+//! `--baseline` replays the gemm section against a previous snapshot's
+//! numbers and fails the run when any kernel regresses past
+//! `--tolerance` (a fraction of the baseline rate) — the regression gate
+//! `scripts/bench.sh` applies on full runs.
 
-use dhg_skeleton::SkeletonTopology;
+use dhg_hypergraph::{
+    dynamic_operators, from_scratch_operator, RollingOperators, TopologyConfig, WindowTopology,
+};
+use dhg_skeleton::{static_hypergraph, SkeletonTopology};
 use dhg_tensor::parallel::with_threads;
 use dhg_tensor::NdArray;
+use dhg_train::json::Value;
 use dhg_train::serve::{Pending, ServeConfig, ServeEngine, ServeError};
 use dhg_train::zoo::Zoo;
 use std::process::ExitCode;
@@ -32,11 +47,19 @@ struct Args {
     out: String,
     smoke: bool,
     threads: usize,
+    baseline: Option<String>,
+    tolerance: f64,
 }
 
 impl Args {
     fn parse() -> Result<Args, String> {
-        let mut args = Args { out: "BENCH_6.json".into(), smoke: false, threads: 8 };
+        let mut args = Args {
+            out: "BENCH_7.json".into(),
+            smoke: false,
+            threads: 8,
+            baseline: None,
+            tolerance: 0.5,
+        };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
             match flag.as_str() {
@@ -48,8 +71,20 @@ impl Args {
                         .and_then(|s| s.parse().ok())
                         .ok_or("--threads needs a number")?
                 }
+                "--baseline" => {
+                    args.baseline = Some(it.next().ok_or("--baseline needs a path")?)
+                }
+                "--tolerance" => {
+                    args.tolerance = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--tolerance needs a fraction in [0, 1)")?
+                }
                 other => return Err(format!("unknown flag {other}")),
             }
+        }
+        if !(0.0..1.0).contains(&args.tolerance) {
+            return Err("--tolerance must be a fraction in [0, 1)".into());
         }
         Ok(args)
     }
@@ -166,6 +201,104 @@ fn gemm_section(args: &Args) -> Vec<GemmResult> {
     results
 }
 
+struct StreamingResult {
+    name: &'static str,
+    window: usize,
+    v: usize,
+    pushes: usize,
+    maintain_us_per_frame: f64,
+    rebuild_us_per_window: f64,
+    speedup: f64,
+}
+
+/// One frame of a drifting synthetic skeleton: a fixed base pose plus
+/// slow per-joint sinusoidal motion, `[V, D]` flattened.
+fn skeleton_frame(t: usize, v: usize, d: usize) -> Vec<f32> {
+    (0..v * d)
+        .map(|i| {
+            let (vi, ci) = (i / d, i % d);
+            let base = ((vi * 37 + ci * 11) as f32 * 0.31).sin();
+            base + (t as f32 * 0.08 + vi as f32 * 0.5 + ci as f32).sin() * 0.05
+        })
+        .collect()
+}
+
+/// Per-frame incremental topology maintenance vs. per-window from-scratch
+/// reconstruction at `T = 64` on NTU-25 shapes — the structural streaming
+/// advantage: a sliding window shares `T − 1` frames with its
+/// predecessor, so maintenance builds one topology per frame where the
+/// naive path rebuilds all `T`.
+fn streaming_section(args: &Args) -> Vec<StreamingResult> {
+    let (t, v, d) = (64usize, 25usize, 3usize);
+    let (pushes, windows) = if args.smoke { (16, 2) } else { (128, 8) };
+    let mut results = Vec::new();
+
+    // kNN + k-medoid window topology (§3.4 dynamic hyperedges)
+    let config = TopologyConfig::new(4, 8, 7).with_threshold(0.02);
+    let mut ring = WindowTopology::new(t, config);
+    for ti in 0..t {
+        ring.push(&skeleton_frame(ti, v, d), v, d);
+    }
+    let start = Instant::now();
+    for ti in t..t + pushes {
+        ring.push(&skeleton_frame(ti, v, d), v, d);
+        std::hint::black_box(ring.is_full());
+    }
+    let maintain_us = start.elapsed().as_secs_f64() * 1e6 / pushes as f64;
+    let start = Instant::now();
+    for w in 0..windows {
+        for ti in w..w + t {
+            std::hint::black_box(from_scratch_operator(
+                &skeleton_frame(ti, v, d),
+                v,
+                d,
+                &config,
+            ));
+        }
+    }
+    let rebuild_us = start.elapsed().as_secs_f64() * 1e6 / windows as f64;
+    results.push(StreamingResult {
+        name: "window_topology",
+        window: t,
+        v,
+        pushes,
+        maintain_us_per_frame: maintain_us,
+        rebuild_us_per_window: rebuild_us,
+        speedup: rebuild_us / maintain_us,
+    });
+
+    // Eq. 9 moving-distance joint-weight operators (§3.3)
+    let hg = static_hypergraph(&SkeletonTopology::ntu25());
+    let mut rolling = RollingOperators::new(t, hg.clone(), d);
+    for ti in 0..t {
+        rolling.push(&skeleton_frame(ti, v, d));
+    }
+    let start = Instant::now();
+    for ti in t..t + pushes {
+        rolling.push(&skeleton_frame(ti, v, d));
+        std::hint::black_box(rolling.is_full());
+    }
+    let maintain_us = start.elapsed().as_secs_f64() * 1e6 / pushes as f64;
+    let start = Instant::now();
+    for w in 0..windows {
+        let coords: Vec<f32> =
+            (w..w + t).flat_map(|ti| skeleton_frame(ti, v, d)).collect();
+        let stream = NdArray::from_vec(coords, &[t, v, d]);
+        std::hint::black_box(dynamic_operators(&hg, &stream));
+    }
+    let rebuild_us = start.elapsed().as_secs_f64() * 1e6 / windows as f64;
+    results.push(StreamingResult {
+        name: "rolling_joint_weights",
+        window: t,
+        v,
+        pushes,
+        maintain_us_per_frame: maintain_us,
+        rebuild_us_per_window: rebuild_us,
+        speedup: rebuild_us / maintain_us,
+    });
+    results
+}
+
 struct ServeResult {
     requests: usize,
     clients: usize,
@@ -271,10 +404,15 @@ fn serve_section(args: &Args) -> ServeResult {
     }
 }
 
-fn write_json(args: &Args, gemm: &[GemmResult], serve: &ServeResult) -> std::io::Result<()> {
+fn write_json(
+    args: &Args,
+    gemm: &[GemmResult],
+    streaming: &[StreamingResult],
+    serve: &ServeResult,
+) -> std::io::Result<()> {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str(&format!("  \"bench\": 6,\n  \"smoke\": {},\n", args.smoke));
+    s.push_str(&format!("  \"bench\": 7,\n  \"smoke\": {},\n", args.smoke));
     s.push_str("  \"gemm\": [\n");
     for (i, g) in gemm.iter().enumerate() {
         s.push_str(&format!(
@@ -288,6 +426,23 @@ fn write_json(args: &Args, gemm: &[GemmResult], serve: &ServeResult) -> std::io:
             g.threads,
             g.gflops,
             if i + 1 < gemm.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"streaming\": [\n");
+    for (i, r) in streaming.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"window\": {}, \"v\": {}, \"pushes\": {}, \
+             \"maintain_us_per_frame\": {:.2}, \"rebuild_us_per_window\": {:.2}, \
+             \"speedup\": {:.2}}}{}\n",
+            r.name,
+            r.window,
+            r.v,
+            r.pushes,
+            r.maintain_us_per_frame,
+            r.rebuild_us_per_window,
+            r.speedup,
+            if i + 1 < streaming.len() { "," } else { "" }
         ));
     }
     s.push_str("  ],\n");
@@ -305,37 +460,116 @@ fn write_json(args: &Args, gemm: &[GemmResult], serve: &ServeResult) -> std::io:
     std::fs::write(&args.out, s)
 }
 
+/// Compare the fresh gemm section against a previous snapshot's numbers,
+/// keyed by `(name, kernel, threads)`. A kernel more than `tolerance`
+/// (fractionally) below its baseline rate is a regression and fails the
+/// run. Kernels absent from the baseline are skipped — the gate only
+/// tightens on shapes both snapshots measured.
+fn check_baseline(args: &Args, gemm: &[GemmResult]) -> Result<(), String> {
+    let Some(path) = &args.baseline else { return Ok(()) };
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+    let baseline =
+        Value::parse(&text).map_err(|e| format!("cannot parse baseline {path}: {e}"))?;
+    let old = baseline
+        .get("gemm")
+        .and_then(|v| v.as_arr())
+        .ok_or_else(|| format!("baseline {path} has no gemm section"))?;
+    let mut failures = Vec::new();
+    let mut compared = 0usize;
+    for g in gemm {
+        let matched = old.iter().find(|entry| {
+            entry.get("name").and_then(Value::as_str) == Some(g.name)
+                && entry.get("kernel").and_then(Value::as_str) == Some(g.kernel)
+                && entry.get("threads").and_then(Value::as_f64) == Some(g.threads as f64)
+        });
+        let Some(was) = matched.and_then(|e| e.get("gflops").and_then(Value::as_f64)) else {
+            continue;
+        };
+        compared += 1;
+        let floor = was * (1.0 - args.tolerance);
+        if g.gflops < floor {
+            failures.push(format!(
+                "  {} {} threads={}: {:.2} GFLOP/s < floor {:.2} (baseline {:.2}, tolerance {:.0}%)",
+                g.name,
+                g.kernel,
+                g.threads,
+                g.gflops,
+                floor,
+                was,
+                args.tolerance * 100.0
+            ));
+        }
+    }
+    println!(
+        "baseline {path}: {compared} kernels compared, {} regression(s)",
+        failures.len()
+    );
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("gemm regression past tolerance:\n{}", failures.join("\n")))
+    }
+}
+
+/// The acceptance floor for streaming maintenance: ≥ 3× cheaper per frame
+/// than per-window from-scratch reconstruction.
+const STREAMING_SPEEDUP_FLOOR: f64 = 3.0;
+
 fn main() -> ExitCode {
     let args = match Args::parse() {
         Ok(a) => a,
         Err(why) => {
             eprintln!("perf: {why}");
-            eprintln!("usage: perf [--smoke] [--out PATH] [--threads N]");
+            eprintln!(
+                "usage: perf [--smoke] [--out PATH] [--threads N] [--baseline PATH] [--tolerance F]"
+            );
             return ExitCode::FAILURE;
         }
     };
     println!(
-        "== perf: GEMM GFLOP/s + serve latency quantiles ({}) ==",
+        "== perf: GEMM GFLOP/s + streaming maintenance + serve latency quantiles ({}) ==",
         if args.smoke { "smoke" } else { "full" }
     );
     let gemm = gemm_section(&args);
     for g in &gemm {
         println!("gemm  {:<24} {:<15} threads={} {:>8.2} GFLOP/s", g.name, g.kernel, g.threads, g.gflops);
     }
+    let streaming = streaming_section(&args);
+    for r in &streaming {
+        println!(
+            "stream {:<22} T={} V={} maintain={:.1}us/frame rebuild={:.1}us/window speedup={:.1}x",
+            r.name, r.window, r.v, r.maintain_us_per_frame, r.rebuild_us_per_window, r.speedup
+        );
+    }
     let serve = serve_section(&args);
     println!(
         "serve DHGCN-lite(tiny)  {} requests  {:.1} req/s  p50={}us p95={}us p99={}us",
         serve.requests, serve.rps, serve.p50_us, serve.p95_us, serve.p99_us
     );
-    match write_json(&args, &gemm, &serve) {
-        Ok(()) => {
-            println!("wrote {}", args.out);
-            println!("== perf: OK ==");
-            ExitCode::SUCCESS
+    if let Err(e) = write_json(&args, &gemm, &streaming, &serve) {
+        eprintln!("perf: failed to write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", args.out);
+    let mut ok = true;
+    for r in &streaming {
+        if r.speedup < STREAMING_SPEEDUP_FLOOR {
+            eprintln!(
+                "perf: streaming {} speedup {:.2}x is below the {:.0}x acceptance floor",
+                r.name, r.speedup, STREAMING_SPEEDUP_FLOOR
+            );
+            ok = false;
         }
-        Err(e) => {
-            eprintln!("perf: failed to write {}: {e}", args.out);
-            ExitCode::FAILURE
-        }
+    }
+    if let Err(why) = check_baseline(&args, &gemm) {
+        eprintln!("perf: {why}");
+        ok = false;
+    }
+    if ok {
+        println!("== perf: OK ==");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }

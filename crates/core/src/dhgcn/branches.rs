@@ -4,34 +4,12 @@ use crate::common::{
     apply_dynamic_vertex_op, apply_dynamic_vertex_op_eval, apply_per_sample_vertex_op,
     apply_per_sample_vertex_op_eval, apply_vertex_op, apply_vertex_op_eval,
 };
-use dhg_hypergraph::{kmeans_hyperedges, knn_hyperedges};
+use dhg_hypergraph::{stacked_operators, stacked_operators_with, TopologyConfig};
 use dhg_nn::{Conv2d, EvalConv, Module};
 use dhg_tensor::{NdArray, Tensor, Workspace};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use rand::Rng;
 
 use super::model::TopologyGranularity;
-
-/// Build the union k-NN/k-means hypergraph operator for one set of
-/// coordinates (`coords` is `[V, D]` row-major). The k-means initialisation
-/// is reseeded per call, so identical coordinates always give the same
-/// topology — the operator is a deterministic function of the data, not of
-/// the training-iteration order (which also makes the per-sample and
-/// per-frame loops safe to shard across threads).
-fn union_topology_operator(
-    coords: &[f32],
-    v: usize,
-    d: usize,
-    kn: usize,
-    km: usize,
-    seed: u64,
-) -> NdArray {
-    let knn = knn_hyperedges(coords, v, d, kn.min(v));
-    let mut rng = StdRng::seed_from_u64(seed);
-    let kmeans = kmeans_hyperedges(coords, v, d, km.min(v), &mut rng);
-    knn.union(&kmeans).operator()
-}
 
 /// Branch 1 — static hypergraph convolution (Eq. 5): a fixed `[V, V]`
 /// operator, modulated by ST-GCN's learnable edge-importance mask `M`
@@ -268,41 +246,19 @@ impl TopologyBranch {
     pub fn forward(&self, x: &Tensor) -> Tensor {
         // Eq. 10: X_new = σ(W_map · f_in)
         let embedded = self.embed.forward(x).relu();
-        let s = embedded.shape();
-        let (n, e, t, v) = (s[0], s[1], s[2], s[3]);
-        debug_assert_eq!(e, self.embed_channels);
+        debug_assert_eq!(embedded.shape()[1], self.embed_channels);
         // coordinates for topology construction: detached embedded features
         let feats = embedded.data().permute(&[0, 2, 3, 1]); // [N, T, V, E]
-        // the branch itself holds Rc tensors and is thread-confined, so the
-        // sharded closures capture only these Copy hyper-parameters
-        let (kn, km, seed) = (self.kn, self.km, self.seed);
+        let config = TopologyConfig::new(self.kn, self.km, self.seed);
+        let stacked = stacked_operators(&feats, self.granularity, &config);
         let mixed = match self.granularity {
             TopologyGranularity::PerSample => {
-                // time-average the embedding, one hypergraph per sample;
-                // samples are independent, so shard them over the pool
-                let mean = feats.mean_axes(&[1], false); // [N, V, E]
-                let mut stacked = NdArray::zeros(&[n, v, v]);
-                let work = n * v * v * (e + kn + km + 8);
-                dhg_tensor::parallel::for_each_block(stacked.data_mut(), v * v, work, |ni, blk| {
-                    let coords = &mean.data()[ni * v * e..(ni + 1) * v * e];
-                    blk.copy_from_slice(union_topology_operator(coords, v, e, kn, km, seed).data());
-                });
                 let op = Tensor::constant(stacked).mul(&self.importance).add(&self.learned);
                 apply_per_sample_vertex_op(&embedded, &op)
             }
             TopologyGranularity::PerFrame => {
-                // one hypergraph per (sample, frame) pair, sharded likewise;
-                // block index ni·t + ti matches the [N, T, V, E] layout
-                let mut stacked = NdArray::zeros(&[n, t, v, v]);
-                let work = n * t * v * v * (e + kn + km + 8);
-                dhg_tensor::parallel::for_each_block(stacked.data_mut(), v * v, work, |item, blk| {
-                    let base = item * v * e;
-                    let coords = &feats.data()[base..base + v * e];
-                    blk.copy_from_slice(union_topology_operator(coords, v, e, kn, km, seed).data());
-                });
-                let stacked =
-                    Tensor::constant(stacked).mul(&self.importance).add(&self.learned);
-                apply_dynamic_vertex_op(&embedded, &stacked)
+                let op = Tensor::constant(stacked).mul(&self.importance).add(&self.learned);
+                apply_dynamic_vertex_op(&embedded, &op)
             }
         };
         self.theta.forward(&mixed)
@@ -382,41 +338,23 @@ pub(crate) struct TopologyBranchEval {
 impl TopologyBranchEval {
     pub(crate) fn forward(&self, x: &NdArray, ws: &mut Workspace) -> NdArray {
         let embedded = self.embed.forward_relu(x, ws);
-        let s = embedded.shape();
-        let (n, e, t, v) = (s[0], s[1], s[2], s[3]);
         let feats = embedded.permute(&[0, 2, 3, 1]); // [N, T, V, E]
-        let (kn, km, seed) = (self.kn, self.km, self.seed);
+        let config = TopologyConfig::new(self.kn, self.km, self.seed);
         let imp = self.importance.data();
         let learned = self.learned.data();
-        // importance mask ∘ operator + learned refinement, per [V, V] block
+        // importance mask ∘ operator + learned refinement, fused into the
+        // sharded construction sweep (one pass per [V, V] block)
         let weight_block = |blk: &mut [f32]| {
             for ((w, &iv), &lv) in blk.iter_mut().zip(imp).zip(learned) {
                 *w = *w * iv + lv;
             }
         };
+        let stacked = stacked_operators_with(&feats, self.granularity, &config, weight_block);
         let mixed = match self.granularity {
             TopologyGranularity::PerSample => {
-                let mean = feats.mean_axes(&[1], false); // [N, V, E]
-                let mut stacked = NdArray::zeros(&[n, v, v]);
-                let work = n * v * v * (e + kn + km + 8);
-                dhg_tensor::parallel::for_each_block(stacked.data_mut(), v * v, work, |ni, blk| {
-                    let coords = &mean.data()[ni * v * e..(ni + 1) * v * e];
-                    blk.copy_from_slice(union_topology_operator(coords, v, e, kn, km, seed).data());
-                    weight_block(blk);
-                });
                 apply_per_sample_vertex_op_eval(&embedded, &stacked, ws)
             }
-            TopologyGranularity::PerFrame => {
-                let mut stacked = NdArray::zeros(&[n, t, v, v]);
-                let work = n * t * v * v * (e + kn + km + 8);
-                dhg_tensor::parallel::for_each_block(stacked.data_mut(), v * v, work, |item, blk| {
-                    let base = item * v * e;
-                    let coords = &feats.data()[base..base + v * e];
-                    blk.copy_from_slice(union_topology_operator(coords, v, e, kn, km, seed).data());
-                    weight_block(blk);
-                });
-                apply_dynamic_vertex_op_eval(&embedded, &stacked, ws)
-            }
+            TopologyGranularity::PerFrame => apply_dynamic_vertex_op_eval(&embedded, &stacked, ws),
         };
         ws.recycle(embedded);
         let out = self.theta.forward(&mixed, ws);
@@ -429,6 +367,8 @@ impl TopologyBranchEval {
 mod tests {
     use super::*;
     use dhg_skeleton::{static_hypergraph, SkeletonTopology};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0)

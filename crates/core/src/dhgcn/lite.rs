@@ -21,14 +21,13 @@ use crate::common::{
 };
 use crate::tcn::TemporalConv;
 use dhg_hypergraph::{
-    dynamic_operators, kmeans_hyperedges, knn_hyperedges, normalize_rows, Hypergraph,
+    dynamic_operators, from_scratch_operator, normalize_rows, Hypergraph, TopologyConfig,
 };
 use dhg_nn::{global_avg_pool, BatchNorm2d, Buffer, Conv2d, EvalConv, Linear, Module};
 use dhg_skeleton::{static_hypergraph, SkeletonTopology};
 use dhg_tensor::ops::Conv2dSpec;
 use dhg_tensor::{NdArray, Tensor, Workspace};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
 /// Configuration of [`DhgcnLite`].
 #[derive(Clone, Debug, PartialEq)]
@@ -345,6 +344,13 @@ impl DhgcnLite {
         self.blocks.len()
     }
 
+    /// The one-shot topology construction parameters. The fixed seed makes
+    /// the k-means init a pure function of the data, so checkpoints
+    /// restore behaviour exactly.
+    fn topology_config(&self) -> TopologyConfig {
+        TopologyConfig::new(self.config.kn, self.config.km, 0x6C69_7465) // "lite"
+    }
+
     /// Build the fused per-sample operator `[N, V, V]`: static ⊕
     /// time-averaged joint-weight ⊕ shared dynamic topology ⊕ learned.
     fn fused_operator(&self, x: &Tensor) -> Tensor {
@@ -366,13 +372,11 @@ impl DhgcnLite {
         let embedded = self.embed.forward(x).relu();
         let e = embedded.shape()[1];
         let feats = embedded.data().permute(&[0, 2, 3, 1]).mean_axes(&[1], false); // [N, V, E]
+        let cfg = self.topology_config();
         let mut topo = Vec::with_capacity(n);
         for ni in 0..n {
             let c = &feats.data()[ni * v * e..(ni + 1) * v * e];
-            let knn = knn_hyperedges(c, v, e, self.config.kn.min(v));
-            let mut rng = StdRng::seed_from_u64(0x6C69_7465); // "lite"
-            let km = kmeans_hyperedges(c, v, e, self.config.km.min(v), &mut rng);
-            topo.push(normalize_rows(&knn.union(&km).operator()).reshape(&[1, v, v]));
+            topo.push(normalize_rows(&from_scratch_operator(c, v, e, &cfg)).reshape(&[1, v, v]));
         }
         let trefs: Vec<&NdArray> = topo.iter().collect();
         let topology = NdArray::concat(&trefs, 0); // [N, V, V]
@@ -403,12 +407,10 @@ impl DhgcnLite {
         ws.recycle(embedded);
         let sod = self.static_op.data();
         let ld = self.learned.data();
+        let cfg = self.topology_config();
         for ni in 0..n {
             let c = &feats.data()[ni * v * e..(ni + 1) * v * e];
-            let knn = knn_hyperedges(c, v, e, self.config.kn.min(v));
-            let mut rng = StdRng::seed_from_u64(0x6C69_7465); // "lite"
-            let km = kmeans_hyperedges(c, v, e, self.config.km.min(v), &mut rng);
-            let topo = normalize_rows(&knn.union(&km).operator());
+            let topo = normalize_rows(&from_scratch_operator(c, v, e, &cfg));
             let blk = &mut fused[ni * v * v..(ni + 1) * v * v];
             for (((f, &tv), &sv), &lv) in
                 blk.iter_mut().zip(topo.data()).zip(sod.data()).zip(ld.data())
@@ -569,6 +571,8 @@ impl Module for DhgcnLite {
 mod tests {
     use super::*;
     use crate::dhgcn::{Dhgcn, DhgcnConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn dims() -> ModelDims {
         ModelDims { in_channels: 3, n_joints: 25, n_classes: 6 }

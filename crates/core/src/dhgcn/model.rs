@@ -69,16 +69,10 @@ impl BranchConfig {
     }
 }
 
-/// How often the dynamic topology is rebuilt (§3.4 builds it per frame;
-/// per sample time-averages the embedding first — far cheaper, see the
-/// `dynamic_topology` benchmark).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum TopologyGranularity {
-    /// One hypergraph per sample per block (time-averaged embedding).
-    PerSample,
-    /// One hypergraph per frame per sample per block (paper-faithful).
-    PerFrame,
-}
+/// Dynamic-topology rebuild granularity — now owned by the hypergraph
+/// crate's incremental-construction subsystem and re-exported here for the
+/// historical path (`dhg_core::TopologyGranularity`).
+pub use dhg_hypergraph::TopologyGranularity;
 
 /// Hyper-parameters of [`Dhgcn`].
 #[derive(Clone, Debug, PartialEq)]
@@ -202,6 +196,13 @@ impl Dhgcn {
         Self::new(config, hg, rng)
     }
 
+    /// The static hypergraph the joint-weight operators are built over —
+    /// streaming sessions use it to maintain the Eq. 9 operators
+    /// incrementally outside the model.
+    pub fn static_hypergraph(&self) -> &Hypergraph {
+        &self.static_hg
+    }
+
     /// The model configuration.
     pub fn config(&self) -> &DhgcnConfig {
         &self.config
@@ -227,6 +228,96 @@ impl Dhgcn {
         NdArray::concat(&refs, 0)
     }
 
+    /// The training/eval forward with an optional override for the Eq. 9
+    /// joint-weight operators. `ops_override` must be `[N, T, V, V]` at the
+    /// input temporal resolution; streaming sessions pass rolling operators
+    /// maintained outside the model, offline callers pass `None` and the
+    /// model derives them from the raw coordinates.
+    fn forward_with_ops(&self, x: &Tensor, ops_override: Option<&NdArray>) -> Tensor {
+        let shape = x.shape();
+        assert_eq!(shape.len(), 4, "input must be [N, C, T, V]");
+        assert_eq!(shape[1], self.config.dims.in_channels, "channel mismatch");
+        assert_eq!(shape[3], self.config.dims.n_joints, "joint mismatch");
+        // Dynamic joint-weight operators come from the *raw coordinates*
+        // (moving distance, Eq. 6) — computed once, shared by all blocks
+        // at the same temporal resolution (no per-block copies), and
+        // subsampled whenever a block strides over time.
+        let needs_ops = self.blocks.iter().any(|b| b.needs_dynamic_ops());
+        let mut ops: Option<Tensor> = if needs_ops {
+            Some(match ops_override {
+                Some(o) => Tensor::constant(o.clone()),
+                None => Tensor::constant(self.dynamic_joint_weight_ops(&x.data())),
+            })
+        } else {
+            None
+        };
+
+        let mut h = self.input_bn.forward(x);
+        for block in &self.blocks {
+            let ops_tensor =
+                block.needs_dynamic_ops().then(|| ops.as_ref().expect("ops precomputed"));
+            h = block.forward(&h, ops_tensor);
+            if block.stride() > 1 {
+                if let Some(o) = &ops {
+                    let t_out = h.shape()[2];
+                    let sub = Self::subsample_ops(&o.data(), t_out, block.stride());
+                    ops = Some(Tensor::constant(sub));
+                }
+            }
+        }
+        self.fc.forward(&global_avg_pool(&h))
+    }
+
+    /// Grad-free serving forward with an optional override for the Eq. 9
+    /// joint-weight operators (`ops_override`, shape `[N, T, V, V]`,
+    /// one normalized operator per frame). [`Module::forward_inference`]
+    /// delegates here with `None`; streaming sessions inject rolling
+    /// operators instead.
+    pub fn forward_serving(
+        &self,
+        x: &Tensor,
+        ops_override: Option<&NdArray>,
+        ws: &mut Workspace,
+    ) -> Tensor {
+        let _guard = dhg_tensor::no_grad();
+        let Some((bn_scale, bn_shift)) = &self.inference else {
+            // not compiled: grad-free but otherwise identical to forward
+            return self.forward_with_ops(x, ops_override);
+        };
+        let shape = x.shape();
+        assert_eq!(shape.len(), 4, "input must be [N, C, T, V]");
+        assert_eq!(shape[1], self.config.dims.in_channels, "channel mismatch");
+        assert_eq!(shape[3], self.config.dims.n_joints, "joint mismatch");
+        let xnd = x.data();
+        let needs_ops = self.blocks.iter().any(|b| b.needs_dynamic_ops());
+        let mut ops: Option<NdArray> = if needs_ops {
+            Some(match ops_override {
+                Some(o) => o.clone(),
+                None => self.dynamic_joint_weight_ops(&xnd),
+            })
+        } else {
+            None
+        };
+        let mut h = self.input_bn.forward_affine(&xnd, bn_scale, bn_shift, ws);
+        for block in &self.blocks {
+            let block_ops = block
+                .needs_dynamic_ops()
+                .then(|| ops.as_ref().expect("ops precomputed"));
+            let next = block.forward_eval(&h, block_ops, ws);
+            ws.recycle(h);
+            h = next;
+            if block.stride() > 1 {
+                if let Some(o) = &ops {
+                    let t_out = h.shape()[2];
+                    ops = Some(Self::subsample_ops(o, t_out, block.stride()));
+                }
+            }
+        }
+        let pooled = h.mean_axes(&[2, 3], false); // [N, C]
+        ws.recycle(h);
+        Tensor::constant(crate::common::linear_eval(&self.fc, &pooled, ws))
+    }
+
     /// Subsample per-frame operators to a coarser temporal resolution
     /// (after a strided block, frame `t` corresponds to input frame
     /// `t · stride`).
@@ -243,32 +334,7 @@ impl Dhgcn {
 
 impl Module for Dhgcn {
     fn forward(&self, x: &Tensor) -> Tensor {
-        let shape = x.shape();
-        assert_eq!(shape.len(), 4, "input must be [N, C, T, V]");
-        assert_eq!(shape[1], self.config.dims.in_channels, "channel mismatch");
-        assert_eq!(shape[3], self.config.dims.n_joints, "joint mismatch");
-        // Dynamic joint-weight operators come from the *raw coordinates*
-        // (moving distance, Eq. 6) — computed once, shared by all blocks
-        // at the same temporal resolution (no per-block copies), and
-        // subsampled whenever a block strides over time.
-        let needs_ops = self.blocks.iter().any(|b| b.needs_dynamic_ops());
-        let mut ops: Option<Tensor> =
-            needs_ops.then(|| Tensor::constant(self.dynamic_joint_weight_ops(&x.data())));
-
-        let mut h = self.input_bn.forward(x);
-        for block in &self.blocks {
-            let ops_tensor =
-                block.needs_dynamic_ops().then(|| ops.as_ref().expect("ops precomputed"));
-            h = block.forward(&h, ops_tensor);
-            if block.stride() > 1 {
-                if let Some(o) = &ops {
-                    let t_out = h.shape()[2];
-                    let sub = Self::subsample_ops(&o.data(), t_out, block.stride());
-                    ops = Some(Tensor::constant(sub));
-                }
-            }
-        }
-        self.fc.forward(&global_avg_pool(&h))
+        self.forward_with_ops(x, None)
     }
 
     fn parameters(&self) -> Vec<Tensor> {
@@ -357,37 +423,7 @@ impl Module for Dhgcn {
     }
 
     fn forward_inference(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
-        let Some((bn_scale, bn_shift)) = &self.inference else {
-            // not compiled: grad-free but otherwise identical to forward
-            let _guard = dhg_tensor::no_grad();
-            return self.forward(x);
-        };
-        let _guard = dhg_tensor::no_grad();
-        let shape = x.shape();
-        assert_eq!(shape.len(), 4, "input must be [N, C, T, V]");
-        assert_eq!(shape[1], self.config.dims.in_channels, "channel mismatch");
-        assert_eq!(shape[3], self.config.dims.n_joints, "joint mismatch");
-        let xnd = x.data();
-        let needs_ops = self.blocks.iter().any(|b| b.needs_dynamic_ops());
-        let mut ops: Option<NdArray> = needs_ops.then(|| self.dynamic_joint_weight_ops(&xnd));
-        let mut h = self.input_bn.forward_affine(&xnd, bn_scale, bn_shift, ws);
-        for block in &self.blocks {
-            let block_ops = block
-                .needs_dynamic_ops()
-                .then(|| ops.as_ref().expect("ops precomputed"));
-            let next = block.forward_eval(&h, block_ops, ws);
-            ws.recycle(h);
-            h = next;
-            if block.stride() > 1 {
-                if let Some(o) = &ops {
-                    let t_out = h.shape()[2];
-                    ops = Some(Self::subsample_ops(o, t_out, block.stride()));
-                }
-            }
-        }
-        let pooled = h.mean_axes(&[2, 3], false); // [N, C]
-        ws.recycle(h);
-        Tensor::constant(crate::common::linear_eval(&self.fc, &pooled, ws))
+        self.forward_serving(x, None, ws)
     }
 }
 

@@ -1,0 +1,140 @@
+//! The streaming-model contract: sliding-window inference with
+//! externally maintained dynamic operators.
+//!
+//! A streaming session (see `dhg_train::streaming`) feeds a model one
+//! window `[N, C, T, V]` per emitted frame. For models whose forward pass
+//! derives per-frame operators from the raw coordinates (DHGCN's Eq. 9
+//! joint-weight operators), recomputing those from scratch per window
+//! wastes exactly the work the session already did maintaining them
+//! incrementally — so the contract lets the session *inject* the rolling
+//! operators. Models without such state simply ignore the injection and
+//! run their ordinary serving path.
+
+use dhg_hypergraph::Hypergraph;
+use dhg_nn::Module;
+use dhg_tensor::{NdArray, Tensor, Workspace};
+
+/// A model that can score sliding windows of a skeleton stream.
+///
+/// Every [`Module`] gets a working default (score the window like any
+/// other batch); models with window-derived internal state override the
+/// methods to accept it from the session instead.
+pub trait StreamableModel: Module {
+    /// Score one window. `window_ops` carries externally maintained
+    /// per-frame operators `[N, T, V, V]` aligned with `x`; models that
+    /// report `false` from [`StreamableModel::consumes_window_ops`]
+    /// ignore it.
+    fn forward_window(
+        &self,
+        x: &Tensor,
+        window_ops: Option<&NdArray>,
+        ws: &mut Workspace,
+    ) -> Tensor {
+        let _ = window_ops;
+        self.forward_inference(x, ws)
+    }
+
+    /// Whether [`StreamableModel::forward_window`] actually uses injected
+    /// operators. Sessions skip rolling maintenance when this is `false`.
+    fn consumes_window_ops(&self) -> bool {
+        false
+    }
+
+    /// The hypergraph the injected operators must be built over (the
+    /// model's static skeleton hypergraph for DHGCN's Eq. 9 operators);
+    /// `None` when no operators are consumed.
+    fn streaming_hypergraph(&self) -> Option<Hypergraph> {
+        None
+    }
+}
+
+impl StreamableModel for crate::Dhgcn {
+    fn forward_window(
+        &self,
+        x: &Tensor,
+        window_ops: Option<&NdArray>,
+        ws: &mut Workspace,
+    ) -> Tensor {
+        self.forward_serving(x, window_ops, ws)
+    }
+
+    fn consumes_window_ops(&self) -> bool {
+        self.config().branches.dynamic_joint_weight
+    }
+
+    fn streaming_hypergraph(&self) -> Option<Hypergraph> {
+        self.consumes_window_ops().then(|| self.static_hypergraph().clone())
+    }
+}
+
+// models whose serving path has no window-derived state: the defaults
+// (ordinary batch inference, no operator injection) are exactly right
+impl StreamableModel for crate::DhgcnLite {}
+impl StreamableModel for crate::StGcn {}
+impl StreamableModel for crate::Agcn {}
+impl StreamableModel for crate::ShiftGcn {}
+impl StreamableModel for crate::TcnClassifier {}
+impl StreamableModel for crate::LstmClassifier {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::ModelDims;
+    use crate::{Dhgcn, DhgcnConfig, DhgcnLite, DhgcnLiteConfig};
+    use dhg_skeleton::SkeletonTopology;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dims() -> ModelDims {
+        ModelDims { in_channels: 3, n_joints: 25, n_classes: 6 }
+    }
+
+    #[test]
+    fn dhgcn_consumes_ops_iff_joint_weight_branch_active() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let full = Dhgcn::for_topology(DhgcnConfig::small(dims()), &SkeletonTopology::ntu25(), &mut rng);
+        assert!(full.consumes_window_ops());
+        assert!(full.streaming_hypergraph().is_some());
+        let mut cfg = DhgcnConfig::small(dims());
+        cfg.branches = crate::dhgcn::BranchConfig::no_joint_weight();
+        let no_jw = Dhgcn::for_topology(cfg, &SkeletonTopology::ntu25(), &mut rng);
+        assert!(!no_jw.consumes_window_ops());
+        assert!(no_jw.streaming_hypergraph().is_none());
+    }
+
+    #[test]
+    fn lite_ignores_window_ops() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut m = DhgcnLite::new(DhgcnLiteConfig::new(dims()), &SkeletonTopology::ntu25(), &mut rng);
+        m.prepare_inference();
+        assert!(!m.consumes_window_ops());
+        let x = Tensor::constant(NdArray::from_vec(
+            (0..3 * 8 * 25).map(|i| (i as f32 * 0.03).sin()).collect(),
+            &[1, 3, 8, 25],
+        ));
+        let bogus = NdArray::ones(&[1, 8, 25, 25]);
+        let mut ws = Workspace::new();
+        let with = m.forward_window(&x, Some(&bogus), &mut ws).array();
+        let without = m.forward_window(&x, None, &mut ws).array();
+        assert_eq!(with, without, "models without window state must ignore the injection");
+    }
+
+    #[test]
+    fn dhgcn_window_with_its_own_ops_matches_plain_inference() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut m = Dhgcn::for_topology(DhgcnConfig::small(dims()), &SkeletonTopology::ntu25(), &mut rng);
+        let x = Tensor::constant(NdArray::from_vec(
+            (0..3 * 8 * 25).map(|i| (i as f32 * 0.017).sin()).collect(),
+            &[1, 3, 8, 25],
+        ));
+        m.forward(&x); // warm BN
+        m.prepare_inference();
+        let mut ws = Workspace::new();
+        // injecting exactly the operators the model would derive itself
+        // must be a no-op
+        let ops = m.dynamic_joint_weight_ops(&x.data());
+        let injected = m.forward_window(&x, Some(&ops), &mut ws).array();
+        let plain = m.forward_inference(&x, &mut ws).array();
+        assert_eq!(injected, plain);
+    }
+}

@@ -13,11 +13,38 @@ fn dist2(a: &[f32], b: &[f32]) -> f32 {
     a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
 }
 
+/// The `k_n`-NN hyperedge of a single anchor vertex, in canonical
+/// (ascending-index) member order.
+///
+/// `coords` is row-major `[n_vertices, dim]`. Ties are broken by vertex
+/// index, and the selected members are sorted before returning, so the
+/// same coordinates always yield the same member list — edge sets built
+/// by different code paths (from-scratch vs. incremental) compare
+/// bitwise. The incremental builder caches these per-anchor lists.
+pub fn knn_edge(coords: &[f32], n_vertices: usize, dim: usize, kn: usize, anchor: usize) -> Vec<usize> {
+    let pi = &coords[anchor * dim..(anchor + 1) * dim];
+    let mut order: Vec<usize> = (0..n_vertices).collect();
+    // partial sort: the kn smallest by (distance, index)
+    order.select_nth_unstable_by(kn - 1, |&a, &b| {
+        let da = dist2(&coords[a * dim..(a + 1) * dim], pi);
+        let db = dist2(&coords[b * dim..(b + 1) * dim], pi);
+        da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
+    order.truncate(kn);
+    // canonicalise: `select_nth_unstable_by` leaves the prefix in
+    // arbitrary order; sorting makes the member list a pure function of
+    // the coordinates alone
+    order.sort_unstable();
+    order
+}
+
 /// Build the `k_n`-NN hyperedge set for one frame.
 ///
 /// `coords` is row-major `[n_vertices, dim]` (the paper uses `dim = 3`
 /// joint coordinates; the dynamic-topology branch uses FC-mapped features).
-/// Ties are broken by vertex index so the construction is deterministic.
+/// Ties are broken by vertex index so the construction is deterministic,
+/// and every edge's members are in canonical ascending order (see
+/// [`knn_edge`]).
 ///
 /// Panics if `kn == 0` or `kn > n_vertices`.
 pub fn knn_hyperedges(coords: &[f32], n_vertices: usize, dim: usize, kn: usize) -> Hypergraph {
@@ -29,16 +56,7 @@ pub fn knn_hyperedges(coords: &[f32], n_vertices: usize, dim: usize, kn: usize) 
     // worker pool returns the same edge set at any thread count
     let work = n_vertices * n_vertices * (dim + 4);
     let edges = dhg_tensor::parallel::parallel_map(n_vertices, work, |i| {
-        let pi = &coords[i * dim..(i + 1) * dim];
-        let mut order: Vec<usize> = (0..n_vertices).collect();
-        // partial sort: the kn smallest by (distance, index)
-        order.select_nth_unstable_by(kn - 1, |&a, &b| {
-            let da = dist2(&coords[a * dim..(a + 1) * dim], pi);
-            let db = dist2(&coords[b * dim..(b + 1) * dim], pi);
-            da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
-        });
-        order.truncate(kn);
-        order
+        knn_edge(coords, n_vertices, dim, kn, i)
     });
     Hypergraph::new(n_vertices, edges)
 }
@@ -101,6 +119,18 @@ mod tests {
     #[should_panic(expected = "exceeds vertex count")]
     fn kn_too_large_panics() {
         knn_hyperedges(&line(), 4, 3, 5);
+    }
+
+    #[test]
+    fn edge_members_are_in_canonical_order() {
+        // a scrambled point cloud whose neighbour sets are not index-sorted
+        // by construction; the returned member lists must still be
+        let coords: Vec<f32> = (0..12 * 3).map(|i| ((i * 37 % 23) as f32).sin() * 5.0).collect();
+        let hg = knn_hyperedges(&coords, 12, 3, 4);
+        for (i, e) in hg.edges().iter().enumerate() {
+            assert!(e.windows(2).all(|w| w[0] < w[1]), "edge {i} not sorted: {e:?}");
+            assert_eq!(e, &knn_edge(&coords, 12, 3, 4, i), "per-anchor helper diverged");
+        }
     }
 
     #[test]

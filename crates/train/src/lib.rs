@@ -16,7 +16,12 @@
 //! * [`serve`] — [`ServeEngine`]: concurrent serving over inference
 //!   sessions — bounded request queue with explicit load shedding,
 //!   micro-batch coalescing, per-worker model replicas, latency/through-
-//!   put metrics.
+//!   put metrics, and per-stream frame ingestion
+//!   ([`ServeEngine::open_stream`]) that maps skeleton streams onto the
+//!   same queue machinery.
+//! * [`streaming`] — [`StreamingSession`]: frame-at-a-time sliding-window
+//!   scoring with incrementally maintained dynamic operators (ring
+//!   buffers over frames and Eq. 9 joint-weight operators).
 //! * [`checkpoint`] — compact binary save/load of model parameters and
 //!   BatchNorm running statistics.
 //! * [`zoo`] — canonical constructors for every model in the comparison,
@@ -29,6 +34,7 @@ pub mod infer;
 pub mod json;
 pub mod report;
 pub mod serve;
+pub mod streaming;
 pub mod trainer;
 pub mod zoo;
 
@@ -36,6 +42,7 @@ pub use eval::{evaluate, evaluate_fused, EvalResult};
 pub use experiment::{Table, TableRow};
 pub use infer::InferenceSession;
 pub use serve::{Pending, ServeConfig, ServeEngine, ServeError, ServeHealth, ServeMetrics};
+pub use streaming::{StreamingConfig, StreamingSession};
 pub use report::{classification_report, ClassificationReport};
 pub use checkpoint::TrainState;
 pub use trainer::{

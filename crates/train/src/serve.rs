@@ -73,13 +73,31 @@
 //! (see [`dhg_nn::fault`]): worker deaths, batch panics, batch stalls
 //! and logit corruption are all injected through that plan, and none of
 //! the hooks cost anything when no plan is configured.
+//!
+//! ## Streams
+//!
+//! Live skeleton sources push one `[C, V]` frame at a time instead of
+//! whole `[C, T, V]` windows. [`ServeEngine::open_stream`] allocates
+//! per-stream keyed state (a ring of the last `T` frames); each
+//! [`ServeEngine::push_frame`] advances that ring and — once it holds a
+//! full window, on the stream's emission cadence — materialises the
+//! window and submits it through the **same** bounded queue as ordinary
+//! requests. Streams therefore inherit backpressure (a shed window
+//! returns [`ServeError::Rejected`]; the ring keeps advancing, so the
+//! next emission scores fresher frames), deadlines, batching with other
+//! traffic, and the self-healing worker pool, with zero new machinery
+//! on the hot path. Workers derive any dynamic operators from the
+//! materialised window itself — per-window offline semantics; the
+//! single-client rolling-operator fast path lives in
+//! [`crate::StreamingSession`].
 
 use crate::InferenceSession;
 use dhg_nn::fault::{FaultPlan, FaultSite};
 use dhg_nn::{Counter, Gauge, Histogram, Module, Registry, SymShape};
 use dhg_tensor::parallel::with_threads;
 use dhg_tensor::{NdArray, Tensor};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
@@ -159,6 +177,16 @@ pub enum ServeError {
     /// The forward produced non-finite logits for this request; the
     /// corrupt values were withheld.
     BadOutput,
+    /// A frame pushed to a stream had the wrong length (`expected` =
+    /// `C · V` for the engine's sample shape).
+    BadFrame {
+        /// Required frame length.
+        expected: usize,
+        /// Length of the offending frame.
+        got: usize,
+    },
+    /// The stream id was never opened, or was already closed.
+    UnknownStream,
     /// The engine is shut down (or a worker died before replying).
     Closed,
     /// Worker startup failed: the factory's model was refused by the
@@ -175,6 +203,10 @@ impl std::fmt::Display for ServeError {
             ServeError::BadShape { expected, got } => {
                 write!(f, "input shape {got:?} does not match sample shape {expected:?}")
             }
+            ServeError::BadFrame { expected, got } => {
+                write!(f, "stream frame has length {got}, expected C*V = {expected}")
+            }
+            ServeError::UnknownStream => write!(f, "stream was never opened or already closed"),
             ServeError::DeadlineExceeded => write!(f, "request exceeded its deadline"),
             ServeError::BadOutput => write!(f, "forward produced non-finite logits"),
             ServeError::Closed => write!(f, "serve engine is shut down"),
@@ -208,8 +240,16 @@ pub struct ServeMetrics {
     pub bad_output: Arc<Counter>,
     /// Worker respawns performed by the supervisor.
     pub restarts: Arc<Counter>,
+    /// Streams opened over the engine's lifetime.
+    pub streams_opened: Arc<Counter>,
+    /// Frames pushed across all streams.
+    pub stream_frames: Arc<Counter>,
+    /// Windows materialised and submitted by streams.
+    pub stream_windows: Arc<Counter>,
     /// Current queue depth.
     pub queue_depth: Arc<Gauge>,
+    /// Streams currently open.
+    pub open_streams: Arc<Gauge>,
     /// Workers currently believed alive (spawned minus unrecovered
     /// deaths).
     pub live_workers: Arc<Gauge>,
@@ -231,7 +271,11 @@ impl ServeMetrics {
             deadline_exceeded: registry.counter("serve-deadline-exceeded-total"),
             bad_output: registry.counter("serve-bad-output-total"),
             restarts: registry.counter("serve-worker-restarts-total"),
+            streams_opened: registry.counter("serve-streams-opened-total"),
+            stream_frames: registry.counter("serve-stream-frames-total"),
+            stream_windows: registry.counter("serve-stream-windows-total"),
             queue_depth: registry.gauge("serve-queue-depth"),
+            open_streams: registry.gauge("serve-open-streams"),
             live_workers: registry.gauge("serve-live-workers"),
             batch_size: registry.histogram("serve-batch-size", || {
                 Histogram::exponential(1, 12) // 1 .. 2048
@@ -362,6 +406,15 @@ enum SupMsg {
     Shutdown,
 }
 
+/// Per-stream keyed state: the ring of the last `T` frames plus the
+/// emission bookkeeping (see the module docs' *Streams* section).
+struct StreamState {
+    /// Last up-to-`T` frames, oldest first, each `[C * V]`.
+    frames: VecDeque<Vec<f32>>,
+    frames_seen: usize,
+    emit_every: usize,
+}
+
 /// A micro-batching, backpressured, self-healing serving front-end over
 /// analyzer-validated inference sessions. See the module docs for the
 /// contract.
@@ -370,6 +423,8 @@ pub struct ServeEngine {
     supervisor: Option<JoinHandle<()>>,
     events_tx: mpsc::Sender<SupMsg>,
     sample_shape: Vec<usize>,
+    streams: Mutex<HashMap<u64, StreamState>>,
+    next_stream: AtomicU64,
 }
 
 impl ServeEngine {
@@ -431,6 +486,8 @@ impl ServeEngine {
             supervisor: Some(supervisor),
             events_tx,
             sample_shape: sample_shape.to_vec(),
+            streams: Mutex::new(HashMap::new()),
+            next_stream: AtomicU64::new(1),
         };
         for _ in 0..config.workers {
             let startup = match ready_rx.recv() {
@@ -514,6 +571,93 @@ impl ServeEngine {
         &self.sample_shape
     }
 
+    /// Lock the stream table, recovering from poisoning the same way
+    /// [`Shared::lock_state`] does (ring + counters stay consistent at
+    /// every panic point).
+    fn lock_streams(&self) -> MutexGuard<'_, HashMap<u64, StreamState>> {
+        self.streams.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Open a frame stream against this engine. The engine's sample shape
+    /// must be `[C, T, V]`; the stream's window length is exactly `T` (the
+    /// shape every worker replica was compiled and analyzed for), and a
+    /// window is submitted every `emit_every` pushed frames once the ring
+    /// holds `T` frames. Returns the stream id for
+    /// [`ServeEngine::push_frame`] / [`ServeEngine::close_stream`].
+    pub fn open_stream(&self, emit_every: usize) -> Result<u64, ServeError> {
+        assert_eq!(
+            self.sample_shape.len(),
+            3,
+            "streams need a [C, T, V] sample shape, engine serves {:?}",
+            self.sample_shape
+        );
+        assert!(emit_every >= 1, "emit_every must be at least 1");
+        if self.shared.lock_state().closed {
+            return Err(ServeError::Closed);
+        }
+        let id = self.next_stream.fetch_add(1, Ordering::Relaxed);
+        let window = self.sample_shape[1];
+        let mut streams = self.lock_streams();
+        streams.insert(
+            id,
+            StreamState {
+                frames: VecDeque::with_capacity(window),
+                frames_seen: 0,
+                emit_every,
+            },
+        );
+        let metrics = &self.shared.metrics;
+        metrics.streams_opened.inc();
+        metrics.open_streams.set(streams.len() as i64);
+        Ok(id)
+    }
+
+    /// Push one `[C, V]` frame (flattened, `C`-major) to an open stream.
+    /// Returns `Ok(None)` while the ring warms up or between emissions;
+    /// on the emission cadence the materialised `[C, T, V]` window is
+    /// submitted through the ordinary bounded queue and the ticket comes
+    /// back as `Ok(Some(pending))`. A full queue surfaces as
+    /// [`ServeError::Rejected`] — the ring has still advanced, so the
+    /// stream sheds that window and scores fresher frames next time.
+    pub fn push_frame(&self, stream: u64, frame: &[f32]) -> Result<Option<Pending>, ServeError> {
+        let (c, t, v) = (self.sample_shape[0], self.sample_shape[1], self.sample_shape[2]);
+        if frame.len() != c * v {
+            return Err(ServeError::BadFrame { expected: c * v, got: frame.len() });
+        }
+        let window = {
+            let mut streams = self.lock_streams();
+            let state = streams.get_mut(&stream).ok_or(ServeError::UnknownStream)?;
+            if state.frames.len() == t {
+                state.frames.pop_front();
+            }
+            state.frames.push_back(frame.to_vec());
+            state.frames_seen += 1;
+            self.shared.metrics.stream_frames.inc();
+            if state.frames.len() < t || (state.frames_seen - t) % state.emit_every != 0 {
+                return Ok(None);
+            }
+            let mut data = vec![0.0; c * t * v];
+            for (ti, fr) in state.frames.iter().enumerate() {
+                for ci in 0..c {
+                    data[ci * t * v + ti * v..ci * t * v + (ti + 1) * v]
+                        .copy_from_slice(&fr[ci * v..(ci + 1) * v]);
+                }
+            }
+            NdArray::from_vec(data, &[c, t, v])
+        };
+        self.shared.metrics.stream_windows.inc();
+        self.submit(window).map(Some)
+    }
+
+    /// Close a stream, dropping its ring. Returns whether the id was
+    /// open. Windows already submitted keep their [`Pending`] tickets.
+    pub fn close_stream(&self, stream: u64) -> bool {
+        let mut streams = self.lock_streams();
+        let existed = streams.remove(&stream).is_some();
+        self.shared.metrics.open_streams.set(streams.len() as i64);
+        existed
+    }
+
     /// Close the queue, drain every accepted request, join the workers.
     /// New submits fail with [`ServeError::Closed`]; already-accepted
     /// requests are answered before the workers exit (or failed with a
@@ -536,6 +680,9 @@ impl ServeEngine {
         // live workers drained the queue before exiting; whatever a fully
         // dead worker set left behind is failed typed, never stranded
         drain_queue(&self.shared, &ServeError::Closed);
+        let mut streams = self.lock_streams();
+        streams.clear();
+        self.shared.metrics.open_streams.set(0);
     }
 }
 
@@ -978,7 +1125,11 @@ mod tests {
             "serve-deadline-exceeded-total",
             "serve-bad-output-total",
             "serve-worker-restarts-total",
+            "serve-streams-opened-total",
+            "serve-stream-frames-total",
+            "serve-stream-windows-total",
             "serve-queue-depth",
+            "serve-open-streams",
             "serve-live-workers",
             "serve-batch-size",
             "serve-latency-us",
@@ -1026,6 +1177,109 @@ mod tests {
         assert_eq!(health.restarts, 0);
         assert_eq!(health.completed, 1);
         assert_eq!(health.bad_output, 0);
+        engine.shutdown();
+    }
+
+    /// One `[C, V]` frame of the synthetic stream.
+    fn frame(t: usize) -> Vec<f32> {
+        (0..3 * 25).map(|i| ((t * 3 * 25 + i) as f32 * 0.011).sin()).collect()
+    }
+
+    #[test]
+    fn stream_warms_up_then_scores_sliding_windows() {
+        let zoo = Zoo::tiny(SkeletonTopology::ntu25(), 4, 0);
+        let mut reference = InferenceSession::new(zoo.stgcn());
+        let engine = engine(ServeConfig::default());
+        let stream = engine.open_stream(1).expect("open");
+        // warmup: T-1 frames in, nothing out
+        for t in 0..7 {
+            assert!(engine.push_frame(stream, &frame(t)).expect("push").is_none());
+        }
+        // frame 8 completes the window; every later frame slides it
+        for t in 7..10 {
+            let pending = engine
+                .push_frame(stream, &frame(t))
+                .expect("push")
+                .expect("full window must submit");
+            let got = pending.wait().expect("scored");
+            // offline reference over the same [C, T, V] window
+            let rows: Vec<f32> =
+                (t + 1 - 8..=t).flat_map(frame).collect();
+            let window = NdArray::from_vec(rows, &[8, 3, 25])
+                .permute(&[1, 0, 2])
+                .reshape(&[1, 3, 8, 25]);
+            let want = reference.logits(&Tensor::constant(window));
+            assert_eq!(got.data(), &want.data()[..4], "window at t={t} diverged");
+        }
+        let m = engine.metrics();
+        assert_eq!(m.stream_frames.get(), 10);
+        assert_eq!(m.stream_windows.get(), 3);
+        assert_eq!(m.streams_opened.get(), 1);
+        assert_eq!(m.open_streams.get(), 1);
+        assert!(engine.close_stream(stream));
+        assert_eq!(m.open_streams.get(), 0);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn stream_emit_cadence_thins_submissions() {
+        let engine = engine(ServeConfig::default());
+        let stream = engine.open_stream(4).expect("open");
+        let mut emitted = 0;
+        for t in 0..16 {
+            if let Some(p) = engine.push_frame(stream, &frame(t)).expect("push") {
+                p.wait().expect("scored");
+                emitted += 1;
+            }
+        }
+        // emits at frames 8 and 12 and 16
+        assert_eq!(emitted, 3);
+        assert_eq!(engine.metrics().stream_windows.get(), 3);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn stream_misuse_is_rejected_typed() {
+        let engine = engine(ServeConfig::default());
+        let stream = engine.open_stream(1).expect("open");
+        assert_eq!(
+            engine.push_frame(stream, &[0.0; 7]).unwrap_err(),
+            ServeError::BadFrame { expected: 75, got: 7 }
+        );
+        assert_eq!(
+            engine.push_frame(stream + 1, &frame(0)).unwrap_err(),
+            ServeError::UnknownStream
+        );
+        assert!(engine.close_stream(stream));
+        assert!(!engine.close_stream(stream), "double close must report absence");
+        assert_eq!(
+            engine.push_frame(stream, &frame(0)).unwrap_err(),
+            ServeError::UnknownStream
+        );
+        engine.shutdown();
+    }
+
+    #[test]
+    fn independent_streams_do_not_share_rings() {
+        let engine = engine(ServeConfig::default());
+        let a = engine.open_stream(1).expect("open a");
+        let b = engine.open_stream(1).expect("open b");
+        assert_ne!(a, b);
+        // interleave different content; each stream warms up on its own
+        // schedule and scores its own frames
+        let mut a_logits = None;
+        let mut b_logits = None;
+        for t in 0..8 {
+            a_logits = engine.push_frame(a, &frame(t)).expect("push a");
+            b_logits = engine.push_frame(b, &frame(t + 100)).expect("push b");
+        }
+        let a_logits = a_logits.expect("a warm").wait().expect("a scored");
+        let b_logits = b_logits.expect("b warm").wait().expect("b scored");
+        assert_ne!(
+            a_logits.data(),
+            b_logits.data(),
+            "distinct streams must score their own windows"
+        );
         engine.shutdown();
     }
 

@@ -1,0 +1,313 @@
+//! Frame-at-a-time streaming inference over a sliding window.
+//!
+//! Offline scoring sees a whole clip `[N, C, T, V]` at once; a live
+//! source (a camera, a replayed capture) delivers one skeleton frame
+//! `[C, V]` at a time. [`StreamingSession`] turns any
+//! [`StreamableModel`] into a push-based scorer:
+//!
+//! * a **ring buffer** holds the last `window` frames, so each emission
+//!   materialises one `[1, C, T, V]` window without re-copying history
+//!   it no longer needs;
+//! * for models that consume injected operators (DHGCN's Eq. 9
+//!   joint-weight path), a [`dhg_hypergraph::RollingOperators`] ring
+//!   maintains the per-frame moving-distance operators **incrementally**
+//!   — one distance row + one incidence build per pushed frame, instead
+//!   of a full `[T]`-frame recomputation per window;
+//! * logits are emitted through the session's
+//!   [`crate::InferenceSession`] (compiled model + recycled workspace),
+//!   every `emit_every` frames once the window is full.
+//!
+//! ## Exactness
+//!
+//! The first emitted window is **bitwise-identical** to offline
+//! [`crate::InferenceSession::logits`] on the same `[1, C, T, V]` input:
+//! the rolling ring reproduces `moving_distance`'s frame-0 backfill
+//! convention exactly. Later windows differ from per-window offline
+//! recomputation only in the first frame's distance row — the ring
+//! carries the *true* predecessor distance across the window boundary,
+//! where offline recomputation of an excised window would have to
+//! backfill it — and match `dynamic_operators` slices of the full
+//! stream (asserted in `tests/streaming.rs`).
+
+use crate::InferenceSession;
+use dhg_core::StreamableModel;
+use dhg_hypergraph::RollingOperators;
+use dhg_tensor::{NdArray, Tensor};
+use std::collections::VecDeque;
+
+/// Tuning for a [`StreamingSession`].
+#[derive(Clone, Debug)]
+pub struct StreamingConfig {
+    /// Sliding-window length `T` in frames; the model scores `[1, C, T, V]`
+    /// windows, so this must match the temporal size the model was
+    /// compiled/analyzed for.
+    pub window: usize,
+    /// Emit logits every this many pushed frames once the window is full.
+    /// 1 (the default) scores every frame.
+    pub emit_every: usize,
+}
+
+impl StreamingConfig {
+    /// Score every frame once `window` frames have arrived.
+    pub fn new(window: usize) -> Self {
+        StreamingConfig { window, emit_every: 1 }
+    }
+
+    /// Thin the emission cadence to once per `emit_every` frames.
+    pub fn with_emit_every(mut self, emit_every: usize) -> Self {
+        self.emit_every = emit_every;
+        self
+    }
+}
+
+/// Push-based sliding-window scorer over one model. See the module docs
+/// for the maintenance/exactness contract.
+pub struct StreamingSession<M: StreamableModel> {
+    session: InferenceSession<M>,
+    window: usize,
+    emit_every: usize,
+    channels: usize,
+    joints: usize,
+    /// Last `window` frames, oldest first, each `[C * V]` in `[C, V]`
+    /// order (a temporal slice of the model's `[N, C, T, V]` layout).
+    frames: VecDeque<Vec<f32>>,
+    /// Incrementally maintained Eq. 9 operators — `Some` only for models
+    /// that consume injected window operators.
+    rolling: Option<RollingOperators>,
+    frames_seen: usize,
+    emitted: usize,
+}
+
+impl<M: StreamableModel> StreamingSession<M> {
+    /// Compile `model` for serving (via [`InferenceSession::new`]) and
+    /// wrap it for a `[C, V]`-framed stream. When the model consumes
+    /// window operators, its [`StreamableModel::streaming_hypergraph`]
+    /// seeds the rolling maintenance ring.
+    pub fn new(model: M, channels: usize, joints: usize, config: StreamingConfig) -> Self {
+        assert!(config.window >= 1, "window must be at least one frame");
+        assert!(config.emit_every >= 1, "emit_every must be at least 1");
+        let rolling = if model.consumes_window_ops() {
+            let hg = model
+                .streaming_hypergraph()
+                .expect("a model consuming window ops must expose its hypergraph");
+            assert_eq!(
+                hg.n_vertices(),
+                joints,
+                "streaming hypergraph joint count must match the stream"
+            );
+            Some(RollingOperators::new(config.window, hg, channels))
+        } else {
+            None
+        };
+        StreamingSession {
+            session: InferenceSession::new(model),
+            window: config.window,
+            emit_every: config.emit_every,
+            channels,
+            joints,
+            frames: VecDeque::with_capacity(config.window),
+            rolling,
+            frames_seen: 0,
+            emitted: 0,
+        }
+    }
+
+    /// Append one frame (`[C * V]` in `[C, V]` order). Returns the
+    /// `[n_classes]` logits of the current window when this push lands on
+    /// the emission cadence, `None` while warming up or between
+    /// emissions.
+    pub fn push(&mut self, frame: &[f32]) -> Option<NdArray> {
+        assert_eq!(
+            frame.len(),
+            self.channels * self.joints,
+            "frame must be [C, V] = [{}, {}]",
+            self.channels,
+            self.joints
+        );
+        if self.frames.len() == self.window {
+            self.frames.pop_front();
+        }
+        self.frames.push_back(frame.to_vec());
+        if let Some(rolling) = &mut self.rolling {
+            // rolling maintenance wants [V, D] coordinates
+            let (c, v) = (self.channels, self.joints);
+            let mut coords = vec![0.0; v * c];
+            for ci in 0..c {
+                for vi in 0..v {
+                    coords[vi * c + ci] = frame[ci * v + vi];
+                }
+            }
+            rolling.push(&coords);
+        }
+        self.frames_seen += 1;
+        if self.frames.len() < self.window
+            || !(self.frames_seen - self.window).is_multiple_of(self.emit_every)
+        {
+            return None;
+        }
+        let x = Tensor::constant(self.window_input());
+        let ops = self
+            .rolling
+            .as_ref()
+            .map(|r| r.stacked().reshape(&[1, self.window, self.joints, self.joints]));
+        let (model, ws) = self.session.model_and_workspace();
+        let logits = model.forward_window(&x, ops.as_ref(), ws).array();
+        assert_eq!(logits.ndim(), 2, "streaming model must produce [N, K] logits");
+        let k = logits.shape()[1];
+        self.emitted += 1;
+        Some(logits.reshape(&[k]))
+    }
+
+    /// Materialise the currently held frames as a `[1, C, len, V]` input
+    /// (the window the next emission would score; shorter during warmup).
+    pub fn window_input(&self) -> NdArray {
+        assert!(!self.frames.is_empty(), "no frames pushed yet");
+        let (c, v, t) = (self.channels, self.joints, self.frames.len());
+        let mut data = vec![0.0; c * t * v];
+        for (ti, frame) in self.frames.iter().enumerate() {
+            for ci in 0..c {
+                let src = &frame[ci * v..(ci + 1) * v];
+                data[ci * t * v + ti * v..ci * t * v + (ti + 1) * v].copy_from_slice(src);
+            }
+        }
+        NdArray::from_vec(data, &[1, c, t, v])
+    }
+
+    /// Frames pushed so far.
+    pub fn frames_seen(&self) -> usize {
+        self.frames_seen
+    }
+
+    /// Windows emitted so far.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// Whether the ring holds a full window (emissions have started).
+    pub fn is_warm(&self) -> bool {
+        self.frames.len() == self.window
+    }
+
+    /// Window length `T` this session scores.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// The compiled model (read-only).
+    pub fn model(&self) -> &M {
+        self.session.model()
+    }
+
+    /// Release the underlying model.
+    pub fn into_model(self) -> M {
+        self.session.into_model()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::Zoo;
+    use dhg_skeleton::SkeletonTopology;
+
+    const C: usize = 3;
+    const T: usize = 8;
+    const V: usize = 25;
+
+    /// A synthetic clip `[C, T_total, V]`, sliced into `[C, V]` frames.
+    fn clip(t_total: usize, seed: usize) -> Vec<Vec<f32>> {
+        (0..t_total)
+            .map(|t| {
+                (0..C * V)
+                    .map(|i| (((t * C * V + i) + seed * 977) as f32 * 0.011).sin())
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn warms_up_then_emits_and_matches_offline_logits() {
+        let zoo = Zoo::tiny(SkeletonTopology::ntu25(), 4, 0);
+        let mut stream = StreamingSession::new(zoo.stgcn(), C, V, StreamingConfig::new(T));
+        let frames = clip(T, 3);
+        for frame in &frames[..T - 1] {
+            assert!(stream.push(frame).is_none(), "must stay silent during warmup");
+        }
+        assert!(!stream.is_warm());
+        let got = stream.push(&frames[T - 1]).expect("full window must emit");
+        assert!(stream.is_warm());
+        assert_eq!(got.shape(), &[4]);
+        // offline reference on the identical window
+        let x = Tensor::constant(stream.window_input());
+        let mut offline = InferenceSession::new(zoo.stgcn());
+        let want = offline.logits(&x);
+        assert_eq!(got.data(), &want.data()[..4], "first window diverged from offline");
+    }
+
+    #[test]
+    fn window_input_materialises_the_nctv_layout() {
+        let zoo = Zoo::tiny(SkeletonTopology::ntu25(), 4, 0);
+        let mut stream = StreamingSession::new(zoo.stgcn(), C, V, StreamingConfig::new(T));
+        let frames = clip(T + 3, 0);
+        for frame in &frames {
+            stream.push(frame);
+        }
+        let x = stream.window_input();
+        assert_eq!(x.shape(), &[1, C, T, V]);
+        // window holds the *last* T frames; check a few entries
+        for (ti, frame) in frames[3..].iter().enumerate() {
+            for ci in 0..C {
+                for vi in [0, V / 2, V - 1] {
+                    assert_eq!(
+                        x.data()[ci * T * V + ti * V + vi],
+                        frame[ci * V + vi],
+                        "mismatch at c={ci} t={ti} v={vi}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn emit_cadence_thins_emissions() {
+        let zoo = Zoo::tiny(SkeletonTopology::ntu25(), 4, 0);
+        let mut stream = StreamingSession::new(
+            zoo.stgcn(),
+            C,
+            V,
+            StreamingConfig::new(T).with_emit_every(3),
+        );
+        let mut emissions = 0;
+        for frame in &clip(T + 9, 1) {
+            if stream.push(frame).is_some() {
+                emissions += 1;
+            }
+        }
+        // emits at frames T, T+3, T+6, T+9
+        assert_eq!(emissions, 4);
+        assert_eq!(stream.emitted(), 4);
+        assert_eq!(stream.frames_seen(), T + 9);
+    }
+
+    #[test]
+    fn dhgcn_first_window_is_bitwise_offline() {
+        let zoo = Zoo::tiny(SkeletonTopology::ntu25(), 4, 0);
+        let model = zoo.dhgcn();
+        assert!(dhg_core::StreamableModel::consumes_window_ops(&model));
+        let mut stream = StreamingSession::new(model, C, V, StreamingConfig::new(T));
+        let frames = clip(T, 7);
+        let mut got = None;
+        for frame in &frames {
+            got = stream.push(frame);
+        }
+        let got = got.expect("window full");
+        let x = Tensor::constant(stream.window_input());
+        let mut offline = InferenceSession::new(zoo.dhgcn());
+        let want = offline.logits(&x);
+        assert_eq!(
+            got.data(),
+            &want.data()[..got.len()],
+            "rolling operators must reproduce offline scoring bitwise on the first window"
+        );
+    }
+}
