@@ -12,19 +12,35 @@
 //! 4. **workspace aliasing** — one audited `forward_inference` pass per
 //!    model must report zero buffer-alias hazards.
 //!
+//! 5. **streaming window paths** — the `StreamableModel::plan_window`
+//!    plans (with and without injected rolling operators) must be clean,
+//!    and a live `StreamingSession` ring must materialise exactly the
+//!    window shape the plan was audited for,
+//! 6. **memory budget** (`--budget [BYTES]`) — every model's predicted
+//!    peak workspace (from the plan IR's static cost model) must fit the
+//!    serve workspace cap (default: `dhg_tensor::DEFAULT_BYTE_BUDGET`),
+//! 7. **cost cross-check** (`--bench PATH`) — predicted FLOPs divided by
+//!    a measured `BENCH_*.json` serve latency must not imply a rate above
+//!    the machine's own measured peak GEMM throughput (a predicted-FLOP
+//!    overcount would).
+//!
 //! Exit status is non-zero if *any* diagnostic (warning or error)
 //! survives. `analyze --self-test` instead seeds known-bad inputs and
 //! structures and fails if the analyzer misses any of them.
 //!
 //! ```text
 //! cargo run --release -p dhg-bench --bin analyze
+//! cargo run --release -p dhg-bench --bin analyze -- --budget
+//! cargo run --release -p dhg-bench --bin analyze -- --bench BENCH_8.json
 //! cargo run --release -p dhg-bench --bin analyze -- --self-test
 //! ```
 
+use dhg_core::streaming::StreamableModel;
 use dhg_core::TwoStream;
-use dhg_nn::{analyze, DiagCode, Module, SymShape};
+use dhg_nn::{analyze, DiagCode, Module, Plan, SymShape};
 use dhg_skeleton::SkeletonTopology;
 use dhg_tensor::{NdArray, Tensor, Workspace};
+use dhg_train::streaming::{StreamingConfig, StreamingSession};
 use dhg_train::zoo::Zoo;
 use std::process::ExitCode;
 
@@ -58,8 +74,30 @@ fn warmed(zoo: &Zoo, name: &str, x: &Tensor) -> Box<dyn Module> {
     m
 }
 
+/// The plan's predicted peak workspace bytes, if it does not fit the cap.
+fn over_budget(plan: &Plan, budget: Option<u64>) -> Option<u64> {
+    let cap = budget?;
+    let peak = analyze(plan).cost_summary().workspace_peak;
+    (peak > cap).then_some(peak)
+}
+
+/// Check a plan's predicted peak workspace against the byte budget;
+/// prints and counts a `budget-exceeded` failure when it does not fit.
+fn check_budget(label: &str, name: &str, plan: &Plan, budget: Option<u64>) -> usize {
+    match (over_budget(plan, budget), budget) {
+        (Some(peak), Some(cap)) => {
+            println!(
+                "FAIL {label:<12} {name:<12} {}: predicted peak workspace {peak} B exceeds cap {cap} B",
+                DiagCode::BudgetExceeded,
+            );
+            1
+        }
+        _ => 0,
+    }
+}
+
 /// Audit one topology's zoo; returns the number of failed checks.
-fn audit_topology(label: &str, topology: SkeletonTopology, t: usize) -> usize {
+fn audit_topology(label: &str, topology: SkeletonTopology, t: usize, budget: Option<u64>) -> usize {
     let v = topology.n_joints();
     let zoo = Zoo::tiny(topology, 4, 0);
     let x = batch(2, t, v);
@@ -70,13 +108,16 @@ fn audit_topology(label: &str, topology: SkeletonTopology, t: usize) -> usize {
         let m = warmed(&zoo, name, &x);
 
         // joint- and bone-stream analysis (both streams are [N, 3, T, V])
-        let report = analyze(&m.plan(&shape));
+        let plan = m.plan(&shape);
+        let report = analyze(&plan);
         if report.ok() {
             println!("ok   {label:<12} {name:<12} plan: {report}");
+            println!("     {label:<12} {name:<12} cost: {}", report.cost_summary());
         } else {
             println!("FAIL {label:<12} {name:<12} plan:\n{report}");
             failures += 1;
         }
+        failures += check_budget(label, name, &plan, budget);
 
         // compiled-path execution audit: no autograd nodes, no buffer
         // aliasing hazards
@@ -110,6 +151,70 @@ fn audit_topology(label: &str, topology: SkeletonTopology, t: usize) -> usize {
             failures += 1;
         }
     }
+    failures
+}
+
+/// Audit the streaming window paths: every streamable model's
+/// `plan_window` must be clean (with injected rolling operators where
+/// the model consumes them), fit the budget, and agree with the window
+/// shape a live `StreamingSession` ring actually materialises.
+fn audit_streaming(label: &str, topology: SkeletonTopology, t: usize, budget: Option<u64>) -> usize {
+    let v = topology.n_joints();
+    let zoo = Zoo::tiny(topology, 4, 0);
+    let x = batch(2, t, v);
+    let window = SymShape::nctv(3, t, v);
+    let mut failures = 0;
+
+    // typed accessors: plan_window is a StreamableModel method, which the
+    // Box<dyn Module> registry erases
+    let mut audit = |name: &str, mut m: Box<dyn StreamableModel>| {
+        m.forward(&x);
+        m.prepare_inference();
+        let ops_shape = SymShape::batched(&[t, v, v]);
+        let injected = m.consumes_window_ops().then_some(&ops_shape);
+        let plan = m.plan_window(&window, injected);
+        let report = analyze(&plan);
+        if report.ok() {
+            println!("ok   {label:<12} {name:<12} window: {report}");
+        } else {
+            println!("FAIL {label:<12} {name:<12} window:\n{report}");
+            failures += 1;
+        }
+        failures += check_budget(label, name, &plan, budget);
+
+        // ring audit: the session's materialised window must be exactly
+        // the [1, C, T, V] shape the plan above was audited for, and a
+        // full ring must emit [K] logits
+        let mut session = StreamingSession::new(m, 3, v, StreamingConfig::new(t));
+        let mut logits = None;
+        for ti in 0..t {
+            let frame: Vec<f32> =
+                (0..3 * v).map(|i| ((ti * 31 + i) as f32 * 0.013).sin()).collect();
+            logits = session.push(&frame);
+        }
+        let ring = session.window_input();
+        if ring.shape() != [1, 3, t, v] {
+            println!(
+                "FAIL {label:<12} {name:<12} ring shape {:?} != audited window [1, 3, {t}, {v}]",
+                ring.shape()
+            );
+            failures += 1;
+        }
+        match logits {
+            Some(y) if y.shape() == [4] => {}
+            Some(y) => {
+                println!("FAIL {label:<12} {name:<12} stream logits shape {:?}", y.shape());
+                failures += 1;
+            }
+            None => {
+                println!("FAIL {label:<12} {name:<12} full ring emitted nothing");
+                failures += 1;
+            }
+        }
+    };
+    audit("ST-GCN", Box::new(zoo.stgcn()));
+    audit("DHGCN", Box::new(zoo.dhgcn()));
+    audit("DHGCN-lite", Box::new(zoo.dhgcn_lite()));
     failures
 }
 
@@ -208,18 +313,169 @@ fn self_test() -> usize {
         !r.with_code(DiagCode::FusionMismatch).is_empty(),
     );
 
+    // budget gate: an absurdly small cap must refuse every real model
+    let m = warmed(&zoo, "DHGCN", &x);
+    let plan = m.plan(&SymShape::nctv(3, t, v));
+    expect(
+        &mut missed,
+        "budget gate refuses DHGCN under a 1 KiB cap",
+        over_budget(&plan, Some(1024)).is_some(),
+    );
+
+    // workspace-lifetime verifier: reading a recycled buffer is an error
+    let shape = SymShape::nctv(3, t, v);
+    let mut p = Plan::new(&shape);
+    p.ws_take("buf", &shape);
+    p.push_op("producer", "", shape.clone());
+    p.ws_give("buf");
+    p.push_op("late_consumer", "", shape.clone());
+    p.ws_read("buf");
+    expect(
+        &mut missed,
+        "read of a recycled workspace buffer is flagged",
+        !analyze(&p).with_code(DiagCode::WorkspaceUseAfterFree).is_empty(),
+    );
+
+    // workspace-lifetime verifier: taking a live id again is aliasing
+    let mut p = Plan::new(&shape);
+    p.ws_take("buf", &shape);
+    p.push_op("producer", "", shape.clone());
+    p.ws_take("buf", &shape);
+    expect(
+        &mut missed,
+        "double-take of a live workspace id is flagged",
+        !analyze(&p).with_code(DiagCode::WorkspaceAlias).is_empty(),
+    );
+
+    // streaming path: misaligned rolling operators must be refused
+    let mut dh = zoo.dhgcn();
+    dh.forward(&x);
+    dh.prepare_inference();
+    let bad_ops = dh.plan_window(&shape, Some(&SymShape::batched(&[t, v + 1, v + 1])));
+    expect(
+        &mut missed,
+        "misaligned rolling operators are flagged",
+        !analyze(&bad_ops).with_code(DiagCode::ShapeMismatch).is_empty(),
+    );
+
     missed
 }
 
+/// Cross-check predicted FLOPs against measured wall-clock rates from a
+/// `BENCH_*.json` snapshot: the DHGCN-lite serve p50 latency and the
+/// snapshot's own peak GEMM throughput bound each other — a predicted
+/// rate above the measured peak would mean the static cost model
+/// overcounts. Returns the number of failed checks.
+fn cross_check_bench(path: &str) -> usize {
+    use dhg_train::json::Value;
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            println!("FAIL bench cross-check: cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    let root = match Value::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            println!("FAIL bench cross-check: cannot parse {path}: {e}");
+            return 1;
+        }
+    };
+    let peak_gflops = root
+        .get("gemm")
+        .and_then(Value::as_arr)
+        .map(|rows| {
+            rows.iter()
+                .filter_map(|r| r.get("gflops").and_then(Value::as_f64))
+                .fold(0.0f64, f64::max)
+        })
+        .unwrap_or(0.0);
+    let p50_us = root.get("serve").and_then(|s| s.get("p50_us")).and_then(Value::as_f64);
+    let (Some(p50_us), true) = (p50_us, peak_gflops > 0.0) else {
+        println!("FAIL bench cross-check: {path} lacks gemm/serve sections");
+        return 1;
+    };
+
+    // the serve section scores DHGCN-lite singles at [3, 16, 25] (8 in
+    // smoke runs — use the snapshot's window if recorded)
+    let frames = root
+        .get("serve")
+        .and_then(|s| s.get("frames"))
+        .and_then(Value::as_f64)
+        .map(|f| f as usize)
+        .unwrap_or(16);
+    let zoo = Zoo::tiny(SkeletonTopology::ntu25(), 4, 0);
+    let mut m = zoo.dhgcn_lite();
+    m.forward(&batch(1, frames, 25));
+    m.prepare_inference();
+    let cost = analyze(&m.plan(&SymShape::nctv(3, frames, 25))).cost_summary();
+    let predicted_gflop = cost.flops as f64 / 1e9;
+    let achieved = predicted_gflop / (p50_us / 1e6);
+    // p50 includes queueing and dispatch, so achieved should be well
+    // under peak; 1.0× is a generous one-sided bound on overcounting
+    let ratio = achieved / peak_gflops;
+    if ratio <= 1.0 {
+        println!(
+            "ok   bench cross-check: predicted {:.3} MFLOP / p50 {:.0} us => {:.2} GFLOP/s, \
+             {:.1}% of measured peak {:.2} GFLOP/s",
+            predicted_gflop * 1e3,
+            p50_us,
+            achieved,
+            ratio * 100.0,
+            peak_gflops
+        );
+        0
+    } else {
+        println!(
+            "FAIL bench cross-check: predicted FLOPs imply {achieved:.2} GFLOP/s at p50 \
+             {p50_us:.0} us, above the measured peak {peak_gflops:.2} GFLOP/s — the cost \
+             model overcounts"
+        );
+        1
+    }
+}
+
 fn main() -> ExitCode {
-    let self_test_mode = std::env::args().any(|a| a == "--self-test");
+    let mut self_test_mode = false;
+    let mut budget: Option<u64> = None;
+    let mut bench_path: Option<String> = None;
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--self-test" => self_test_mode = true,
+            "--budget" => {
+                // optional numeric cap; bare --budget uses the serve
+                // workspace default
+                budget = Some(match args.peek().and_then(|n| n.parse::<u64>().ok()) {
+                    Some(n) => {
+                        args.next();
+                        n
+                    }
+                    None => dhg_tensor::DEFAULT_BYTE_BUDGET as u64,
+                });
+            }
+            "--bench" => bench_path = args.next(),
+            other => {
+                eprintln!("analyze: unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     let failures = if self_test_mode {
         println!("== analyze: seeded-negative self-test ==");
         self_test()
     } else {
         println!("== analyze: static audit of the model zoo ==");
-        audit_topology("NTU-25", SkeletonTopology::ntu25(), 16)
-            + audit_topology("OpenPose-18", SkeletonTopology::openpose18(), 16)
+        let mut n = audit_topology("NTU-25", SkeletonTopology::ntu25(), 16, budget)
+            + audit_topology("OpenPose-18", SkeletonTopology::openpose18(), 16, budget)
+            + audit_streaming("NTU-25", SkeletonTopology::ntu25(), 16, budget)
+            + audit_streaming("OpenPose-18", SkeletonTopology::openpose18(), 16, budget);
+        if let Some(path) = &bench_path {
+            n += cross_check_bench(path);
+        }
+        n
     };
     if failures == 0 {
         println!("== analyze: OK ==");

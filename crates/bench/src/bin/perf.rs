@@ -1,7 +1,7 @@
 //! Machine-readable performance snapshot — the producer behind
-//! `scripts/bench.sh` and the committed `BENCH_7.json`.
+//! `scripts/bench.sh` and the committed `BENCH_8.json`.
 //!
-//! Three sections:
+//! Four sections:
 //!
 //! * **gemm** — per-kernel GFLOP/s on the two matmul families the model
 //!   actually runs: a conv-shaped dense product (`[64, 576]·[576, 425]`,
@@ -17,11 +17,16 @@
 //!   floor — maintenance ≥ 3× cheaper — is asserted, not just recorded.
 //! * **serve** — client-observed p50/p95/p99 latency and throughput of
 //!   the micro-batching engine at a fixed closed-loop offered load.
+//! * **cost_model** — the plan IR's predicted FLOPs for the served model
+//!   divided by the measured p50, as a fraction of this run's own peak
+//!   GEMM rate. A ratio above 1 would mean the static cost model
+//!   overcounts; `analyze --bench BENCH_8.json` re-applies the same
+//!   check as a gate.
 //!
 //! ```text
-//! cargo run --release -p dhg-bench --bin perf -- --out BENCH_7.json \
-//!     --baseline BENCH_6.json --tolerance 0.5
-//! cargo run --release -p dhg-bench --bin perf -- --smoke --out target/BENCH_7.smoke.json
+//! cargo run --release -p dhg-bench --bin perf -- --out BENCH_8.json \
+//!     --baseline BENCH_7.json --tolerance 0.5
+//! cargo run --release -p dhg-bench --bin perf -- --smoke --out target/BENCH_8.smoke.json
 //! ```
 //!
 //! `--smoke` shrinks repetitions and the request count so the tier-1 gate
@@ -54,7 +59,7 @@ struct Args {
 impl Args {
     fn parse() -> Result<Args, String> {
         let mut args = Args {
-            out: "BENCH_7.json".into(),
+            out: "BENCH_8.json".into(),
             smoke: false,
             threads: 8,
             baseline: None,
@@ -299,10 +304,47 @@ fn streaming_section(args: &Args) -> Vec<StreamingResult> {
     results
 }
 
+/// Predicted-vs-measured cross-check: the plan IR's FLOP count for the
+/// served model against this run's own wall-clock numbers.
+struct CostModelResult {
+    predicted_mflop: f64,
+    p50_us: u64,
+    achieved_gflops: f64,
+    peak_gemm_gflops: f64,
+    ratio: f64,
+}
+
+/// Predicted FLOPs for the serve section's DHGCN-lite at its exact
+/// window, turned into an implied GFLOP/s at the measured p50 and
+/// expressed as a fraction of the measured peak GEMM rate. p50 includes
+/// queueing and operator construction, so honest predictions land well
+/// under 1.0.
+fn cost_model_section(gemm: &[GemmResult], serve: &ServeResult) -> CostModelResult {
+    use dhg_nn::{analyze, Module, SymShape};
+    let zoo = Zoo::tiny(SkeletonTopology::ntu25(), 4, 0);
+    let mut m = zoo.dhgcn_lite();
+    let x = dhg_tensor::Tensor::constant(sample(0, serve.frames).reshape(&[1, 3, serve.frames, 25]));
+    m.forward(&x);
+    m.prepare_inference();
+    let cost = analyze(&m.plan(&SymShape::nctv(3, serve.frames, 25))).cost_summary();
+    let predicted_mflop = cost.flops as f64 / 1e6;
+    let p50_s = (serve.p50_us.max(1)) as f64 / 1e6;
+    let achieved_gflops = predicted_mflop / 1e3 / p50_s;
+    let peak_gemm_gflops = gemm.iter().map(|g| g.gflops).fold(0.0f64, f64::max);
+    CostModelResult {
+        predicted_mflop,
+        p50_us: serve.p50_us,
+        achieved_gflops,
+        peak_gemm_gflops,
+        ratio: if peak_gemm_gflops > 0.0 { achieved_gflops / peak_gemm_gflops } else { 0.0 },
+    }
+}
+
 struct ServeResult {
     requests: usize,
     clients: usize,
     window: usize,
+    frames: usize,
     rps: f64,
     p50_us: u64,
     p95_us: u64,
@@ -397,6 +439,7 @@ fn serve_section(args: &Args) -> ServeResult {
         requests: all_latencies.len(),
         clients,
         window,
+        frames,
         rps,
         p50_us: q(0.50),
         p95_us: q(0.95),
@@ -409,10 +452,11 @@ fn write_json(
     gemm: &[GemmResult],
     streaming: &[StreamingResult],
     serve: &ServeResult,
+    cost: &CostModelResult,
 ) -> std::io::Result<()> {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str(&format!("  \"bench\": 7,\n  \"smoke\": {},\n", args.smoke));
+    s.push_str(&format!("  \"bench\": 8,\n  \"smoke\": {},\n", args.smoke));
     s.push_str("  \"gemm\": [\n");
     for (i, g) in gemm.iter().enumerate() {
         s.push_str(&format!(
@@ -448,8 +492,16 @@ fn write_json(
     s.push_str("  ],\n");
     s.push_str(&format!(
         "  \"serve\": {{\"model\": \"DHGCN-lite\", \"requests\": {}, \"clients\": {}, \
-         \"window\": {}, \"rps\": {:.1}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}}}\n",
-        serve.requests, serve.clients, serve.window, serve.rps, serve.p50_us, serve.p95_us, serve.p99_us
+         \"window\": {}, \"frames\": {}, \"rps\": {:.1}, \"p50_us\": {}, \"p95_us\": {}, \
+         \"p99_us\": {}}},\n",
+        serve.requests, serve.clients, serve.window, serve.frames, serve.rps, serve.p50_us,
+        serve.p95_us, serve.p99_us
+    ));
+    s.push_str(&format!(
+        "  \"cost_model\": {{\"model\": \"DHGCN-lite\", \"predicted_mflop\": {:.3}, \
+         \"p50_us\": {}, \"achieved_gflops\": {:.3}, \"peak_gemm_gflops\": {:.3}, \
+         \"ratio\": {:.4}}}\n",
+        cost.predicted_mflop, cost.p50_us, cost.achieved_gflops, cost.peak_gemm_gflops, cost.ratio
     ));
     s.push_str("}\n");
     if let Some(parent) = std::path::Path::new(&args.out).parent() {
@@ -547,7 +599,16 @@ fn main() -> ExitCode {
         "serve DHGCN-lite(tiny)  {} requests  {:.1} req/s  p50={}us p95={}us p99={}us",
         serve.requests, serve.rps, serve.p50_us, serve.p95_us, serve.p99_us
     );
-    if let Err(e) = write_json(&args, &gemm, &streaming, &serve) {
+    let cost = cost_model_section(&gemm, &serve);
+    println!(
+        "cost  DHGCN-lite(tiny)  predicted {:.3} MFLOP / p50 {}us => {:.2} GFLOP/s ({:.1}% of peak {:.2})",
+        cost.predicted_mflop,
+        cost.p50_us,
+        cost.achieved_gflops,
+        cost.ratio * 100.0,
+        cost.peak_gemm_gflops
+    );
+    if let Err(e) = write_json(&args, &gemm, &streaming, &serve, &cost) {
         eprintln!("perf: failed to write {}: {e}", args.out);
         return ExitCode::FAILURE;
     }

@@ -47,9 +47,11 @@ impl StaticBranch {
         ps
     }
 
-    /// Static shape plan mirroring [`StaticBranch::forward`].
+    /// Static shape plan mirroring [`StaticBranch::forward`]; workspace
+    /// events mirror the compiled eval path (mixed → theta out, with the
+    /// returned `ret` buffer owned by the caller).
     pub fn plan(&self, input: &dhg_nn::SymShape) -> dhg_nn::Plan {
-        use dhg_nn::{DiagCode, Plan};
+        use dhg_nn::{DiagCode, OpCost, Plan};
         let mut p = Plan::new(input);
         let op_v = self.op.shape()[0];
         if let Some(v) = input.known(3) {
@@ -61,8 +63,21 @@ impl StaticBranch {
                 return p;
             }
         }
-        p.push_op("vertex_op", format!("static hypergraph operator [{op_v}, {op_v}]"), input.clone());
+        let vcost = OpCost::vertex_op(
+            input.known(1).unwrap_or(1) as u64,
+            input.known(2).unwrap_or(1) as u64,
+            op_v as u64,
+        );
+        p.ws_take("mixed", input);
+        p.push_op_costed(
+            "vertex_op",
+            format!("static hypergraph operator [{op_v}, {op_v}]"),
+            input.clone(),
+            vcost,
+        );
         p.extend("theta", self.theta.plan(&p.output().clone()));
+        p.ws_take("ret", &p.output().clone());
+        p.ws_give("mixed");
         p
     }
 
@@ -130,9 +145,11 @@ impl JointWeightBranch {
         ps
     }
 
-    /// Static shape plan mirroring [`JointWeightBranch::forward`].
+    /// Static shape plan mirroring [`JointWeightBranch::forward`];
+    /// workspace events mirror the compiled eval path (weighted operator
+    /// copy → mixed → theta out, `ret` owned by the caller).
     pub fn plan(&self, input: &dhg_nn::SymShape) -> dhg_nn::Plan {
-        use dhg_nn::{DiagCode, Plan};
+        use dhg_nn::{DiagCode, OpCost, Plan, SymShape};
         let mut p = Plan::new(input);
         let op_v = self.importance.shape()[0];
         if let Some(v) = input.known(3) {
@@ -144,8 +161,17 @@ impl JointWeightBranch {
                 return p;
             }
         }
-        p.push_op("dynamic_vertex_op", "per-frame Eq. 9 operators", input.clone());
+        let (c, t) = (input.known(1).unwrap_or(1) as u64, input.known(2).unwrap_or(1) as u64);
+        let ops_shape = SymShape::batched(&[t as usize, op_v, op_v]);
+        let vcost = OpCost::vertex_op(c, t, op_v as u64)
+            .plus(OpCost::elementwise(&ops_shape));
+        p.ws_take("weighted", &ops_shape);
+        p.ws_take("mixed", input);
+        p.ws_give("weighted");
+        p.push_op_costed("dynamic_vertex_op", "per-frame Eq. 9 operators", input.clone(), vcost);
         p.extend("theta", self.theta.plan(&p.output().clone()));
+        p.ws_take("ret", &p.output().clone());
+        p.ws_give("mixed");
         p
     }
 
@@ -273,9 +299,11 @@ impl TopologyBranch {
         ps
     }
 
-    /// Static shape plan mirroring [`TopologyBranch::forward`].
+    /// Static shape plan mirroring [`TopologyBranch::forward`];
+    /// workspace events mirror the compiled eval path (embedded → mixed →
+    /// theta out, `ret` owned by the caller).
     pub fn plan(&self, input: &dhg_nn::SymShape) -> dhg_nn::Plan {
-        use dhg_nn::{DiagCode, Plan};
+        use dhg_nn::{DiagCode, OpCost, Plan};
         let mut p = Plan::new(input);
         let op_v = self.importance.shape()[0];
         if let Some(v) = input.known(3) {
@@ -287,6 +315,7 @@ impl TopologyBranch {
                 return p;
             }
         }
+        p.ws_take("embedded", &input.with_dim(1, dhg_nn::Dim::Known(self.embed_channels)));
         p.extend("embed", self.embed.plan(input));
         if p.has_errors() {
             return p;
@@ -296,12 +325,22 @@ impl TopologyBranch {
             TopologyGranularity::PerSample => "per-sample",
             TopologyGranularity::PerFrame => "per-frame",
         };
-        p.push_op(
+        let vcost = OpCost::vertex_op(
+            self.embed_channels as u64,
+            input.known(2).unwrap_or(1) as u64,
+            op_v as u64,
+        );
+        p.ws_take("mixed", &p.output().clone());
+        p.ws_give("embedded");
+        p.push_op_costed(
             "topology_vertex_op",
             format!("{mode} k-NN(k={}) + k-means(k={}) hyperedges", self.kn, self.km),
             p.output().clone(),
+            vcost,
         );
         p.extend("theta", self.theta.plan(&p.output().clone()));
+        p.ws_take("ret", &p.output().clone());
+        p.ws_give("mixed");
         p
     }
 

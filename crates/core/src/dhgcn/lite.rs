@@ -234,7 +234,7 @@ impl LiteBlock {
     }
 
     fn plan(&self, input: &dhg_nn::SymShape) -> dhg_nn::Plan {
-        use dhg_nn::{DiagCode, Plan};
+        use dhg_nn::{DiagCode, OpCost, Plan};
         let mut p = Plan::new(input);
         if input.rank() != 4 {
             p.error(
@@ -243,11 +243,21 @@ impl LiteBlock {
             );
             return p;
         }
-        p.push_op("fused_vertex_op", "per-sample fused operator", input.clone());
+        // workspace events mirror forward_eval: mixed → spatial → ret,
+        // with `ret` owned by the caller
+        let vcost = OpCost::vertex_op(
+            input.known(1).unwrap_or(1) as u64,
+            input.known(2).unwrap_or(1) as u64,
+            input.known(3).unwrap_or(1) as u64,
+        );
+        p.ws_take("mixed", input);
+        p.push_op_costed("fused_vertex_op", "per-sample fused operator", input.clone(), vcost);
         p.extend("theta", self.theta.plan(&p.output().clone()));
         if p.has_errors() {
             return p;
         }
+        p.ws_take("spatial", &p.output().clone());
+        p.ws_give("mixed");
         p.extend("bn", self.bn.plan(&p.output().clone()));
         p.push_op("relu", "", p.output().clone());
         p.extend("tcn", self.tcn.plan(&p.output().clone()));
@@ -255,6 +265,8 @@ impl LiteBlock {
             return p;
         }
         let main_out = p.output().clone();
+        p.ws_take("ret", &main_out);
+        p.ws_give("spatial");
         let residual_out = match &self.residual_proj {
             Some(proj) => proj.plan(input).output().clone(),
             None => input.clone(),
@@ -264,6 +276,10 @@ impl LiteBlock {
                 DiagCode::ShapeMismatch,
                 format!("residual path produces {residual_out} but main path produces {main_out}"),
             );
+        }
+        if self.residual_proj.is_some() {
+            p.ws_take("res", &main_out);
+            p.ws_give("res");
         }
         p.push_op("residual_add_relu", "", main_out);
         if !self.bn.training() && self.inference.is_none() {
@@ -538,25 +554,43 @@ impl Module for DhgcnLite {
             return p;
         }
         let v = self.config.dims.n_joints;
-        p.push_op(
+        // The fused operator is built once per forward: embed conv + pairwise
+        // distances + incidence fusion, dominated by the t*v^2 distance work
+        // over embed_channels. The embedded features are workspace scratch; the
+        // [N, V, V] operator itself stays live across every block.
+        let c = input.known(1).unwrap_or(1) as u64;
+        let t = input.known(2).unwrap_or(1) as u64;
+        let e = self.config.embed_channels as u64;
+        let op_cost = dhg_nn::OpCost::vertex_op(c.max(e), t, v as u64)
+            .with_scratch(4 * e * t * v as u64);
+        p.ws_take("op", &SymShape::batched(&[v, v]));
+        p.push_op_costed(
             "fused_operator",
             format!(
                 "static \u{2295} joint-weight \u{2295} topology k-NN(k={})/k-means(k={}) \u{2295} learned -> [N, {v}, {v}]",
                 self.config.kn, self.config.km
             ),
             input.clone(),
+            op_cost,
         );
+        p.ws_take("h0", input);
         p.extend("input_bn", self.input_bn.plan(&p.output().clone()));
         for (i, block) in self.blocks.iter().enumerate() {
             p.extend(&format!("blocks[{i}]"), block.plan(&p.output().clone()));
             if p.has_errors() {
                 return p;
             }
+            p.ws_give(&if i == 0 { "h0".to_string() } else { format!("blocks[{}].ret", i - 1) });
         }
+        p.ws_give("op");
         let channels = p.output().at(1);
         let pooled = SymShape(vec![input.at(0), channels]);
         p.push_op("global_avg_pool", "mean over (T, V)", pooled);
+        if !self.blocks.is_empty() {
+            p.ws_give(&format!("blocks[{}].ret", self.blocks.len() - 1));
+        }
         p.extend("fc", self.fc.plan(&p.output().clone()));
+        p.ws_take("logits", &p.output().clone());
         if !self.input_bn.training() && self.inference.is_none() {
             p.warn(
                 DiagCode::NotPrepared,

@@ -403,16 +403,24 @@ impl Module for Dhgcn {
         if p.has_errors() {
             return p;
         }
+        // mirror forward_serving: each block's input buffer is recycled
+        // as soon as the block has produced its successor
+        p.ws_take("h0", input);
         p.extend("input_bn", self.input_bn.plan(input));
         for (i, b) in self.blocks.iter().enumerate() {
             p.extend(&format!("blocks[{i}]"), b.plan(&p.output().clone()));
             if p.has_errors() {
                 return p;
             }
+            p.ws_give(&if i == 0 { "h0".to_string() } else { format!("blocks[{}].ret", i - 1) });
+        }
+        if !self.blocks.is_empty() {
+            p.ws_give(&format!("blocks[{}].ret", self.blocks.len() - 1));
         }
         let channels = p.output().at(1);
         p.push_op("global_avg_pool", "mean over (T, V)", SymShape(vec![input.at(0), channels]));
         p.extend("fc", self.fc.plan(&p.output().clone()));
+        p.ws_take("logits", &p.output().clone());
         if !self.input_bn.training() && self.inference.is_none() {
             p.warn(
                 DiagCode::NotPrepared,

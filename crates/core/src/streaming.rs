@@ -46,6 +46,27 @@ pub trait StreamableModel: Module {
     fn streaming_hypergraph(&self) -> Option<Hypergraph> {
         None
     }
+
+    /// Static plan for one streaming window, so the analyzer can audit the
+    /// serving path a `dhg_train` streaming session actually exercises.
+    /// `window_ops` is the symbolic shape of the injected operator tensor
+    /// (`[N, T, V, V]`), or `None` when the session skips rolling
+    /// maintenance. The default delegates to [`Module::plan`], which is
+    /// exact for models that ignore the injection.
+    fn plan_window(
+        &self,
+        input: &dhg_nn::SymShape,
+        window_ops: Option<&dhg_nn::SymShape>,
+    ) -> dhg_nn::Plan {
+        let mut p = self.plan(input);
+        if window_ops.is_some() && !self.consumes_window_ops() {
+            p.warn(
+                dhg_nn::DiagCode::FusionMismatch,
+                "session maintains rolling operators but the model ignores the injection",
+            );
+        }
+        p
+    }
 }
 
 impl StreamableModel for crate::Dhgcn {
@@ -64,6 +85,116 @@ impl StreamableModel for crate::Dhgcn {
 
     fn streaming_hypergraph(&self) -> Option<Hypergraph> {
         self.consumes_window_ops().then(|| self.static_hypergraph().clone())
+    }
+
+    fn plan_window(
+        &self,
+        input: &dhg_nn::SymShape,
+        window_ops: Option<&dhg_nn::SymShape>,
+    ) -> dhg_nn::Plan {
+        use dhg_nn::DiagCode;
+        let mut p = self.plan(input);
+        match window_ops {
+            Some(ops) => {
+                // injected operators must be [N, T, V, V] aligned with the window
+                if ops.rank() != 4 {
+                    p.error(
+                        DiagCode::RankMismatch,
+                        format!("window ops must be [N, T, V, V], got rank {} {ops}", ops.rank()),
+                    );
+                    return p;
+                }
+                let v = self.config().dims.n_joints;
+                for (axis, want) in [(1, input.known(2)), (2, Some(v)), (3, Some(v))]
+                    .into_iter()
+                    .filter_map(|(axis, want)| want.map(|w| (axis, w)))
+                {
+                    if ops.known(axis).is_some_and(|got| got != want) {
+                        p.error(
+                            DiagCode::ShapeMismatch,
+                            format!(
+                                "window ops {ops} axis {axis} must be {want} to align with window {input} over {v} joints"
+                            ),
+                        );
+                    }
+                }
+                if !self.consumes_window_ops() {
+                    p.warn(
+                        DiagCode::FusionMismatch,
+                        "session maintains rolling operators but the joint-weight branch is disabled",
+                    );
+                }
+            }
+            None => {
+                if self.consumes_window_ops() {
+                    p.warn(
+                        DiagCode::FusionMismatch,
+                        "joint-weight branch active but no rolling operators injected; the model re-derives them per window",
+                    );
+                }
+            }
+        }
+        p
+    }
+}
+
+// boxed streamable models delegate wholesale, so registries can hand a
+// dynamically chosen model to a StreamingSession (mirrors
+// `impl Module for Box<dyn Module>` in dhg_nn)
+impl Module for Box<dyn StreamableModel> {
+    fn forward(&self, x: &Tensor) -> Tensor {
+        (**self).forward(x)
+    }
+
+    fn parameters(&self) -> Vec<Tensor> {
+        (**self).parameters()
+    }
+
+    fn buffers(&self) -> Vec<dhg_nn::Buffer> {
+        (**self).buffers()
+    }
+
+    fn set_training(&mut self, training: bool) {
+        (**self).set_training(training)
+    }
+
+    fn forward_inference(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        (**self).forward_inference(x, ws)
+    }
+
+    fn prepare_inference(&mut self) {
+        (**self).prepare_inference()
+    }
+
+    fn plan(&self, input: &dhg_nn::SymShape) -> dhg_nn::Plan {
+        (**self).plan(input)
+    }
+}
+
+impl StreamableModel for Box<dyn StreamableModel> {
+    fn forward_window(
+        &self,
+        x: &Tensor,
+        window_ops: Option<&NdArray>,
+        ws: &mut Workspace,
+    ) -> Tensor {
+        (**self).forward_window(x, window_ops, ws)
+    }
+
+    fn consumes_window_ops(&self) -> bool {
+        (**self).consumes_window_ops()
+    }
+
+    fn streaming_hypergraph(&self) -> Option<Hypergraph> {
+        (**self).streaming_hypergraph()
+    }
+
+    fn plan_window(
+        &self,
+        input: &dhg_nn::SymShape,
+        window_ops: Option<&dhg_nn::SymShape>,
+    ) -> dhg_nn::Plan {
+        (**self).plan_window(input, window_ops)
     }
 }
 
@@ -117,6 +248,50 @@ mod tests {
         let with = m.forward_window(&x, Some(&bogus), &mut ws).array();
         let without = m.forward_window(&x, None, &mut ws).array();
         assert_eq!(with, without, "models without window state must ignore the injection");
+    }
+
+    #[test]
+    fn plan_window_validates_ops_alignment() {
+        use dhg_nn::{DiagCode, SymShape};
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut m = Dhgcn::for_topology(DhgcnConfig::small(dims()), &SkeletonTopology::ntu25(), &mut rng);
+        let x = Tensor::constant(NdArray::from_vec(
+            (0..3 * 8 * 25).map(|i| (i as f32 * 0.017).sin()).collect(),
+            &[1, 3, 8, 25],
+        ));
+        m.forward(&x); // warm BN
+        m.prepare_inference();
+        let win = SymShape::nctv(3, 8, 25);
+        // aligned ops: clean plan
+        let ok = m.plan_window(&win, Some(&SymShape::batched(&[8, 25, 25])));
+        assert!(!ok.has_errors(), "{:?}", ok.diagnostics());
+        // wrong joint count: shape-mismatch error
+        let bad = m.plan_window(&win, Some(&SymShape::batched(&[8, 24, 24])));
+        assert!(bad
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == DiagCode::ShapeMismatch));
+        // misaligned window length: shape-mismatch error
+        let skewed = m.plan_window(&win, Some(&SymShape::batched(&[9, 25, 25])));
+        assert!(skewed
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == DiagCode::ShapeMismatch));
+        // operators withheld while the joint-weight branch is live: warning
+        let warned = m.plan_window(&win, None);
+        assert!(!warned.has_errors());
+        assert!(warned
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == DiagCode::FusionMismatch));
+        // models without window state warn when a session injects anyway
+        let mut lite = DhgcnLite::new(DhgcnLiteConfig::new(dims()), &SkeletonTopology::ntu25(), &mut rng);
+        lite.prepare_inference();
+        let lw = lite.plan_window(&win, Some(&SymShape::batched(&[8, 25, 25])));
+        assert!(lw
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == DiagCode::FusionMismatch));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use crate::init;
 use crate::module::Module;
-use crate::plan::{DiagCode, Dim, Plan, SymShape};
+use crate::plan::{DiagCode, Dim, OpCost, Plan, SymShape};
 use dhg_tensor::ops::Conv2dSpec;
 use dhg_tensor::{NdArray, Tensor};
 use rand::Rng;
@@ -122,7 +122,15 @@ impl Module for Conv2d {
                             Dim::Known(ho),
                             Dim::Known(wo),
                         ]);
-                        p.push_op("conv2d", detail, out);
+                        let cost = OpCost::conv2d(
+                            self.in_channels as u64,
+                            self.out_channels as u64,
+                            kh as u64,
+                            kw as u64,
+                            ho as u64,
+                            wo as u64,
+                        );
+                        p.push_op_costed("conv2d", detail, out, cost);
                     }
                     // "conv input height {h} too small for kernel" — the
                     // exact text the eager path panics with

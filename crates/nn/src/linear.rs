@@ -2,7 +2,7 @@
 
 use crate::init;
 use crate::module::Module;
-use crate::plan::{DiagCode, Dim, Plan, SymShape};
+use crate::plan::{per_sample_elems, DiagCode, Dim, OpCost, Plan, SymShape};
 use dhg_tensor::{NdArray, Tensor};
 use rand::Rng;
 
@@ -98,7 +98,9 @@ impl Module for Linear {
             }
         }
         let out = input.with_dim(input.rank() - 1, Dim::Known(self.out_features));
-        p.push_op("linear", format!("{} -> {}", self.in_features, self.out_features), out);
+        let rows = per_sample_elems(input) / self.in_features as u64;
+        let cost = OpCost::linear(rows, self.in_features as u64, self.out_features as u64);
+        p.push_op_costed("linear", format!("{} -> {}", self.in_features, self.out_features), out, cost);
         p
     }
 }

@@ -15,6 +15,7 @@
 //! an eager forward that panics report the same failure category.
 
 use dhg_tensor::NdArray;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// One dimension of a symbolic shape: either the free batch dimension `N`
@@ -151,8 +152,12 @@ pub enum DiagCode {
     DegreeSingular,
     /// A recycled workspace buffer was returned to the pool twice.
     WorkspaceAlias,
+    /// A workspace buffer is read after it was returned to the pool.
+    WorkspaceUseAfterFree,
     /// Consecutive plan ops whose shapes do not connect.
     BrokenChain,
+    /// Predicted peak workspace exceeds a configured byte budget.
+    BudgetExceeded,
 }
 
 impl DiagCode {
@@ -174,7 +179,9 @@ impl DiagCode {
             DiagCode::ImpNotNormalized => "imp-not-normalized",
             DiagCode::DegreeSingular => "degree-singular",
             DiagCode::WorkspaceAlias => "workspace-alias",
+            DiagCode::WorkspaceUseAfterFree => "workspace-use-after-free",
             DiagCode::BrokenChain => "broken-chain",
+            DiagCode::BudgetExceeded => "budget-exceeded",
         }
     }
 }
@@ -213,7 +220,132 @@ impl fmt::Display for Diagnostic {
     }
 }
 
-/// One recorded op: name, free-form detail, and the shapes around it.
+/// Product of a shape's extents with the symbolic batch counted as 1 —
+/// the per-sample element count every [`OpCost`] is expressed in.
+pub fn per_sample_elems(shape: &SymShape) -> u64 {
+    shape.dims().iter().map(|d| d.known().unwrap_or(1) as u64).product()
+}
+
+/// Static per-sample cost of one plan op. All figures are for a batch of
+/// one (the symbolic `N` counts as 1); scale by the batch size at the
+/// call site. `f32` everywhere, so bytes are `4 × elements`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpCost {
+    /// Floating-point operations (a multiply-accumulate counts as 2).
+    pub flops: u64,
+    /// Bytes moved: operands read plus outputs written.
+    pub bytes: u64,
+    /// Transient scratch bytes alive only while the op runs (im2col
+    /// columns, packing panels) — charged against the workspace peak.
+    pub scratch: u64,
+    /// Autograd graph nodes the op would allocate. The plan describes
+    /// the serving path, which runs under `no_grad`, so this must be 0;
+    /// a nonzero count marks an op known to escape the guard.
+    pub graph_nodes: u64,
+}
+
+impl OpCost {
+    /// The heuristic cost [`Plan::push_op`] assumes when the caller does
+    /// not supply one: one FLOP per output element (shuffles, additions,
+    /// activations) and a read+write of every element touched.
+    pub fn default_for(input: &SymShape, output: &SymShape) -> Self {
+        let (i, o) = (per_sample_elems(input), per_sample_elems(output));
+        OpCost { flops: o, bytes: 4 * (i + o), scratch: 0, graph_nodes: 0 }
+    }
+
+    /// A dense `[m, k] × [k, n]` matmul.
+    pub fn matmul(m: u64, k: u64, n: u64) -> Self {
+        OpCost {
+            flops: 2 * m * k * n,
+            bytes: 4 * (m * k + k * n + m * n),
+            scratch: 0,
+            graph_nodes: 0,
+        }
+    }
+
+    /// A fully connected layer applied to `rows` independent rows.
+    pub fn linear(rows: u64, in_features: u64, out_features: u64) -> Self {
+        Self::matmul(rows, in_features, out_features)
+    }
+
+    /// A 2-D convolution `cin → cout` with a `kh × kw` kernel producing
+    /// a `ho × wo` map. The scratch term is the im2col column buffer the
+    /// runtime materialises for non-pointwise kernels.
+    pub fn conv2d(cin: u64, cout: u64, kh: u64, kw: u64, ho: u64, wo: u64) -> Self {
+        let cols = cin * kh * kw * ho * wo;
+        OpCost {
+            flops: 2 * cout * cols,
+            bytes: 4 * (cols + cout * cin * kh * kw + cout * ho * wo),
+            scratch: if kh * kw > 1 { 4 * cols } else { 0 },
+            graph_nodes: 0,
+        }
+    }
+
+    /// A per-frame vertex mix `[C, T, V] × [V, V]` (static hypergraph,
+    /// Eq. 9 joint-weight, or topology operators).
+    pub fn vertex_op(c: u64, t: u64, v: u64) -> Self {
+        OpCost {
+            flops: 2 * c * t * v * v,
+            bytes: 4 * (c * t * v + t * v * v + c * t * v),
+            scratch: 0,
+            graph_nodes: 0,
+        }
+    }
+
+    /// An elementwise pass over a shape (ReLU, BN affine, residual add).
+    pub fn elementwise(shape: &SymShape) -> Self {
+        let e = per_sample_elems(shape);
+        OpCost { flops: e, bytes: 8 * e, scratch: 0, graph_nodes: 0 }
+    }
+
+    /// The same cost with an explicit scratch requirement.
+    pub fn with_scratch(mut self, bytes: u64) -> Self {
+        self.scratch = bytes;
+        self
+    }
+
+    /// Component-wise sum.
+    pub fn plus(self, other: OpCost) -> Self {
+        OpCost {
+            flops: self.flops + other.flops,
+            bytes: self.bytes + other.bytes,
+            scratch: self.scratch.max(other.scratch),
+            graph_nodes: self.graph_nodes + other.graph_nodes,
+        }
+    }
+}
+
+/// What a [`WsEvent`] does to its buffer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WsEventKind {
+    /// The buffer is taken from the pool (becomes live).
+    Take,
+    /// The buffer is read while it must still be live.
+    Read,
+    /// The buffer is returned to the pool (stops being live).
+    Give,
+}
+
+/// One recorded workspace-lifetime event. Plans that mirror their
+/// serving path's `Workspace` traffic record these so [`analyze`] can
+/// prove no recycled buffer is read after reuse and bound the peak
+/// number of live bytes.
+#[derive(Clone, Debug)]
+pub struct WsEvent {
+    /// Index of the op *about to be recorded* when the event fired —
+    /// events with the same index happen between ops `index - 1` and
+    /// `index` of the chain.
+    pub op_index: usize,
+    /// Take, read, or give.
+    pub kind: WsEventKind,
+    /// Buffer identity, scoped like op names (`blocks[0].spatial`).
+    pub id: String,
+    /// Per-sample f32 bytes of the buffer (meaningful on `Take`).
+    pub bytes: u64,
+}
+
+/// One recorded op: name, free-form detail, the shapes around it, and
+/// its static cost.
 #[derive(Clone, Debug)]
 pub struct PlanOp {
     /// Dotted scope path, e.g. `blocks[0].theta`.
@@ -224,6 +356,9 @@ pub struct PlanOp {
     pub input: SymShape,
     /// Shape produced.
     pub output: SymShape,
+    /// Per-sample static cost ([`OpCost::default_for`] heuristic unless
+    /// the module supplied an exact figure via [`Plan::push_op_costed`]).
+    pub cost: OpCost,
 }
 
 /// The op chain a module would execute for a given input shape, plus any
@@ -233,6 +368,7 @@ pub struct Plan {
     input: SymShape,
     ops: Vec<PlanOp>,
     diagnostics: Vec<Diagnostic>,
+    ws_events: Vec<WsEvent>,
     output: SymShape,
 }
 
@@ -243,6 +379,7 @@ impl Plan {
             input: input.clone(),
             ops: Vec::new(),
             diagnostics: Vec::new(),
+            ws_events: Vec::new(),
             output: input.clone(),
         }
     }
@@ -279,15 +416,70 @@ impl Plan {
         &self.diagnostics
     }
 
-    /// Record an op consuming the current output and producing `output`.
+    /// Record an op consuming the current output and producing `output`,
+    /// costed with the [`OpCost::default_for`] heuristic.
     pub fn push_op(&mut self, name: &str, detail: impl Into<String>, output: SymShape) {
+        let cost = OpCost::default_for(&self.output, &output);
+        self.push_op_costed(name, detail, output, cost);
+    }
+
+    /// Record an op with an exact static cost supplied by the module.
+    pub fn push_op_costed(
+        &mut self,
+        name: &str,
+        detail: impl Into<String>,
+        output: SymShape,
+        cost: OpCost,
+    ) {
         self.ops.push(PlanOp {
             name: name.to_string(),
             detail: detail.into(),
             input: self.output.clone(),
             output: output.clone(),
+            cost,
         });
         self.output = output;
+    }
+
+    /// Recorded workspace-lifetime events, in program order.
+    pub fn ws_events(&self) -> &[WsEvent] {
+        &self.ws_events
+    }
+
+    /// Record that the serving path takes a workspace buffer of `shape`
+    /// under the name `id` at this point of the chain.
+    pub fn ws_take(&mut self, id: &str, shape: &SymShape) {
+        self.ws_take_bytes(id, 4 * per_sample_elems(shape));
+    }
+
+    /// [`Plan::ws_take`] with explicit per-sample bytes.
+    pub fn ws_take_bytes(&mut self, id: &str, bytes: u64) {
+        self.ws_events.push(WsEvent {
+            op_index: self.ops.len(),
+            kind: WsEventKind::Take,
+            id: id.to_string(),
+            bytes,
+        });
+    }
+
+    /// Record a read of a buffer that must still be live here.
+    pub fn ws_read(&mut self, id: &str) {
+        self.ws_events.push(WsEvent {
+            op_index: self.ops.len(),
+            kind: WsEventKind::Read,
+            id: id.to_string(),
+            bytes: 0,
+        });
+    }
+
+    /// Record that the serving path returns buffer `id` to the pool.
+    pub fn ws_give(&mut self, id: &str) {
+        self.ws_events.push(WsEvent {
+            op_index: self.ops.len(),
+            kind: WsEventKind::Give,
+            id: id.to_string(),
+            bytes: 0,
+        });
     }
 
     /// Record an error diagnostic at the current scope tail.
@@ -306,11 +498,13 @@ impl Plan {
         self.diagnostics.push(Diagnostic { code, severity, message: message.into(), scope });
     }
 
-    /// Carry over a side branch's diagnostics (re-scoped under `scope.`)
-    /// without splicing its ops into the chain — for parallel paths such
-    /// as the bone stream of a two-stream fusion, whose ops would
+    /// Carry over a side branch's diagnostics and workspace events
+    /// (re-scoped under `scope.`) without splicing its ops into the chain
+    /// — for parallel paths such as the bone stream of a two-stream
+    /// fusion or the non-anchor branches of a branch sum, whose ops would
     /// otherwise violate the sequential-chain invariant [`analyze`]
-    /// checks.
+    /// checks. The events land at the current chain position, modelling
+    /// the branch running while the main chain's buffers are live.
     pub fn adopt(&mut self, scope: &str, child: &Plan) {
         for d in &child.diagnostics {
             let mut d = d.clone();
@@ -321,12 +515,19 @@ impl Plan {
             };
             self.diagnostics.push(d);
         }
+        for ev in &child.ws_events {
+            let mut ev = ev.clone();
+            ev.op_index = self.ops.len();
+            ev.id = format!("{scope}.{}", ev.id);
+            self.ws_events.push(ev);
+        }
     }
 
-    /// Splice a sub-module's plan in: its ops are re-scoped under
-    /// `scope.`, its diagnostics are carried over, and the plan output
-    /// advances to the child's output.
+    /// Splice a sub-module's plan in: its ops and workspace events are
+    /// re-scoped under `scope.`, its diagnostics are carried over, and
+    /// the plan output advances to the child's output.
     pub fn extend(&mut self, scope: &str, child: Plan) {
+        let base = self.ops.len();
         for mut op in child.ops {
             op.name = if op.name.is_empty() {
                 scope.to_string()
@@ -334,6 +535,11 @@ impl Plan {
                 format!("{scope}.{}", op.name)
             };
             self.ops.push(op);
+        }
+        for mut ev in child.ws_events {
+            ev.op_index += base;
+            ev.id = format!("{scope}.{}", ev.id);
+            self.ws_events.push(ev);
         }
         for mut d in child.diagnostics {
             d.scope = if d.scope.is_empty() {
@@ -382,6 +588,54 @@ impl Plan {
     }
 }
 
+/// Aggregate static cost of a whole plan, per sample (batch ≡ 1).
+/// Produced by [`analyze`]; retrieve via [`Report::cost_summary`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CostSummary {
+    /// Total floating-point operations.
+    pub flops: u64,
+    /// Total bytes moved.
+    pub bytes: u64,
+    /// Predicted peak live workspace bytes: the larger of the recorded
+    /// lifetime-event peak and a 2× envelope of the heaviest single op's
+    /// footprint (operands + scratch), covering plans that record no
+    /// explicit events.
+    pub workspace_peak: u64,
+    /// Autograd graph nodes; 0 for a clean `no_grad` serving path.
+    pub graph_nodes: u64,
+    /// Ops the totals cover.
+    pub n_ops: usize,
+}
+
+impl CostSummary {
+    /// The summary scaled to a concrete batch size (peak workspace and
+    /// totals all grow linearly in `N`; op count does not).
+    pub fn scaled(&self, batch: usize) -> Self {
+        let n = batch as u64;
+        CostSummary {
+            flops: self.flops * n,
+            bytes: self.bytes * n,
+            workspace_peak: self.workspace_peak * n,
+            graph_nodes: self.graph_nodes * n,
+            n_ops: self.n_ops,
+        }
+    }
+}
+
+impl fmt::Display for CostSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.2} MFLOP, {:.2} MiB moved, peak ws {:.2} MiB, {} graph nodes, {} ops",
+            self.flops as f64 / 1e6,
+            self.bytes as f64 / (1 << 20) as f64,
+            self.workspace_peak as f64 / (1 << 20) as f64,
+            self.graph_nodes,
+            self.n_ops,
+        )
+    }
+}
+
 /// The outcome of [`analyze`]: the plan's diagnostics plus chain-level
 /// findings, ready to print.
 #[derive(Clone, Debug)]
@@ -392,9 +646,16 @@ pub struct Report {
     pub n_ops: usize,
     /// The plan's final output shape.
     pub output: SymShape,
+    /// Aggregate per-sample static cost.
+    pub cost: CostSummary,
 }
 
 impl Report {
+    /// The plan's aggregate per-sample static cost.
+    pub fn cost_summary(&self) -> CostSummary {
+        self.cost
+    }
+
     /// True when no diagnostics at all were found.
     pub fn ok(&self) -> bool {
         self.diagnostics.is_empty()
@@ -425,11 +686,16 @@ impl fmt::Display for Report {
 }
 
 /// Walk a recorded [`Plan`] and verify it is internally consistent: every
-/// op must consume exactly the shape the previous op produced. Returns the
-/// plan's diagnostics plus any [`DiagCode::BrokenChain`] findings.
+/// op must consume exactly the shape the previous op produced, and the
+/// workspace-lifetime events must form a sound take/read/give discipline
+/// (no double give, no read after give). Returns the plan's diagnostics
+/// plus any chain/lifetime findings and the aggregate [`CostSummary`].
 pub fn analyze(plan: &Plan) -> Report {
     let mut diagnostics = plan.diagnostics().to_vec();
     let mut current = plan.input().clone();
+    let mut cost = CostSummary { n_ops: plan.ops().len(), ..CostSummary::default() };
+    let mut max_footprint = 0u64;
+    let mut max_scratch = 0u64;
     for op in plan.ops() {
         if op.input != current {
             diagnostics.push(Diagnostic {
@@ -440,6 +706,11 @@ pub fn analyze(plan: &Plan) -> Report {
             });
         }
         current = op.output.clone();
+        cost.flops += op.cost.flops;
+        cost.bytes += op.cost.bytes;
+        cost.graph_nodes += op.cost.graph_nodes;
+        max_footprint = max_footprint.max(op.cost.bytes + op.cost.scratch);
+        max_scratch = max_scratch.max(op.cost.scratch);
     }
     if &current != plan.output() {
         diagnostics.push(Diagnostic {
@@ -449,7 +720,66 @@ pub fn analyze(plan: &Plan) -> Report {
             scope: String::new(),
         });
     }
-    Report { diagnostics, n_ops: plan.ops().len(), output: plan.output().clone() }
+    // workspace-lifetime verification: events are in program order, so a
+    // single forward sweep with a live-set suffices
+    let scope_of = |ev: &WsEvent| {
+        plan.ops()
+            .get(ev.op_index.min(plan.ops().len().saturating_sub(1)))
+            .map(|op| op.name.clone())
+            .unwrap_or_default()
+    };
+    let mut live: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut live_bytes = 0u64;
+    let mut event_peak = 0u64;
+    for ev in plan.ws_events() {
+        match ev.kind {
+            WsEventKind::Take => {
+                if live.insert(&ev.id, ev.bytes).is_some() {
+                    diagnostics.push(Diagnostic {
+                        code: DiagCode::WorkspaceAlias,
+                        severity: Severity::Error,
+                        message: format!("buffer `{}` taken while already live", ev.id),
+                        scope: scope_of(ev),
+                    });
+                } else {
+                    live_bytes += ev.bytes;
+                    event_peak = event_peak.max(live_bytes);
+                }
+            }
+            WsEventKind::Read => {
+                if !live.contains_key(ev.id.as_str()) {
+                    diagnostics.push(Diagnostic {
+                        code: DiagCode::WorkspaceUseAfterFree,
+                        severity: Severity::Error,
+                        message: format!(
+                            "buffer `{}` read after being returned to the pool",
+                            ev.id
+                        ),
+                        scope: scope_of(ev),
+                    });
+                }
+            }
+            WsEventKind::Give => match live.remove(ev.id.as_str()) {
+                Some(bytes) => live_bytes -= bytes,
+                None => diagnostics.push(Diagnostic {
+                    code: DiagCode::WorkspaceAlias,
+                    severity: Severity::Error,
+                    message: format!(
+                        "buffer `{}` returned to the pool twice (or never taken)",
+                        ev.id
+                    ),
+                    scope: scope_of(ev),
+                }),
+            },
+        }
+    }
+    // Peak prediction: the event-stream peak (plus the heaviest op's
+    // transient scratch, live while that op runs) where the plan mirrors
+    // its serving path, floored by a 2× envelope of the heaviest op (an
+    // op's operands plus scratch are live at once; the factor covers a
+    // concurrently-held residual/branch buffer for un-evented plans).
+    cost.workspace_peak = (event_peak + max_scratch).max(2 * max_footprint);
+    Report { diagnostics, n_ops: plan.ops().len(), output: plan.output().clone(), cost }
 }
 
 /// True when a BatchNorm running-statistics pair still holds its
@@ -493,13 +823,9 @@ mod tests {
         p.push_op("a", "", SymShape::nctv(64, 16, 25));
         // corrupt the chain by splicing in a child plan recorded for a
         // different shape than `a` produces
-        let child = Plan::new(&SymShape::nctv(32, 16, 25));
-        p.extend("b", Plan { input: child.input.clone(), ops: vec![PlanOp {
-            name: String::new(),
-            detail: String::new(),
-            input: SymShape::nctv(32, 16, 25),
-            output: SymShape::nctv(32, 16, 25),
-        }], diagnostics: Vec::new(), output: SymShape::nctv(32, 16, 25) });
+        let mut child = Plan::new(&SymShape::nctv(32, 16, 25));
+        child.push_op("", "", SymShape::nctv(32, 16, 25));
+        p.extend("b", child);
         let r = analyze(&p);
         assert!(r.has_errors());
         assert!(!r.with_code(DiagCode::BrokenChain).is_empty());
@@ -556,5 +882,121 @@ mod tests {
     fn diag_codes_have_stable_names() {
         assert_eq!(DiagCode::ImpNotNormalized.name(), "imp-not-normalized");
         assert_eq!(DiagCode::IncidenceEmptyEdge.to_string(), "incidence-empty-edge");
+        assert_eq!(DiagCode::WorkspaceUseAfterFree.name(), "workspace-use-after-free");
+        assert_eq!(DiagCode::BudgetExceeded.name(), "budget-exceeded");
+    }
+
+    #[test]
+    fn per_sample_elems_counts_batch_as_one() {
+        assert_eq!(per_sample_elems(&SymShape::nctv(3, 16, 25)), 3 * 16 * 25);
+        assert_eq!(per_sample_elems(&SymShape::concrete(&[2, 4])), 8);
+        assert_eq!(per_sample_elems(&SymShape::batched(&[64])), 64);
+    }
+
+    #[test]
+    fn op_cost_constructors_match_hand_counts() {
+        let mm = OpCost::matmul(6, 10, 4);
+        assert_eq!(mm.flops, 2 * 6 * 10 * 4);
+        assert_eq!(mm.bytes, 4 * (60 + 40 + 24));
+        let conv = OpCost::conv2d(3, 8, 5, 1, 12, 25);
+        assert_eq!(conv.flops, 2 * 8 * 3 * 5 * 12 * 25);
+        assert_eq!(conv.scratch, 4 * 3 * 5 * 12 * 25, "im2col columns");
+        assert_eq!(OpCost::conv2d(3, 8, 1, 1, 16, 25).scratch, 0, "pointwise skips im2col");
+        let v = OpCost::vertex_op(16, 8, 25);
+        assert_eq!(v.flops, 2 * 16 * 8 * 25 * 25);
+    }
+
+    #[test]
+    fn cost_summary_totals_and_scaling() {
+        let input = SymShape::nctv(3, 16, 25);
+        let mut p = Plan::new(&input);
+        p.push_op_costed("theta", "", SymShape::nctv(64, 16, 25), OpCost::matmul(400, 3, 64));
+        p.push_op("relu", "", SymShape::nctv(64, 16, 25));
+        let r = analyze(&p);
+        assert!(r.ok(), "{r}");
+        let c = r.cost_summary();
+        assert_eq!(c.n_ops, 2);
+        assert_eq!(c.flops, 2 * 400 * 3 * 64 + 64 * 16 * 25);
+        assert_eq!(c.graph_nodes, 0);
+        assert!(c.workspace_peak > 0, "envelope floor must kick in without events");
+        let doubled = c.scaled(2);
+        assert_eq!(doubled.flops, 2 * c.flops);
+        assert_eq!(doubled.workspace_peak, 2 * c.workspace_peak);
+        assert_eq!(doubled.n_ops, c.n_ops);
+        assert!(c.to_string().contains("MFLOP"));
+    }
+
+    #[test]
+    fn ws_event_discipline_is_verified() {
+        let input = SymShape::nctv(3, 16, 25);
+        // sound: take, read, give
+        let mut p = Plan::new(&input);
+        p.ws_take("mixed", &SymShape::nctv(3, 16, 25));
+        p.push_op("vertex_op", "", SymShape::nctv(3, 16, 25));
+        p.ws_read("mixed");
+        p.ws_give("mixed");
+        let r = analyze(&p);
+        assert!(r.ok(), "{r}");
+        assert!(r.cost_summary().workspace_peak >= 4 * 3 * 16 * 25);
+
+        // read after give
+        let mut p = Plan::new(&input);
+        p.ws_take("mixed", &input);
+        p.ws_give("mixed");
+        p.ws_read("mixed");
+        let r = analyze(&p);
+        assert!(r.has_errors());
+        assert!(!r.with_code(DiagCode::WorkspaceUseAfterFree).is_empty());
+
+        // double give
+        let mut p = Plan::new(&input);
+        p.ws_take("mixed", &input);
+        p.ws_give("mixed");
+        p.ws_give("mixed");
+        let r = analyze(&p);
+        assert!(!r.with_code(DiagCode::WorkspaceAlias).is_empty());
+
+        // take while live
+        let mut p = Plan::new(&input);
+        p.ws_take("mixed", &input);
+        p.ws_take("mixed", &input);
+        assert!(!analyze(&p).with_code(DiagCode::WorkspaceAlias).is_empty());
+    }
+
+    #[test]
+    fn ws_event_peak_tracks_concurrent_buffers() {
+        let input = SymShape::concrete(&[100]);
+        let mut p = Plan::new(&input);
+        p.ws_take_bytes("a", 400);
+        p.ws_take_bytes("b", 800);
+        p.ws_give("a");
+        p.ws_take_bytes("c", 100);
+        p.ws_give("b");
+        p.ws_give("c");
+        let r = analyze(&p);
+        assert!(r.ok(), "{r}");
+        assert_eq!(r.cost_summary().workspace_peak, 1200);
+    }
+
+    #[test]
+    fn extend_rescopes_ws_events() {
+        let mut child = Plan::new(&SymShape::nctv(3, 8, 25));
+        child.ws_take("spatial", &SymShape::nctv(16, 8, 25));
+        child.push_op("theta", "", SymShape::nctv(16, 8, 25));
+        child.ws_give("spatial");
+        let mut parent = Plan::new(&SymShape::nctv(3, 8, 25));
+        parent.push_op("bn", "", SymShape::nctv(3, 8, 25));
+        parent.extend("blocks[0]", child);
+        assert_eq!(parent.ws_events()[0].id, "blocks[0].spatial");
+        assert_eq!(parent.ws_events()[0].op_index, 1, "offset by the parent's ops");
+        assert!(analyze(&parent).ok());
+        // the parent can give a child-scoped buffer it inherits
+        let mut child = Plan::new(&SymShape::nctv(3, 8, 25));
+        child.ws_take("ret", &SymShape::nctv(16, 8, 25));
+        child.push_op("theta", "", SymShape::nctv(16, 8, 25));
+        let mut parent = Plan::new(&SymShape::nctv(3, 8, 25));
+        parent.extend("blocks[0]", child);
+        parent.ws_give("blocks[0].ret");
+        assert!(analyze(&parent).ok());
     }
 }

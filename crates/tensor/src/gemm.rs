@@ -263,10 +263,17 @@ fn microkernel_portable(apanel: &[f32], bpanel: &[f32], kc: usize, acc: &mut [[f
 /// than autovectorized `mul_add` because LLVM interchanges the scalar
 /// loop into a memory-bound scalar-FMA form (~4× slower). Per element
 /// the math is the same fused multiply-add in the same `p`-ascending
-/// order as the scalar formulation, so results are unchanged. Caller
-/// must have verified the features.
+/// order as the scalar formulation, so results are unchanged.
+///
+/// # Safety
+///
+/// The caller must have verified `avx2` and `fma` are available (see
+/// [`have_avx2_fma`]) and must pass panels holding at least `kc·MR`
+/// (`apanel`) and `kc·NR` (`bpanel`) floats.
 #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
 #[target_feature(enable = "avx2,fma")]
+// SAFETY: contract above — feature-gated entry, panel bounds re-checked
+// by the debug assertion in the body before any pointer arithmetic.
 unsafe fn microkernel_fma(apanel: &[f32], bpanel: &[f32], kc: usize, acc: &mut [[f32; NR]; MR]) {
     #[cfg(target_arch = "x86")]
     use core::arch::x86::*;

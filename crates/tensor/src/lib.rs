@@ -36,4 +36,4 @@ pub mod workspace;
 pub use array::NdArray;
 pub use autograd::{graph_nodes_created, is_grad_enabled, no_grad, NoGradGuard, Tensor};
 pub use shape_check::{check_conv_out_size, check_im2col, check_matmul, ShapeError};
-pub use workspace::Workspace;
+pub use workspace::{Workspace, DEFAULT_BYTE_BUDGET};

@@ -49,6 +49,11 @@ pub struct Workspace {
     pooled_bytes: usize,
     byte_budget: usize,
     alias_hazards: usize,
+    /// Bytes of buffers currently out on loan (taken, not yet returned).
+    live_bytes: usize,
+    /// Highest `live_bytes` ever observed — the measured peak the static
+    /// cost model's predicted `workspace_peak` must dominate.
+    high_water_bytes: usize,
 }
 
 impl Default for Workspace {
@@ -73,6 +78,8 @@ impl Workspace {
             pooled_bytes: 0,
             byte_budget: budget,
             alias_hazards: 0,
+            live_bytes: 0,
+            high_water_bytes: 0,
         }
     }
 
@@ -102,6 +109,20 @@ impl Workspace {
         self.alias_hazards
     }
 
+    /// Bytes currently out on loan: taken via [`Workspace::take`] /
+    /// [`Workspace::take_zeroed`] and not yet given back. Buffers that
+    /// enter the pool from outside (a `give` of storage this workspace
+    /// never handed out) don't contribute.
+    pub fn live_bytes(&self) -> usize {
+        self.live_bytes
+    }
+
+    /// The highest [`Workspace::live_bytes`] ever observed — the runtime
+    /// high-water mark the analyzer's predicted peak is validated against.
+    pub fn high_water_bytes(&self) -> usize {
+        self.high_water_bytes
+    }
+
     /// A buffer of exactly `len` elements, zero-filled. Reuses the pooled
     /// buffer whose capacity fits best, else allocates. Costs one memset of
     /// `len` elements — callers that overwrite every element (GEMM pack
@@ -111,6 +132,7 @@ impl Workspace {
         buf.truncate(len);
         buf.iter_mut().for_each(|v| *v = 0.0);
         buf.resize(len, 0.0);
+        self.loan(len);
         buf
     }
 
@@ -123,7 +145,13 @@ impl Workspace {
         let mut buf = self.take_raw(len);
         buf.truncate(len);
         buf.resize(len, 0.0);
+        self.loan(len);
         buf
+    }
+
+    fn loan(&mut self, len: usize) {
+        self.live_bytes += len * std::mem::size_of::<f32>();
+        self.high_water_bytes = self.high_water_bytes.max(self.live_bytes);
     }
 
     fn take_raw(&mut self, len: usize) -> Vec<f32> {
@@ -165,6 +193,9 @@ impl Workspace {
     /// fits again (the incoming buffer itself is evicted last, so a buffer
     /// larger than the whole budget is never retained).
     pub fn give(&mut self, buf: Vec<f32>) {
+        // saturating: storage that was never taken from this workspace
+        // (fresh Vecs, another pool's buffers) can legitimately be given
+        self.live_bytes = self.live_bytes.saturating_sub(buf.len() * std::mem::size_of::<f32>());
         if buf.capacity() == 0 {
             return;
         }
@@ -331,10 +362,35 @@ mod tests {
         // forge an alias of the pooled storage; `give` must refuse to pool
         // it (two pooled copies would alias future `take`s) and must not
         // drop it (that would double-free) — it leaks it and counts
+        // SAFETY: (ptr, len, cap) were captured from a live Vec whose
+        // ownership moved into the pool; the forged alias is immediately
+        // handed to `give`, which leaks it (never drops), so the storage
+        // is freed exactly once, by the pooled original.
         let alias = unsafe { Vec::from_raw_parts(ptr, len, cap) };
         ws.give(alias);
         assert_eq!(ws.alias_hazards(), 1);
         assert_eq!(ws.pooled(), 1);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_live_bytes() {
+        let sz = std::mem::size_of::<f32>();
+        let mut ws = Workspace::new();
+        let a = ws.take(100);
+        let b = ws.take_zeroed(50);
+        assert_eq!(ws.live_bytes(), 150 * sz);
+        assert_eq!(ws.high_water_bytes(), 150 * sz);
+        ws.give(a);
+        assert_eq!(ws.live_bytes(), 50 * sz);
+        let c = ws.take(20);
+        assert_eq!(ws.high_water_bytes(), 150 * sz, "peak must not decay");
+        ws.give(b);
+        ws.give(c);
+        assert_eq!(ws.live_bytes(), 0);
+        // foreign storage given without a take must not underflow
+        ws.give(vec![0.0; 1000]);
+        assert_eq!(ws.live_bytes(), 0);
+        assert_eq!(ws.high_water_bytes(), 150 * sz);
     }
 
     #[test]

@@ -187,6 +187,9 @@ pub enum ServeError {
     },
     /// The stream id was never opened, or was already closed.
     UnknownStream,
+    /// The engine cannot host frame streams: its per-sample shape is not
+    /// `[C, T, V]`, or the requested emission cadence was zero.
+    NotStreamable(String),
     /// The engine is shut down (or a worker died before replying).
     Closed,
     /// Worker startup failed: the factory's model was refused by the
@@ -207,6 +210,9 @@ impl std::fmt::Display for ServeError {
                 write!(f, "stream frame has length {got}, expected C*V = {expected}")
             }
             ServeError::UnknownStream => write!(f, "stream was never opened or already closed"),
+            ServeError::NotStreamable(why) => {
+                write!(f, "engine cannot host frame streams: {why}")
+            }
             ServeError::DeadlineExceeded => write!(f, "request exceeded its deadline"),
             ServeError::BadOutput => write!(f, "forward produced non-finite logits"),
             ServeError::Closed => write!(f, "serve engine is shut down"),
@@ -585,13 +591,15 @@ impl ServeEngine {
     /// holds `T` frames. Returns the stream id for
     /// [`ServeEngine::push_frame`] / [`ServeEngine::close_stream`].
     pub fn open_stream(&self, emit_every: usize) -> Result<u64, ServeError> {
-        assert_eq!(
-            self.sample_shape.len(),
-            3,
-            "streams need a [C, T, V] sample shape, engine serves {:?}",
-            self.sample_shape
-        );
-        assert!(emit_every >= 1, "emit_every must be at least 1");
+        if self.sample_shape.len() != 3 {
+            return Err(ServeError::NotStreamable(format!(
+                "streams need a [C, T, V] sample shape, engine serves {:?}",
+                self.sample_shape
+            )));
+        }
+        if emit_every == 0 {
+            return Err(ServeError::NotStreamable("emit_every must be at least 1".into()));
+        }
         if self.shared.lock_state().closed {
             return Err(ServeError::Closed);
         }
@@ -620,7 +628,12 @@ impl ServeEngine {
     /// [`ServeError::Rejected`] — the ring has still advanced, so the
     /// stream sheds that window and scores fresher frames next time.
     pub fn push_frame(&self, stream: u64, frame: &[f32]) -> Result<Option<Pending>, ServeError> {
-        let (c, t, v) = (self.sample_shape[0], self.sample_shape[1], self.sample_shape[2]);
+        let [c, t, v] = *self.sample_shape else {
+            return Err(ServeError::NotStreamable(format!(
+                "streams need a [C, T, V] sample shape, engine serves {:?}",
+                self.sample_shape
+            )));
+        };
         if frame.len() != c * v {
             return Err(ServeError::BadFrame { expected: c * v, got: frame.len() });
         }
@@ -1241,6 +1254,10 @@ mod tests {
     #[test]
     fn stream_misuse_is_rejected_typed() {
         let engine = engine(ServeConfig::default());
+        assert!(
+            matches!(engine.open_stream(0).unwrap_err(), ServeError::NotStreamable(_)),
+            "a zero emission cadence can never emit"
+        );
         let stream = engine.open_stream(1).expect("open");
         assert_eq!(
             engine.push_frame(stream, &[0.0; 7]).unwrap_err(),
@@ -1328,8 +1345,9 @@ mod tests {
         assert_eq!(health.restarts, 2);
         assert_eq!(health.live_workers, 0);
         assert!(!health.is_serving());
-        // the engine is closed: new submits refuse typed
+        // the engine is closed: new submits and stream traffic refuse typed
         assert_eq!(engine.submit(sample(9)).unwrap_err(), ServeError::Closed);
+        assert_eq!(engine.open_stream(1).unwrap_err(), ServeError::Closed);
         engine.shutdown();
     }
 

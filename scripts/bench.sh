@@ -2,14 +2,16 @@
 # Machine-readable performance snapshot: per-kernel GEMM GFLOP/s (packed
 # cache-blocked vs reference ikj, conv- and incidence-shaped operands),
 # per-frame streaming topology maintenance vs per-window from-scratch
-# reconstruction (T=64, NTU-25), and serve-engine p50/p95/p99 latency at
-# a fixed closed-loop offered load.
+# reconstruction (T=64, NTU-25), serve-engine p50/p95/p99 latency at a
+# fixed closed-loop offered load, and the cost_model section comparing
+# the plan IR's predicted FLOPs against the serve p50 (achieved GFLOP/s
+# as a fraction of the peak measured GEMM rate).
 #
-#   scripts/bench.sh            # full run, writes BENCH_7.json at the repo
+#   scripts/bench.sh            # full run, writes BENCH_8.json at the repo
 #                               # root and gates GEMM rates against the
-#                               # committed BENCH_6.json baseline
+#                               # committed BENCH_7.json baseline
 #   scripts/bench.sh --smoke    # tier-1 gate: same code paths and schema in
-#                               # seconds, writes target/BENCH_7.smoke.json
+#                               # seconds, writes target/BENCH_8.smoke.json
 #                               # (no baseline gate: smoke timings are noise)
 #
 # The streaming-maintenance acceptance floor (>= 3x cheaper than naive
@@ -18,11 +20,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 if [[ "${1:-}" == "--smoke" ]]; then
-    cargo run --release -q -p dhg-bench --bin perf -- --smoke --out target/BENCH_7.smoke.json
+    cargo run --release -q -p dhg-bench --bin perf -- --smoke --out target/BENCH_8.smoke.json
 else
     baseline_args=()
-    if [[ -f BENCH_6.json ]]; then
-        baseline_args=(--baseline BENCH_6.json --tolerance 0.5)
+    if [[ -f BENCH_7.json ]]; then
+        baseline_args=(--baseline BENCH_7.json --tolerance 0.5)
     fi
-    cargo run --release -q -p dhg-bench --bin perf -- --out BENCH_7.json "${baseline_args[@]}"
+    cargo run --release -q -p dhg-bench --bin perf -- --out BENCH_8.json "${baseline_args[@]}"
 fi

@@ -7,16 +7,22 @@
 #      once without measuring, catching bit-rot in bench code; the
 #      inference_latency bench also asserts the execution-mode contract)
 #   5. the perf snapshot smoke (scripts/bench.sh --smoke): GEMM GFLOP/s
-#      per kernel and serve latency quantiles, same schema as BENCH_6.json
+#      per kernel, serve latency quantiles and the cost-model ratio, same
+#      schema as BENCH_8.json
 #   6. the static model-graph analyzer over the whole zoo (clean plans,
-#      clean serving audit) plus its self-test of seeded negatives
-#   7. the serve-engine smoke: zero sheds at low offered load, typed
+#      clean serving + streaming audit) plus its self-test of seeded
+#      negatives
+#   7. the static-analysis gate (scripts/lint.sh): dhg-lint self-test and
+#      clean-repo scan (DL001-DL005 with lint.allow), and the analyzer's
+#      --budget check that every model's predicted peak workspace fits
+#      the serve cap
+#   8. the serve-engine smoke: zero sheds at low offered load, typed
 #      Rejected shedding past the queue bound, accepted work all answered
-#   8. the chaos smoke: under seeded fault injection, dead workers are
+#   9. the chaos smoke: under seeded fault injection, dead workers are
 #      respawned, every accepted request resolves to logits or a typed
 #      error (with surviving logits bitwise-exact), and interrupted
 #      training resumes bitwise from its last valid snapshot
-#   9. rustdoc with warnings denied (broken intra-doc links fail the gate)
+#  10. rustdoc with warnings denied (broken intra-doc links fail the gate)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -38,6 +44,9 @@ scripts/bench.sh --smoke
 echo "== tier1: static model-graph analysis =="
 cargo run --release -q -p dhg-bench --bin analyze
 cargo run --release -q -p dhg-bench --bin analyze -- --self-test
+
+echo "== tier1: static-analysis gate (dhg-lint + workspace budget) =="
+scripts/lint.sh
 
 echo "== tier1: serve-engine smoke (backpressure semantics) =="
 cargo run --release -q -p dhg-bench --bin serve -- --smoke
