@@ -31,7 +31,7 @@
 //! ```text
 //! cargo run --release -p dhg-bench --bin analyze
 //! cargo run --release -p dhg-bench --bin analyze -- --budget
-//! cargo run --release -p dhg-bench --bin analyze -- --bench BENCH_8.json
+//! cargo run --release -p dhg-bench --bin analyze -- --bench BENCH_9.json
 //! cargo run --release -p dhg-bench --bin analyze -- --self-test
 //! ```
 

@@ -1,0 +1,402 @@
+//! Multi-tenant offered-load driver for the TCP serving frontend.
+//!
+//! Stands up the full network stack on loopback — `Router` over ≥2 zoo
+//! models, `NetServer`, and per-tenant `NetClient` threads in a closed
+//! loop — then reports **client-side** per-tenant latency quantiles
+//! (p50/p95/p99 over the wire, protocol included) and throughput, and
+//! exercises versioned hot-swap under load.
+//!
+//! ```text
+//! cargo run --release -p dhg-bench --bin net                # full run
+//! cargo run --release -p dhg-bench --bin net -- --smoke     # tier-1 gate
+//! cargo run --release -p dhg-bench --bin net -- --merge BENCH_9.json
+//! ```
+//!
+//! `--merge FILE` appends a `"net"` section with the per-tenant
+//! quantiles to an existing `BENCH_*.json` written by the `perf` bench.
+//!
+//! `--smoke` is the tier-1 gate: every reply must be bitwise-identical
+//! to in-process [`InferenceSession::logits`], typed errors must
+//! survive the wire, and a mid-load hot-swap must lose zero accepted
+//! requests.
+
+use dhg_skeleton::SkeletonTopology;
+use dhg_tensor::{NdArray, Tensor};
+use dhg_train::checkpoint;
+use dhg_train::net::{NetClient, NetConfig, NetError, NetServer};
+use dhg_train::proto::Status;
+use dhg_train::router::{zoo_specs, Router, RouterConfig};
+use dhg_train::zoo::Zoo;
+use dhg_train::InferenceSession;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+const C: usize = 3;
+const T: usize = 8;
+const V: usize = 25;
+const MODELS: [&str; 2] = ["ST-GCN", "DHGCN-lite"];
+const TENANTS: [&str; 2] = ["acme", "globex"];
+
+struct Args {
+    requests: usize,
+    tenants: usize,
+    quota: usize,
+    workers: usize,
+    smoke: bool,
+    merge: Option<String>,
+}
+
+impl Args {
+    fn parse() -> Result<Args, String> {
+        let mut args = Args {
+            requests: 200,
+            tenants: TENANTS.len(),
+            quota: 0,
+            workers: dhg_tensor::parallel::num_threads(),
+            smoke: false,
+            merge: None,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let value = |it: &mut dyn Iterator<Item = String>| {
+                it.next().ok_or(format!("{flag} needs a value"))
+            };
+            match flag.as_str() {
+                "--requests" => args.requests = num(&value(&mut it)?)?,
+                "--tenants" => args.tenants = num(&value(&mut it)?)?.clamp(1, TENANTS.len()),
+                "--quota" => args.quota = num(&value(&mut it)?)?,
+                "--workers" => args.workers = num(&value(&mut it)?)?,
+                "--smoke" => args.smoke = true,
+                "--merge" => args.merge = Some(value(&mut it)?),
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        Ok(args)
+    }
+}
+
+fn num(s: &str) -> Result<usize, String> {
+    s.parse::<usize>().map_err(|_| format!("not a number: {s}"))
+}
+
+fn sample(seed: usize) -> Vec<f32> {
+    (0..C * T * V).map(|i| ((i + seed * 131) as f32 * 0.013).sin()).collect()
+}
+
+fn start_stack(args: &Args) -> (Arc<Router>, NetServer) {
+    let config = RouterConfig {
+        total_workers: args.workers.max(1),
+        tenant_quota: args.quota,
+        ..RouterConfig::default()
+    };
+    let router = Arc::new(
+        Router::start(zoo_specs(&MODELS, 4, 0), config)
+            .unwrap_or_else(|e| panic!("router start failed: {e}")),
+    );
+    let server = NetServer::start(router.clone(), NetConfig::default())
+        .unwrap_or_else(|e| panic!("net server start failed: {e}"));
+    (router, server)
+}
+
+/// Sorted-latency quantile in microseconds.
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+struct TenantReport {
+    tenant: String,
+    requests: usize,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+    rps: f64,
+}
+
+/// Closed-loop per-tenant clients over the wire; returns per-tenant
+/// client-side latency reports (sorted by tenant for stable output).
+fn drive(addr: std::net::SocketAddr, args: &Args) -> Vec<TenantReport> {
+    let per_tenant = args.requests / args.tenants.max(1);
+    let handles: Vec<_> = TENANTS[..args.tenants]
+        .iter()
+        .map(|tenant| {
+            let tenant = tenant.to_string();
+            std::thread::spawn(move || {
+                let mut client =
+                    NetClient::connect(addr).unwrap_or_else(|e| panic!("connect: {e}"));
+                let mut latencies = Vec::with_capacity(per_tenant);
+                let started = Instant::now();
+                for i in 0..per_tenant {
+                    let model = MODELS[i % MODELS.len()];
+                    let x = sample(i);
+                    let t0 = Instant::now();
+                    client
+                        .infer(&tenant, model, &x)
+                        .unwrap_or_else(|e| panic!("infer({tenant}, {model}): {e}"));
+                    latencies.push(t0.elapsed().as_micros() as u64);
+                }
+                let elapsed = started.elapsed().as_secs_f64();
+                latencies.sort_unstable();
+                TenantReport {
+                    tenant,
+                    requests: per_tenant,
+                    p50_us: quantile(&latencies, 0.50),
+                    p95_us: quantile(&latencies, 0.95),
+                    p99_us: quantile(&latencies, 0.99),
+                    rps: per_tenant as f64 / elapsed.max(1e-9),
+                }
+            })
+        })
+        .collect();
+    let mut reports: Vec<TenantReport> =
+        handles.into_iter().map(|h| h.join().expect("tenant thread")).collect();
+    reports.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+    reports
+}
+
+fn reference_logits(name: &str, x: &[f32]) -> Vec<f32> {
+    let zoo = Zoo::tiny(SkeletonTopology::ntu25(), 4, 0);
+    let mut session = InferenceSession::new(zoo.by_name(name).expect("zoo model"));
+    let batch1 = Tensor::constant(NdArray::from_vec(x.to_vec(), &[C, T, V]).reshape(&[1, C, T, V]));
+    session.logits(&batch1).data()[..4].to_vec()
+}
+
+fn net_json(reports: &[TenantReport], swap_served: usize, swap_errors: usize) -> String {
+    let mut tenants = String::new();
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            tenants.push(',');
+        }
+        tenants.push_str(&format!(
+            "\"{}\":{{\"requests\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\
+             \"rps\":{:.2}}}",
+            r.tenant, r.requests, r.p50_us, r.p95_us, r.p99_us, r.rps
+        ));
+    }
+    format!(
+        "{{\"models\":{},\"tenants\":{{{tenants}}},\
+         \"swap\":{{\"served\":{swap_served},\"typed_errors\":{swap_errors}}}}}",
+        MODELS.len()
+    )
+}
+
+/// Append a `"net"` section to an existing `BENCH_*.json` (written fresh
+/// by the `perf` bench each run, so plain string surgery is safe).
+fn merge_into(path: &str, section: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let trimmed = text.trim_end();
+    let body = trimmed
+        .strip_suffix('}')
+        .ok_or_else(|| format!("{path}: not a JSON object"))?;
+    let merged = format!("{body},\n  \"net\": {section}\n}}\n");
+    std::fs::write(path, merged).map_err(|e| format!("{path}: {e}"))?;
+    Ok(())
+}
+
+/// Hot-swap under load: hammer one model from one tenant while swapping
+/// it; every reply must be bitwise v1, bitwise v2, or a typed error.
+/// Returns (served, typed_errors).
+fn swap_under_load(addr: std::net::SocketAddr) -> (usize, usize) {
+    let model = "DHGCN-lite";
+    let zoo_v2 = Zoo::tiny(SkeletonTopology::ntu25(), 4, 7);
+    let v2_bytes = checkpoint::save(&zoo_v2.by_name(model).expect("zoo")).to_vec();
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let hammer = {
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut client = NetClient::connect(addr).unwrap_or_else(|e| panic!("connect: {e}"));
+            let mut replies = Vec::new();
+            let mut seed = 0usize;
+            while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                replies.push((seed, client.infer("acme", model, &sample(seed))));
+                seed += 1;
+            }
+            replies
+        })
+    };
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    let mut admin = NetClient::connect(addr).unwrap_or_else(|e| panic!("connect: {e}"));
+    admin.swap(model, &v2_bytes).unwrap_or_else(|e| panic!("swap: {e}"));
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    let replies = hammer.join().expect("hammer thread");
+
+    // v2 reference: v1 constructor + v2 weights, compiled for serving
+    let zoo_v1 = Zoo::tiny(SkeletonTopology::ntu25(), 4, 0);
+    let loaded = zoo_v1.by_name(model).expect("zoo");
+    checkpoint::load(&loaded, checkpoint::save(&zoo_v2.by_name(model).expect("zoo")))
+        .expect("v2 restores");
+    let mut v2_session = InferenceSession::new(loaded);
+    let mut served = 0usize;
+    let mut typed_errors = 0usize;
+    for (seed, reply) in replies {
+        match reply {
+            Ok(got) => {
+                let x = sample(seed);
+                let v1 = reference_logits(model, &x);
+                let batch1 = Tensor::constant(
+                    NdArray::from_vec(x.clone(), &[C, T, V]).reshape(&[1, C, T, V]),
+                );
+                let v2 = v2_session.logits(&batch1).data()[..4].to_vec();
+                assert!(
+                    got == v1 || got == v2,
+                    "seed {seed}: swap-window reply matches neither version"
+                );
+                served += 1;
+            }
+            Err(NetError::Remote { .. }) => typed_errors += 1,
+            Err(other) => panic!("seed {seed}: request lost untyped: {other:?}"),
+        }
+    }
+    assert!(served > 0, "swap window starved all traffic");
+    (served, typed_errors)
+}
+
+fn run(args: &Args) -> ExitCode {
+    println!("== net: multi-tenant offered load over loopback TCP ==");
+    let (router, server) = start_stack(args);
+    let addr = server.addr();
+
+    // correctness spot-check before the timed run
+    let mut probe = NetClient::connect(addr).unwrap_or_else(|e| panic!("connect: {e}"));
+    for model in MODELS {
+        let x = sample(42);
+        let got = probe.infer("probe", model, &x).unwrap_or_else(|e| panic!("probe: {e}"));
+        assert_eq!(got, reference_logits(model, &x), "{model} diverged over TCP");
+    }
+
+    let reports = drive(addr, args);
+    for r in &reports {
+        println!(
+            "tenant {:<8} {:>5} req  p50 {:>7} us  p95 {:>7} us  p99 {:>7} us  {:>8.1} req/s",
+            r.tenant, r.requests, r.p50_us, r.p95_us, r.p99_us, r.rps
+        );
+    }
+
+    let (swap_served, swap_errors) = swap_under_load(addr);
+    println!(
+        "hot-swap         {swap_served} served bitwise + {swap_errors} typed error(s), \
+         zero lost"
+    );
+
+    // surface the router's own per-tenant accounting
+    let health = probe.health().unwrap_or_else(|e| panic!("health: {e}"));
+    println!("health           {health}");
+    let section = net_json(&reports, swap_served, swap_errors);
+    if let Some(path) = &args.merge {
+        if let Err(why) = merge_into(path, &section) {
+            eprintln!("net: merge failed: {why}");
+            return ExitCode::FAILURE;
+        }
+        println!("merged           \"net\" section into {path}");
+    } else {
+        println!("json             {section}");
+    }
+    drop(probe);
+    server.shutdown();
+    router.shutdown();
+    println!("== net: OK ==");
+    ExitCode::SUCCESS
+}
+
+/// Tier-1 smoke: bitwise round-trip, typed errors over the wire, quota
+/// refusal, and a lossless mid-load swap — all on tiny models, fast.
+fn smoke() -> ExitCode {
+    println!("== net --smoke: loopback round-trip + hot-swap on tiny zoo ==");
+    let args = Args {
+        requests: 16,
+        tenants: 2,
+        quota: 0,
+        workers: 1,
+        smoke: true,
+        merge: None,
+    };
+    let (router, server) = start_stack(&args);
+    let addr = server.addr();
+    let mut failures = 0usize;
+
+    // 1. both models, both tenants, bitwise over the wire
+    let mut client = NetClient::connect(addr).unwrap_or_else(|e| panic!("connect: {e}"));
+    let mut checked = 0usize;
+    for model in MODELS {
+        for tenant in TENANTS {
+            let x = sample(checked);
+            let got =
+                client.infer(tenant, model, &x).unwrap_or_else(|e| panic!("infer: {e}"));
+            if got != reference_logits(model, &x) {
+                println!("FAIL {model}/{tenant} diverged from in-process logits");
+                failures += 1;
+            }
+            checked += 1;
+        }
+    }
+    if failures == 0 {
+        println!("ok   {checked} replies bitwise-identical across {} models x {} tenants",
+            MODELS.len(), TENANTS.len());
+    }
+
+    // 2. typed errors survive the wire
+    match client.infer("acme", "NoSuchModel", &sample(0)) {
+        Err(NetError::Remote { status: Status::UnknownModel, .. }) => {
+            println!("ok   unknown model refused typed");
+        }
+        other => {
+            println!("FAIL unknown model produced {other:?}");
+            failures += 1;
+        }
+    }
+    match client.infer("acme", "ST-GCN", &[0.0; 3]) {
+        Err(NetError::Remote { status: Status::BadShape, .. }) => {
+            println!("ok   bad shape refused typed");
+        }
+        other => {
+            println!("FAIL bad shape produced {other:?}");
+            failures += 1;
+        }
+    }
+
+    // 3. hot-swap under load loses nothing
+    let (served, typed_errors) = swap_under_load(addr);
+    println!("ok   hot-swap: {served} served bitwise, {typed_errors} typed error(s), zero lost");
+
+    // 4. health lists every model with a version
+    let health = client.health().unwrap_or_else(|e| panic!("health: {e}"));
+    for model in MODELS {
+        if !health.contains(&format!("\"{model}\"")) {
+            println!("FAIL health json is missing {model}");
+            failures += 1;
+        }
+    }
+    if failures == 0 {
+        println!("ok   health lists all models: {health}");
+    }
+
+    server.shutdown();
+    router.shutdown();
+    if failures == 0 {
+        println!("== net --smoke: OK ==");
+        ExitCode::SUCCESS
+    } else {
+        println!("== net --smoke: {failures} failure(s) ==");
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    match Args::parse() {
+        Ok(args) if args.smoke => smoke(),
+        Ok(args) => run(&args),
+        Err(why) => {
+            eprintln!("net: {why}");
+            eprintln!(
+                "usage: net [--requests N] [--tenants K] [--quota Q] [--workers W] \
+                 [--merge FILE] [--smoke]"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

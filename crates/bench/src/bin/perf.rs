@@ -1,5 +1,5 @@
 //! Machine-readable performance snapshot — the producer behind
-//! `scripts/bench.sh` and the committed `BENCH_8.json`.
+//! `scripts/bench.sh` and the committed `BENCH_9.json`.
 //!
 //! Four sections:
 //!
@@ -20,13 +20,13 @@
 //! * **cost_model** — the plan IR's predicted FLOPs for the served model
 //!   divided by the measured p50, as a fraction of this run's own peak
 //!   GEMM rate. A ratio above 1 would mean the static cost model
-//!   overcounts; `analyze --bench BENCH_8.json` re-applies the same
+//!   overcounts; `analyze --bench BENCH_9.json` re-applies the same
 //!   check as a gate.
 //!
 //! ```text
-//! cargo run --release -p dhg-bench --bin perf -- --out BENCH_8.json \
-//!     --baseline BENCH_7.json --tolerance 0.5
-//! cargo run --release -p dhg-bench --bin perf -- --smoke --out target/BENCH_8.smoke.json
+//! cargo run --release -p dhg-bench --bin perf -- --out BENCH_9.json \
+//!     --baseline BENCH_8.json --tolerance 0.5
+//! cargo run --release -p dhg-bench --bin perf -- --smoke --out target/BENCH_9.smoke.json
 //! ```
 //!
 //! `--smoke` shrinks repetitions and the request count so the tier-1 gate
@@ -59,7 +59,7 @@ struct Args {
 impl Args {
     fn parse() -> Result<Args, String> {
         let mut args = Args {
-            out: "BENCH_8.json".into(),
+            out: "BENCH_9.json".into(),
             smoke: false,
             threads: 8,
             baseline: None,
@@ -456,7 +456,7 @@ fn write_json(
 ) -> std::io::Result<()> {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str(&format!("  \"bench\": 8,\n  \"smoke\": {},\n", args.smoke));
+    s.push_str(&format!("  \"bench\": 9,\n  \"smoke\": {},\n", args.smoke));
     s.push_str("  \"gemm\": [\n");
     for (i, g) in gemm.iter().enumerate() {
         s.push_str(&format!(

@@ -317,9 +317,16 @@ const DETERMINISM_CRATES: [&str; 6] = [
 /// Crates whose inner loops dominate benchmark numbers.
 const HOT_PATH_CRATES: [&str; 2] = ["crates/tensor/", "crates/hypergraph/"];
 
-/// Files forming the serving request path (DL005 scope).
-const REQUEST_PATH_FILES: [&str; 2] =
-    ["crates/train/src/serve.rs", "crates/train/src/streaming.rs"];
+/// Files forming the serving request path (DL005 scope): the in-process
+/// engine and streaming session, plus the network layers a remote
+/// request traverses (wire decoding, routing, the TCP frontend).
+const REQUEST_PATH_FILES: [&str; 5] = [
+    "crates/train/src/serve.rs",
+    "crates/train/src/streaming.rs",
+    "crates/train/src/proto.rs",
+    "crates/train/src/router.rs",
+    "crates/train/src/net.rs",
+];
 
 fn in_scope(path: &str, prefixes: &[&str]) -> bool {
     let p = path.replace('\\', "/");

@@ -32,7 +32,8 @@ pub use fold::EvalConv;
 pub use linear::Linear;
 pub use lstm::Lstm;
 pub use metrics::{
-    confusion_matrix, top_k_accuracy, Counter, Gauge, Histogram, HistogramSnapshot, Registry,
+    confusion_matrix, labeled, top_k_accuracy, Counter, Gauge, Histogram, HistogramSnapshot,
+    Registry,
 };
 pub use module::{collect_buffers, collect_parameters, Buffer, Module};
 pub use optim::{clip_gradient_norm, CosineLr, Sgd, SgdConfig, StepLr};

@@ -152,12 +152,22 @@ pub struct HistogramSnapshot {
     pub min: u64,
     /// Largest observed value (0 when empty).
     pub max: u64,
-    /// Median (bucket upper bound, clamped to the observed max).
-    pub p50: u64,
+    /// Median (bucket upper bound, clamped to the observed max); `None`
+    /// when nothing was observed — an empty histogram has no quantiles,
+    /// and reporting `0` would read as an observed value.
+    pub p50: Option<u64>,
     /// 95th percentile (same resolution).
-    pub p95: u64,
+    pub p95: Option<u64>,
     /// 99th percentile (same resolution).
-    pub p99: u64,
+    pub p99: Option<u64>,
+}
+
+/// Render an optional quantile: the value, or `-` for "never observed".
+fn fmt_q(q: Option<u64>) -> String {
+    match q {
+        Some(v) => v.to_string(),
+        None => "-".to_string(),
+    }
 }
 
 impl std::fmt::Display for HistogramSnapshot {
@@ -165,7 +175,13 @@ impl std::fmt::Display for HistogramSnapshot {
         write!(
             f,
             "n={} mean={:.1} min={} p50={} p95={} p99={} max={}",
-            self.count, self.mean, self.min, self.p50, self.p95, self.p99, self.max
+            self.count,
+            self.mean,
+            self.min,
+            fmt_q(self.p50),
+            fmt_q(self.p95),
+            fmt_q(self.p99),
+            self.max
         )
     }
 }
@@ -225,11 +241,15 @@ impl Histogram {
     }
 
     /// The `q`-quantile (`0.0..=1.0`) as a bucket upper bound clamped to
-    /// the observed maximum; 0 when empty.
-    pub fn quantile(&self, q: f64) -> u64 {
+    /// the observed maximum. `None` when the histogram is empty: an
+    /// unobserved distribution has no quantiles, and the old `0` return
+    /// was indistinguishable from a genuine 0-valued observation.
+    /// Observations in the implicit overflow bucket resolve to the
+    /// observed maximum, never to the last finite boundary.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
         let total = self.count();
         if total == 0 {
-            return 0;
+            return None;
         }
         let max = self.max.load(Ordering::Relaxed);
         let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
@@ -237,13 +257,13 @@ impl Histogram {
         for (i, c) in self.counts.iter().enumerate() {
             cum += c.load(Ordering::Relaxed);
             if cum >= rank {
-                return match self.bounds.get(i) {
+                return Some(match self.bounds.get(i) {
                     Some(&b) => b.min(max),
-                    None => max, // overflow bucket
-                };
+                    None => max, // overflow bucket: clamp to observed max
+                });
             }
         }
-        max
+        Some(max)
     }
 
     /// Consistent point-in-time summary (reads are relaxed; under
@@ -264,6 +284,46 @@ impl Histogram {
             p99: self.quantile(0.99),
         }
     }
+}
+
+/// Compose a labeled metric name in the conventional
+/// `base{key="value",…}` form, so one [`Registry`] can hold per-tenant
+/// (or per-model) series of the same base metric. Label values are
+/// escaped for quotes/backslashes so the rendered name stays parseable;
+/// keys are code-controlled identifiers and are emitted verbatim.
+///
+/// ```
+/// use dhg_nn::metrics::labeled;
+/// assert_eq!(
+///     labeled("net-requests-total", &[("tenant", "acme")]),
+///     "net-requests-total{tenant=\"acme\"}"
+/// );
+/// ```
+pub fn labeled(base: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return base.to_string();
+    }
+    let mut out = String::with_capacity(base.len() + 16 * labels.len());
+    out.push_str(base);
+    out.push('{');
+    for (i, (key, value)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(key);
+        out.push_str("=\"");
+        for c in value.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
 }
 
 /// One named metric in a [`Registry`].
@@ -339,22 +399,37 @@ impl Registry {
     }
 
     /// JSON object dump (counters and gauges as numbers, histograms as
-    /// objects with count/sum/mean/min/max/p50/p95/p99). Metric names are
-    /// code-controlled identifiers, so no string escaping is needed.
+    /// objects with count/sum/mean/min/max/p50/p95/p99; empty-histogram
+    /// quantiles are `null`, not 0). Names are JSON-escaped: [`labeled`]
+    /// series embed quotes.
     pub fn to_json(&self) -> String {
         let m = self.metrics.lock().unwrap();
         let fields: Vec<String> = m
             .iter()
-            .map(|(name, metric)| match metric {
-                Metric::Counter(c) => format!("\"{name}\":{}", c.get()),
-                Metric::Gauge(g) => format!("\"{name}\":{}", g.get()),
-                Metric::Histogram(h) => {
-                    let s = h.snapshot();
-                    format!(
-                        "\"{name}\":{{\"count\":{},\"sum\":{},\"mean\":{:.3},\"min\":{},\
-                         \"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
-                        s.count, s.sum, s.mean, s.min, s.max, s.p50, s.p95, s.p99
-                    )
+            .map(|(raw_name, metric)| {
+                let name = raw_name.replace('\\', "\\\\").replace('"', "\\\"");
+                match metric {
+                    Metric::Counter(c) => format!("\"{name}\":{}", c.get()),
+                    Metric::Gauge(g) => format!("\"{name}\":{}", g.get()),
+                    Metric::Histogram(h) => {
+                        let s = h.snapshot();
+                        let q = |v: Option<u64>| match v {
+                            Some(v) => v.to_string(),
+                            None => "null".to_string(),
+                        };
+                        format!(
+                            "\"{name}\":{{\"count\":{},\"sum\":{},\"mean\":{:.3},\"min\":{},\
+                             \"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                            s.count,
+                            s.sum,
+                            s.mean,
+                            s.min,
+                            s.max,
+                            q(s.p50),
+                            q(s.p95),
+                            q(s.p99)
+                        )
+                    }
                 }
             })
             .collect();
@@ -456,9 +531,10 @@ mod tests {
         assert_eq!(s.min, 1);
         assert_eq!(s.max, 1000);
         // bucket-resolved quantiles are upper bounds within one doubling
-        assert!(s.p50 >= 500 && s.p50 <= 1000, "p50 = {}", s.p50);
-        assert!(s.p95 >= 950 && s.p95 <= 1900, "p95 = {}", s.p95);
-        assert!(s.p99 >= 990, "p99 = {}", s.p99);
+        let (p50, p95, p99) = (s.p50.unwrap(), s.p95.unwrap(), s.p99.unwrap());
+        assert!((500..=1000).contains(&p50), "p50 = {p50}");
+        assert!((950..=1900).contains(&p95), "p95 = {p95}");
+        assert!(p99 >= 990, "p99 = {p99}");
         assert!((s.mean - 500.5).abs() < 1e-9);
     }
 
@@ -470,8 +546,8 @@ mod tests {
         let s = h.snapshot();
         // both observations land in the (2, 4] bucket; the boundary 4
         // exceeds the observed max and must be clamped back to 3
-        assert_eq!(s.p50, 3);
-        assert_eq!(s.p99, 3);
+        assert_eq!(s.p50, Some(3));
+        assert_eq!(s.p99, Some(3));
     }
 
     #[test]
@@ -479,14 +555,70 @@ mod tests {
         let h = Histogram::with_bounds(vec![10, 20]);
         h.observe(5);
         h.observe(1_000_000);
-        assert_eq!(h.quantile(1.0), 1_000_000);
+        assert_eq!(h.quantile(1.0), Some(1_000_000));
     }
 
     #[test]
-    fn empty_histogram_snapshot_is_all_zero() {
+    fn empty_histogram_has_no_quantiles() {
+        // regression: an empty histogram used to report p50=0 as if a
+        // 0-valued latency had been observed
         let h = Histogram::exponential(1, 8);
+        assert_eq!(h.quantile(0.5), None);
         let s = h.snapshot();
-        assert_eq!((s.count, s.sum, s.min, s.max, s.p50, s.p99), (0, 0, 0, 0, 0, 0));
+        assert_eq!((s.count, s.sum, s.min, s.max), (0, 0, 0, 0));
+        assert_eq!((s.p50, s.p95, s.p99), (None, None, None));
+        assert_eq!(format!("{s}"), "n=0 mean=0.0 min=0 p50=- p95=- p99=- max=0");
+    }
+
+    #[test]
+    fn all_overflow_histogram_clamps_every_quantile_to_observed_max() {
+        // regression: every observation past the last finite boundary must
+        // resolve quantiles to the observed max, not the boundary 20
+        let h = Histogram::with_bounds(vec![10, 20]);
+        h.observe(500);
+        h.observe(900);
+        h.observe(700);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(900), "q={q}");
+        }
+        let s = h.snapshot();
+        assert_eq!((s.p50, s.p95, s.p99), (Some(900), Some(900), Some(900)));
+    }
+
+    #[test]
+    fn single_observation_pins_every_quantile() {
+        let h = Histogram::exponential(1, 27);
+        h.observe(123);
+        let s = h.snapshot();
+        assert_eq!((s.count, s.min, s.max), (1, 123, 123));
+        assert_eq!((s.p50, s.p95, s.p99), (Some(123), Some(123), Some(123)));
+        // the same holds for a single 0-valued observation — which the old
+        // empty-histogram sentinel made unrepresentable
+        let z = Histogram::exponential(1, 8);
+        z.observe(0);
+        assert_eq!(z.quantile(0.5), Some(0));
+        assert_eq!(z.count(), 1);
+    }
+
+    #[test]
+    fn labeled_names_compose_and_render() {
+        assert_eq!(labeled("reqs", &[]), "reqs");
+        assert_eq!(labeled("reqs", &[("tenant", "acme")]), "reqs{tenant=\"acme\"}");
+        assert_eq!(
+            labeled("reqs", &[("tenant", "a"), ("model", "DHGCN")]),
+            "reqs{tenant=\"a\",model=\"DHGCN\"}"
+        );
+        // hostile label values stay parseable in text and JSON renders
+        assert_eq!(labeled("reqs", &[("t", "a\"b")]), "reqs{t=\"a\\\"b\"}");
+        let r = Registry::new();
+        r.counter(&labeled("net-requests-total", &[("tenant", "acme")])).inc();
+        let text = r.render_text();
+        assert!(text.contains("net-requests-total{tenant=\"acme\"} 1"), "{text}");
+        let json = r.to_json();
+        assert!(
+            json.contains("\"net-requests-total{tenant=\\\"acme\\\"}\":1"),
+            "{json}"
+        );
     }
 
     #[test]

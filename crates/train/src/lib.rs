@@ -22,6 +22,13 @@
 //! * [`streaming`] — [`StreamingSession`]: frame-at-a-time sliding-window
 //!   scoring with incrementally maintained dynamic operators (ring
 //!   buffers over frames and Eq. 9 joint-weight operators).
+//! * [`router`] — [`Router`]: multi-model, multi-tenant routing over
+//!   per-model [`ServeEngine`]s — shared worker budget, per-tenant
+//!   in-flight quotas with labeled metrics, and versioned hot-swap with
+//!   checkpoint vetting (analyzer + plan-IR workspace budget).
+//! * [`proto`] / [`net`] — the length-prefixed binary wire protocol and
+//!   the std-only threaded TCP frontend + blocking [`NetClient`] that
+//!   put the router on a socket.
 //! * [`checkpoint`] — compact binary save/load of model parameters and
 //!   BatchNorm running statistics.
 //! * [`zoo`] — canonical constructors for every model in the comparison,
@@ -32,13 +39,18 @@ pub mod eval;
 pub mod experiment;
 pub mod infer;
 pub mod json;
+pub mod net;
+pub mod proto;
 pub mod report;
+pub mod router;
 pub mod serve;
 pub mod streaming;
 pub mod trainer;
 pub mod zoo;
 
 pub use eval::{evaluate, evaluate_fused, EvalResult};
+pub use net::{NetClient, NetConfig, NetError, NetServer};
+pub use router::{zoo_specs, ModelSpec, RouteError, Router, RouterConfig, SwapError};
 pub use experiment::{Table, TableRow};
 pub use infer::InferenceSession;
 pub use serve::{Pending, ServeConfig, ServeEngine, ServeError, ServeHealth, ServeMetrics};

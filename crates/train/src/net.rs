@@ -1,0 +1,531 @@
+//! TCP serving frontend: a std-only threaded listener speaking the
+//! [`crate::proto`] length-prefixed protocol over keep-alive
+//! connections, routing every request through a shared [`Router`].
+//!
+//! ## Connection model
+//!
+//! One OS thread per connection (bounded by
+//! [`NetConfig::max_connections`]; excess connections receive one
+//! [`Status::Busy`] frame and are closed). A connection is a keep-alive
+//! request/response loop: frames are answered in arrival order, and the
+//! peer may hold the socket open idle indefinitely — idleness is
+//! distinguished from a stalled peer by socket read timeouts, not
+//! wall-clock reads, so this file stays clock-free. Once the first byte
+//! of a frame arrives the remainder is subject to
+//! [`NetConfig::read_timeout`] per read; a peer that stalls mid-frame is
+//! disconnected. Replies are subject to [`NetConfig::write_timeout`].
+//!
+//! Malformed bodies are answered with a typed
+//! [`Status::BadRequest`] frame (echoing the request id when at least
+//! its 8 bytes arrived) rather than dropping the connection; framing
+//! violations — an oversized length prefix, a mid-frame disconnect —
+//! close it.
+//!
+//! [`NetClient`] is the matching blocking client: one request in flight
+//! per connection, correlation-id checked.
+
+use crate::proto::{
+    decode_request, decode_response, encode_err, encode_ok, encode_request, peek_req_id,
+    read_frame, write_frame, OkPayload, ProtoError, Request, Response, Status,
+    DEFAULT_MAX_FRAME,
+};
+use crate::router::{RouteError, Router, SwapError};
+use crate::serve::ServeError;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Listener configuration.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Bind address; port 0 picks a free port (read it back from
+    /// [`NetServer::addr`]).
+    pub addr: String,
+    /// Concurrent connection cap; excess connections get one
+    /// [`Status::Busy`] frame and are closed.
+    pub max_connections: usize,
+    /// Per-read deadline once a frame has started arriving.
+    pub read_timeout: Duration,
+    /// Per-write deadline for replies.
+    pub write_timeout: Duration,
+    /// Frame size cap, both directions.
+    pub max_frame: usize,
+    /// Poll cadence while a connection sits idle between frames (bounds
+    /// both shutdown latency and the stop-flag check interval).
+    pub idle_tick: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_connections: 64,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            max_frame: DEFAULT_MAX_FRAME,
+            idle_tick: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Typed client/server transport failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// Socket-level failure.
+    Io(std::io::ErrorKind),
+    /// Wire-format violation.
+    Proto(ProtoError),
+    /// The server answered with a non-`Ok` status.
+    Remote {
+        /// Typed failure class from the wire.
+        status: Status,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The reply's correlation id did not match the request's.
+    ReqIdMismatch {
+        /// Id this client sent.
+        sent: u64,
+        /// Id the server echoed.
+        got: u64,
+    },
+    /// The reply decoded cleanly but carried the wrong payload variant.
+    UnexpectedPayload,
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(kind) => write!(f, "socket error: {kind}"),
+            NetError::Proto(e) => write!(f, "protocol error: {e}"),
+            NetError::Remote { status, message } => {
+                write!(f, "server refused ({status:?}): {message}")
+            }
+            NetError::ReqIdMismatch { sent, got } => {
+                write!(f, "correlation id mismatch: sent {sent}, got {got}")
+            }
+            NetError::UnexpectedPayload => write!(f, "reply payload variant mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<ProtoError> for NetError {
+    fn from(e: ProtoError) -> Self {
+        match e {
+            ProtoError::Io(kind) => NetError::Io(kind),
+            other => NetError::Proto(other),
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e.kind())
+    }
+}
+
+fn is_timeout(kind: std::io::ErrorKind) -> bool {
+    matches!(kind, std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+}
+
+// ------------------------------------------------------------------ server
+
+/// The running TCP frontend. Shutting down (or dropping) stops the
+/// accept loop and signals connection threads, which exit at their next
+/// idle tick.
+pub struct NetServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    conns: Arc<AtomicUsize>,
+    idle_tick: Duration,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Bind and start serving `router` on [`NetConfig::addr`].
+    pub fn start(router: Arc<Router>, config: NetConfig) -> Result<NetServer, NetError> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns = Arc::new(AtomicUsize::new(0));
+        let idle_tick = config.idle_tick;
+        let accept_thread = {
+            let stop = stop.clone();
+            let conns = conns.clone();
+            std::thread::Builder::new()
+                .name("dhg-net-accept".into())
+                .spawn(move || accept_loop(&listener, &router, &config, &stop, &conns))
+                .map_err(|e| NetError::Io(e.kind()))?
+        };
+        Ok(NetServer { addr, stop, conns, idle_tick, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address (resolves port 0 binds).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live connection count.
+    pub fn connections(&self) -> usize {
+        self.conns.load(Ordering::SeqCst)
+    }
+
+    /// Stop accepting, signal connection threads, and wait (bounded) for
+    /// them to drain. Idempotent; dropping the server does the same.
+    pub fn shutdown(mut self) {
+        self.close();
+    }
+
+    fn close(&mut self) {
+        let Some(handle) = self.accept_thread.take() else { return };
+        self.stop.store(true, Ordering::SeqCst);
+        // the accept loop blocks in accept(); a self-connection wakes it
+        // so it can observe the stop flag
+        let _ = TcpStream::connect(self.addr);
+        let _ = handle.join();
+        // connection threads notice the flag at their next idle tick;
+        // wait a bounded number of ticks, then let stragglers (a peer
+        // stalled mid-frame) finish on their socket deadlines
+        for _ in 0..64 {
+            if self.conns.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            std::thread::sleep(self.idle_tick);
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    router: &Arc<Router>,
+    config: &NetConfig,
+    stop: &Arc<AtomicBool>,
+    conns: &Arc<AtomicUsize>,
+) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        if conns.load(Ordering::SeqCst) >= config.max_connections {
+            // best-effort typed refusal; the peer may already be gone
+            let mut stream = stream;
+            let _ = stream.set_write_timeout(Some(config.write_timeout));
+            let body = encode_err(0, Status::Busy, "connection limit reached", 0);
+            let _ = write_frame(&mut stream, &body, config.max_frame);
+            continue;
+        }
+        conns.fetch_add(1, Ordering::SeqCst);
+        let router = router.clone();
+        let conn_config = config.clone();
+        let conn_stop = stop.clone();
+        let conn_conns = conns.clone();
+        let spawned = std::thread::Builder::new().name("dhg-net-conn".into()).spawn(move || {
+            serve_connection(stream, &router, &conn_config, &conn_stop);
+            conn_conns.fetch_sub(1, Ordering::SeqCst);
+        });
+        if spawned.is_err() {
+            conns.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// What one read attempt at the top of the keep-alive loop produced.
+enum FrameRead {
+    /// A complete frame body.
+    Frame(Vec<u8>),
+    /// Nothing arrived within one idle tick.
+    Idle,
+    /// The peer closed cleanly between frames.
+    Eof,
+}
+
+/// Read one frame, tolerating idleness *between* frames but applying
+/// `read_timeout` per read once a frame has started.
+fn read_frame_keepalive(
+    stream: &mut TcpStream,
+    config: &NetConfig,
+) -> Result<FrameRead, NetError> {
+    let mut header = [0u8; 4];
+    let mut got = 0usize;
+    while got < 4 {
+        match stream.read(&mut header[got..]) {
+            Ok(0) => {
+                if got == 0 {
+                    return Ok(FrameRead::Eof);
+                }
+                return Err(NetError::Io(std::io::ErrorKind::UnexpectedEof));
+            }
+            Ok(n) => {
+                if got == 0 {
+                    // the frame has started: stalls are now fatal
+                    stream.set_read_timeout(Some(config.read_timeout))?;
+                }
+                got += n;
+            }
+            Err(e) if is_timeout(e.kind()) && got == 0 => return Ok(FrameRead::Idle),
+            Err(e) => return Err(NetError::Io(e.kind())),
+        }
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > config.max_frame {
+        return Err(NetError::Proto(ProtoError::Oversize { declared: len, max: config.max_frame }));
+    }
+    let mut body = vec![0u8; len];
+    let mut filled = 0usize;
+    while filled < len {
+        match stream.read(&mut body[filled..]) {
+            Ok(0) => return Err(NetError::Io(std::io::ErrorKind::UnexpectedEof)),
+            Ok(n) => filled += n,
+            Err(e) => return Err(NetError::Io(e.kind())),
+        }
+    }
+    Ok(FrameRead::Frame(body))
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    router: &Arc<Router>,
+    config: &NetConfig,
+    stop: &Arc<AtomicBool>,
+) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_write_timeout(Some(config.write_timeout)).is_err() {
+        return;
+    }
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        if stream.set_read_timeout(Some(config.idle_tick)).is_err() {
+            return;
+        }
+        let body = match read_frame_keepalive(&mut stream, config) {
+            Ok(FrameRead::Frame(body)) => body,
+            Ok(FrameRead::Idle) => continue,
+            Ok(FrameRead::Eof) | Err(_) => return,
+        };
+        let reply = handle_request(router, &body);
+        if write_frame(&mut stream, &reply, config.max_frame).is_err() {
+            return;
+        }
+    }
+}
+
+/// Map a routing failure onto its wire status.
+fn route_status(e: &RouteError) -> Status {
+    match e {
+        RouteError::UnknownModel(_) => Status::UnknownModel,
+        RouteError::QuotaExceeded { .. } => Status::QuotaExceeded,
+        RouteError::Serve(s) => match s {
+            ServeError::Rejected { .. } => Status::Rejected,
+            ServeError::BadShape { .. } => Status::BadShape,
+            ServeError::DeadlineExceeded => Status::DeadlineExceeded,
+            ServeError::BadOutput => Status::BadOutput,
+            ServeError::BadFrame { .. } => Status::BadFrame,
+            ServeError::UnknownStream => Status::UnknownStream,
+            ServeError::NotStreamable(_) => Status::NotStreamable,
+            ServeError::Closed => Status::Closed,
+            ServeError::Startup(_) => Status::Startup,
+        },
+    }
+}
+
+fn swap_status(e: &SwapError) -> Status {
+    match e {
+        SwapError::UnknownModel(_) => Status::UnknownModel,
+        SwapError::Checkpoint(_) => Status::SwapCheckpoint,
+        SwapError::Vetoed(_) => Status::SwapVetoed,
+        SwapError::Startup(_) => Status::Startup,
+    }
+}
+
+/// Decode, dispatch and encode one request. Never panics; every failure
+/// is a typed response frame.
+fn handle_request(router: &Arc<Router>, body: &[u8]) -> Vec<u8> {
+    let (req_id, req) = match decode_request(body) {
+        Ok(decoded) => decoded,
+        Err(e) => {
+            let req_id = peek_req_id(body).unwrap_or(0);
+            return encode_err(req_id, Status::BadRequest, &e.to_string(), 0);
+        }
+    };
+    let kind = req.kind();
+    match req {
+        Request::Infer { tenant, model, input } => {
+            match router.infer(&tenant, &model, &input) {
+                Ok(logits) => encode_ok(req_id, &OkPayload::Logits(logits.data().to_vec())),
+                Err(e) => encode_err(req_id, route_status(&e), &e.to_string(), kind),
+            }
+        }
+        Request::OpenStream { tenant, model, emit_every } => {
+            match router.open_stream(&tenant, &model, emit_every as usize) {
+                Ok(stream) => encode_ok(req_id, &OkPayload::Stream(stream)),
+                Err(e) => encode_err(req_id, route_status(&e), &e.to_string(), kind),
+            }
+        }
+        Request::PushFrame { tenant, stream, frame } => {
+            match router.push_frame(&tenant, stream, &frame) {
+                Ok(window) => encode_ok(
+                    req_id,
+                    &OkPayload::Window(window.map(|l| l.data().to_vec())),
+                ),
+                Err(e) => encode_err(req_id, route_status(&e), &e.to_string(), kind),
+            }
+        }
+        Request::CloseStream { tenant, stream } => {
+            match router.close_stream(&tenant, stream) {
+                Ok(existed) => encode_ok(req_id, &OkPayload::Closed(existed)),
+                Err(e) => encode_err(req_id, route_status(&e), &e.to_string(), kind),
+            }
+        }
+        Request::Health => encode_ok(req_id, &OkPayload::Health(router.health_json())),
+        Request::Swap { model, checkpoint } => match router.swap(&model, &checkpoint) {
+            Ok(version) => encode_ok(req_id, &OkPayload::Version(version)),
+            Err(e) => encode_err(req_id, swap_status(&e), &e.to_string(), kind),
+        },
+    }
+}
+
+// ------------------------------------------------------------------ client
+
+/// Blocking request/response client over one keep-alive connection.
+pub struct NetClient {
+    stream: TcpStream,
+    next_id: u64,
+    max_frame: usize,
+}
+
+impl NetClient {
+    /// Connect with 30 s read / 10 s write socket deadlines and the
+    /// default frame cap.
+    pub fn connect(addr: SocketAddr) -> Result<NetClient, NetError> {
+        Self::connect_with(addr, Duration::from_secs(30), DEFAULT_MAX_FRAME)
+    }
+
+    /// Connect with an explicit reply deadline and frame cap.
+    pub fn connect_with(
+        addr: SocketAddr,
+        reply_timeout: Duration,
+        max_frame: usize,
+    ) -> Result<NetClient, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(reply_timeout))?;
+        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+        Ok(NetClient { stream, next_id: 1, max_frame })
+    }
+
+    fn call(&mut self, req: &Request) -> Result<OkPayload, NetError> {
+        let sent = self.next_id;
+        self.next_id += 1;
+        write_frame(&mut self.stream, &encode_request(sent, req), self.max_frame)?;
+        let body = read_frame(&mut self.stream, self.max_frame)?;
+        match decode_response(&body)? {
+            Response::Ok { req_id, payload } => {
+                if req_id != sent {
+                    return Err(NetError::ReqIdMismatch { sent, got: req_id });
+                }
+                Ok(payload)
+            }
+            Response::Err { req_id, status, message } => {
+                // id 0 marks failures where the server could not recover
+                // the request id (or a pre-request Busy refusal)
+                if req_id != sent && req_id != 0 {
+                    return Err(NetError::ReqIdMismatch { sent, got: req_id });
+                }
+                Err(NetError::Remote { status, message })
+            }
+        }
+    }
+
+    /// Batch inference of one flat row-major sample.
+    pub fn infer(
+        &mut self,
+        tenant: &str,
+        model: &str,
+        input: &[f32],
+    ) -> Result<Vec<f32>, NetError> {
+        match self.call(&Request::Infer {
+            tenant: tenant.to_string(),
+            model: model.to_string(),
+            input: input.to_vec(),
+        })? {
+            OkPayload::Logits(logits) => Ok(logits),
+            _ => Err(NetError::UnexpectedPayload),
+        }
+    }
+
+    /// Open a sliding-window stream; returns the server stream id.
+    pub fn open_stream(
+        &mut self,
+        tenant: &str,
+        model: &str,
+        emit_every: u32,
+    ) -> Result<u64, NetError> {
+        match self.call(&Request::OpenStream {
+            tenant: tenant.to_string(),
+            model: model.to_string(),
+            emit_every,
+        })? {
+            OkPayload::Stream(id) => Ok(id),
+            _ => Err(NetError::UnexpectedPayload),
+        }
+    }
+
+    /// Push one flat `[C*V]` frame; `Some(logits)` when it completed a
+    /// window.
+    pub fn push_frame(
+        &mut self,
+        tenant: &str,
+        stream: u64,
+        frame: &[f32],
+    ) -> Result<Option<Vec<f32>>, NetError> {
+        match self.call(&Request::PushFrame {
+            tenant: tenant.to_string(),
+            stream,
+            frame: frame.to_vec(),
+        })? {
+            OkPayload::Window(window) => Ok(window),
+            _ => Err(NetError::UnexpectedPayload),
+        }
+    }
+
+    /// Close a stream; `true` if it was open.
+    pub fn close_stream(&mut self, tenant: &str, stream: u64) -> Result<bool, NetError> {
+        match self.call(&Request::CloseStream { tenant: tenant.to_string(), stream })? {
+            OkPayload::Closed(existed) => Ok(existed),
+            _ => Err(NetError::UnexpectedPayload),
+        }
+    }
+
+    /// Router-wide health snapshot (JSON).
+    pub fn health(&mut self) -> Result<String, NetError> {
+        match self.call(&Request::Health)? {
+            OkPayload::Health(json) => Ok(json),
+            _ => Err(NetError::UnexpectedPayload),
+        }
+    }
+
+    /// Hot-swap `model` to `checkpoint`; returns the new version.
+    pub fn swap(&mut self, model: &str, checkpoint: &[u8]) -> Result<u64, NetError> {
+        match self.call(&Request::Swap {
+            model: model.to_string(),
+            checkpoint: checkpoint.to_vec(),
+        })? {
+            OkPayload::Version(version) => Ok(version),
+            _ => Err(NetError::UnexpectedPayload),
+        }
+    }
+}

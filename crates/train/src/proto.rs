@@ -1,0 +1,634 @@
+//! Length-prefixed binary wire protocol for the network serving frontend.
+//!
+//! Every message — request or response — travels as one **frame**: a
+//! little-endian `u32` byte length followed by that many body bytes. A
+//! frame larger than the negotiated cap is refused before allocation, so
+//! a hostile peer cannot make the server reserve gigabytes from a 4-byte
+//! header.
+//!
+//! Request body layout (all integers little-endian):
+//!
+//! ```text
+//! u64 req_id | u8 kind | kind-specific payload
+//!
+//! kind 1 Infer       str tenant | str model | f32arr input ([C*T*V] flat)
+//! kind 2 OpenStream  str tenant | str model | u32 emit_every
+//! kind 3 PushFrame   str tenant | u64 stream | f32arr frame ([C*V] flat)
+//! kind 4 CloseStream str tenant | u64 stream
+//! kind 5 Health      (empty)
+//! kind 6 Swap        str model  | bytes checkpoint
+//! ```
+//!
+//! Response body layout:
+//!
+//! ```text
+//! u64 req_id | u8 status | u8 kind | payload
+//!
+//! status 0 (ok), payload by echoed request kind:
+//!   Infer       f32arr logits
+//!   OpenStream  u64 stream
+//!   PushFrame   u8 emitted | f32arr logits (only when emitted == 1)
+//!   CloseStream u8 existed
+//!   Health      str health-json
+//!   Swap        u64 version
+//! status != 0 (error): str message
+//! ```
+//!
+//! `str` is `u32 len | utf8 bytes`; `f32arr` is `u32 count | count × f32
+//! LE`; `bytes` is `u32 len | raw`. Decoding never panics: every
+//! malformed input is a typed [`ProtoError`] (this module is on the
+//! serve request path, where the lint forbids `unwrap`/`panic!`).
+
+use std::io::{Read, Write};
+
+/// Default cap on a single frame: large enough for a full checkpoint of
+/// any zoo model, small enough to bound per-connection memory.
+pub const DEFAULT_MAX_FRAME: usize = 16 << 20;
+
+/// Typed protocol failures. `Io` wraps the transport error kind;
+/// everything else is a malformed or oversized message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The transport failed mid-frame.
+    Io(std::io::ErrorKind),
+    /// The body ended before the declared field did.
+    Truncated,
+    /// A frame declared a length above the configured cap.
+    Oversize {
+        /// Declared body length.
+        declared: usize,
+        /// Configured cap.
+        max: usize,
+    },
+    /// A `str` field held invalid UTF-8.
+    BadUtf8,
+    /// An unknown request kind byte.
+    BadKind(u8),
+    /// Trailing garbage after a well-formed body.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Io(kind) => write!(f, "transport error: {kind}"),
+            ProtoError::Truncated => write!(f, "message truncated"),
+            ProtoError::Oversize { declared, max } => {
+                write!(f, "frame of {declared} bytes exceeds the {max}-byte cap")
+            }
+            ProtoError::BadUtf8 => write!(f, "string field is not UTF-8"),
+            ProtoError::BadKind(k) => write!(f, "unknown request kind {k}"),
+            ProtoError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<std::io::Error> for ProtoError {
+    fn from(e: std::io::Error) -> Self {
+        ProtoError::Io(e.kind())
+    }
+}
+
+/// Response status byte. `Ok` carries a kind-specific payload; every
+/// other value carries a human-readable message and maps 1:1 onto the
+/// router's typed errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Status {
+    /// Request served.
+    Ok = 0,
+    /// Bounded queue full ([`crate::ServeError::Rejected`]).
+    Rejected = 1,
+    /// Input shape/length mismatch.
+    BadShape = 2,
+    /// Per-request deadline missed.
+    DeadlineExceeded = 3,
+    /// Non-finite logits withheld.
+    BadOutput = 4,
+    /// Stream frame length mismatch.
+    BadFrame = 5,
+    /// Stream id unknown (or owned by another tenant).
+    UnknownStream = 6,
+    /// Model/engine cannot stream.
+    NotStreamable = 7,
+    /// Engine closed or shutting down.
+    Closed = 8,
+    /// Engine failed to start.
+    Startup = 9,
+    /// No such model in the routing table.
+    UnknownModel = 10,
+    /// Tenant exceeded its in-flight quota.
+    QuotaExceeded = 11,
+    /// Swap vetoed by the analyzer / budget audit.
+    SwapVetoed = 12,
+    /// Swap checkpoint failed to load.
+    SwapCheckpoint = 13,
+    /// Malformed request body.
+    BadRequest = 14,
+    /// Server at its connection cap.
+    Busy = 15,
+}
+
+impl Status {
+    /// Decode a status byte; `None` for values this build doesn't know.
+    pub fn from_u8(v: u8) -> Option<Status> {
+        Some(match v {
+            0 => Status::Ok,
+            1 => Status::Rejected,
+            2 => Status::BadShape,
+            3 => Status::DeadlineExceeded,
+            4 => Status::BadOutput,
+            5 => Status::BadFrame,
+            6 => Status::UnknownStream,
+            7 => Status::NotStreamable,
+            8 => Status::Closed,
+            9 => Status::Startup,
+            10 => Status::UnknownModel,
+            11 => Status::QuotaExceeded,
+            12 => Status::SwapVetoed,
+            13 => Status::SwapCheckpoint,
+            14 => Status::BadRequest,
+            15 => Status::Busy,
+            _ => return None,
+        })
+    }
+}
+
+/// One decoded client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Batch inference of one flat `[C*T*V]` sample against `model`.
+    Infer {
+        /// Tenant the request is billed to.
+        tenant: String,
+        /// Zoo registry name.
+        model: String,
+        /// Flat row-major sample.
+        input: Vec<f32>,
+    },
+    /// Open a sliding-window stream against `model`.
+    OpenStream {
+        /// Tenant the stream is billed to.
+        tenant: String,
+        /// Zoo registry name.
+        model: String,
+        /// Emission cadence in frames.
+        emit_every: u32,
+    },
+    /// Push one flat `[C*V]` frame into an open stream.
+    PushFrame {
+        /// Tenant that owns the stream.
+        tenant: String,
+        /// Router stream id from `OpenStream`.
+        stream: u64,
+        /// Flat frame.
+        frame: Vec<f32>,
+    },
+    /// Close a stream; replies whether it existed.
+    CloseStream {
+        /// Tenant that owns the stream.
+        tenant: String,
+        /// Router stream id.
+        stream: u64,
+    },
+    /// Router-wide health snapshot (JSON).
+    Health,
+    /// Hot-swap `model` to the attached checkpoint after vetting.
+    Swap {
+        /// Zoo registry name.
+        model: String,
+        /// Serialized checkpoint bytes.
+        checkpoint: Vec<u8>,
+    },
+}
+
+impl Request {
+    /// The wire kind byte for this request.
+    pub fn kind(&self) -> u8 {
+        match self {
+            Request::Infer { .. } => 1,
+            Request::OpenStream { .. } => 2,
+            Request::PushFrame { .. } => 3,
+            Request::CloseStream { .. } => 4,
+            Request::Health => 5,
+            Request::Swap { .. } => 6,
+        }
+    }
+}
+
+/// The payload of a successful response, by request kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OkPayload {
+    /// Logits for an `Infer`.
+    Logits(Vec<f32>),
+    /// Stream id for an `OpenStream`.
+    Stream(u64),
+    /// `PushFrame` outcome: `None` while warming up / between emissions.
+    Window(Option<Vec<f32>>),
+    /// `CloseStream` outcome: did the stream exist?
+    Closed(bool),
+    /// Health JSON.
+    Health(String),
+    /// New model version after a `Swap`.
+    Version(u64),
+}
+
+/// One decoded server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Request served; payload matches the echoed request kind.
+    Ok {
+        /// Correlation id echoed from the request.
+        req_id: u64,
+        /// Kind-specific result.
+        payload: OkPayload,
+    },
+    /// Request refused or failed; `status` is never [`Status::Ok`].
+    Err {
+        /// Correlation id echoed from the request (0 when unparseable).
+        req_id: u64,
+        /// Typed failure class.
+        status: Status,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// The echoed correlation id.
+    pub fn req_id(&self) -> u64 {
+        match self {
+            Response::Ok { req_id, .. } | Response::Err { req_id, .. } => *req_id,
+        }
+    }
+}
+
+// ---------------------------------------------------------------- frames
+
+/// Write one frame (`u32` LE length + body). Refuses bodies over
+/// `max_frame` before touching the transport.
+pub fn write_frame(w: &mut impl Write, body: &[u8], max_frame: usize) -> Result<(), ProtoError> {
+    if body.len() > max_frame {
+        return Err(ProtoError::Oversize { declared: body.len(), max: max_frame });
+    }
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame body. Refuses declared lengths over `max_frame`
+/// *before* allocating.
+pub fn read_frame(r: &mut impl Read, max_frame: usize) -> Result<Vec<u8>, ProtoError> {
+    let mut header = [0u8; 4];
+    r.read_exact(&mut header)?;
+    let len = u32::from_le_bytes(header) as usize;
+    if len > max_frame {
+        return Err(ProtoError::Oversize { declared: len, max: max_frame });
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(body)
+}
+
+// --------------------------------------------------------------- cursors
+
+/// Bounds-checked little-endian reader over a frame body.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        if self.remaining() < n {
+            return Err(ProtoError::Truncated);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    fn str(&mut self) -> Result<String, ProtoError> {
+        let len = self.u32()? as usize;
+        let raw = self.take(len)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| ProtoError::BadUtf8)
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, ProtoError> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn f32_arr(&mut self) -> Result<Vec<f32>, ProtoError> {
+        let count = self.u32()? as usize;
+        let raw = self.take(count.checked_mul(4).ok_or(ProtoError::Truncated)?)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    }
+
+    fn finish(self) -> Result<(), ProtoError> {
+        if self.remaining() != 0 {
+            return Err(ProtoError::TrailingBytes(self.remaining()));
+        }
+        Ok(())
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_f32_arr(out: &mut Vec<u8>, arr: &[f32]) {
+    out.extend_from_slice(&(arr.len() as u32).to_le_bytes());
+    for v in arr {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+// -------------------------------------------------------------- encoding
+
+/// Encode a request body (frame it with [`write_frame`]).
+pub fn encode_request(req_id: u64, req: &Request) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&req_id.to_le_bytes());
+    out.push(req.kind());
+    match req {
+        Request::Infer { tenant, model, input } => {
+            put_str(&mut out, tenant);
+            put_str(&mut out, model);
+            put_f32_arr(&mut out, input);
+        }
+        Request::OpenStream { tenant, model, emit_every } => {
+            put_str(&mut out, tenant);
+            put_str(&mut out, model);
+            out.extend_from_slice(&emit_every.to_le_bytes());
+        }
+        Request::PushFrame { tenant, stream, frame } => {
+            put_str(&mut out, tenant);
+            out.extend_from_slice(&stream.to_le_bytes());
+            put_f32_arr(&mut out, frame);
+        }
+        Request::CloseStream { tenant, stream } => {
+            put_str(&mut out, tenant);
+            out.extend_from_slice(&stream.to_le_bytes());
+        }
+        Request::Health => {}
+        Request::Swap { model, checkpoint } => {
+            put_str(&mut out, model);
+            out.extend_from_slice(&(checkpoint.len() as u32).to_le_bytes());
+            out.extend_from_slice(checkpoint);
+        }
+    }
+    out
+}
+
+/// Decode a request body. The correlation id decodes first so the server
+/// can echo it even when the rest of the body is malformed.
+pub fn decode_request(body: &[u8]) -> Result<(u64, Request), ProtoError> {
+    let mut c = Cursor::new(body);
+    let req_id = c.u64()?;
+    let kind = c.u8()?;
+    let req = match kind {
+        1 => Request::Infer { tenant: c.str()?, model: c.str()?, input: c.f32_arr()? },
+        2 => Request::OpenStream { tenant: c.str()?, model: c.str()?, emit_every: c.u32()? },
+        3 => Request::PushFrame { tenant: c.str()?, stream: c.u64()?, frame: c.f32_arr()? },
+        4 => Request::CloseStream { tenant: c.str()?, stream: c.u64()? },
+        5 => Request::Health,
+        6 => Request::Swap { model: c.str()?, checkpoint: c.bytes()? },
+        other => return Err(ProtoError::BadKind(other)),
+    };
+    c.finish()?;
+    Ok((req_id, req))
+}
+
+/// The correlation id of a malformed request, when at least the id field
+/// arrived — lets the server send a typed `BadRequest` instead of
+/// dropping the connection.
+pub fn peek_req_id(body: &[u8]) -> Option<u64> {
+    let mut c = Cursor::new(body);
+    c.u64().ok()
+}
+
+/// Encode a success response for `kind` (the echoed request kind).
+pub fn encode_ok(req_id: u64, payload: &OkPayload) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&req_id.to_le_bytes());
+    out.push(Status::Ok as u8);
+    match payload {
+        OkPayload::Logits(logits) => {
+            out.push(1);
+            put_f32_arr(&mut out, logits);
+        }
+        OkPayload::Stream(id) => {
+            out.push(2);
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+        OkPayload::Window(window) => {
+            out.push(3);
+            match window {
+                Some(logits) => {
+                    out.push(1);
+                    put_f32_arr(&mut out, logits);
+                }
+                None => out.push(0),
+            }
+        }
+        OkPayload::Closed(existed) => {
+            out.push(4);
+            out.push(u8::from(*existed));
+        }
+        OkPayload::Health(json) => {
+            out.push(5);
+            put_str(&mut out, json);
+        }
+        OkPayload::Version(v) => {
+            out.push(6);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Encode an error response. `status` must not be [`Status::Ok`]; an
+/// accidental `Ok` is rewritten to [`Status::BadRequest`] rather than
+/// emitting an undecodable hybrid.
+pub fn encode_err(req_id: u64, status: Status, message: &str, kind: u8) -> Vec<u8> {
+    let status = if status == Status::Ok { Status::BadRequest } else { status };
+    let mut out = Vec::new();
+    out.extend_from_slice(&req_id.to_le_bytes());
+    out.push(status as u8);
+    out.push(kind);
+    put_str(&mut out, message);
+    out
+}
+
+/// Decode a response body.
+pub fn decode_response(body: &[u8]) -> Result<Response, ProtoError> {
+    let mut c = Cursor::new(body);
+    let req_id = c.u64()?;
+    let status_byte = c.u8()?;
+    let status = Status::from_u8(status_byte).ok_or(ProtoError::BadKind(status_byte))?;
+    let kind = c.u8()?;
+    if status != Status::Ok {
+        let message = c.str()?;
+        c.finish()?;
+        return Ok(Response::Err { req_id, status, message });
+    }
+    let payload = match kind {
+        1 => OkPayload::Logits(c.f32_arr()?),
+        2 => OkPayload::Stream(c.u64()?),
+        3 => {
+            if c.u8()? == 1 {
+                OkPayload::Window(Some(c.f32_arr()?))
+            } else {
+                OkPayload::Window(None)
+            }
+        }
+        4 => OkPayload::Closed(c.u8()? == 1),
+        5 => OkPayload::Health(c.str()?),
+        6 => OkPayload::Version(c.u64()?),
+        other => return Err(ProtoError::BadKind(other)),
+    };
+    c.finish()?;
+    Ok(Response::Ok { req_id, payload })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let body = encode_request(42, &req);
+        let (id, back) = decode_request(&body).expect("decode");
+        assert_eq!(id, 42);
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::Infer {
+            tenant: "acme".into(),
+            model: "DHGCN-lite".into(),
+            input: vec![0.5, -1.25, f32::MIN_POSITIVE],
+        });
+        roundtrip_request(Request::OpenStream {
+            tenant: "acme".into(),
+            model: "ST-GCN".into(),
+            emit_every: 4,
+        });
+        roundtrip_request(Request::PushFrame {
+            tenant: "t".into(),
+            stream: u64::MAX,
+            frame: vec![],
+        });
+        roundtrip_request(Request::CloseStream { tenant: String::new(), stream: 7 });
+        roundtrip_request(Request::Health);
+        roundtrip_request(Request::Swap { model: "TCN".into(), checkpoint: vec![1, 2, 3] });
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for (body, want) in [
+            (
+                encode_ok(9, &OkPayload::Logits(vec![1.0, 2.0])),
+                Response::Ok { req_id: 9, payload: OkPayload::Logits(vec![1.0, 2.0]) },
+            ),
+            (
+                encode_ok(1, &OkPayload::Window(None)),
+                Response::Ok { req_id: 1, payload: OkPayload::Window(None) },
+            ),
+            (
+                encode_ok(2, &OkPayload::Window(Some(vec![-0.5]))),
+                Response::Ok { req_id: 2, payload: OkPayload::Window(Some(vec![-0.5])) },
+            ),
+            (
+                encode_ok(3, &OkPayload::Health("{}".into())),
+                Response::Ok { req_id: 3, payload: OkPayload::Health("{}".into()) },
+            ),
+            (
+                encode_err(4, Status::QuotaExceeded, "over quota", 1),
+                Response::Err {
+                    req_id: 4,
+                    status: Status::QuotaExceeded,
+                    message: "over quota".into(),
+                },
+            ),
+        ] {
+            assert_eq!(decode_response(&body).expect("decode"), want);
+        }
+    }
+
+    #[test]
+    fn malformed_bodies_are_typed_not_panics() {
+        assert_eq!(decode_request(&[1, 2, 3]), Err(ProtoError::Truncated));
+        let mut bad_kind = 42u64.to_le_bytes().to_vec();
+        bad_kind.push(99);
+        assert_eq!(decode_request(&bad_kind), Err(ProtoError::BadKind(99)));
+        // declared string length runs past the body
+        let mut short_str = 7u64.to_le_bytes().to_vec();
+        short_str.push(5); // Health takes no fields...
+        short_str.push(0xFF); // ...so trailing garbage is typed too
+        assert_eq!(decode_request(&short_str), Err(ProtoError::TrailingBytes(1)));
+        // f32 count that would overflow usize*4
+        let mut huge = 1u64.to_le_bytes().to_vec();
+        huge.push(1);
+        huge.extend_from_slice(&0u32.to_le_bytes()); // tenant ""
+        huge.extend_from_slice(&0u32.to_le_bytes()); // model ""
+        huge.extend_from_slice(&u32::MAX.to_le_bytes()); // absurd count
+        assert_eq!(decode_request(&huge), Err(ProtoError::Truncated));
+        assert_eq!(peek_req_id(&huge), Some(1));
+        assert_eq!(peek_req_id(&[1, 2]), None);
+    }
+
+    #[test]
+    fn frames_enforce_the_size_cap() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &[1, 2, 3], 16).expect("in cap");
+        let body = read_frame(&mut wire.as_slice(), 16).expect("read");
+        assert_eq!(body, [1, 2, 3]);
+        assert_eq!(
+            write_frame(&mut Vec::new(), &[0; 32], 16),
+            Err(ProtoError::Oversize { declared: 32, max: 16 })
+        );
+        // a hostile header cannot force a huge allocation
+        let hostile = (u32::MAX).to_le_bytes();
+        assert_eq!(
+            read_frame(&mut hostile.as_slice(), 1 << 20),
+            Err(ProtoError::Oversize { declared: u32::MAX as usize, max: 1 << 20 })
+        );
+        // short read mid-body is Io, not a hang on garbage
+        let truncated = [5u8, 0, 0, 0, 1, 2];
+        assert_eq!(
+            read_frame(&mut truncated.as_slice(), 1 << 20),
+            Err(ProtoError::Io(std::io::ErrorKind::UnexpectedEof))
+        );
+    }
+}

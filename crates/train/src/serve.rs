@@ -83,10 +83,12 @@
 //! full window, on the stream's emission cadence — materialises the
 //! window and submits it through the **same** bounded queue as ordinary
 //! requests. Streams therefore inherit backpressure (a shed window
-//! returns [`ServeError::Rejected`]; the ring keeps advancing, so the
-//! next emission scores fresher frames), deadlines, batching with other
+//! returns [`ServeError::Rejected`]), deadlines, batching with other
 //! traffic, and the self-healing worker pool, with zero new machinery
-//! on the hot path. Workers derive any dynamic operators from the
+//! on the hot path. Pushes are *transactional*: the ring advances only
+//! when the push fully succeeds, so a shed or refused window leaves the
+//! stream exactly as it was and the caller can retry the same frame
+//! without double-inserting it. Workers derive any dynamic operators from the
 //! materialised window itself — per-window offline semantics; the
 //! single-client rolling-operator fast path lives in
 //! [`crate::StreamingSession`].
@@ -130,7 +132,8 @@ pub struct ServeConfig {
     /// lifetime before a dead worker stays dead.
     pub max_restarts: usize,
     /// Base supervisor backoff before a respawn; doubles with each
-    /// restart already spent (capped at 64×).
+    /// restart already spent (capped at 64×, saturating — a huge base
+    /// cannot overflow the multiplication).
     pub restart_backoff: Duration,
     /// Fault-injection plan consulted on the serving hot path (chaos
     /// testing). `None` — the production default — makes every fault
@@ -387,8 +390,21 @@ impl Pending {
                 Err(_) => Err(ServeError::Closed),
             },
             Some(deadline) => {
-                let remaining = deadline.saturating_duration_since(Instant::now());
-                match self.rx.recv_timeout(remaining) {
+                let now = Instant::now();
+                if now >= deadline {
+                    // Deadline already in the past: never park, not even
+                    // with a zero timeout. A reply that is already here
+                    // was computed in budget and is still delivered; an
+                    // absent one fails promptly and typed.
+                    return match self.rx.try_recv() {
+                        Ok(result) => result,
+                        Err(_) => {
+                            self.deadline_metric.inc();
+                            Err(ServeError::DeadlineExceeded)
+                        }
+                    };
+                }
+                match self.rx.recv_timeout(deadline - now) {
                     Ok(result) => result,
                     Err(mpsc::RecvTimeoutError::Timeout) => {
                         self.deadline_metric.inc();
@@ -624,9 +640,13 @@ impl ServeEngine {
     /// Returns `Ok(None)` while the ring warms up or between emissions;
     /// on the emission cadence the materialised `[C, T, V]` window is
     /// submitted through the ordinary bounded queue and the ticket comes
-    /// back as `Ok(Some(pending))`. A full queue surfaces as
-    /// [`ServeError::Rejected`] — the ring has still advanced, so the
-    /// stream sheds that window and scores fresher frames next time.
+    /// back as `Ok(Some(pending))`.
+    ///
+    /// The push is **transactional**: the ring advances only when the
+    /// call succeeds. A shed submit ([`ServeError::Rejected`]) or an
+    /// engine shut down mid-push ([`ServeError::Closed`]) leaves the
+    /// stream state — ring contents and frame count — exactly as it was,
+    /// so retrying the same frame can never double-insert it.
     pub fn push_frame(&self, stream: u64, frame: &[f32]) -> Result<Option<Pending>, ServeError> {
         let [c, t, v] = *self.sample_shape else {
             return Err(ServeError::NotStreamable(format!(
@@ -637,29 +657,52 @@ impl ServeEngine {
         if frame.len() != c * v {
             return Err(ServeError::BadFrame { expected: c * v, got: frame.len() });
         }
-        let window = {
-            let mut streams = self.lock_streams();
-            let state = streams.get_mut(&stream).ok_or(ServeError::UnknownStream)?;
-            if state.frames.len() == t {
-                state.frames.pop_front();
-            }
-            state.frames.push_back(frame.to_vec());
-            state.frames_seen += 1;
-            self.shared.metrics.stream_frames.inc();
-            if state.frames.len() < t || (state.frames_seen - t) % state.emit_every != 0 {
-                return Ok(None);
-            }
+        let mut streams = self.lock_streams();
+        let state = streams.get_mut(&stream).ok_or(ServeError::UnknownStream)?;
+        if self.shared.lock_state().closed {
+            // shut down mid-push: refuse before touching the ring so the
+            // frame is not silently swallowed by a dead engine
+            return Err(ServeError::Closed);
+        }
+        // prospective state: what the ring WOULD hold after this push
+        let frames_seen = state.frames_seen + 1;
+        let emits = state.frames.len() + 1 >= t && (frames_seen - t) % state.emit_every == 0;
+        let pending = if emits {
+            // materialise the window from the current ring plus this
+            // frame, without mutating; the oldest frame is skipped when
+            // the ring is already full (it would be popped on commit)
+            let skip = state.frames.len() + 1 - t;
             let mut data = vec![0.0; c * t * v];
-            for (ti, fr) in state.frames.iter().enumerate() {
+            let rows = state
+                .frames
+                .iter()
+                .skip(skip)
+                .map(Vec::as_slice)
+                .chain(std::iter::once(frame));
+            for (ti, fr) in rows.enumerate() {
                 for ci in 0..c {
                     data[ci * t * v + ti * v..ci * t * v + (ti + 1) * v]
                         .copy_from_slice(&fr[ci * v..(ci + 1) * v]);
                 }
             }
-            NdArray::from_vec(data, &[c, t, v])
+            // a refused submit propagates here, before the commit below:
+            // the ring has not advanced and the push had no effect
+            Some(self.submit(NdArray::from_vec(data, &[c, t, v]))?)
+        } else {
+            None
         };
-        self.shared.metrics.stream_windows.inc();
-        self.submit(window).map(Some)
+        // commit: the push (and any submit) succeeded
+        if state.frames.len() == t {
+            state.frames.pop_front();
+        }
+        state.frames.push_back(frame.to_vec());
+        state.frames_seen = frames_seen;
+        let metrics = &self.shared.metrics;
+        metrics.stream_frames.inc();
+        if pending.is_some() {
+            metrics.stream_windows.inc();
+        }
+        Ok(pending)
     }
 
     /// Close a stream, dropping its ring. Returns whether the id was
@@ -785,8 +828,10 @@ fn supervisor_main<M, F>(
                 }
                 let respawned = restarts_spent < config.max_restarts
                     && {
-                        let backoff_exp = restarts_spent.min(6) as u32;
-                        std::thread::sleep(config.restart_backoff * (1u32 << backoff_exp));
+                        std::thread::sleep(respawn_backoff(
+                            config.restart_backoff,
+                            restarts_spent,
+                        ));
                         restarts_spent += 1;
                         match spawn_worker(index, shared, factory, sym, None, events_tx) {
                             Ok(handle) => {
@@ -817,6 +862,15 @@ fn supervisor_main<M, F>(
     for handle in handles.iter_mut().filter_map(Option::take) {
         let _ = handle.join();
     }
+}
+
+/// Supervisor backoff before spending the `restarts_spent + 1`-th
+/// restart: the base doubles per restart already spent, capped at 64×.
+/// Saturating multiplication — a large user-configured base caps at
+/// [`Duration::MAX`] instead of overflowing `Duration` math and panicking
+/// the supervisor (which would take the whole self-healing path down).
+fn respawn_backoff(base: Duration, restarts_spent: usize) -> Duration {
+    base.saturating_mul(1u32 << restarts_spent.min(6) as u32)
 }
 
 /// How a worker's serve loop ended (vs. a panic, caught by the spawner).
@@ -1038,7 +1092,10 @@ mod tests {
             "8 concurrent requests must coalesce into fewer than 8 batches (got {})",
             m.batches.get()
         );
-        assert!(m.batch_size.quantile(1.0) >= 2, "largest batch should exceed one request");
+        assert!(
+            m.batch_size.quantile(1.0).unwrap_or(0) >= 2,
+            "largest batch should exceed one request"
+        );
         engine.shutdown();
     }
 
@@ -1419,6 +1476,196 @@ mod tests {
             "an 80 ms stall against a 10 ms deadline must expire queued requests"
         );
         assert!(engine.metrics().deadline_exceeded.get() >= expired as u64);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn respawn_backoff_caps_at_64x_and_saturates() {
+        let base = Duration::from_millis(3);
+        let factors: Vec<u128> =
+            (0..10).map(|n| respawn_backoff(base, n).as_millis() / 3).collect();
+        assert_eq!(factors, [1, 2, 4, 8, 16, 32, 64, 64, 64, 64]);
+        // regression: 64× a large user-configured base used to overflow
+        // `Duration * u32` and panic the supervisor thread
+        let huge = Duration::from_secs(u64::MAX / 8);
+        assert_eq!(respawn_backoff(huge, 6), Duration::MAX);
+        assert_eq!(respawn_backoff(Duration::MAX, 9), Duration::MAX);
+        assert_eq!(respawn_backoff(Duration::ZERO, 3), Duration::ZERO);
+    }
+
+    #[test]
+    fn past_deadline_wait_fails_promptly_without_parking() {
+        // wedge the only reply 500 ms out, let the 5 ms deadline expire
+        // *before* wait() is called: it must return immediately, not park
+        // on the wedged reply channel
+        let faults = FaultPlan::builder(21)
+            .rate(FaultSite::BatchDelay, 1.0)
+            .limit(FaultSite::BatchDelay, 1)
+            .delay(Duration::from_millis(500))
+            .build();
+        let engine = engine(ServeConfig {
+            deadline: Some(Duration::from_millis(5)),
+            faults: Some(faults),
+            ..ServeConfig::default()
+        });
+        let pending = engine.submit(sample(0)).expect("submit");
+        std::thread::sleep(Duration::from_millis(30));
+        let t0 = Instant::now();
+        let err = pending.wait().expect_err("deadline long past");
+        assert_eq!(err, ServeError::DeadlineExceeded);
+        assert!(
+            t0.elapsed() < Duration::from_millis(250),
+            "a past-deadline wait must not park until the wedged reply arrives ({:?})",
+            t0.elapsed()
+        );
+        assert!(engine.metrics().deadline_exceeded.get() >= 1);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn ready_reply_is_delivered_even_if_wait_starts_past_the_deadline() {
+        // the reply arrives well inside the 50 ms budget; the caller only
+        // redeems the ticket later — completed work is delivered, not
+        // discarded as DeadlineExceeded
+        let engine = engine(ServeConfig {
+            deadline: Some(Duration::from_millis(50)),
+            ..ServeConfig::default()
+        });
+        let pending = engine.submit(sample(0)).expect("submit");
+        std::thread::sleep(Duration::from_millis(120));
+        let got = pending.wait().expect("in-budget reply must be delivered late");
+        assert_eq!(got.shape(), &[4]);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn shed_window_leaves_stream_state_untouched_for_retry() {
+        let zoo = Zoo::tiny(SkeletonTopology::ntu25(), 4, 0);
+        let mut reference = InferenceSession::new(zoo.stgcn());
+        // wedge every batch 300 ms and keep the queue one deep, so the
+        // stream's first window finds the queue full and is shed
+        let faults = FaultPlan::builder(17)
+            .rate(FaultSite::BatchDelay, 1.0)
+            .delay(Duration::from_millis(300))
+            .build();
+        let engine = engine(ServeConfig {
+            max_batch: 1,
+            max_wait: Duration::ZERO,
+            queue_cap: 1,
+            faults: Some(faults),
+            ..ServeConfig::default()
+        });
+        let wedge_a = engine.submit(sample(100)).expect("wedge a");
+        // wait for the worker to dequeue wedge a, then fill the queue
+        let wedge_b = loop {
+            match engine.submit(sample(101)) {
+                Ok(p) => break p,
+                Err(ServeError::Rejected { .. }) => std::thread::sleep(Duration::from_millis(2)),
+                Err(other) => panic!("unexpected error {other:?}"),
+            }
+        };
+        let stream = engine.open_stream(1).expect("open");
+        for t in 0..7 {
+            assert!(engine.push_frame(stream, &frame(t)).expect("warmup").is_none());
+        }
+        let err = engine.push_frame(stream, &frame(7)).expect_err("queue is full");
+        assert!(matches!(err, ServeError::Rejected { .. }), "{err:?}");
+        // transactional: the failed push must not have advanced the ring
+        assert_eq!(engine.metrics().stream_frames.get(), 7);
+        assert_eq!(engine.metrics().stream_windows.get(), 0);
+        // retry the SAME frame until the wedge clears and it is accepted
+        let mut pending = None;
+        for _ in 0..500 {
+            match engine.push_frame(stream, &frame(7)) {
+                Ok(Some(p)) => {
+                    pending = Some(p);
+                    break;
+                }
+                Ok(None) => panic!("retried frame must complete the same window"),
+                Err(ServeError::Rejected { .. }) => {
+                    std::thread::sleep(Duration::from_millis(5))
+                }
+                Err(other) => panic!("unexpected error {other:?}"),
+            }
+        }
+        let got = pending.expect("retry must eventually be accepted").wait().expect("scored");
+        // the accepted window must be frames 0..8 exactly once each; a
+        // non-transactional push would have double-inserted frame 7
+        let rows: Vec<f32> = (0..8).flat_map(frame).collect();
+        let window = NdArray::from_vec(rows, &[8, 3, 25])
+            .permute(&[1, 0, 2])
+            .reshape(&[1, 3, 8, 25]);
+        let want = reference.logits(&Tensor::constant(window));
+        assert_eq!(got.data(), &want.data()[..4], "retried window diverged");
+        assert_eq!(engine.metrics().stream_frames.get(), 8);
+        assert_eq!(engine.metrics().stream_windows.get(), 1);
+        wedge_a.wait().expect("wedge a answered");
+        wedge_b.wait().expect("wedge b answered");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn closing_a_stream_with_final_window_in_flight_still_answers() {
+        let zoo = Zoo::tiny(SkeletonTopology::ntu25(), 4, 0);
+        let mut reference = InferenceSession::new(zoo.stgcn());
+        let faults = FaultPlan::builder(23)
+            .rate(FaultSite::BatchDelay, 1.0)
+            .limit(FaultSite::BatchDelay, 1)
+            .delay(Duration::from_millis(150))
+            .build();
+        let engine = engine(ServeConfig { faults: Some(faults), ..ServeConfig::default() });
+        let stream = engine.open_stream(1).expect("open");
+        let mut pending = None;
+        for t in 0..8 {
+            pending = engine.push_frame(stream, &frame(t)).expect("push");
+        }
+        let pending = pending.expect("frame 8 completes the window");
+        // close while the window is still wedged in its delayed batch
+        assert!(engine.close_stream(stream));
+        assert_eq!(engine.metrics().open_streams.get(), 0, "gauge must drop on close");
+        let got = pending.wait().expect("in-flight window must still be answered");
+        let rows: Vec<f32> = (0..8).flat_map(frame).collect();
+        let window = NdArray::from_vec(rows, &[8, 3, 25])
+            .permute(&[1, 0, 2])
+            .reshape(&[1, 3, 8, 25]);
+        let want = reference.logits(&Tensor::constant(window));
+        assert_eq!(got.data(), &want.data()[..4], "closed-stream window diverged");
+        // the stream is gone: further pushes are typed
+        assert_eq!(engine.push_frame(stream, &frame(9)).unwrap_err(), ServeError::UnknownStream);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn push_frame_after_engine_close_is_typed_and_gauge_stays_exact() {
+        // one worker, restart budget 1, unlimited deaths: the first death
+        // respawns after a 300 ms backoff (our window to act), the second
+        // exhausts the budget and the engine closes itself
+        let faults = FaultPlan::builder(29).rate(FaultSite::WorkerDeath, 1.0).build();
+        let engine = engine(ServeConfig {
+            faults: Some(faults),
+            max_restarts: 1,
+            restart_backoff: Duration::from_millis(300),
+            ..ServeConfig::default()
+        });
+        let stream = engine.open_stream(1).expect("open while the backoff window is live");
+        assert_eq!(engine.metrics().open_streams.get(), 1);
+        // wait for the self-close
+        for _ in 0..2000 {
+            if !engine.health().is_serving() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(!engine.health().is_serving(), "budget-exhausted engine must close");
+        // a push to the surviving ring is refused typed, before mutating it
+        let err = engine.push_frame(stream, &frame(0)).unwrap_err();
+        assert_eq!(err, ServeError::Closed);
+        assert_eq!(engine.metrics().stream_frames.get(), 0, "refused push must not commit");
+        // the gauge still reflects the table exactly; close resolves it
+        assert_eq!(engine.metrics().open_streams.get(), 1);
+        assert!(engine.close_stream(stream));
+        assert_eq!(engine.metrics().open_streams.get(), 0);
+        assert!(!engine.close_stream(stream));
         engine.shutdown();
     }
 

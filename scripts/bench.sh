@@ -7,11 +7,13 @@
 # the plan IR's predicted FLOPs against the serve p50 (achieved GFLOP/s
 # as a fraction of the peak measured GEMM rate).
 #
-#   scripts/bench.sh            # full run, writes BENCH_8.json at the repo
-#                               # root and gates GEMM rates against the
-#                               # committed BENCH_7.json baseline
+#   scripts/bench.sh            # full run, writes BENCH_9.json at the repo
+#                               # root (perf sections + a "net" section of
+#                               # per-tenant p50/p95/p99 over loopback TCP
+#                               # from the net bench) and gates GEMM rates
+#                               # against the committed BENCH_8.json baseline
 #   scripts/bench.sh --smoke    # tier-1 gate: same code paths and schema in
-#                               # seconds, writes target/BENCH_8.smoke.json
+#                               # seconds, writes target/BENCH_9.smoke.json
 #                               # (no baseline gate: smoke timings are noise)
 #
 # The streaming-maintenance acceptance floor (>= 3x cheaper than naive
@@ -20,11 +22,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 if [[ "${1:-}" == "--smoke" ]]; then
-    cargo run --release -q -p dhg-bench --bin perf -- --smoke --out target/BENCH_8.smoke.json
+    cargo run --release -q -p dhg-bench --bin perf -- --smoke --out target/BENCH_9.smoke.json
 else
     baseline_args=()
-    if [[ -f BENCH_7.json ]]; then
-        baseline_args=(--baseline BENCH_7.json --tolerance 0.5)
+    if [[ -f BENCH_8.json ]]; then
+        baseline_args=(--baseline BENCH_8.json --tolerance 0.5)
     fi
-    cargo run --release -q -p dhg-bench --bin perf -- --out BENCH_8.json "${baseline_args[@]}"
+    cargo run --release -q -p dhg-bench --bin perf -- --out BENCH_9.json "${baseline_args[@]}"
+    cargo run --release -q -p dhg-bench --bin net -- --requests 200 --merge BENCH_9.json
 fi

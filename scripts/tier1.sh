@@ -8,7 +8,7 @@
 #      inference_latency bench also asserts the execution-mode contract)
 #   5. the perf snapshot smoke (scripts/bench.sh --smoke): GEMM GFLOP/s
 #      per kernel, serve latency quantiles and the cost-model ratio, same
-#      schema as BENCH_8.json
+#      schema as BENCH_9.json
 #   6. the static model-graph analyzer over the whole zoo (clean plans,
 #      clean serving + streaming audit) plus its self-test of seeded
 #      negatives
@@ -22,7 +22,11 @@
 #      respawned, every accepted request resolves to logits or a typed
 #      error (with surviving logits bitwise-exact), and interrupted
 #      training resumes bitwise from its last valid snapshot
-#  10. rustdoc with warnings denied (broken intra-doc links fail the gate)
+#  10. the net smoke: loopback TCP round-trip through NetClient →
+#      NetServer → Router with logits bitwise-identical to in-process
+#      inference, typed errors over the wire, and a hot-swap under load
+#      losing zero accepted requests
+#  11. rustdoc with warnings denied (broken intra-doc links fail the gate)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -53,6 +57,9 @@ cargo run --release -q -p dhg-bench --bin serve -- --smoke
 
 echo "== tier1: chaos smoke (fault-injection contracts) =="
 cargo run --release -q -p dhg-bench --bin chaos -- --smoke
+
+echo "== tier1: net smoke (loopback TCP round-trip + hot-swap) =="
+cargo run --release -q -p dhg-bench --bin net -- --smoke
 
 echo "== tier1: cargo doc -D warnings =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet

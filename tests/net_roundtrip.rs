@@ -1,0 +1,238 @@
+//! Loopback integration suite for the TCP serving frontend.
+//!
+//! The serving contract extends over the wire: logits delivered through
+//! `NetClient → NetServer → Router → ServeEngine` must be **bitwise
+//! identical** to in-process [`InferenceSession::logits`] on the same
+//! inputs, for every model and tenant concurrently. Hot-swap must lose
+//! zero accepted requests — every request in flight across the switch
+//! gets either a correct reply (from the version that accepted it) or a
+//! typed error — and a vet-failing checkpoint must be refused with the
+//! old version still serving.
+
+use dhgcn::skeleton::SkeletonTopology;
+use dhgcn::tensor::{NdArray, Tensor};
+use dhgcn::train::checkpoint;
+use dhgcn::train::net::{NetClient, NetConfig, NetError, NetServer};
+use dhgcn::train::proto::Status;
+use dhgcn::train::router::{zoo_specs, Router, RouterConfig};
+use dhgcn::train::zoo::Zoo;
+use dhgcn::train::InferenceSession;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const MODELS: [&str; 2] = ["ST-GCN", "DHGCN-lite"];
+const TENANTS: [&str; 2] = ["acme", "globex"];
+
+fn sample(seed: usize) -> Vec<f32> {
+    (0..3 * 8 * 25).map(|i| ((i + seed * 131) as f32 * 0.013).sin()).collect()
+}
+
+fn frame(t: usize) -> Vec<f32> {
+    (0..3 * 25).map(|i| ((t * 3 * 25 + i) as f32 * 0.011).sin()).collect()
+}
+
+/// In-process reference logits for one flat sample.
+fn reference_logits(session: &mut InferenceSession<Box<dyn dhgcn::nn::Module>>, x: &[f32]) -> Vec<f32> {
+    let batch1 = Tensor::constant(NdArray::from_vec(x.to_vec(), &[3, 8, 25]).reshape(&[1, 3, 8, 25]));
+    session.logits(&batch1).data()[..4].to_vec()
+}
+
+fn start_server() -> (Arc<Router>, NetServer) {
+    let router = Arc::new(
+        Router::start(zoo_specs(&MODELS, 4, 0), RouterConfig::default()).expect("router"),
+    );
+    let server = NetServer::start(router.clone(), NetConfig::default()).expect("server");
+    (router, server)
+}
+
+#[test]
+fn serves_two_models_to_two_tenants_bitwise_identical_over_tcp() {
+    let (_router, server) = start_server();
+    let addr = server.addr();
+
+    // 2 models × 2 tenants, each pair hammering concurrently over its
+    // own keep-alive connection
+    let handles: Vec<_> = MODELS
+        .iter()
+        .flat_map(|model| TENANTS.iter().map(move |tenant| (*model, *tenant)))
+        .enumerate()
+        .map(|(lane, (model, tenant))| {
+            std::thread::spawn(move || {
+                let mut client = NetClient::connect(addr).expect("connect");
+                (0..6)
+                    .map(|i| {
+                        let seed = lane * 100 + i;
+                        let x = sample(seed);
+                        let logits =
+                            client.infer(tenant, model, &x).expect("infer over tcp");
+                        (model, seed, logits)
+                    })
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    let mut replies = Vec::new();
+    for h in handles {
+        replies.extend(h.join().expect("client thread"));
+    }
+
+    // every reply bitwise-identical to in-process inference
+    let zoo = Zoo::tiny(SkeletonTopology::ntu25(), 4, 0);
+    for model in MODELS {
+        let mut session = InferenceSession::new(zoo.by_name(model).expect("zoo"));
+        for (m, seed, got) in replies.iter().filter(|(m, ..)| *m == model) {
+            let want = reference_logits(&mut session, &sample(*seed));
+            assert_eq!(got, &want, "{m} seed {seed} diverged over TCP");
+        }
+    }
+
+    // streaming over the wire: the first emitted window is bitwise the
+    // offline window logits
+    let mut client = NetClient::connect(addr).expect("connect");
+    let stream = client.open_stream("acme", "ST-GCN", 1).expect("open stream");
+    for t in 0..7 {
+        assert_eq!(client.push_frame("acme", stream, &frame(t)).expect("warmup"), None);
+    }
+    let got = client
+        .push_frame("acme", stream, &frame(7))
+        .expect("emit")
+        .expect("full window emits");
+    let rows: Vec<f32> = (0..8).flat_map(frame).collect();
+    let window =
+        NdArray::from_vec(rows, &[8, 3, 25]).permute(&[1, 0, 2]).reshape(&[1, 3, 8, 25]);
+    let mut session = InferenceSession::new(zoo.by_name("ST-GCN").expect("zoo"));
+    let want = session.logits(&Tensor::constant(window));
+    assert_eq!(got, want.data()[..4].to_vec(), "streamed window diverged over TCP");
+    assert!(client.close_stream("acme", stream).expect("close"));
+    assert!(!client.close_stream("acme", stream).expect("double close reads closed"));
+
+    // health reflects both models and both tenants
+    let health = client.health().expect("health");
+    let parsed = dhgcn::train::json::Value::parse(&health).expect("health is valid json");
+    for model in MODELS {
+        let entry = parsed.get("models").and_then(|m| m.get(model)).expect("model in health");
+        assert_eq!(entry.get("version").and_then(|v| v.as_f64()), Some(1.0));
+    }
+    for tenant in TENANTS {
+        parsed.get("tenants").and_then(|t| t.get(tenant)).expect("tenant in health");
+    }
+
+    // typed errors survive the wire
+    let err = client.infer("acme", "NoSuchModel", &sample(0)).expect_err("unknown model");
+    assert!(
+        matches!(&err, NetError::Remote { status: Status::UnknownModel, .. }),
+        "{err:?}"
+    );
+    let err = client.infer("acme", "ST-GCN", &[1.0, 2.0]).expect_err("bad shape");
+    assert!(matches!(&err, NetError::Remote { status: Status::BadShape, .. }), "{err:?}");
+
+    server.shutdown();
+}
+
+#[test]
+fn hot_swap_mid_load_loses_no_accepted_requests() {
+    let (_router, server) = start_server();
+    let addr = server.addr();
+    let model = "DHGCN-lite";
+
+    // v2 weights: same architecture, different seed
+    let zoo_v1 = Zoo::tiny(SkeletonTopology::ntu25(), 4, 0);
+    let zoo_v2 = Zoo::tiny(SkeletonTopology::ntu25(), 4, 7);
+    let v2_bytes = checkpoint::save(&zoo_v2.by_name(model).expect("zoo"));
+
+    // both tenants hammer the model across the swap; every reply must
+    // be bitwise v1 logits, bitwise v2 logits, or a typed server error
+    let stop = Arc::new(AtomicBool::new(false));
+    let hammers: Vec<_> = TENANTS
+        .iter()
+        .map(|tenant| {
+            let stop = stop.clone();
+            let tenant = *tenant;
+            std::thread::spawn(move || {
+                let mut client = NetClient::connect(addr).expect("connect");
+                let mut replies: Vec<(usize, Result<Vec<f32>, NetError>)> = Vec::new();
+                let mut seed = 0usize;
+                while !stop.load(Ordering::SeqCst) {
+                    replies.push((seed, client.infer(tenant, model, &sample(seed))));
+                    seed += 1;
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                replies
+            })
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_millis(100));
+    let mut admin = NetClient::connect(addr).expect("connect admin");
+    let version = admin.swap(model, &v2_bytes.to_vec()).expect("swap");
+    assert_eq!(version, 2, "first swap must produce version 2");
+    std::thread::sleep(Duration::from_millis(100));
+    stop.store(true, Ordering::SeqCst);
+
+    let mut v1_session = InferenceSession::new(zoo_v1.by_name(model).expect("zoo"));
+    let loaded = zoo_v1.by_name(model).expect("zoo");
+    checkpoint::load(&loaded, checkpoint::save(&zoo_v2.by_name(model).expect("zoo")))
+        .expect("v2 restores");
+    let mut v2_session = InferenceSession::new(loaded);
+
+    let mut served = 0usize;
+    let mut typed_errors = 0usize;
+    for h in hammers {
+        for (seed, reply) in h.join().expect("hammer thread") {
+            match reply {
+                Ok(got) => {
+                    let v1 = reference_logits(&mut v1_session, &sample(seed));
+                    let v2 = reference_logits(&mut v2_session, &sample(seed));
+                    assert!(
+                        got == v1 || got == v2,
+                        "seed {seed}: reply matches neither weight version"
+                    );
+                    served += 1;
+                }
+                // an accepted-then-failed request must surface typed,
+                // never as a dropped connection or garbled frame
+                Err(NetError::Remote { .. }) => typed_errors += 1,
+                Err(other) => panic!("seed {seed}: request lost untyped: {other:?}"),
+            }
+        }
+    }
+    assert!(served > 0, "the swap window must not starve all traffic");
+    // after the swap settles, fresh requests serve v2 bitwise
+    let x = sample(9001);
+    let got = admin.infer("acme", model, &x).expect("post-swap infer");
+    assert_eq!(got, reference_logits(&mut v2_session, &x), "post-swap logits are not v2");
+    // surfaced for the log: how the swap window split
+    println!("swap window: {served} served, {typed_errors} typed errors");
+
+    server.shutdown();
+}
+
+#[test]
+fn vet_failing_checkpoints_are_refused_and_old_version_keeps_serving() {
+    let (router, server) = start_server();
+    let addr = server.addr();
+    let model = "ST-GCN";
+    let zoo = Zoo::tiny(SkeletonTopology::ntu25(), 4, 0);
+    let good = checkpoint::save(&zoo.by_name(model).expect("zoo"));
+    let mut client = NetClient::connect(addr).expect("connect");
+
+    // corrupt checkpoint: typed refusal over the wire
+    let err = client.swap(model, &good[..good.len() / 2]).expect_err("truncated refused");
+    assert!(
+        matches!(&err, NetError::Remote { status: Status::SwapCheckpoint, .. }),
+        "{err:?}"
+    );
+    // unknown model: typed refusal
+    let err = client.swap("NoSuchModel", &good.to_vec()).expect_err("unknown refused");
+    assert!(matches!(&err, NetError::Remote { status: Status::UnknownModel, .. }), "{err:?}");
+
+    // the old version is untouched and still serving bitwise
+    assert_eq!(router.version(model), Some(1));
+    let x = sample(33);
+    let mut session = InferenceSession::new(zoo.by_name(model).expect("zoo"));
+    let got = client.infer("acme", model, &x).expect("still serving");
+    assert_eq!(got, reference_logits(&mut session, &x), "old version drifted after refusals");
+
+    server.shutdown();
+}
