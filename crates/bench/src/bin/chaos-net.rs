@@ -1,0 +1,461 @@
+//! Wire-level chaos driver: runs the network serving stack under seeded
+//! transport fault injection and fails loudly if any robustness contract
+//! is violated.
+//!
+//! ```text
+//! cargo run --release -p dhg-bench --bin chaos-net               # full run
+//! cargo run --release -p dhg-bench --bin chaos-net -- --smoke    # CI gate
+//! cargo run --release -p dhg-bench --bin chaos-net -- --seed 99
+//! ```
+//!
+//! Faults are deterministic in `(seed, site, call index)` — rerunning
+//! with the seed a failing run printed replays the exact same storm.
+//!
+//! Contracts checked (the binary exits non-zero if any fails):
+//!
+//! 1. **Wire storm**: under seeded `conn-drop` / `frame-truncate` /
+//!    `frame-corrupt` / `reply-delay` / `accept-reject` injection at
+//!    1/2/8 serve workers, every client request resolves to logits
+//!    bitwise-identical to the sequential
+//!    [`dhg_train::InferenceSession`] reference or to a typed
+//!    [`NetError`] — no hangs, no silent corruption (CRC32 turns flipped
+//!    bytes into typed checksum errors) — and the router's accounting
+//!    conserves: `accepted == completed + failed + bad_output +
+//!    deadline_exceeded` per model, so client retries never re-execute
+//!    server work.
+//! 2. **Idempotent swap**: a hot-swap whose reply is lost on the wire is
+//!    retried by the self-healing client and executes exactly once — the
+//!    version bumps by one, not two.
+//! 3. **Canary lifecycle over the wire**: a staged canary auto-promotes
+//!    after N clean requests; a poisoned canary (vet-passing weights
+//!    that overflow the forward) rolls back on its first typed
+//!    quality breach with the stable version still serving.
+
+use dhg_nn::fault::{FaultPlan, FaultSite};
+use dhg_skeleton::SkeletonTopology;
+use dhg_tensor::{NdArray, Tensor};
+use dhg_train::checkpoint;
+use dhg_train::json::Value;
+use dhg_train::net::{ClientConfig, NetClient, NetConfig, NetError, NetServer};
+use dhg_train::proto::Status;
+use dhg_train::router::{zoo_specs, Router, RouterConfig};
+use dhg_train::zoo::Zoo;
+use dhg_train::InferenceSession;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+const C: usize = 3;
+const T: usize = 8;
+const V: usize = 25;
+const MODELS: [&str; 2] = ["ST-GCN", "DHGCN-lite"];
+const TENANTS: [&str; 2] = ["acme", "globex"];
+
+struct Args {
+    seed: u64,
+    requests: usize,
+    smoke: bool,
+}
+
+impl Args {
+    fn parse() -> Result<Args, String> {
+        let mut args = Args { seed: 0xD15EA5E, requests: 48, smoke: false };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let value = |it: &mut dyn Iterator<Item = String>| {
+                it.next().ok_or(format!("{flag} needs a value"))
+            };
+            match flag.as_str() {
+                "--seed" => {
+                    args.seed = value(&mut it)?.parse().map_err(|_| "bad --seed".to_string())?
+                }
+                "--requests" => {
+                    args.requests =
+                        value(&mut it)?.parse().map_err(|_| "bad --requests".to_string())?
+                }
+                "--smoke" => args.smoke = true,
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        if args.smoke {
+            args.requests = args.requests.min(24);
+        }
+        Ok(args)
+    }
+}
+
+fn sample(seed: usize) -> Vec<f32> {
+    (0..C * T * V).map(|i| ((i + seed * 131) as f32 * 0.013).sin()).collect()
+}
+
+fn reference_logits(name: &str, x: &[f32]) -> Vec<f32> {
+    let zoo = Zoo::tiny(SkeletonTopology::ntu25(), 4, 0);
+    let mut session = InferenceSession::new(zoo.by_name(name).expect("zoo model"));
+    let batch1 = Tensor::constant(NdArray::from_vec(x.to_vec(), &[C, T, V]).reshape(&[1, C, T, V]));
+    session.logits(&batch1).data()[..4].to_vec()
+}
+
+/// A client tuned for storms: short deadlines bound every wait, a deep
+/// deterministic retry budget heals transient wire damage.
+fn storm_client(addr: std::net::SocketAddr) -> Result<NetClient, NetError> {
+    NetClient::connect_config(
+        addr,
+        ClientConfig {
+            connect_timeout: Duration::from_secs(5),
+            reply_timeout: Duration::from_secs(5),
+            retries: 10,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(20),
+            ..ClientConfig::default()
+        },
+    )
+}
+
+fn start_stack(
+    workers: usize,
+    faults: Option<Arc<FaultPlan>>,
+    promote_after: u64,
+) -> (Arc<Router>, NetServer) {
+    let router = Arc::new(
+        Router::start(
+            zoo_specs(&MODELS, 4, 0),
+            RouterConfig {
+                total_workers: workers.max(1),
+                canary_promote_after: promote_after,
+                ..RouterConfig::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("router start failed: {e}")),
+    );
+    let server = NetServer::start(
+        router.clone(),
+        NetConfig {
+            read_timeout: Duration::from_secs(5),
+            idle_tick: Duration::from_millis(10),
+            faults,
+            ..NetConfig::default()
+        },
+    )
+    .unwrap_or_else(|e| panic!("net server start failed: {e}"));
+    (router, server)
+}
+
+/// The wire storm: every site armed, conn-drop and accept-reject
+/// trip-limited so the link heals within the client retry budget.
+fn storm_plan(seed: u64) -> Arc<FaultPlan> {
+    FaultPlan::builder(seed)
+        .rate(FaultSite::ConnDrop, 0.04)
+        .rate(FaultSite::FrameCorrupt, 0.06)
+        .rate(FaultSite::FrameTruncate, 0.04)
+        .rate(FaultSite::ReplyDelay, 0.10)
+        .delay(Duration::from_millis(1))
+        .rate(FaultSite::AcceptReject, 0.25)
+        .limit(FaultSite::AcceptReject, 8)
+        .build()
+}
+
+/// Contract 1 at one worker count. Returns failed sub-checks.
+fn check_storm(args: &Args, workers: usize) -> usize {
+    let faults = storm_plan(args.seed ^ workers as u64);
+    let (router, server) = start_stack(workers, Some(faults.clone()), 32);
+    let addr = server.addr();
+    let mut wrong = 0usize;
+
+    // references computed once per model (engine replies are batch-1)
+    let per_tenant = args.requests / TENANTS.len();
+    let references: Vec<Vec<Vec<f32>>> = MODELS
+        .iter()
+        .map(|m| (0..per_tenant).map(|s| reference_logits(m, &sample(s))).collect())
+        .collect();
+    let refs = Arc::new(references);
+
+    let handles: Vec<_> = TENANTS
+        .iter()
+        .map(|tenant| {
+            let tenant = tenant.to_string();
+            let refs = refs.clone();
+            std::thread::spawn(move || {
+                let mut client = storm_client(addr)?;
+                let mut served = 0usize;
+                let mut typed = 0usize;
+                for s in 0..per_tenant {
+                    let mi = s % MODELS.len();
+                    match client.infer(&tenant, MODELS[mi], &sample(s)) {
+                        Ok(got) => {
+                            if got != refs[mi][s] {
+                                return Err(NetError::UnexpectedPayload);
+                            }
+                            served += 1;
+                        }
+                        // any typed error is within contract; silent
+                        // corruption or a hang is not
+                        Err(_) => typed += 1,
+                    }
+                }
+                Ok((served, typed, client.reconnects(), client.retries_used()))
+            })
+        })
+        .collect();
+
+    let mut served = 0usize;
+    let mut typed = 0usize;
+    let mut reconnects = 0u64;
+    let mut retries = 0u64;
+    for handle in handles {
+        match handle.join() {
+            Ok(Ok((s, t, rc, rt))) => {
+                served += s;
+                typed += t;
+                reconnects += rc;
+                retries += rt;
+            }
+            Ok(Err(e)) => {
+                println!("FAIL storm[w={workers}]: reply diverged or client died: {e}");
+                wrong += 1;
+            }
+            Err(_) => {
+                println!("FAIL storm[w={workers}]: client thread panicked");
+                wrong += 1;
+            }
+        }
+    }
+    if served == 0 {
+        println!("FAIL storm[w={workers}]: no request survived the storm");
+        wrong += 1;
+    }
+
+    // conservation, from the router's own labeled accounting: every
+    // request the engines accepted resolved exactly once — replayed
+    // retries were answered from the reply cache, not re-executed
+    let health = Value::parse(&router.health_json()).expect("health json parses");
+    let models = health.get("models").expect("models section");
+    for model in MODELS {
+        let m = models.get(model).expect("model entry");
+        let count = |k: &str| m.get(k).and_then(|v| v.as_f64()).unwrap_or(0.0) as u64;
+        let accepted = count("accepted");
+        let resolved =
+            count("completed") + count("failed") + count("bad_output") + count("deadline_exceeded");
+        if accepted != resolved {
+            println!(
+                "FAIL storm[w={workers}]: {model} conservation broken — \
+                 accepted {accepted} != resolved {resolved}"
+            );
+            wrong += 1;
+        }
+    }
+
+    // the storm must have actually fired to prove anything
+    let wire_trips: u64 = FaultSite::WIRE.iter().map(|&s| faults.trips(s)).sum();
+    if wire_trips == 0 {
+        println!("FAIL storm[w={workers}]: fault plan never tripped a wire site");
+        wrong += 1;
+    }
+    if wrong == 0 {
+        println!(
+            "ok   storm[w={workers}]: {served} bitwise + {typed} typed over {wire_trips} \
+             wire fault(s); {reconnects} reconnect(s), {retries} retry(s), accounting conserved"
+        );
+    }
+    server.shutdown();
+    router.shutdown();
+    wrong
+}
+
+/// Contract 2: a swap whose reply is truncated on the wire executes
+/// exactly once — the retried request is answered from the reply cache.
+fn check_idempotent_swap(args: &Args) -> usize {
+    let faults = FaultPlan::builder(args.seed)
+        .rate(FaultSite::FrameTruncate, 1.0)
+        .limit(FaultSite::FrameTruncate, 1)
+        .build();
+    let (router, server) = start_stack(1, Some(faults.clone()), 32);
+    let addr = server.addr();
+    let model = "DHGCN-lite";
+    let zoo_v2 = Zoo::tiny(SkeletonTopology::ntu25(), 4, 7);
+    let v2_bytes = checkpoint::save(&zoo_v2.by_name(model).expect("zoo")).to_vec();
+
+    let mut wrong = 0usize;
+    let mut client = storm_client(addr).unwrap_or_else(|e| panic!("connect: {e}"));
+    match client.swap(model, &v2_bytes) {
+        Ok(2) => {}
+        Ok(version) => {
+            println!("FAIL idempotent-swap: reply says version {version}, want 2");
+            wrong += 1;
+        }
+        Err(e) => {
+            println!("FAIL idempotent-swap: swap failed through retries: {e}");
+            wrong += 1;
+        }
+    }
+    if faults.trips(FaultSite::FrameTruncate) != 1 {
+        println!("FAIL idempotent-swap: the reply was never truncated — nothing was proven");
+        wrong += 1;
+    }
+    if client.retries_used() == 0 {
+        println!("FAIL idempotent-swap: client never retried the lost reply");
+        wrong += 1;
+    }
+    // the router agrees: one swap happened, not one per attempt
+    if router.version(model) != Some(2) {
+        println!(
+            "FAIL idempotent-swap: router at version {:?}, want Some(2) — \
+             the retry re-executed the swap",
+            router.version(model)
+        );
+        wrong += 1;
+    }
+    if wrong == 0 {
+        println!(
+            "ok   idempotent-swap: reply truncated once, {} retry(s), version bumped \
+             exactly once (1 -> 2)",
+            client.retries_used()
+        );
+    }
+    server.shutdown();
+    router.shutdown();
+    wrong
+}
+
+/// Contract 3: canary promotion and poisoned-canary rollback over the
+/// wire, with the health endpoint observing both.
+fn check_canary(args: &Args) -> usize {
+    let promote_after = 4u64;
+    let (router, server) = start_stack(1, None, promote_after);
+    let addr = server.addr();
+    let model = "ST-GCN";
+    let mut wrong = 0usize;
+    let mut client = storm_client(addr).unwrap_or_else(|e| panic!("connect: {e}"));
+
+    // v2 reference: v1 constructor + v2 weights
+    let zoo_v2 = Zoo::tiny(SkeletonTopology::ntu25(), 4, args.seed ^ 11);
+    let v2_bytes = checkpoint::save(&zoo_v2.by_name(model).expect("zoo")).to_vec();
+    let v2_loaded = Zoo::tiny(SkeletonTopology::ntu25(), 4, 0).by_name(model).expect("zoo");
+    checkpoint::load(&v2_loaded, checkpoint::save(&zoo_v2.by_name(model).expect("zoo")))
+        .expect("v2 restores");
+    let mut v2_session = InferenceSession::new(v2_loaded);
+    let mut v2_ref = |x: &[f32]| {
+        let batch1 =
+            Tensor::constant(NdArray::from_vec(x.to_vec(), &[C, T, V]).reshape(&[1, C, T, V]));
+        v2_session.logits(&batch1).data()[..4].to_vec()
+    };
+
+    // 3a. stage at fraction 1.0: every keyed request rides the canary
+    // and returns v2 logits bitwise; after `promote_after` clean
+    // replies it is the stable version
+    match client.swap_canary(model, &v2_bytes, 1.0) {
+        Ok(2) => {}
+        other => {
+            println!("FAIL canary: staging returned {other:?}, want Ok(2)");
+            wrong += 1;
+        }
+    }
+    for s in 0..promote_after as usize {
+        let x = sample(s);
+        match client.infer("acme", model, &x) {
+            Ok(got) if got == v2_ref(&x) => {}
+            Ok(_) => {
+                println!("FAIL canary: request {s} did not serve v2 bitwise at fraction 1.0");
+                wrong += 1;
+            }
+            Err(e) => {
+                println!("FAIL canary: clean candidate refused request {s}: {e}");
+                wrong += 1;
+            }
+        }
+    }
+    if router.version(model) != Some(2) {
+        println!("FAIL canary: no auto-promotion after {promote_after} clean replies");
+        wrong += 1;
+    }
+
+    // 3b. a poisoned canary (finite weights the vet accepts, forward
+    // overflows to inf) rolls back on its first typed quality breach
+    let poisoned = Zoo::tiny(SkeletonTopology::ntu25(), 4, 0).by_name(model).expect("zoo");
+    for p in poisoned.parameters().iter().rev().take(2) {
+        p.data_mut().data_mut().fill(f32::MAX);
+    }
+    let poison_bytes = checkpoint::save(&poisoned).to_vec();
+    match client.swap_canary(model, &poison_bytes, 1.0) {
+        Ok(3) => {}
+        other => {
+            println!("FAIL canary: poison staging returned {other:?}, want Ok(3)");
+            wrong += 1;
+        }
+    }
+    match client.infer("acme", model, &sample(99)) {
+        Err(NetError::Remote { status: Status::BadOutput, .. }) => {}
+        other => {
+            println!("FAIL canary: poisoned reply was {other:?}, want typed BadOutput");
+            wrong += 1;
+        }
+    }
+    if router.version(model) != Some(2) {
+        println!("FAIL canary: rollback did not keep the stable version");
+        wrong += 1;
+    }
+    let x = sample(7);
+    match client.infer("acme", model, &x) {
+        Ok(got) if got == v2_ref(&x) => {}
+        other => {
+            println!("FAIL canary: stable version not serving after rollback ({other:?})");
+            wrong += 1;
+        }
+    }
+
+    // 3c. both transitions observable through the health endpoint
+    let health = Value::parse(&client.health().unwrap_or_else(|e| panic!("health: {e}")))
+        .expect("health json parses");
+    let m = health.get("models").and_then(|ms| ms.get(model)).expect("model entry");
+    let count = |k: &str| m.get(k).and_then(|v| v.as_f64()).unwrap_or(-1.0) as i64;
+    if count("canary_promotions") != 1 || count("canary_rollbacks") != 1 {
+        println!(
+            "FAIL canary: health reports {} promotion(s) / {} rollback(s), want 1 / 1",
+            count("canary_promotions"),
+            count("canary_rollbacks")
+        );
+        wrong += 1;
+    }
+    if !matches!(m.get("canary"), Some(Value::Null)) {
+        println!("FAIL canary: health still shows a staged canary after the lifecycle");
+        wrong += 1;
+    }
+    if wrong == 0 {
+        println!(
+            "ok   canary: staged -> promoted after {promote_after} clean, poisoned \
+             candidate rolled back typed, stable version served throughout"
+        );
+    }
+    server.shutdown();
+    router.shutdown();
+    wrong
+}
+
+fn main() -> ExitCode {
+    let args = match Args::parse() {
+        Ok(args) => args,
+        Err(why) => {
+            eprintln!("chaos-net: {why}");
+            eprintln!("usage: chaos-net [--seed N] [--requests N] [--smoke]");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "== chaos-net{}: wire fault-injection contracts (seed {}) ==",
+        if args.smoke { " --smoke" } else { "" },
+        args.seed
+    );
+    let worker_counts: &[usize] = if args.smoke { &[1, 2] } else { &[1, 2, 8] };
+    let mut failures = 0usize;
+    for &w in worker_counts {
+        failures += check_storm(&args, w);
+    }
+    failures += check_idempotent_swap(&args);
+    failures += check_canary(&args);
+    if failures == 0 {
+        println!("== chaos-net: OK ==");
+        ExitCode::SUCCESS
+    } else {
+        println!("== chaos-net: {failures} failure(s) — replay with --seed {} ==", args.seed);
+        ExitCode::FAILURE
+    }
+}

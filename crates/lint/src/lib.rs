@@ -17,6 +17,7 @@
 //! | DL003 | unordered float reductions (`.sum::<f32>()`) in hot-path crates |
 //! | DL004 | `unsafe` without a `SAFETY:` comment in the preceding lines |
 //! | DL005 | `unwrap`/`expect`/`assert!`/`panic!` on the serve/streaming request path |
+//! | DL006 | retry loops without a backoff/sleep call on the request path |
 //!
 //! Findings can be suppressed through an allowlist file (`lint.allow` at
 //! the scan root): one entry per line, `CODE path-suffix content-fragment
@@ -43,11 +44,14 @@ pub enum Code {
     Dl004,
     /// Panicking call on the serving request path.
     Dl005,
+    /// Retry loop without a backoff call on the request path.
+    Dl006,
 }
 
 impl Code {
     /// All rules, in order.
-    pub const ALL: [Code; 5] = [Code::Dl001, Code::Dl002, Code::Dl003, Code::Dl004, Code::Dl005];
+    pub const ALL: [Code; 6] =
+        [Code::Dl001, Code::Dl002, Code::Dl003, Code::Dl004, Code::Dl005, Code::Dl006];
 
     /// The stable `DLxxx` name.
     pub fn as_str(self) -> &'static str {
@@ -57,6 +61,7 @@ impl Code {
             Code::Dl003 => "DL003",
             Code::Dl004 => "DL004",
             Code::Dl005 => "DL005",
+            Code::Dl006 => "DL006",
         }
     }
 
@@ -73,6 +78,7 @@ impl Code {
             Code::Dl003 => "unordered float reduction in a hot-path crate",
             Code::Dl004 => "`unsafe` without a SAFETY: comment",
             Code::Dl005 => "panicking call on the serving request path",
+            Code::Dl006 => "retry loop without a backoff call on the request path",
         }
     }
 }
@@ -427,7 +433,93 @@ pub fn scan_file(path: &str, source: &str) -> Vec<Finding> {
             }
         }
     }
+
+    // DL006 is block-scoped: a loop that retries must back off somewhere
+    // in its body, which no single line can prove.
+    if REQUEST_PATH_FILES.iter().any(|f| norm.ends_with(f)) {
+        for start in retry_loops_without_backoff(&v) {
+            let end = (start + 4).min(v.raw.len());
+            findings.push(Finding {
+                code: Code::Dl006,
+                path: norm.clone(),
+                line: start + 1,
+                message: "retry loop never backs off; busy-spinning a failing peer \
+                          amplifies the outage"
+                    .into(),
+                raw: v.raw[start].clone(),
+                context: v.raw[start..end].join("\n"),
+            });
+        }
+    }
     findings
+}
+
+/// Identifier fragments that mark a loop as a *retry* loop.
+const RETRY_MARKERS: [&str; 4] = ["retry", "retries", "reconnect", "resend"];
+/// Calls that count as backing off between attempts.
+const BACKOFF_MARKERS: [&str; 3] = ["backoff", "sleep", "wait_timeout"];
+
+/// 0-based start lines of non-test loops whose body mentions a retry
+/// marker but never a backoff call. Loop bodies are found by brace
+/// matching over the stripped text, so string/comment contents cannot
+/// fire or suppress the rule; a nested loop that backs off exempts its
+/// enclosing loop (the schedule lives somewhere on every iteration
+/// path we can see).
+fn retry_loops_without_backoff(v: &FileView) -> Vec<usize> {
+    let mut flagged = Vec::new();
+    for (i, line) in v.stripped.iter().enumerate() {
+        if v.in_test[i] {
+            continue;
+        }
+        let is_loop = find_token(line, "loop") || find_token(line, "while") || {
+            // `for` also introduces loops, but only as a statement head
+            // (not `impl Trait for T {`)
+            let t = line.trim_start();
+            t.starts_with("for ") && !line.contains(" impl ") && !t.starts_with("impl")
+        };
+        if !is_loop || find_token(line, "impl") {
+            continue;
+        }
+        // find the body: first `{` at or after the header, then every
+        // character until its matching `}`
+        let mut depth = 0usize;
+        let mut opened = false;
+        let mut body = String::new();
+        'scan: for l in v.stripped.iter().skip(i) {
+            for ch in l.chars() {
+                match ch {
+                    '{' => {
+                        if opened {
+                            body.push(ch);
+                        }
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => {
+                        depth = depth.saturating_sub(1);
+                        if opened && depth == 0 {
+                            break 'scan;
+                        }
+                        body.push(ch);
+                    }
+                    _ if opened => body.push(ch),
+                    _ => {}
+                }
+            }
+            if opened {
+                body.push('\n');
+            } else if l.contains(';') {
+                break; // statement ended with no block: not a loop body
+            }
+        }
+        let lower = body.to_ascii_lowercase();
+        let retries = RETRY_MARKERS.iter().any(|m| lower.contains(m));
+        let backs_off = BACKOFF_MARKERS.iter().any(|m| lower.contains(m));
+        if retries && !backs_off {
+            flagged.push(i);
+        }
+    }
+    flagged
 }
 
 /// Names bound (let or field) to a HashMap/HashSet anywhere in the file.
@@ -706,6 +798,24 @@ pub fn self_test() -> Result<(), String> {
             name: "debug_assert does not shadow assert",
             path: "crates/train/src/streaming.rs",
             source: "fn f(x: usize) {\n    debug_assert!(x > 0);\n}\n",
+            expect: &[],
+        },
+        Case {
+            name: "retry loop without backoff is flagged",
+            path: "crates/train/src/net.rs",
+            source: "fn call(mut attempt: u32, max_retries: u32) -> bool {\n    loop {\n        if attempt >= max_retries { return false; }\n        attempt += 1;\n    }\n}\n",
+            expect: &[(Code::Dl006, 2)],
+        },
+        Case {
+            name: "retry loop with a backoff schedule is clean",
+            path: "crates/train/src/net.rs",
+            source: "fn call(mut attempt: u32, max_retries: u32) {\n    while attempt < max_retries {\n        std::thread::sleep(retry_backoff(attempt));\n        attempt += 1;\n    }\n}\n",
+            expect: &[],
+        },
+        Case {
+            name: "loops that never retry are not retry loops",
+            path: "crates/train/src/net.rs",
+            source: "fn pump(frames: &[u8]) {\n    for f in frames {\n        let _ = f;\n    }\n}\n",
             expect: &[],
         },
     ];

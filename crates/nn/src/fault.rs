@@ -32,7 +32,7 @@ use std::sync::{Arc, OnceLock, RwLock};
 use std::time::Duration;
 
 /// Number of distinct injection sites (length of the per-site tables).
-pub const FAULT_SITES: usize = 6;
+pub const FAULT_SITES: usize = 11;
 
 /// Named places in the stack where a fault can be injected.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -49,6 +49,19 @@ pub enum FaultSite {
     CheckpointIo = 4,
     /// Poison a training loss with a NaN (exercises the non-finite guard).
     NonFiniteLoss = 5,
+    /// Drop a TCP connection mid-exchange (exercises client reconnect).
+    ConnDrop = 6,
+    /// Write only a prefix of a wire frame, then close (exercises
+    /// framing-level typed errors and retry).
+    FrameTruncate = 7,
+    /// Flip one byte of a wire frame (exercises the frame checksum).
+    FrameCorrupt = 8,
+    /// Stall a reply by the plan's delay (exercises client reply
+    /// timeouts and idempotent retry).
+    ReplyDelay = 9,
+    /// Accept a connection, then close it immediately (exercises
+    /// client connect/first-request retry).
+    AcceptReject = 10,
 }
 
 impl FaultSite {
@@ -60,6 +73,20 @@ impl FaultSite {
         FaultSite::BadLogits,
         FaultSite::CheckpointIo,
         FaultSite::NonFiniteLoss,
+        FaultSite::ConnDrop,
+        FaultSite::FrameTruncate,
+        FaultSite::FrameCorrupt,
+        FaultSite::ReplyDelay,
+        FaultSite::AcceptReject,
+    ];
+
+    /// The transport-level sites consulted inside `dhg_train::net`.
+    pub const WIRE: [FaultSite; 5] = [
+        FaultSite::ConnDrop,
+        FaultSite::FrameTruncate,
+        FaultSite::FrameCorrupt,
+        FaultSite::ReplyDelay,
+        FaultSite::AcceptReject,
     ];
 
     /// Stable kebab-case name (used by `DHGCN_FAULTS` and reports).
@@ -71,6 +98,11 @@ impl FaultSite {
             FaultSite::BadLogits => "bad-logits",
             FaultSite::CheckpointIo => "checkpoint-io",
             FaultSite::NonFiniteLoss => "non-finite-loss",
+            FaultSite::ConnDrop => "conn-drop",
+            FaultSite::FrameTruncate => "frame-truncate",
+            FaultSite::FrameCorrupt => "frame-corrupt",
+            FaultSite::ReplyDelay => "reply-delay",
+            FaultSite::AcceptReject => "accept-reject",
         }
     }
 
@@ -196,11 +228,17 @@ impl FaultPlanBuilder {
 }
 
 /// splitmix64 finaliser: avalanche `x` into an independent-looking word.
-fn mix(mut z: u64) -> u64 {
+/// Public because deterministic policy code elsewhere (canary traffic
+/// splitting, wire-corruption byte choice) wants the same seeded hash.
+pub fn mix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+fn mix(z: u64) -> u64 {
+    mix64(z)
 }
 
 impl FaultPlan {
@@ -232,17 +270,25 @@ impl FaultPlan {
     /// `(seed, site, per-site call index)`; respects the site's trip
     /// limit. Counts the call either way.
     pub fn should_fire(&self, site: FaultSite) -> bool {
+        self.fire_word(site).is_some()
+    }
+
+    /// Like [`should_fire`](FaultPlan::should_fire), but on a trip also
+    /// hands back a decision word derived from the same
+    /// `(seed, site, call)` hash, so the caller can make sub-choices
+    /// (which byte to corrupt, where to truncate) that replay exactly.
+    pub fn fire_word(&self, site: FaultSite) -> Option<u64> {
         let s = site as usize;
         let call = self.calls[s].fetch_add(1, Ordering::Relaxed);
         let rate = self.config.rates[s];
         if rate <= 0.0 {
-            return false;
+            return None;
         }
         // uniform in [0, 1) from the (seed, site, call) hash
         let word = mix(self.config.seed ^ mix((s as u64) << 32 | call));
         let unit = (word >> 11) as f64 / (1u64 << 53) as f64;
         if unit >= rate {
-            return false;
+            return None;
         }
         // claim one trip under the site's budget, exactly
         let limit = self.config.limits[s];
@@ -251,6 +297,9 @@ impl FaultPlan {
                 (t < limit).then_some(t + 1)
             })
             .is_ok()
+            // re-mix so sub-choice bits are independent of the bits the
+            // threshold comparison consumed
+            .then(|| mix(word))
     }
 
     /// Panic (payload names the site) if this call of `site` trips.
@@ -286,6 +335,48 @@ impl FaultPlan {
         self.should_fire(FaultSite::CheckpointIo).then(|| {
             std::io::Error::new(std::io::ErrorKind::Interrupted, "injected checkpoint fault")
         })
+    }
+
+    /// Sleep the plan's delay if this call of [`FaultSite::ReplyDelay`]
+    /// trips. Returns whether it stalled.
+    pub fn maybe_reply_delay(&self) -> bool {
+        let fired = self.should_fire(FaultSite::ReplyDelay);
+        if fired {
+            std::thread::sleep(self.config.delay);
+        }
+        fired
+    }
+
+    /// XOR one byte of `data[skip..]` with a nonzero mask if this call of
+    /// `site` trips. Byte index and mask both come from the decision
+    /// word, so the corruption replays exactly. Returns the flipped
+    /// index. No-op (but still counted) when `data[skip..]` is empty.
+    pub fn maybe_flip_byte(
+        &self,
+        site: FaultSite,
+        data: &mut [u8],
+        skip: usize,
+    ) -> Option<usize> {
+        let word = self.fire_word(site)?;
+        if data.len() <= skip {
+            return None;
+        }
+        let index = skip + (word as usize) % (data.len() - skip);
+        // nonzero mask: the byte always actually changes
+        let mask = ((word >> 32) as u8) | 1;
+        data[index] ^= mask;
+        Some(index)
+    }
+
+    /// If this call of `site` trips, a deterministic keep-length strictly
+    /// shorter than `len` (possibly zero) for the caller to truncate a
+    /// write to. `None` when the call does not trip or `len` is zero.
+    pub fn maybe_truncate(&self, site: FaultSite, len: usize) -> Option<usize> {
+        let word = self.fire_word(site)?;
+        if len == 0 {
+            return None;
+        }
+        Some((word as usize) % len)
     }
 
     /// Times `site` has been consulted.
@@ -516,6 +607,74 @@ mod tests {
         let report = plan.report();
         assert!(report.contains("batch-panic: tripped 1/1"), "{report}");
         assert_eq!(FaultPlan::disabled().report(), "no fault sites active\n");
+    }
+
+    #[test]
+    fn wire_sites_parse_and_report_by_name() {
+        let config = FaultConfig::parse(
+            "seed=9,conn-drop=0.5:3,frame-truncate=0.1,frame-corrupt=0.2,\
+             reply-delay=0.3,accept-reject=0.4",
+        )
+        .expect("valid wire spec");
+        assert_eq!(config.rates[FaultSite::ConnDrop as usize], 0.5);
+        assert_eq!(config.limits[FaultSite::ConnDrop as usize], 3);
+        assert_eq!(config.rates[FaultSite::AcceptReject as usize], 0.4);
+        for site in FaultSite::WIRE {
+            assert_eq!(FaultSite::from_name(site.name()), Some(site));
+        }
+    }
+
+    #[test]
+    fn flip_byte_is_deterministic_and_always_changes_the_byte() {
+        let flips = |seed: u64| -> Vec<(usize, Vec<u8>)> {
+            let plan =
+                FaultPlan::builder(seed).rate(FaultSite::FrameCorrupt, 1.0).build();
+            (0..16)
+                .map(|_| {
+                    let mut data = vec![0u8; 32];
+                    let index = plan
+                        .maybe_flip_byte(FaultSite::FrameCorrupt, &mut data, 8)
+                        .expect("rate 1 must trip");
+                    assert!(index >= 8, "skip region must be untouched");
+                    assert_ne!(data[index], 0, "flip must change the byte");
+                    (index, data)
+                })
+                .collect()
+        };
+        assert_eq!(flips(3), flips(3), "same seed must replay the same flips");
+        assert_ne!(flips(3), flips(4));
+        // degenerate target: counted, but no corruption possible
+        let plan = FaultPlan::builder(5).rate(FaultSite::FrameCorrupt, 1.0).build();
+        assert!(plan.maybe_flip_byte(FaultSite::FrameCorrupt, &mut [1u8; 4], 4).is_none());
+        assert_eq!(plan.calls(FaultSite::FrameCorrupt), 1);
+    }
+
+    #[test]
+    fn truncate_keep_length_is_strictly_shorter() {
+        let plan = FaultPlan::builder(6).rate(FaultSite::FrameTruncate, 1.0).build();
+        for len in [1usize, 2, 9, 1024] {
+            let keep = plan
+                .maybe_truncate(FaultSite::FrameTruncate, len)
+                .expect("rate 1 must trip");
+            assert!(keep < len, "keep {keep} must be < len {len}");
+        }
+        assert!(plan.maybe_truncate(FaultSite::FrameTruncate, 0).is_none());
+        let quiet = FaultPlan::disabled();
+        assert!(quiet.maybe_truncate(FaultSite::FrameTruncate, 64).is_none());
+    }
+
+    #[test]
+    fn fire_word_matches_should_fire_schedule() {
+        let words = {
+            let plan = FaultPlan::builder(12).rate(FaultSite::ConnDrop, 0.5).build();
+            (0..64).map(|_| plan.fire_word(FaultSite::ConnDrop)).collect::<Vec<_>>()
+        };
+        let bools = {
+            let plan = FaultPlan::builder(12).rate(FaultSite::ConnDrop, 0.5).build();
+            (0..64).map(|_| plan.should_fire(FaultSite::ConnDrop)).collect::<Vec<_>>()
+        };
+        assert_eq!(words.iter().map(Option::is_some).collect::<Vec<_>>(), bools);
+        assert!(words.iter().flatten().count() > 0, "0.5 rate must trip sometimes");
     }
 
     #[test]

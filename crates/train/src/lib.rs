@@ -49,8 +49,10 @@ pub mod trainer;
 pub mod zoo;
 
 pub use eval::{evaluate, evaluate_fused, EvalResult};
-pub use net::{NetClient, NetConfig, NetError, NetServer};
-pub use router::{zoo_specs, ModelSpec, RouteError, Router, RouterConfig, SwapError};
+pub use net::{retry_backoff, ClientConfig, NetClient, NetConfig, NetError, NetServer};
+pub use router::{
+    zoo_specs, CanaryStatus, ModelSpec, RouteError, Router, RouterConfig, SwapError,
+};
 pub use experiment::{Table, TableRow};
 pub use infer::InferenceSession;
 pub use serve::{Pending, ServeConfig, ServeEngine, ServeError, ServeHealth, ServeMetrics};

@@ -1,10 +1,13 @@
 //! Length-prefixed binary wire protocol for the network serving frontend.
 //!
 //! Every message — request or response — travels as one **frame**: a
-//! little-endian `u32` byte length followed by that many body bytes. A
-//! frame larger than the negotiated cap is refused before allocation, so
-//! a hostile peer cannot make the server reserve gigabytes from a 4-byte
-//! header.
+//! little-endian `u32` byte length, a `u32` IEEE CRC-32 of the body,
+//! then that many body bytes. A frame larger than the negotiated cap is
+//! refused before allocation, so a hostile peer cannot make the server
+//! reserve gigabytes from a 4-byte header; a frame whose body fails the
+//! checksum is refused as [`ProtoError::BadChecksum`], so a flipped bit
+//! on the wire becomes a typed, retryable error instead of silently
+//! wrong logits.
 //!
 //! Request body layout (all integers little-endian):
 //!
@@ -17,6 +20,7 @@
 //! kind 4 CloseStream str tenant | u64 stream
 //! kind 5 Health      (empty)
 //! kind 6 Swap        str model  | bytes checkpoint
+//! kind 7 SwapCanary  str model  | u32 fraction_bp | bytes checkpoint
 //! ```
 //!
 //! Response body layout:
@@ -31,6 +35,7 @@
 //!   CloseStream u8 existed
 //!   Health      str health-json
 //!   Swap        u64 version
+//!   SwapCanary  u64 candidate version
 //! status != 0 (error): str message
 //! ```
 //!
@@ -44,6 +49,9 @@ use std::io::{Read, Write};
 /// Default cap on a single frame: large enough for a full checkpoint of
 /// any zoo model, small enough to bound per-connection memory.
 pub const DEFAULT_MAX_FRAME: usize = 16 << 20;
+
+/// Bytes before the body in every wire frame: `u32` length + `u32` CRC.
+pub const FRAME_HEADER: usize = 8;
 
 /// Typed protocol failures. `Io` wraps the transport error kind;
 /// everything else is a malformed or oversized message.
@@ -66,6 +74,13 @@ pub enum ProtoError {
     BadKind(u8),
     /// Trailing garbage after a well-formed body.
     TrailingBytes(usize),
+    /// A frame body failed its CRC-32 — corrupted in transit.
+    BadChecksum {
+        /// CRC carried in the frame header.
+        expected: u32,
+        /// CRC computed over the received body.
+        got: u32,
+    },
 }
 
 impl std::fmt::Display for ProtoError {
@@ -79,6 +94,9 @@ impl std::fmt::Display for ProtoError {
             ProtoError::BadUtf8 => write!(f, "string field is not UTF-8"),
             ProtoError::BadKind(k) => write!(f, "unknown request kind {k}"),
             ProtoError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            ProtoError::BadChecksum { expected, got } => {
+                write!(f, "frame checksum mismatch: header {expected:#010x}, body {got:#010x}")
+            }
         }
     }
 }
@@ -129,6 +147,10 @@ pub enum Status {
     BadRequest = 14,
     /// Server at its connection cap.
     Busy = 15,
+    /// A canary is already staged for this model.
+    CanaryActive = 16,
+    /// Canary traffic fraction outside `(0, 1]`.
+    BadFraction = 17,
 }
 
 impl Status {
@@ -151,6 +173,8 @@ impl Status {
             13 => Status::SwapCheckpoint,
             14 => Status::BadRequest,
             15 => Status::Busy,
+            16 => Status::CanaryActive,
+            17 => Status::BadFraction,
             _ => return None,
         })
     }
@@ -202,6 +226,16 @@ pub enum Request {
         /// Serialized checkpoint bytes.
         checkpoint: Vec<u8>,
     },
+    /// Stage the attached checkpoint as a canary for `model`, serving
+    /// `fraction_bp` basis points (1/10000ths) of keyed traffic.
+    SwapCanary {
+        /// Zoo registry name.
+        model: String,
+        /// Canary traffic share in basis points, `1..=10000`.
+        fraction_bp: u32,
+        /// Serialized checkpoint bytes.
+        checkpoint: Vec<u8>,
+    },
 }
 
 impl Request {
@@ -214,6 +248,7 @@ impl Request {
             Request::CloseStream { .. } => 4,
             Request::Health => 5,
             Request::Swap { .. } => 6,
+            Request::SwapCanary { .. } => 7,
         }
     }
 }
@@ -233,6 +268,8 @@ pub enum OkPayload {
     Health(String),
     /// New model version after a `Swap`.
     Version(u64),
+    /// Candidate version staged by a `SwapCanary`.
+    CanaryVersion(u64),
 }
 
 /// One decoded server response.
@@ -267,30 +304,74 @@ impl Response {
 
 // ---------------------------------------------------------------- frames
 
-/// Write one frame (`u32` LE length + body). Refuses bodies over
-/// `max_frame` before touching the transport.
-pub fn write_frame(w: &mut impl Write, body: &[u8], max_frame: usize) -> Result<(), ProtoError> {
+/// IEEE CRC-32 (reflected, polynomial `0xEDB88320`) of `data`. Catches
+/// every single-bit and single-byte wire corruption; std-only, table
+/// built once.
+pub fn crc32(data: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        table
+    });
+    let mut crc = !0u32;
+    for &byte in data {
+        crc = table[((crc ^ byte as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Serialize one frame (`u32` LE length, `u32` LE CRC-32, body) into a
+/// byte vector. Refuses bodies over `max_frame`.
+pub fn frame_bytes(body: &[u8], max_frame: usize) -> Result<Vec<u8>, ProtoError> {
     if body.len() > max_frame {
         return Err(ProtoError::Oversize { declared: body.len(), max: max_frame });
     }
-    w.write_all(&(body.len() as u32).to_le_bytes())?;
-    w.write_all(body)?;
+    let mut wire = Vec::with_capacity(FRAME_HEADER + body.len());
+    wire.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    wire.extend_from_slice(&crc32(body).to_le_bytes());
+    wire.extend_from_slice(body);
+    Ok(wire)
+}
+
+/// Write one frame. Refuses bodies over `max_frame` before touching the
+/// transport.
+pub fn write_frame(w: &mut impl Write, body: &[u8], max_frame: usize) -> Result<(), ProtoError> {
+    let wire = frame_bytes(body, max_frame)?;
+    w.write_all(&wire)?;
     w.flush()?;
     Ok(())
 }
 
 /// Read one frame body. Refuses declared lengths over `max_frame`
-/// *before* allocating.
+/// *before* allocating, and bodies that fail their CRC after reading.
 pub fn read_frame(r: &mut impl Read, max_frame: usize) -> Result<Vec<u8>, ProtoError> {
-    let mut header = [0u8; 4];
+    let mut header = [0u8; FRAME_HEADER];
     r.read_exact(&mut header)?;
-    let len = u32::from_le_bytes(header) as usize;
+    let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
+    let expected = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
     if len > max_frame {
         return Err(ProtoError::Oversize { declared: len, max: max_frame });
     }
     let mut body = vec![0u8; len];
     r.read_exact(&mut body)?;
+    verify_frame(&body, expected)?;
     Ok(body)
+}
+
+/// Check a received body against the CRC its frame header carried.
+pub fn verify_frame(body: &[u8], expected: u32) -> Result<(), ProtoError> {
+    let got = crc32(body);
+    if got != expected {
+        return Err(ProtoError::BadChecksum { expected, got });
+    }
+    Ok(())
 }
 
 // --------------------------------------------------------------- cursors
@@ -406,6 +487,12 @@ pub fn encode_request(req_id: u64, req: &Request) -> Vec<u8> {
             out.extend_from_slice(&(checkpoint.len() as u32).to_le_bytes());
             out.extend_from_slice(checkpoint);
         }
+        Request::SwapCanary { model, fraction_bp, checkpoint } => {
+            put_str(&mut out, model);
+            out.extend_from_slice(&fraction_bp.to_le_bytes());
+            out.extend_from_slice(&(checkpoint.len() as u32).to_le_bytes());
+            out.extend_from_slice(checkpoint);
+        }
     }
     out
 }
@@ -423,6 +510,11 @@ pub fn decode_request(body: &[u8]) -> Result<(u64, Request), ProtoError> {
         4 => Request::CloseStream { tenant: c.str()?, stream: c.u64()? },
         5 => Request::Health,
         6 => Request::Swap { model: c.str()?, checkpoint: c.bytes()? },
+        7 => Request::SwapCanary {
+            model: c.str()?,
+            fraction_bp: c.u32()?,
+            checkpoint: c.bytes()?,
+        },
         other => return Err(ProtoError::BadKind(other)),
     };
     c.finish()?;
@@ -473,6 +565,10 @@ pub fn encode_ok(req_id: u64, payload: &OkPayload) -> Vec<u8> {
             out.push(6);
             out.extend_from_slice(&v.to_le_bytes());
         }
+        OkPayload::CanaryVersion(v) => {
+            out.push(7);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
     }
     out
 }
@@ -515,6 +611,7 @@ pub fn decode_response(body: &[u8]) -> Result<Response, ProtoError> {
         4 => OkPayload::Closed(c.u8()? == 1),
         5 => OkPayload::Health(c.str()?),
         6 => OkPayload::Version(c.u64()?),
+        7 => OkPayload::CanaryVersion(c.u64()?),
         other => return Err(ProtoError::BadKind(other)),
     };
     c.finish()?;
@@ -552,6 +649,11 @@ mod tests {
         roundtrip_request(Request::CloseStream { tenant: String::new(), stream: 7 });
         roundtrip_request(Request::Health);
         roundtrip_request(Request::Swap { model: "TCN".into(), checkpoint: vec![1, 2, 3] });
+        roundtrip_request(Request::SwapCanary {
+            model: "DHGCN".into(),
+            fraction_bp: 2500,
+            checkpoint: vec![9, 8, 7],
+        });
     }
 
     #[test]
@@ -612,6 +714,7 @@ mod tests {
     fn frames_enforce_the_size_cap() {
         let mut wire = Vec::new();
         write_frame(&mut wire, &[1, 2, 3], 16).expect("in cap");
+        assert_eq!(wire.len(), FRAME_HEADER + 3);
         let body = read_frame(&mut wire.as_slice(), 16).expect("read");
         assert_eq!(body, [1, 2, 3]);
         assert_eq!(
@@ -619,16 +722,47 @@ mod tests {
             Err(ProtoError::Oversize { declared: 32, max: 16 })
         );
         // a hostile header cannot force a huge allocation
-        let hostile = (u32::MAX).to_le_bytes();
+        let mut hostile = (u32::MAX).to_le_bytes().to_vec();
+        hostile.extend_from_slice(&[0; 4]);
         assert_eq!(
             read_frame(&mut hostile.as_slice(), 1 << 20),
             Err(ProtoError::Oversize { declared: u32::MAX as usize, max: 1 << 20 })
         );
         // short read mid-body is Io, not a hang on garbage
-        let truncated = [5u8, 0, 0, 0, 1, 2];
+        let mut truncated = frame_bytes(&[1, 2, 3, 4, 5], 1 << 20).expect("frame");
+        truncated.truncate(FRAME_HEADER + 2);
         assert_eq!(
             read_frame(&mut truncated.as_slice(), 1 << 20),
             Err(ProtoError::Io(std::io::ErrorKind::UnexpectedEof))
         );
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // canonical IEEE CRC-32 check values
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn corrupted_frames_are_typed_checksum_errors() {
+        let body = encode_ok(77, &OkPayload::Logits(vec![1.0, -2.0, 3.5]));
+        let clean = frame_bytes(&body, 1 << 20).expect("frame");
+        // flip every single byte past the length prefix: the checksum
+        // must catch each one as a typed error, never a silent decode
+        for i in 4..clean.len() {
+            let mut wire = clean.clone();
+            wire[i] ^= 0x10;
+            let err = read_frame(&mut wire.as_slice(), 1 << 20)
+                .expect_err("corrupted frame must not decode");
+            assert!(
+                matches!(err, ProtoError::BadChecksum { .. }),
+                "byte {i}: expected BadChecksum, got {err:?}"
+            );
+        }
+        // the untouched frame still decodes bitwise
+        let back = read_frame(&mut clean.as_slice(), 1 << 20).expect("clean frame");
+        assert_eq!(back, body);
     }
 }

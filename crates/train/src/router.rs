@@ -40,12 +40,40 @@
 //!    accepted them.
 //!
 //! Swaps are serialized; concurrent [`Router::swap`] calls queue.
+//!
+//! ## Canary routing
+//!
+//! [`Router::swap_canary`] stages a vetted checkpoint *beside* the
+//! stable version instead of replacing it. Keyed traffic
+//! ([`Router::infer_keyed`]; the net frontend passes the request id) is
+//! split deterministically: a request lands on the canary iff
+//! `mix64(key ^ salt ^ candidate_version) % 10000 < fraction_bp`, so
+//! replays and retries of the same id always draw the same arm. Per-arm
+//! outcomes feed `model`+`version`-labeled counters in the registry.
+//! The canary state machine:
+//!
+//! ```text
+//! staged --N clean canary replies--> promoted (atomic switch, streams
+//!        |                           invalidated, old engine drains)
+//!        +--first quality breach---> rolled back (canary engine drains,
+//!                                    stable version untouched)
+//! ```
+//!
+//! A quality breach is a canary-routed reply whose [`ServeError`]
+//! indicts the *candidate weights* rather than load or the caller
+//! ([`ServeError::is_quality_breach`]: non-finite output, or the canary
+//! replica set dying). Plain [`Router::swap`] refuses typed
+//! ([`SwapError::CanaryActive`]) while a canary is staged —
+//! [`Router::cancel_canary`] abandons one explicitly. Streams stay
+//! pinned to the stable engine while a canary is staged and are
+//! invalidated on promotion exactly as on a full swap.
 
 use crate::checkpoint::{self, CheckpointError};
 use crate::infer::InferenceSession;
 use crate::json::escape;
 use crate::serve::{ServeConfig, ServeEngine, ServeError};
 use bytes::Bytes;
+use dhg_nn::fault::mix64;
 use dhg_nn::{labeled, Counter, Gauge, Histogram, Module, Registry, SymShape};
 use dhg_tensor::NdArray;
 use std::collections::BTreeMap;
@@ -84,6 +112,9 @@ pub struct RouterConfig {
     /// Peak-workspace budget (bytes) a swapped-in checkpoint's plan must
     /// fit at full batch, per the static cost model.
     pub vet_budget: u64,
+    /// Clean canary-routed replies required before a staged canary
+    /// auto-promotes (floor 1).
+    pub canary_promote_after: u64,
 }
 
 impl Default for RouterConfig {
@@ -93,6 +124,7 @@ impl Default for RouterConfig {
             total_workers: 1,
             tenant_quota: 0,
             vet_budget: dhg_tensor::DEFAULT_BYTE_BUDGET as u64,
+            canary_promote_after: 32,
         }
     }
 }
@@ -146,6 +178,11 @@ pub enum SwapError {
     Vetoed(String),
     /// The vetted replica set failed to start.
     Startup(ServeError),
+    /// A canary is already staged for this model; promote, roll back or
+    /// [`Router::cancel_canary`] it first.
+    CanaryActive(String),
+    /// Canary traffic fraction outside `(0, 1]`.
+    BadFraction(f64),
 }
 
 impl std::fmt::Display for SwapError {
@@ -155,17 +192,86 @@ impl std::fmt::Display for SwapError {
             SwapError::Checkpoint(e) => write!(f, "checkpoint refused: {e}"),
             SwapError::Vetoed(why) => write!(f, "swap vetoed: {why}"),
             SwapError::Startup(e) => write!(f, "swapped replica set failed to start: {e}"),
+            SwapError::CanaryActive(model) => {
+                write!(f, "model {model:?} already has a canary staged")
+            }
+            SwapError::BadFraction(fraction) => {
+                write!(f, "canary fraction {fraction} outside (0, 1]")
+            }
         }
     }
 }
 
 impl std::error::Error for SwapError {}
 
+/// Per-`(model, version)` labeled outcome counters — the observable
+/// error/bad-output rates the canary decision is auditable against.
+#[derive(Clone)]
+struct VersionCounters {
+    requests: Arc<Counter>,
+    errors: Arc<Counter>,
+    bad_output: Arc<Counter>,
+}
+
+impl VersionCounters {
+    fn new(registry: &Registry, model: &str, version: u64) -> VersionCounters {
+        let v = version.to_string();
+        let l = |base: &str| labeled(base, &[("model", model), ("version", &v)]);
+        VersionCounters {
+            requests: registry.counter(&l("net-version-requests-total")),
+            errors: registry.counter(&l("net-version-errors-total")),
+            bad_output: registry.counter(&l("net-version-bad-output-total")),
+        }
+    }
+}
+
+/// A staged candidate version serving a deterministic slice of keyed
+/// traffic beside the stable engine.
+struct CanaryState {
+    engine: Arc<ServeEngine>,
+    version: u64,
+    fraction_bp: u32,
+    promote_after: u64,
+    clean: Arc<AtomicU64>,
+    counters: VersionCounters,
+}
+
 struct ModelEntry {
     factory: ModelFactory,
     sample_shape: Vec<usize>,
     engine: Arc<ServeEngine>,
     version: u64,
+    counters: VersionCounters,
+    canary: Option<CanaryState>,
+    /// Route keys for unkeyed [`Router::infer`] calls: a per-model
+    /// sequence, so local callers exercise the canary split too.
+    route_seq: AtomicU64,
+    canary_promotions: AtomicU64,
+    canary_rollbacks: AtomicU64,
+}
+
+/// Public snapshot of a staged canary (see [`Router::canary`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanaryStatus {
+    /// Version the canary would install on promotion.
+    pub version: u64,
+    /// Traffic share in basis points of keyed requests.
+    pub fraction_bp: u32,
+    /// Clean canary-routed replies so far.
+    pub clean: u64,
+    /// Clean replies required to auto-promote.
+    pub promote_after: u64,
+}
+
+/// Salt folded into the canary hash so the split is independent of any
+/// other use of the same keys.
+const CANARY_SALT: u64 = 0xCAFE_D06E_5EED_5A17;
+
+/// Does `route_key` land on the canary arm? Pure in
+/// `(key, candidate_version, fraction_bp)` — retries of the same request
+/// id draw the same arm, and replayed chaos runs split identically.
+fn canary_hit(candidate_version: u64, fraction_bp: u32, route_key: u64) -> bool {
+    mix64(route_key ^ CANARY_SALT ^ candidate_version) % 10_000 < fraction_bp as u64
 }
 
 struct StreamEntry {
@@ -221,12 +327,14 @@ impl Router {
     /// plan) aborts the whole router startup typed.
     pub fn start(specs: Vec<ModelSpec>, config: RouterConfig) -> Result<Router, RouteError> {
         let per_model = (config.total_workers / specs.len().max(1)).max(1);
+        let registry = Registry::new();
         let mut entries = BTreeMap::new();
         for spec in specs {
             let serve = ServeConfig { workers: per_model, ..config.serve.clone() };
             let factory = spec.factory.clone();
             let engine =
                 ServeEngine::start(move || factory(), &spec.sample_shape, serve)?;
+            let counters = VersionCounters::new(&registry, &spec.name, 1);
             entries.insert(
                 spec.name.clone(),
                 ModelEntry {
@@ -234,6 +342,11 @@ impl Router {
                     sample_shape: spec.sample_shape,
                     engine: Arc::new(engine),
                     version: 1,
+                    counters,
+                    canary: None,
+                    route_seq: AtomicU64::new(0),
+                    canary_promotions: AtomicU64::new(0),
+                    canary_rollbacks: AtomicU64::new(0),
                 },
             );
         }
@@ -242,7 +355,7 @@ impl Router {
             tenants: Mutex::new(BTreeMap::new()),
             streams: Mutex::new(BTreeMap::new()),
             next_stream: AtomicU64::new(1),
-            registry: Registry::new(),
+            registry,
             config,
             swap_lock: Mutex::new(()),
         })
@@ -317,9 +430,44 @@ impl Router {
 
     /// Blocking batch inference of one flat row-major sample against
     /// `model`, billed to `tenant`. The reply is the logits row exactly
-    /// as the in-process [`InferenceSession`] would produce it.
+    /// as the in-process [`InferenceSession`] would produce it. Draws a
+    /// per-model sequential route key, so local callers exercise a
+    /// staged canary's traffic split too.
     pub fn infer(&self, tenant: &str, model: &str, input: &[f32]) -> Result<NdArray, RouteError> {
-        let engine = self.engine(model)?;
+        let key = self
+            .read_entries()
+            .get(model)
+            .map(|e| e.route_seq.fetch_add(1, Ordering::Relaxed))
+            .unwrap_or(0);
+        self.infer_keyed(tenant, model, input, key)
+    }
+
+    /// [`infer`](Router::infer) with an explicit route key (the net
+    /// frontend passes the request id). With a canary staged the key
+    /// deterministically picks the serving arm; the reply's outcome
+    /// feeds the per-version counters and the canary promote/rollback
+    /// decision.
+    pub fn infer_keyed(
+        &self,
+        tenant: &str,
+        model: &str,
+        input: &[f32],
+        route_key: u64,
+    ) -> Result<NdArray, RouteError> {
+        let (engine, counters, canary_meta) = {
+            let entries = self.read_entries();
+            let entry = entries
+                .get(model)
+                .ok_or_else(|| RouteError::UnknownModel(model.to_string()))?;
+            match &entry.canary {
+                Some(c) if canary_hit(c.version, c.fraction_bp, route_key) => (
+                    c.engine.clone(),
+                    c.counters.clone(),
+                    Some((c.version, c.clean.clone(), c.promote_after)),
+                ),
+                _ => (entry.engine.clone(), entry.counters.clone(), None),
+            }
+        };
         let shape = engine.sample_shape().to_vec();
         let expect: usize = shape.iter().product();
         if input.len() != expect {
@@ -334,8 +482,28 @@ impl Router {
             .submit(NdArray::from_vec(input.to_vec(), &shape))
             .and_then(|pending| pending.wait());
         guard.state.latency_us.observe(started.elapsed().as_micros() as u64);
-        if result.is_err() {
-            guard.state.errors.inc();
+        counters.requests.inc();
+        match &result {
+            Ok(_) => {
+                if let Some((candidate, clean, promote_after)) = &canary_meta {
+                    let n = clean.fetch_add(1, Ordering::SeqCst) + 1;
+                    if n >= *promote_after {
+                        self.promote_canary(model, *candidate);
+                    }
+                }
+            }
+            Err(e) => {
+                guard.state.errors.inc();
+                counters.errors.inc();
+                if matches!(e, ServeError::BadOutput) {
+                    counters.bad_output.inc();
+                }
+                if let Some((candidate, _, _)) = &canary_meta {
+                    if e.is_quality_breach() {
+                        self.rollback_canary(model, *candidate);
+                    }
+                }
+            }
         }
         drop(guard);
         result.map_err(RouteError::Serve)
@@ -421,11 +589,15 @@ impl Router {
         })
     }
 
-    /// Hot-swap `model` to `checkpoint`, returning the new version. See
-    /// the module docs for the vet → start → switch → drain lifecycle;
-    /// every error path leaves the old version serving untouched.
-    pub fn swap(&self, model: &str, checkpoint_bytes: &[u8]) -> Result<u64, SwapError> {
-        let _serialized = lock(&self.swap_lock);
+    /// Steps 1–3 of the swap lifecycle (load → vet → start), shared by
+    /// [`swap`](Router::swap) and [`swap_canary`](Router::swap_canary).
+    /// Returns the running replacement replica set; every error path is
+    /// typed and leaves the routing table untouched.
+    fn vet_and_start(
+        &self,
+        model: &str,
+        checkpoint_bytes: &[u8],
+    ) -> Result<ServeEngine, SwapError> {
         let (factory, sample_shape) = {
             let entries = self.read_entries();
             let entry = entries
@@ -479,25 +651,153 @@ impl Router {
             serve,
         )
         .map_err(SwapError::Startup)?;
+        Ok(new_engine)
+    }
+
+    /// Hot-swap `model` to `checkpoint`, returning the new version. See
+    /// the module docs for the vet → start → switch → drain lifecycle;
+    /// every error path leaves the old version serving untouched.
+    /// Refused typed while a canary is staged for `model`.
+    pub fn swap(&self, model: &str, checkpoint_bytes: &[u8]) -> Result<u64, SwapError> {
+        let _serialized = lock(&self.swap_lock);
+        if self.read_entries().get(model).is_some_and(|e| e.canary.is_some()) {
+            return Err(SwapError::CanaryActive(model.to_string()));
+        }
+        let new_engine = self.vet_and_start(model, checkpoint_bytes)?;
         // 4. atomic switch + stream invalidation
-        let old_engine = {
+        let (old, version) = {
             let mut entries = self.write_entries();
             let entry = entries
                 .get_mut(model)
                 .ok_or_else(|| SwapError::UnknownModel(model.to_string()))?;
             entry.version += 1;
+            entry.counters = VersionCounters::new(&self.registry, model, entry.version);
             let old = std::mem::replace(&mut entry.engine, Arc::new(new_engine));
-            let version = entry.version;
-            drop(entries);
-            lock(&self.streams).retain(|_, s| s.model != model);
-            (old, version)
+            (old, entry.version)
         };
+        lock(&self.streams).retain(|_, s| s.model != model);
         // 5. drain: the old engine closes when its last holder (an
         // in-flight request, or this drop) releases it — every accepted
         // request is answered by the version that accepted it
-        let (old, version) = old_engine;
         drop(old);
         Ok(version)
+    }
+
+    /// Stage `checkpoint` as a canary for `model` on `fraction` of keyed
+    /// traffic. The checkpoint is vetted exactly like a full swap; the
+    /// candidate then serves beside the stable engine until it either
+    /// auto-promotes ([`RouterConfig::canary_promote_after`] clean
+    /// replies) or auto-rolls-back on the first quality breach. Returns
+    /// the candidate version a promotion would install.
+    pub fn swap_canary(
+        &self,
+        model: &str,
+        checkpoint_bytes: &[u8],
+        fraction: f64,
+    ) -> Result<u64, SwapError> {
+        if !(fraction > 0.0 && fraction <= 1.0) {
+            return Err(SwapError::BadFraction(fraction));
+        }
+        let fraction_bp = ((fraction * 10_000.0).round() as u32).clamp(1, 10_000);
+        let _serialized = lock(&self.swap_lock);
+        if self.read_entries().get(model).is_some_and(|e| e.canary.is_some()) {
+            return Err(SwapError::CanaryActive(model.to_string()));
+        }
+        let new_engine = self.vet_and_start(model, checkpoint_bytes)?;
+        let mut entries = self.write_entries();
+        let entry = entries
+            .get_mut(model)
+            .ok_or_else(|| SwapError::UnknownModel(model.to_string()))?;
+        // the staged-canary check above cannot be raced: staging requires
+        // the swap lock this call still holds, and the request path only
+        // ever *removes* canaries
+        let candidate = entry.version + 1;
+        entry.canary = Some(CanaryState {
+            engine: Arc::new(new_engine),
+            version: candidate,
+            fraction_bp,
+            promote_after: self.config.canary_promote_after.max(1),
+            clean: Arc::new(AtomicU64::new(0)),
+            counters: VersionCounters::new(&self.registry, model, candidate),
+        });
+        Ok(candidate)
+    }
+
+    /// Abandon `model`'s staged canary, if any; the canary engine drains
+    /// on drop and the stable version keeps serving. `Ok(true)` when one
+    /// was staged.
+    pub fn cancel_canary(&self, model: &str) -> Result<bool, SwapError> {
+        let _serialized = lock(&self.swap_lock);
+        let dropped = {
+            let mut entries = self.write_entries();
+            let entry = entries
+                .get_mut(model)
+                .ok_or_else(|| SwapError::UnknownModel(model.to_string()))?;
+            entry.canary.take()
+        };
+        Ok(dropped.is_some())
+    }
+
+    /// Snapshot of `model`'s staged canary, `None` when nothing is
+    /// staged (including right after a promotion or rollback).
+    pub fn canary(&self, model: &str) -> Option<CanaryStatus> {
+        self.read_entries().get(model).and_then(|e| {
+            e.canary.as_ref().map(|c| CanaryStatus {
+                version: c.version,
+                fraction_bp: c.fraction_bp,
+                clean: c.clean.load(Ordering::SeqCst),
+                promote_after: c.promote_after,
+            })
+        })
+    }
+
+    /// Lifetime promotion/rollback counts for `model`.
+    pub fn canary_events(&self, model: &str) -> Option<(u64, u64)> {
+        self.read_entries().get(model).map(|e| {
+            (
+                e.canary_promotions.load(Ordering::Relaxed),
+                e.canary_rollbacks.load(Ordering::Relaxed),
+            )
+        })
+    }
+
+    /// Install `model`'s canary as the stable version (atomic switch,
+    /// stream invalidation, old engine drains on drop). No-op unless a
+    /// canary with exactly `candidate` is still staged — a racing
+    /// rollback or second promotion loses cleanly.
+    fn promote_canary(&self, model: &str, candidate: u64) {
+        let old = {
+            let mut entries = self.write_entries();
+            let Some(entry) = entries.get_mut(model) else { return };
+            if !matches!(&entry.canary, Some(c) if c.version == candidate) {
+                return;
+            }
+            let Some(c) = entry.canary.take() else { return };
+            entry.version = c.version;
+            entry.counters = c.counters.clone();
+            entry.canary_promotions.fetch_add(1, Ordering::Relaxed);
+            std::mem::replace(&mut entry.engine, c.engine)
+        };
+        // streams pinned to the demoted engine die exactly as on a swap
+        lock(&self.streams).retain(|_, s| s.model != model);
+        drop(old);
+    }
+
+    /// Discard `model`'s canary after a quality breach; the stable
+    /// version keeps serving untouched. No-op unless a canary with
+    /// exactly `candidate` is still staged.
+    fn rollback_canary(&self, model: &str, candidate: u64) {
+        let dropped = {
+            let mut entries = self.write_entries();
+            let Some(entry) = entries.get_mut(model) else { return };
+            if !matches!(&entry.canary, Some(c) if c.version == candidate) {
+                return;
+            }
+            entry.canary_rollbacks.fetch_add(1, Ordering::Relaxed);
+            entry.canary.take()
+        };
+        // drain-on-drop: accepted canary work is still answered (typed)
+        drop(dropped);
     }
 
     /// Deterministically ordered router-wide health snapshot as JSON:
@@ -512,11 +812,27 @@ impl Router {
                     out.push(',');
                 }
                 let h = entry.engine.health();
+                let canary = match &entry.canary {
+                    Some(c) => format!(
+                        "{{\"version\":{},\"fraction_bp\":{},\"clean\":{},\
+                         \"promote_after\":{},\"requests\":{},\"errors\":{},\
+                         \"bad_output\":{}}}",
+                        c.version,
+                        c.fraction_bp,
+                        c.clean.load(Ordering::SeqCst),
+                        c.promote_after,
+                        c.counters.requests.get(),
+                        c.counters.errors.get(),
+                        c.counters.bad_output.get(),
+                    ),
+                    None => String::from("null"),
+                };
                 out.push_str(&format!(
                     "\"{}\":{{\"version\":{},\"serving\":{},\"live_workers\":{},\
                      \"configured_workers\":{},\"restarts\":{},\"queue_depth\":{},\
                      \"accepted\":{},\"completed\":{},\"shed\":{},\"failed\":{},\
-                     \"deadline_exceeded\":{},\"bad_output\":{}}}",
+                     \"deadline_exceeded\":{},\"bad_output\":{},\"canary\":{},\
+                     \"canary_promotions\":{},\"canary_rollbacks\":{}}}",
                     escape(name),
                     entry.version,
                     h.is_serving(),
@@ -530,6 +846,9 @@ impl Router {
                     h.failed,
                     h.deadline_exceeded,
                     h.bad_output,
+                    canary,
+                    entry.canary_promotions.load(Ordering::Relaxed),
+                    entry.canary_rollbacks.load(Ordering::Relaxed),
                 ));
             }
         }
@@ -736,9 +1055,124 @@ mod tests {
         router.shutdown();
     }
 
+    #[test]
+    fn canary_hit_is_deterministic_and_tracks_fraction() {
+        // same (version, fraction, key) → same arm, always
+        for key in 0..64u64 {
+            assert_eq!(canary_hit(2, 5_000, key), canary_hit(2, 5_000, key));
+        }
+        // boundary fractions
+        assert!((0..256).all(|k| canary_hit(2, 10_000, k)));
+        assert!((0..256).all(|k| !canary_hit(2, 0, k)));
+        // a 30% split lands near 30% over many keys (mix64 is uniform)
+        let hits = (0..10_000u64).filter(|&k| canary_hit(7, 3_000, k)).count();
+        assert!((2_700..3_300).contains(&hits), "30% split measured {hits}/10000");
+        // different candidate versions shuffle the split: a key is not
+        // pinned to "canary" across successive rollouts
+        assert!((0..10_000u64).any(|k| canary_hit(2, 5_000, k) != canary_hit(3, 5_000, k)));
+    }
+
+    #[test]
+    fn canary_promotes_after_clean_requests() {
+        let promote_after = 3;
+        let router = router(RouterConfig { canary_promote_after: promote_after, ..RouterConfig::default() });
+        let zoo = Zoo::tiny(SkeletonTopology::ntu25(), 4, 0);
+        let bytes = checkpoint::save(&zoo.by_name("ST-GCN").expect("zoo"));
+        // bad fractions refuse typed before any vetting work
+        for f in [0.0, -0.25, 1.5, f64::NAN] {
+            assert!(matches!(
+                router.swap_canary("ST-GCN", &bytes, f).unwrap_err(),
+                SwapError::BadFraction(_)
+            ));
+        }
+        let candidate = router.swap_canary("ST-GCN", &bytes, 1.0).expect("stage");
+        assert_eq!(candidate, 2);
+        let status = router.canary("ST-GCN").expect("staged");
+        assert_eq!((status.version, status.fraction_bp, status.clean), (2, 10_000, 0));
+        // a second canary and a full swap are both refused while staged
+        assert!(matches!(
+            router.swap_canary("ST-GCN", &bytes, 0.5).unwrap_err(),
+            SwapError::CanaryActive(_)
+        ));
+        assert!(matches!(
+            router.swap("ST-GCN", &bytes).unwrap_err(),
+            SwapError::CanaryActive(_)
+        ));
+        // at fraction 1.0 every keyed request rides the canary; after
+        // `promote_after` clean replies it is the stable version
+        for i in 0..promote_after {
+            router.infer("acme", "ST-GCN", &sample(i as usize)).expect("canary serves");
+        }
+        assert_eq!(router.version("ST-GCN"), Some(2));
+        assert!(router.canary("ST-GCN").is_none(), "promotion consumes the canary");
+        assert_eq!(router.canary_events("ST-GCN"), Some((1, 0)));
+        // promoted logits still match the in-process reference
+        let mut reference = InferenceSession::new(zoo.by_name("ST-GCN").expect("zoo"));
+        let x = sample(9);
+        let got = router.infer("acme", "ST-GCN", &x).expect("infer");
+        let batch1 =
+            Tensor::constant(NdArray::from_vec(x.clone(), &[3, 8, 25]).reshape(&[1, 3, 8, 25]));
+        let want = reference.logits(&batch1);
+        assert_eq!(got.data(), &want.data()[..4], "promoted version diverged");
+        router.shutdown();
+    }
+
+    #[test]
+    fn canary_rolls_back_on_first_quality_breach() {
+        let router = router(RouterConfig::default());
+        let zoo = Zoo::tiny(SkeletonTopology::ntu25(), 4, 0);
+        // finite-but-huge classifier weights pass the vet (finiteness +
+        // analyzer see only parameters) yet overflow the forward's final
+        // dot product to inf → ServeError::BadOutput
+        let poisoned = zoo.by_name("ST-GCN").expect("zoo");
+        for p in poisoned.parameters().iter().rev().take(2) {
+            p.data_mut().data_mut().fill(f32::MAX);
+        }
+        let bad = checkpoint::save(&poisoned);
+        let candidate = router.swap_canary("ST-GCN", &bad, 1.0).expect("vet passes");
+        assert_eq!(candidate, 2);
+        // first request through the canary breaches quality and rolls back
+        let err = router.infer("acme", "ST-GCN", &sample(0)).unwrap_err();
+        assert_eq!(err, RouteError::Serve(ServeError::BadOutput));
+        assert!(router.canary("ST-GCN").is_none(), "rollback consumes the canary");
+        assert_eq!(router.version("ST-GCN"), Some(1), "stable version untouched");
+        assert_eq!(router.canary_events("ST-GCN"), Some((0, 1)));
+        router.infer("acme", "ST-GCN", &sample(1)).expect("old version keeps serving");
+        // observability: the breach is visible in health_json
+        let health = crate::json::Value::parse(&router.health_json()).expect("valid json");
+        let stgcn = health.get("models").and_then(|m| m.get("ST-GCN")).expect("entry");
+        assert_eq!(stgcn.get("canary_rollbacks").and_then(|v| v.as_f64()), Some(1.0));
+        assert!(
+            matches!(stgcn.get("canary"), Some(crate::json::Value::Null)),
+            "no canary staged"
+        );
+        router.shutdown();
+    }
+
+    #[test]
+    fn cancel_canary_drains_without_promotion() {
+        let router = router(RouterConfig::default());
+        let zoo = Zoo::tiny(SkeletonTopology::ntu25(), 4, 0);
+        let bytes = checkpoint::save(&zoo.by_name("DHGCN-lite").expect("zoo"));
+        router.swap_canary("DHGCN-lite", &bytes, 0.25).expect("stage");
+        let health = crate::json::Value::parse(&router.health_json()).expect("valid json");
+        let lite = health.get("models").and_then(|m| m.get("DHGCN-lite")).expect("entry");
+        let canary = lite.get("canary").expect("canary field");
+        assert_eq!(canary.get("version").and_then(|v| v.as_f64()), Some(2.0));
+        assert_eq!(canary.get("fraction_bp").and_then(|v| v.as_f64()), Some(2500.0));
+        assert!(router.cancel_canary("DHGCN-lite").expect("cancel"));
+        assert!(!router.cancel_canary("DHGCN-lite").expect("idempotent"));
+        assert_eq!(router.version("DHGCN-lite"), Some(1));
+        assert_eq!(router.canary_events("DHGCN-lite"), Some((0, 0)));
+        // a fresh canary can now be staged and the next swap wins v2
+        assert_eq!(router.swap("DHGCN-lite", &bytes).expect("swap"), 2);
+        router.shutdown();
+    }
+
     /// One `[C, V]` frame of the synthetic stream (same generator as the
     /// serve tests, so windows can be cross-checked).
     fn frame(t: usize) -> Vec<f32> {
         (0..3 * 25).map(|i| ((t * 3 * 25 + i) as f32 * 0.011).sin()).collect()
     }
 }
+

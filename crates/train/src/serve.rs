@@ -224,6 +224,20 @@ impl std::fmt::Display for ServeError {
     }
 }
 
+impl ServeError {
+    /// True for errors that indict the *model version* rather than the
+    /// caller or transient load: non-finite output, a dead engine, or a
+    /// start that never completed. Canary routing rolls back on these;
+    /// caller errors ([`ServeError::BadShape`], [`ServeError::Rejected`],
+    /// [`ServeError::DeadlineExceeded`], …) never condemn a candidate.
+    pub fn is_quality_breach(&self) -> bool {
+        matches!(
+            self,
+            ServeError::BadOutput | ServeError::Closed | ServeError::Startup(_)
+        )
+    }
+}
+
 impl std::error::Error for ServeError {}
 
 /// Lock-free handles to every metric the engine updates, backed by a

@@ -6,9 +6,18 @@
 #      exactly (override with DHGCN_CHAOS_SEED, or export DHGCN_FAULTS
 #      to drive the storm mix from its spec grammar, e.g.
 #      DHGCN_FAULTS='seed=7,worker-death=0.05:4;batch-panic=0.2')
-#   2. the chaos integration tests (tests/chaos.rs): respawn across the
+#   2. the chaos-net driver binary — wire-level storms (conn-drop /
+#      frame-truncate / frame-corrupt / reply-delay / accept-reject)
+#      over loopback TCP at 1/2/8 serve workers under the same fixed
+#      seed: every request resolves bitwise or typed, the router's
+#      accounting conserves (zero accepted-request loss), a swap with a
+#      lost reply executes exactly once, and the canary lifecycle
+#      (promote + poisoned rollback) holds over the wire
+#   3. the chaos integration tests (tests/chaos.rs): respawn across the
 #      whole zoo at 1/2/8 workers, storm invariants, budget exhaustion,
 #      interrupted-training bitwise resume, schedule determinism
+#   4. the wire chaos integration tests (tests/chaos_net.rs): storm
+#      conservation, typed-not-hung wire damage, idempotent swap replay
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,7 +26,13 @@ SEED="${DHGCN_CHAOS_SEED:-3405691582}" # 0xCAFEBABE — fixed for reproducibilit
 echo "== chaos: driver binary (seed $SEED) =="
 cargo run --release -q -p dhg-bench --bin chaos -- --seed "$SEED" "$@"
 
+echo "== chaos: chaos-net driver binary (seed $SEED) =="
+cargo run --release -q -p dhg-bench --bin chaos-net -- --seed "$SEED" "$@"
+
 echo "== chaos: integration tests =="
 cargo test -q --test chaos
+
+echo "== chaos: wire integration tests =="
+cargo test -q --test chaos_net
 
 echo "== chaos: OK =="

@@ -13,7 +13,7 @@
 #      clean serving + streaming audit) plus its self-test of seeded
 #      negatives
 #   7. the static-analysis gate (scripts/lint.sh): dhg-lint self-test and
-#      clean-repo scan (DL001-DL005 with lint.allow), and the analyzer's
+#      clean-repo scan (DL001-DL006 with lint.allow), and the analyzer's
 #      --budget check that every model's predicted peak workspace fits
 #      the serve cap
 #   8. the serve-engine smoke: zero sheds at low offered load, typed
@@ -26,7 +26,12 @@
 #      NetServer → Router with logits bitwise-identical to in-process
 #      inference, typed errors over the wire, and a hot-swap under load
 #      losing zero accepted requests
-#  11. rustdoc with warnings denied (broken intra-doc links fail the gate)
+#  11. the chaos-net smoke: seeded wire-level fault storms (conn-drop,
+#      frame-truncate, frame-corrupt, reply-delay, accept-reject) with
+#      bitwise-or-typed replies, zero accepted-request loss, an
+#      exactly-once swap through a lost reply, and canary promote +
+#      poisoned rollback over the wire
+#  12. rustdoc with warnings denied (broken intra-doc links fail the gate)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -60,6 +65,9 @@ cargo run --release -q -p dhg-bench --bin chaos -- --smoke
 
 echo "== tier1: net smoke (loopback TCP round-trip + hot-swap) =="
 cargo run --release -q -p dhg-bench --bin net -- --smoke
+
+echo "== tier1: chaos-net smoke (wire fault contracts) =="
+cargo run --release -q -p dhg-bench --bin chaos-net -- --smoke
 
 echo "== tier1: cargo doc -D warnings =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet

@@ -209,6 +209,103 @@ fn hot_swap_mid_load_loses_no_accepted_requests() {
 }
 
 #[test]
+fn canary_lifecycle_over_the_wire() {
+    // promote after 3 clean replies so the lifecycle fits a fast test
+    let router = Arc::new(
+        Router::start(
+            zoo_specs(&MODELS, 4, 0),
+            RouterConfig { canary_promote_after: 3, ..RouterConfig::default() },
+        )
+        .expect("router"),
+    );
+    let server = NetServer::start(router.clone(), NetConfig::default()).expect("server");
+    let addr = server.addr();
+    let model = "DHGCN-lite";
+    let zoo_v2 = Zoo::tiny(SkeletonTopology::ntu25(), 4, 7);
+    let v2_bytes = checkpoint::save(&zoo_v2.by_name(model).expect("zoo")).to_vec();
+    let mut client = NetClient::connect(addr).expect("connect");
+
+    // bad fractions refuse typed over the wire, nothing staged
+    let err = client.swap_canary(model, &v2_bytes, 0.0).expect_err("zero fraction");
+    assert!(matches!(&err, NetError::Remote { status: Status::BadFraction, .. }), "{err:?}");
+
+    // stage at fraction 1.0: every request rides the candidate
+    let candidate = client.swap_canary(model, &v2_bytes, 1.0).expect("stage");
+    assert_eq!(candidate, 2);
+    // a full swap is refused typed while the canary is staged
+    let err = client.swap(model, &v2_bytes).expect_err("swap during canary");
+    assert!(matches!(&err, NetError::Remote { status: Status::CanaryActive, .. }), "{err:?}");
+    // health shows the staged canary
+    let parsed =
+        dhgcn::train::json::Value::parse(&client.health().expect("health")).expect("json");
+    let entry = parsed.get("models").and_then(|m| m.get(model)).expect("model entry");
+    let canary = entry.get("canary").expect("canary field");
+    assert_eq!(canary.get("version").and_then(|v| v.as_f64()), Some(2.0));
+    assert_eq!(canary.get("fraction_bp").and_then(|v| v.as_f64()), Some(10_000.0));
+
+    // v2 reference: v1 constructor + v2 weights
+    let loaded = Zoo::tiny(SkeletonTopology::ntu25(), 4, 0).by_name(model).expect("zoo");
+    checkpoint::load(&loaded, checkpoint::save(&zoo_v2.by_name(model).expect("zoo")))
+        .expect("v2 restores");
+    let mut v2_session = InferenceSession::new(loaded);
+    for s in 0..3 {
+        let x = sample(s);
+        let got = client.infer("acme", model, &x).expect("canary serves");
+        assert_eq!(got, reference_logits(&mut v2_session, &x), "canary reply is not v2");
+    }
+    // three clean replies → auto-promoted, canary gone from health
+    assert_eq!(router.version(model), Some(2), "canary did not auto-promote");
+    let parsed =
+        dhgcn::train::json::Value::parse(&client.health().expect("health")).expect("json");
+    let entry = parsed.get("models").and_then(|m| m.get(model)).expect("model entry");
+    assert!(matches!(entry.get("canary"), Some(dhgcn::train::json::Value::Null)));
+    assert_eq!(entry.get("canary_promotions").and_then(|v| v.as_f64()), Some(1.0));
+
+    server.shutdown();
+}
+
+#[test]
+fn duplicate_request_ids_replay_the_cached_reply_without_reexecution() {
+    use dhgcn::train::proto::{encode_request, read_frame, write_frame, Request};
+    use std::io::Write as _;
+
+    let (router, server) = start_server();
+    let addr = server.addr();
+    let max_frame = 16 << 20;
+
+    // hand-rolled wire exchange so the same req_id can be sent twice —
+    // exactly what a self-healing client does after a lost reply
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect raw");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).expect("deadline");
+    let body = encode_request(
+        0xABCD_0001,
+        &Request::Infer {
+            tenant: "acme".to_string(),
+            model: "ST-GCN".to_string(),
+            input: sample(5),
+        },
+    );
+    write_frame(&mut stream, &body, max_frame).expect("first send");
+    let first = read_frame(&mut stream, max_frame).expect("first reply");
+    write_frame(&mut stream, &body, max_frame).expect("duplicate send");
+    let second = read_frame(&mut stream, max_frame).expect("replayed reply");
+    stream.flush().expect("flush");
+
+    // byte-identical replay...
+    assert_eq!(first, second, "replayed reply differs from the original");
+    // ...and the engine executed once: one request accepted, not two
+    let parsed = dhgcn::train::json::Value::parse(&router.health_json()).expect("json");
+    let entry = parsed.get("models").and_then(|m| m.get("ST-GCN")).expect("model entry");
+    assert_eq!(
+        entry.get("accepted").and_then(|v| v.as_f64()),
+        Some(1.0),
+        "the duplicate request was re-executed instead of replayed"
+    );
+
+    server.shutdown();
+}
+
+#[test]
 fn vet_failing_checkpoints_are_refused_and_old_version_keeps_serving() {
     let (router, server) = start_server();
     let addr = server.addr();
